@@ -1,0 +1,57 @@
+"""Shared configuration for the reproduction benches.
+
+Every bench regenerates one figure of the paper's evaluation: it runs the
+corresponding experiment driver under ``pytest-benchmark`` (one round — the
+benchmark measures the cost of regenerating the figure, the assertions check
+that the paper's qualitative shape holds) and prints the same rows/series the
+figure shows so they land in ``bench_output.txt``.
+
+Two knobs:
+
+* ``REPRO_BENCH_PRESET`` — ``bench`` (default, minutes for the full suite),
+  ``quick`` (seconds, noisier), ``default`` or ``paper`` (the full Sec. 4.1
+  protocol; hours).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentConfig, get_preset
+from repro.simulation import MeasurementConfig
+
+#: Measurement protocol used by the benches unless overridden by environment.
+#: Two-thirds of the paper's horizon with 6 replications instead of 100 —
+#: enough for the qualitative shapes; absolute values carry 20-40% noise
+#: because of the heavy-tailed job sizes.
+BENCH_CONFIG = ExperimentConfig(
+    measurement=MeasurementConfig(
+        warmup=5_000.0, horizon=40_000.0, window=1_000.0, replications=6
+    ),
+    load_grid=(0.2, 0.4, 0.6, 0.8, 0.9),
+    name="bench",
+)
+
+
+def _resolve_config() -> ExperimentConfig:
+    preset = os.environ.get("REPRO_BENCH_PRESET", "bench")
+    if preset == "bench":
+        return BENCH_CONFIG
+    return get_preset(preset)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The experiment configuration shared by all figure benches."""
+    return _resolve_config()
+
+
+def run_and_report(benchmark, driver, config, *, print_result=True):
+    """Run an experiment driver once under the benchmark and print its table."""
+    result = benchmark.pedantic(driver, args=(config,), rounds=1, iterations=1)
+    if print_result:
+        print()
+        print(result.to_text())
+    return result

@@ -1,0 +1,46 @@
+"""Figure 2: simulated vs expected slowdowns, two classes, deltas (1, 2).
+
+Regenerates the load sweep of Fig. 2 and checks the paper's qualitative
+claims: the simulated slowdowns track the Eq. 18 closed forms, grow with
+load, and keep the 2:1 spacing between the classes.
+"""
+
+import pytest
+
+from repro.experiments import figure2
+
+from conftest import run_and_report
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig02_effectiveness_two_classes(benchmark, bench_config):
+    result = run_and_report(benchmark, figure2, bench_config)
+
+    loads = result.column("load")
+    expected_1 = result.column("expected_1")
+    simulated_1 = result.column("simulated_1")
+    simulated_2 = result.column("simulated_2")
+
+    # Slowdown grows (super-linearly) with load for both curves.
+    assert loads == sorted(loads)
+    assert expected_1 == sorted(expected_1)
+    assert simulated_1[-1] > simulated_1[0]
+    assert simulated_2[-1] > simulated_2[0]
+
+    # Simulated values track the Eq. 18 curves.  The Bounded Pareto tail makes
+    # individual points noisy at bench scale, so the agreement is asserted on
+    # the sweep as a whole rather than point-by-point.
+    ratio_to_expected = [
+        row[f"simulated_{i}"] / row[f"expected_{i}"]
+        for row in result.rows
+        for i in (1, 2)
+    ]
+    mean_agreement = sum(ratio_to_expected) / len(ratio_to_expected)
+    assert 0.5 < mean_agreement < 1.6
+    assert all(0.2 < r < 3.5 for r in ratio_to_expected)
+
+    # Predictability: class 2 is slower than class 1 in the (large) majority
+    # of sweep points, and the average spacing is near the target of 2.
+    ratios = [row["simulated_2"] / row["simulated_1"] for row in result.rows]
+    assert sum(r > 1.0 for r in ratios) >= len(ratios) - 1
+    assert 1.2 < sum(ratios) / len(ratios) < 3.2

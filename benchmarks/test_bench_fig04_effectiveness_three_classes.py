@@ -1,0 +1,29 @@
+"""Figure 4: simulated vs expected slowdowns, three classes, deltas (1, 2, 3)."""
+
+import pytest
+
+from repro.experiments import figure4
+
+from conftest import run_and_report
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig04_effectiveness_three_classes(benchmark, bench_config):
+    result = run_and_report(benchmark, figure4, bench_config)
+
+    for row in result.rows:
+        # Analytic curves keep the exact 1:2:3 spacing at every load.
+        assert row["expected_2"] / row["expected_1"] == pytest.approx(2.0)
+        assert row["expected_3"] / row["expected_1"] == pytest.approx(3.0)
+
+    # Simulated ordering (class 1 best, class 3 worst) holds in the large
+    # majority of sweep points.
+    orderings = [row["simulated_1"] < row["simulated_3"] for row in result.rows]
+    assert sum(orderings) >= len(orderings) - 1
+
+    # Slowdowns increase with load for every class (analytically exact), and
+    # the simulated end points reflect it.
+    for column in ("expected_1", "expected_2", "expected_3"):
+        values = result.column(column)
+        assert values == sorted(values)
+    assert result.rows[-1]["simulated_1"] > result.rows[0]["simulated_1"]

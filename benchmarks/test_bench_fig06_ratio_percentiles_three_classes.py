@@ -1,0 +1,41 @@
+"""Figure 6: percentiles of windowed slowdown ratios, three classes.
+
+Targets: class 2 / class 1 = 2 and class 3 / class 1 = 3.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure6
+
+from conftest import run_and_report
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig06_ratio_percentiles_three_classes(benchmark, bench_config):
+    result = run_and_report(benchmark, figure6, bench_config)
+
+    # Two ratio pairs per load.
+    assert len(result.rows) == 2 * len(bench_config.load_grid)
+    pairs = {row["ratio_pair"] for row in result.rows}
+    assert pairs == {"class2/class1", "class3/class1"}
+
+    for row in result.rows:
+        assert row["p5"] <= row["median"] <= row["p95"]
+        assert row["windows"] > 0
+
+    # Median ratios track their targets on average across the sweep.
+    for pair, target in (("class2/class1", 2.0), ("class3/class1", 3.0)):
+        medians = [r["median"] for r in result.rows if r["ratio_pair"] == pair]
+        assert np.mean(medians) == pytest.approx(target, rel=0.5)
+
+    # The class-3 ratio sits above the class-2 ratio at most loads.
+    by_load = {}
+    for row in result.rows:
+        by_load.setdefault(row["load"], {})[row["ratio_pair"]] = row["median"]
+    ordered = [
+        entries["class3/class1"] > entries["class2/class1"]
+        for entries in by_load.values()
+        if len(entries) == 2
+    ]
+    assert sum(ordered) >= len(ordered) - 1

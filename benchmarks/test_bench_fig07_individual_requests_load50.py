@@ -1,0 +1,40 @@
+"""Figure 7: slowdowns of individual requests over a 1000-time-unit span, 50% load.
+
+The paper's point is the *weak* short-timescale predictability: over a span
+this short, per-request slowdowns of the two classes interleave and the
+target ordering is frequently violated.  The bench prints the per-class
+summary of the span and asserts that the interleaving is present.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import figure7
+
+from conftest import run_and_report
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig07_individual_requests_load50(benchmark, bench_config):
+    # The short-timescale figures inspect a single run's trace, so one
+    # replication is sufficient (and much cheaper).
+    config = bench_config.with_measurement(
+        dataclasses.replace(bench_config.measurement, replications=1)
+    )
+    result = run_and_report(benchmark, figure7, config)
+
+    assert result.parameters["load"] == 0.5
+    assert len(result.rows) == 2
+    for row in result.rows:
+        assert row["requests"] > 0
+        assert row["max_slowdown"] >= row["mean_slowdown"] >= 0.0
+
+    # The inversion-fraction note quantifies the short-timescale weakness:
+    # at 50% load a non-trivial fraction of (class-1, class-2) pairs violates
+    # the target ordering.
+    inversion_notes = [n for n in result.notes if "request pairs" in n]
+    assert inversion_notes, "driver must report the pairwise inversion fraction"
+    fraction = float(inversion_notes[0].rsplit(":", 1)[1])
+    assert 0.0 <= fraction <= 1.0
+    assert fraction > 0.01

@@ -1,0 +1,41 @@
+"""Figure 8: slowdowns of individual requests over a 1000-time-unit span, 90% load.
+
+At heavy load the paper observed a 1000-unit span whose measured class-2 /
+class-1 slowdown ratio was 0.33 against a target of 2 — i.e. the ordering can
+invert entirely over short horizons.  The bench reports the same span summary
+and checks that slowdowns are much larger than at 50% load (Fig. 7).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import figure7, figure8
+
+from conftest import run_and_report
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig08_individual_requests_load90(benchmark, bench_config):
+    config = bench_config.with_measurement(
+        dataclasses.replace(bench_config.measurement, replications=1)
+    )
+    result = run_and_report(benchmark, figure8, config)
+
+    assert result.parameters["load"] == 0.9
+    assert len(result.rows) == 2
+    for row in result.rows:
+        assert row["requests"] > 0
+
+    # The short-span ratio note exists and is a positive number; the paper's
+    # measured value (0.33 vs a target of 2) shows it can land anywhere.
+    ratio_notes = [n for n in result.notes if "over this span alone" in n]
+    assert ratio_notes
+    measured = float(ratio_notes[0].split(":")[1].split("(")[0])
+    assert measured > 0.0
+
+    # Heavy load produces visibly larger per-request slowdowns than 50% load.
+    light = figure7(config)
+    heavy_mean = max(row["mean_slowdown"] for row in result.rows)
+    light_mean = max(row["mean_slowdown"] for row in light.rows)
+    assert heavy_mean > light_mean

@@ -1,0 +1,38 @@
+"""Figure 10: achieved slowdown ratios of three classes, targets 2 and 3.
+
+The paper reports that the three-class ratios have larger variance than the
+two-class ones (an estimation error in any class perturbs every rate), but
+the targets are still achieved on average.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure10
+
+from conftest import run_and_report
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig10_controllability_three_classes(benchmark, bench_config):
+    result = run_and_report(benchmark, figure10, bench_config)
+
+    assert len(result.rows) == 2 * len(bench_config.load_grid)
+
+    def rows_for(pair):
+        return [r for r in result.rows if r["ratio_pair"] == pair]
+
+    mean_2 = np.mean([r["achieved_ratio"] for r in rows_for("class2/class1")])
+    mean_3 = np.mean([r["achieved_ratio"] for r in rows_for("class3/class1")])
+
+    # Targets achieved on average, and ordered: class 3 gets the larger ratio.
+    assert mean_2 == pytest.approx(2.0, rel=0.5)
+    assert mean_3 == pytest.approx(3.0, rel=0.5)
+    assert mean_3 > mean_2
+
+    # Every row carries a finite relative error; the paper's variance claim
+    # (three-class ratios are noisier than two-class ones) is recorded in the
+    # driver notes and quantified in EXPERIMENTS.md rather than asserted here,
+    # since a single bench run of each cannot separate the two noise levels.
+    three_class_errors = [r["rel_error"] for r in rows_for("class2/class1")]
+    assert all(np.isfinite(e) for e in three_class_errors)

@@ -1,0 +1,43 @@
+"""Figure 11: influence of the Bounded Pareto shape parameter.
+
+Shape parameter swept over [1.0, 2.0] with two classes (deltas 1, 2) at a
+fixed load.  The paper's claims: the slowdowns decrease as alpha grows, and
+the simulated-vs-expected agreement does not depend on alpha.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure11
+
+from conftest import run_and_report
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig11_shape_parameter(benchmark, bench_config):
+    result = run_and_report(benchmark, figure11, bench_config)
+
+    alphas = result.column("alpha")
+    expected_1 = result.column("expected_1")
+    expected_2 = result.column("expected_2")
+    simulated_1 = result.column("simulated_1")
+    second_moments = result.column("second_moment")
+
+    assert alphas == sorted(alphas)
+    # Analytic slowdowns and E[X^2] are strictly decreasing in alpha.
+    assert expected_1 == sorted(expected_1, reverse=True)
+    assert expected_2 == sorted(expected_2, reverse=True)
+    assert second_moments == sorted(second_moments, reverse=True)
+
+    # The simulated curve follows the same downward trend end-to-end.
+    assert simulated_1[0] > simulated_1[-1]
+
+    # No systematic dependence of the error on alpha: the relative error at
+    # the burstiest setting is not categorically worse than at the smoothest
+    # (within an order of magnitude at bench scale).
+    errors = result.column("worst_rel_error")
+    assert np.isfinite(errors).all()
+    low_alpha_error = np.mean(errors[: len(errors) // 2])
+    high_alpha_error = np.mean(errors[len(errors) // 2 :])
+    assert low_alpha_error < 10 * (high_alpha_error + 0.05)
+    assert high_alpha_error < 10 * (low_alpha_error + 0.05)

@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the building blocks.
+
+Not tied to a paper figure; these track the cost of the pieces every
+experiment leans on — Bounded Pareto sampling, the Eq. 17/18 closed forms,
+the discrete-event simulator's event throughput and the WFQ scheduler — so
+performance regressions in the substrate are visible separately from the
+figure benches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PsdSpec, allocate_rates, expected_slowdowns
+from repro.distributions import BoundedPareto
+from repro.scheduling import WeightedFairQueueing
+from repro.simulation import MeasurementConfig, PsdServerSimulation
+from repro.workload import web_classes
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bounded_pareto_sampling_throughput(benchmark):
+    bp = BoundedPareto.paper_default()
+    rng = np.random.default_rng(0)
+
+    def draw():
+        return bp.sample(rng, 100_000)
+
+    samples = benchmark(draw)
+    assert samples.shape == (100_000,)
+    assert samples.min() >= bp.k
+
+
+@pytest.mark.benchmark(group="micro")
+def test_rate_allocation_closed_form(benchmark):
+    classes = web_classes(3, 0.8, (1.0, 2.0, 4.0))
+    spec = PsdSpec.of(1, 2, 4)
+
+    def allocate():
+        allocation = allocate_rates(classes, spec)
+        return allocation.rates, expected_slowdowns(classes, spec)
+
+    rates, slowdowns = benchmark(allocate)
+    assert sum(rates) == pytest.approx(1.0)
+    assert slowdowns[2] / slowdowns[0] == pytest.approx(4.0)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_simulator_event_throughput(benchmark):
+    classes = web_classes(2, 0.6, (1.0, 2.0))
+    config = MeasurementConfig(
+        warmup=500.0, horizon=5_000.0, window=500.0
+    ).scaled_to_time_units(classes[0].service.mean())
+
+    def run():
+        return PsdServerSimulation(classes, config, seed=1).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert sum(result.completed_counts) > 1_000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_wfq_selection_throughput(benchmark):
+    rng = np.random.default_rng(2)
+    sizes = rng.uniform(0.1, 2.0, size=5_000)
+
+    def churn():
+        scheduler = WeightedFairQueueing(4, weights=[0.4, 0.3, 0.2, 0.1])
+        for i, size in enumerate(sizes):
+            scheduler.enqueue(i % 4, float(size), 0.0, payload=i)
+        served = 0
+        now = 0.0
+        while scheduler.total_backlog():
+            job = scheduler.select(now)
+            now += job.size
+            served += 1
+        return served
+
+    served = benchmark.pedantic(churn, rounds=3, iterations=1)
+    assert served == sizes.size

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Session-based e-commerce differentiation (the M/D/1 scenario of Sec. 2.2).
+
+Requests at session states such as "home entry" or "register" take
+approximately the same service time, so each class behaves as an M/D/1 queue
+and the expected slowdown on a task server collapses to Eq. 15:
+
+    E[S] = rho / (2 (1 - rho)).
+
+The script builds a three-class session workload (guests, members, premium
+members), allocates processing rates with Eq. 17, verifies the M/D/1
+predictions against simulation, and shows that the slowdown ratios still
+follow the differentiation parameters even though the job-size distribution
+is deterministic rather than heavy-tailed.
+
+Run with::
+
+    python examples/ecommerce_sessions.py
+"""
+
+from __future__ import annotations
+
+from repro.core import PsdSpec, allocate_rates, expected_slowdowns
+from repro.experiments import render_table
+from repro.queueing import md1_expected_slowdown
+from repro.simulation import MeasurementConfig, PsdServerSimulation, run_replications
+from repro.workload import SessionProfile, ecommerce_classes
+
+DELTAS = (1.0, 2.0, 4.0)          # premium, member, guest
+NAMES = ("premium", "member", "guest")
+SYSTEM_LOAD = 0.75
+
+
+def main() -> None:
+    profile = SessionProfile()
+    classes = ecommerce_classes(SYSTEM_LOAD, DELTAS, profile=profile)
+    spec = PsdSpec(DELTAS)
+
+    allocation = allocate_rates(classes, spec)
+    predicted = expected_slowdowns(classes, spec)
+
+    print("Session-based workload: every request takes exactly "
+          f"{profile.mean_service_time:.1f} time unit(s)")
+    rows = []
+    for name, cls, rate in zip(NAMES, classes, allocation.rates):
+        # Eq. 15 applied to this class's task server.
+        rho = cls.arrival_rate * profile.mean_service_time / rate
+        rows.append(
+            {
+                "class": name,
+                "delta": cls.delta,
+                "allocated rate": rate,
+                "task-server utilisation": rho,
+                "Eq. 15 slowdown": md1_expected_slowdown(
+                    cls.arrival_rate, profile.mean_service_time, rate=rate
+                ),
+                "Eq. 18 slowdown": predicted[NAMES.index(name)],
+            }
+        )
+    print(render_table(tuple(rows[0].keys()), rows))
+    print()
+
+    # Simulate and compare.
+    config = MeasurementConfig(warmup=2_000.0, horizon=20_000.0, window=1_000.0)
+
+    def build(_, seed_seq):
+        return PsdServerSimulation(classes, config, spec=spec, seed=seed_seq).run()
+
+    summary = run_replications(build, replications=3, base_seed=7)
+    print("Simulated vs expected (3 replications):")
+    out = []
+    for name, sim, exp in zip(NAMES, summary.mean_slowdowns, predicted):
+        out.append({"class": name, "simulated": sim, "expected": exp,
+                    "relative error": abs(sim - exp) / exp})
+    print(render_table(("class", "simulated", "expected", "relative error"), out))
+    ratios = summary.ratio_of_mean_slowdowns
+    print(f"\nachieved ratios to premium: member={ratios[1]:.2f} (target 2), "
+          f"guest={ratios[2]:.2f} (target 4)")
+    print("Note how the deterministic workload converges far faster than the "
+          "heavy-tailed one: the M/D/1 closed form is matched within a few percent.")
+
+
+if __name__ == "__main__":
+    main()

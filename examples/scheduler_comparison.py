@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Realising the rate allocation: idealised task servers vs real schedulers.
+
+The paper assumes the server's capacity "can be proportionally allocated to a
+number of task servers" via GPS, PGPS (WFQ) or lottery scheduling.  This
+example runs the same two-class workload under:
+
+* the idealised per-class task servers of the paper's simulation model,
+* one shared full-speed processor scheduled by WFQ, lottery scheduling and
+  deficit weighted round robin with weights equal to the allocated rates,
+* strict priority scheduling (the related-work baseline that differentiates
+  but cannot control the spacing).
+
+and prints the achieved slowdown ratio of each realisation against the
+target.
+
+Run with::
+
+    python examples/scheduler_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import PsdSpec
+from repro.experiments import render_table
+from repro.scheduling import (
+    DeficitWeightedRoundRobin,
+    LotteryScheduler,
+    StrictPriorityScheduler,
+    WeightedFairQueueing,
+)
+from repro.simulation import (
+    MeasurementConfig,
+    PsdServerSimulation,
+    SharedProcessorSimulation,
+    run_replications,
+)
+from repro.workload import paper_service_distribution, web_classes
+
+DELTAS = (1.0, 2.0)
+LOAD = 0.7
+REPLICATIONS = 3
+
+
+def run_realisation(name, classes, spec, config, seed):
+    def make_scheduler():
+        if name == "wfq":
+            return WeightedFairQueueing(2)
+        if name == "lottery":
+            return LotteryScheduler(2, rng=np.random.default_rng(seed))
+        if name == "drr":
+            return DeficitWeightedRoundRobin(2, quantum=classes[0].service.mean())
+        if name == "strict priority":
+            return StrictPriorityScheduler(2)
+        raise ValueError(name)
+
+    def build(_, seed_seq):
+        if name == "task servers (paper)":
+            return PsdServerSimulation(classes, config, spec=spec, seed=seed_seq).run()
+        return SharedProcessorSimulation(
+            classes, config, make_scheduler(), spec=spec, seed=seed_seq
+        ).run()
+
+    summary = run_replications(build, replications=REPLICATIONS, base_seed=seed)
+    return summary
+
+
+def main() -> None:
+    service = paper_service_distribution()
+    classes = web_classes(2, LOAD, DELTAS, service=service)
+    spec = PsdSpec(DELTAS)
+    config = MeasurementConfig(
+        warmup=2_000.0, horizon=16_000.0, window=1_000.0
+    ).scaled_to_time_units(service.mean())
+
+    rows = []
+    for seed, name in enumerate(
+        ("task servers (paper)", "wfq", "lottery", "drr", "strict priority"), start=50
+    ):
+        summary = run_realisation(name, classes, spec, config, seed)
+        slowdowns = summary.mean_slowdowns
+        rows.append(
+            {
+                "realisation": name,
+                "class-1 slowdown": slowdowns[0],
+                "class-2 slowdown": slowdowns[1],
+                "achieved ratio": summary.ratio_of_mean_slowdowns[1],
+                "target ratio": spec.target_ratio(1, 0),
+            }
+        )
+
+    print(f"Two classes, deltas {DELTAS}, system load {LOAD:.0%}, "
+          f"{REPLICATIONS} replications per realisation\n")
+    print(render_table(tuple(rows[0].keys()), rows))
+    print(
+        "\nObservations: the idealised task servers track the 2x target.  The "
+        "packetised realisations on one non-preemptive processor keep the "
+        "ordering but with a much smaller spacing — the shared busy period "
+        "couples the classes and every request is served at full speed, so the "
+        "rate weights only shape who waits, not for how long they are served.  "
+        "Strict priority produces whatever spacing the load dictates; it cannot "
+        "be controlled by the differentiation parameters."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+"""Admission control for overload protection.
+
+The related work (Sec. 5) combines priority scheduling with admission
+control for differentiated services; the PSD allocation itself simply
+becomes infeasible when the offered load reaches the capacity.  This module
+provides pluggable admission policies that the simulator consults on every
+arrival, so that overload experiments can be run without the queues growing
+without bound:
+
+* :class:`AlwaysAdmit` — the default (the paper's model admits everything);
+* :class:`LoadThresholdAdmission` — reject new requests of a class once the
+  *estimated* total load exceeds a threshold, shedding lower classes first;
+* :class:`QueueLengthAdmission` — reject a class's requests when its waiting
+  queue exceeds a per-class limit (a simple buffer-size model).
+
+Policies see the arriving request's class and size plus a snapshot of the
+system (per-class backlogs and the controller's current load estimate), and
+return ``True`` to admit.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from ..errors import ParameterError
+from ..validation import require_in_range, require_positive
+
+__all__ = [
+    "SystemSnapshot",
+    "AdmissionPolicy",
+    "AlwaysAdmit",
+    "LoadThresholdAdmission",
+    "QueueLengthAdmission",
+]
+
+
+@dataclass(frozen=True)
+class SystemSnapshot:
+    """What an admission policy may look at when deciding."""
+
+    time: float
+    backlogs: tuple[int, ...]
+    estimated_loads: tuple[float, ...]
+
+    @property
+    def total_estimated_load(self) -> float:
+        return sum(self.estimated_loads)
+
+
+class AdmissionPolicy(abc.ABC):
+    """Decides whether an arriving request enters its waiting queue."""
+
+    @abc.abstractmethod
+    def admit(self, class_index: int, size: float, snapshot: SystemSnapshot) -> bool:
+        """Return True to admit the request, False to reject it."""
+
+    def reset(self) -> None:
+        """Clear any internal state (called between replications)."""
+
+
+class AlwaysAdmit(AdmissionPolicy):
+    """Admit everything — the paper's (implicit) policy."""
+
+    def admit(self, class_index: int, size: float, snapshot: SystemSnapshot) -> bool:
+        return True
+
+
+@dataclass
+class LoadThresholdAdmission(AdmissionPolicy):
+    """Shed load class by class once the estimated total load crosses a threshold.
+
+    ``thresholds[i]`` is the estimated total load above which class ``i`` is
+    rejected.  Giving lower classes lower thresholds sheds them first —
+    differentiated overload protection.  A threshold of 1.0 (or more)
+    effectively never rejects on estimation alone.
+    """
+
+    thresholds: tuple[float, ...]
+    rejected: list[int] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.thresholds:
+            raise ParameterError("thresholds must be non-empty")
+        checked = tuple(
+            require_in_range(t, f"thresholds[{i}]", 0.0, 10.0)
+            for i, t in enumerate(self.thresholds)
+        )
+        object.__setattr__(self, "thresholds", checked)
+        self.rejected = [0] * len(checked)
+
+    def admit(self, class_index: int, size: float, snapshot: SystemSnapshot) -> bool:
+        if class_index >= len(self.thresholds):
+            raise ParameterError(
+                f"class {class_index} has no admission threshold configured"
+            )
+        if snapshot.total_estimated_load > self.thresholds[class_index]:
+            self.rejected[class_index] += 1
+            return False
+        return True
+
+    def reset(self) -> None:
+        self.rejected = [0] * len(self.thresholds)
+
+
+@dataclass
+class QueueLengthAdmission(AdmissionPolicy):
+    """Reject a class's arrivals while its waiting queue exceeds a limit."""
+
+    limits: tuple[int, ...]
+    rejected: list[int] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.limits:
+            raise ParameterError("limits must be non-empty")
+        for i, limit in enumerate(self.limits):
+            require_positive(limit, f"limits[{i}]")
+        object.__setattr__(self, "limits", tuple(int(l) for l in self.limits))
+        self.rejected = [0] * len(self.limits)
+
+    def admit(self, class_index: int, size: float, snapshot: SystemSnapshot) -> bool:
+        if class_index >= len(self.limits):
+            raise ParameterError(f"class {class_index} has no queue limit configured")
+        if snapshot.backlogs[class_index] >= self.limits[class_index]:
+            self.rejected[class_index] += 1
+            return False
+        return True
+
+    def reset(self) -> None:
+        self.rejected = [0] * len(self.limits)

@@ -1,0 +1,241 @@
+"""Processing-rate allocation for proportional slowdown differentiation.
+
+This module implements the paper's central mechanism (Eq. 17): split the
+server's (normalised) processing capacity among per-class task servers so
+that each class first receives its own processing requirement
+``lambda_i E[X_i]`` and the *residual* capacity ``1 - rho`` is divided in
+proportion to the delta-scaled, workload-weighted arrival rates:
+
+    r_i = lambda_i E[X_i]
+          + (1 - rho) * (C_i lambda_i / delta_i) / sum_j (C_j lambda_j / delta_j)
+
+with ``C_i = E[X_i^2] E[1/X_i] / 2`` and ``rho = sum_j lambda_j E[X_j]``.
+When every class uses the same service-time distribution the constants
+``C_i`` cancel and the expression is exactly Eq. 17 of the paper.  Under this
+allocation Theorem 1 gives per-class expected slowdowns in the exact ratios
+``delta_i : delta_j`` (Eq. 18), which is the PSD property.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..errors import AllocationError, StabilityError
+from ..queueing.mgb1 import theorem1_task_server_slowdown
+from ..queueing.mg1 import expected_slowdown as _generic_slowdown
+from ..types import TrafficClass, total_offered_load
+from ..validation import require_in_range, require_positive
+from .psd import PsdSpec, expected_slowdowns
+
+__all__ = ["RateAllocation", "PsdRateAllocator", "allocate_rates"]
+
+
+@dataclass(frozen=True)
+class RateAllocation:
+    """The result of a processing-rate allocation.
+
+    Attributes
+    ----------
+    rates:
+        Normalised processing rate ``r_i`` of every task server; sums to the
+        capacity passed to the allocator (1.0 by default).
+    offered_loads:
+        Per-class offered loads ``lambda_i E[X_i]`` used in the allocation.
+    total_load:
+        System utilisation ``rho``.
+    predicted_slowdowns:
+        Eq. 18 closed-form expected slowdowns under this allocation.
+    """
+
+    rates: tuple[float, ...]
+    offered_loads: tuple[float, ...]
+    total_load: float
+    predicted_slowdowns: tuple[float, ...]
+
+    @property
+    def residual_capacity(self) -> float:
+        """Capacity left after covering the raw processing requirements."""
+        return sum(self.rates) - sum(self.offered_loads)
+
+    @property
+    def per_class_utilisations(self) -> tuple[float, ...]:
+        """Utilisation of every task server, ``rho_i = load_i / r_i``."""
+        return tuple(load / rate for load, rate in zip(self.offered_loads, self.rates))
+
+    def as_dict(self) -> dict[str, tuple[float, ...] | float]:
+        return {
+            "rates": self.rates,
+            "offered_loads": self.offered_loads,
+            "total_load": self.total_load,
+            "predicted_slowdowns": self.predicted_slowdowns,
+        }
+
+
+def allocate_rates(
+    classes: Sequence[TrafficClass],
+    spec: PsdSpec,
+    *,
+    capacity: float = 1.0,
+    min_rate: float = 0.0,
+) -> RateAllocation:
+    """Compute the PSD processing-rate allocation (Eq. 17).
+
+    Parameters
+    ----------
+    classes:
+        The traffic classes (arrival rates, service distributions, deltas are
+        taken from ``spec``, not from the classes' own ``delta`` fields).
+    spec:
+        The differentiation parameters.
+    capacity:
+        Total normalised processing capacity to distribute (1.0 for a single
+        server; other values let callers model a server pool).
+    min_rate:
+        Optional floor on each task server's rate.  A class with zero arrival
+        rate would otherwise receive exactly zero capacity; a small floor
+        keeps its task server responsive to newly arriving requests between
+        re-allocations.  The floor is taken out of the residual capacity and
+        must leave the allocation feasible.
+
+    Raises
+    ------
+    StabilityError
+        If the total offered load is at least ``capacity``.
+    AllocationError
+        If the floors are infeasible.
+    """
+    if len(classes) != spec.num_classes:
+        raise AllocationError(
+            f"spec has {spec.num_classes} deltas but {len(classes)} classes were given"
+        )
+    require_positive(capacity, "capacity")
+    require_in_range(min_rate, "min_rate", 0.0, capacity)
+
+    loads = tuple(cls.offered_load for cls in classes)
+    rho = sum(loads)
+    if rho >= capacity:
+        raise StabilityError(
+            f"total offered load {rho:.6g} exceeds capacity {capacity}; "
+            "the PSD allocation is infeasible"
+        )
+
+    weights = tuple(
+        _slowdown_constant(cls) * cls.arrival_rate / delta
+        for cls, delta in zip(classes, spec.deltas)
+    )
+    weight_sum = sum(weights)
+    residual = capacity - rho
+
+    if weight_sum <= 0.0:
+        # No class has traffic: split the capacity evenly (respecting floors).
+        even = capacity / len(classes)
+        rates = tuple(max(even, min_rate) for _ in classes)
+        scale = capacity / sum(rates)
+        rates = tuple(r * scale for r in rates)
+        return RateAllocation(rates, loads, rho, tuple(0.0 for _ in classes))
+
+    rates = [
+        load + residual * weight / weight_sum for load, weight in zip(loads, weights)
+    ]
+
+    if min_rate > 0.0:
+        rates = _apply_floor(rates, loads, min_rate, capacity)
+
+    predicted = _predict_slowdowns(classes, spec, rho, capacity)
+    return RateAllocation(tuple(rates), loads, rho, predicted)
+
+
+def _apply_floor(
+    rates: list[float], loads: tuple[float, ...], min_rate: float, capacity: float
+) -> list[float]:
+    """Raise under-floor rates to ``min_rate`` and rescale the others' surplus.
+
+    The surplus (rate above its own offered load) of the unfloored classes is
+    shrunk proportionally so the vector still sums to ``capacity`` and every
+    task server stays stable (rate > offered load).
+    """
+    floored = [max(r, min_rate) for r in rates]
+    excess = sum(floored) - capacity
+    if excess <= 1e-15:
+        return floored
+    adjustable = [
+        i for i, (r, f) in enumerate(zip(rates, floored)) if f == r and r > loads[i]
+    ]
+    surplus = sum(floored[i] - loads[i] for i in adjustable)
+    if surplus <= excess:
+        raise AllocationError(
+            f"min_rate={min_rate} is infeasible: not enough residual capacity "
+            "to guarantee the floors while keeping every task server stable"
+        )
+    shrink = (surplus - excess) / surplus
+    for i in adjustable:
+        floored[i] = loads[i] + (floored[i] - loads[i]) * shrink
+    return floored
+
+
+def _predict_slowdowns(
+    classes: Sequence[TrafficClass], spec: PsdSpec, rho: float, capacity: float
+) -> tuple[float, ...]:
+    if capacity != 1.0:
+        # Re-normalise to unit capacity: a server pool of capacity c serving
+        # load rho behaves (for these closed forms) like a unit server with
+        # load rho / c and arrival rates divided by c.
+        scaled = [
+            cls.with_arrival_rate(cls.arrival_rate / capacity) for cls in classes
+        ]
+        return expected_slowdowns(scaled, spec)
+    return expected_slowdowns(classes, spec)
+
+
+def _slowdown_constant(cls: TrafficClass) -> float:
+    second = cls.service.second_moment()
+    inverse = cls.service.mean_inverse()
+    if not (second < float("inf") and inverse < float("inf")):
+        raise AllocationError(
+            f"class {cls.name!r}: PSD rate allocation needs finite E[X^2] and "
+            "E[1/X]; use a bounded service-time distribution"
+        )
+    return second * inverse / 2.0
+
+
+@dataclass(frozen=True)
+class PsdRateAllocator:
+    """Reusable allocator bound to a differentiation spec.
+
+    The adaptive controller re-invokes :meth:`allocate` every estimation
+    window with freshly estimated arrival rates; this object keeps the spec,
+    capacity and floor in one place.
+    """
+
+    spec: PsdSpec
+    capacity: float = 1.0
+    min_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.capacity, "capacity")
+        require_in_range(self.min_rate, "min_rate", 0.0, self.capacity)
+
+    def allocate(self, classes: Sequence[TrafficClass]) -> RateAllocation:
+        """Allocate rates for the given (estimated) traffic classes."""
+        return allocate_rates(
+            classes, self.spec, capacity=self.capacity, min_rate=self.min_rate
+        )
+
+    def verify(self, classes: Sequence[TrafficClass], allocation: RateAllocation) -> tuple[float, ...]:
+        """Plug the allocation back into Theorem 1 and return the slowdowns.
+
+        Useful as an internal consistency check: the returned values must be
+        (numerically) proportional to the spec's deltas.
+        """
+        out = []
+        for cls, rate in zip(classes, allocation.rates):
+            from ..distributions.bounded_pareto import BoundedPareto
+
+            if isinstance(cls.service, BoundedPareto):
+                out.append(
+                    theorem1_task_server_slowdown(cls.arrival_rate, cls.service, rate)
+                )
+            else:
+                out.append(_generic_slowdown(cls.arrival_rate, cls.service, rate=rate))
+        return tuple(out)

@@ -1,0 +1,90 @@
+"""Baseline rate-allocation policies.
+
+These are the "obvious" ways of splitting a server among classes.  None of
+them achieves proportional slowdown differentiation, which is what the
+comparison benches demonstrate; they are also useful as sanity baselines for
+the simulator.
+
+* :func:`equal_split` — every class gets the same rate, ignoring load.
+* :func:`demand_proportional_split` — rates proportional to offered loads
+  ``lambda_i E[X_i]`` (a GPS-style fair share); all classes then see the same
+  utilisation and hence roughly the same slowdown, i.e. no differentiation.
+* :func:`weighted_demand_split` — residual capacity split proportionally to
+  ``lambda_i / delta_i`` *without* the workload constant; equals Eq. 17 when
+  all classes share one distribution, and is included to isolate the effect
+  of per-class moments when they do not.
+* :func:`priority_rates` is intentionally absent: strict priority is a
+  scheduling discipline, not a rate split — see
+  :mod:`repro.scheduling.priority` for it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..errors import AllocationError, StabilityError
+from ..types import TrafficClass
+from ..validation import require_positive
+from .psd import PsdSpec
+
+__all__ = ["equal_split", "demand_proportional_split", "weighted_demand_split"]
+
+
+def _check(classes: Sequence[TrafficClass], capacity: float) -> float:
+    require_positive(capacity, "capacity")
+    if not classes:
+        raise AllocationError("classes must be non-empty")
+    total = sum(cls.offered_load for cls in classes)
+    if total >= capacity:
+        raise StabilityError(
+            f"total offered load {total:.6g} exceeds capacity {capacity}"
+        )
+    return total
+
+
+def equal_split(classes: Sequence[TrafficClass], *, capacity: float = 1.0) -> tuple[float, ...]:
+    """Every task server receives ``capacity / N``.
+
+    Note that an equal split can leave an individual task server unstable
+    (its class's load may exceed ``capacity / N``) even though the system as
+    a whole is underloaded; callers that simulate this baseline should expect
+    unbounded queues in that regime.
+    """
+    _check(classes, capacity)
+    share = capacity / len(classes)
+    return tuple(share for _ in classes)
+
+
+def demand_proportional_split(
+    classes: Sequence[TrafficClass], *, capacity: float = 1.0
+) -> tuple[float, ...]:
+    """Rates proportional to each class's offered load (GPS-style fair share)."""
+    total = _check(classes, capacity)
+    if total == 0.0:
+        return equal_split(classes, capacity=capacity)
+    return tuple(capacity * cls.offered_load / total for cls in classes)
+
+
+def weighted_demand_split(
+    classes: Sequence[TrafficClass], spec: PsdSpec, *, capacity: float = 1.0
+) -> tuple[float, ...]:
+    """Eq. 17 without the per-class workload constants.
+
+    Each class receives its own offered load plus a share of the residual
+    capacity proportional to ``lambda_i / delta_i``.  Identical to the PSD
+    allocation when every class has the same service-time distribution.
+    """
+    if len(classes) != spec.num_classes:
+        raise AllocationError("classes and spec must have the same number of classes")
+    total = _check(classes, capacity)
+    residual = capacity - total
+    weights = [
+        cls.arrival_rate / delta for cls, delta in zip(classes, spec.deltas)
+    ]
+    weight_sum = sum(weights)
+    if weight_sum == 0.0:
+        return equal_split(classes, capacity=capacity)
+    return tuple(
+        cls.offered_load + residual * w / weight_sum
+        for cls, w in zip(classes, weights)
+    )

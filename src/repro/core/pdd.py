@@ -1,0 +1,132 @@
+"""Rate-based proportional *delay* differentiation (PDD) on the server side.
+
+The paper's introduction argues that rate-based PDD schemes (such as BPR) can
+be tailored to servers for queueing-*delay* differentiation but cannot provide
+slowdown differentiation, because slowdown also depends on service times.
+This module implements that rate-based PDD allocation so the claim can be
+quantified: the experiments compare the slowdown ratios achieved by PDD rates
+against those achieved by the PSD rates of Eq. 17.
+
+For per-class task servers the PDD goal is
+
+    E[W_i] / E[W_j] = delta_i / delta_j,
+
+with ``E[W_i] = lambda_i E[X_i^2] / (2 r_i (r_i - lambda_i E[X_i]))`` from the
+Pollaczek–Khinchin formula on a rate-``r_i`` server.  Setting
+``E[W_i] = delta_i * c`` and solving the quadratic for ``r_i`` gives
+
+    r_i(c) = ( rho_i + sqrt(rho_i^2 + 2 lambda_i E[X_i^2] / (delta_i c)) ) / 2,
+
+a strictly decreasing function of ``c``; the unique ``c`` with
+``sum_i r_i(c) = capacity`` is found by bisection.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..errors import AllocationError, StabilityError
+from ..types import TrafficClass
+from ..validation import require_positive
+from .psd import PsdSpec
+
+__all__ = ["PddAllocation", "allocate_pdd_rates"]
+
+
+@dataclass(frozen=True)
+class PddAllocation:
+    """Result of a proportional-delay rate allocation."""
+
+    rates: tuple[float, ...]
+    predicted_waiting_times: tuple[float, ...]
+    delay_constant: float
+
+    @property
+    def predicted_ratios_to_first(self) -> tuple[float, ...]:
+        first = self.predicted_waiting_times[0]
+        return tuple(w / first for w in self.predicted_waiting_times)
+
+
+def _rate_for_constant(cls: TrafficClass, delta: float, c: float) -> float:
+    """The task-server rate that yields E[W] = delta * c for this class."""
+    lam = cls.arrival_rate
+    if lam == 0.0:
+        return 0.0
+    rho = lam * cls.service.mean()
+    second = cls.service.second_moment()
+    disc = rho * rho + 2.0 * lam * second / (delta * c)
+    return 0.5 * (rho + math.sqrt(disc))
+
+
+def _predicted_waiting(cls: TrafficClass, rate: float) -> float:
+    lam = cls.arrival_rate
+    if lam == 0.0 or rate == 0.0:
+        return 0.0
+    rho = lam * cls.service.mean()
+    return lam * cls.service.second_moment() / (2.0 * rate * (rate - rho))
+
+
+def allocate_pdd_rates(
+    classes: Sequence[TrafficClass],
+    spec: PsdSpec,
+    *,
+    capacity: float = 1.0,
+    tolerance: float = 1e-12,
+    max_iterations: int = 500,
+) -> PddAllocation:
+    """Allocate task-server rates achieving proportional *delay* differentiation.
+
+    Raises :class:`StabilityError` when the total offered load exceeds the
+    capacity and :class:`AllocationError` if the bisection cannot bracket a
+    solution (which only happens for degenerate inputs such as all-zero
+    arrival rates).
+    """
+    require_positive(capacity, "capacity")
+    if len(classes) != spec.num_classes:
+        raise AllocationError("classes and spec must have the same number of classes")
+    total_load = sum(cls.offered_load for cls in classes)
+    if total_load >= capacity:
+        raise StabilityError(
+            f"total offered load {total_load:.6g} exceeds capacity {capacity}"
+        )
+    if all(cls.arrival_rate == 0.0 for cls in classes):
+        raise AllocationError("at least one class must have a positive arrival rate")
+
+    def total_rate(c: float) -> float:
+        return sum(
+            _rate_for_constant(cls, delta, c)
+            for cls, delta in zip(classes, spec.deltas)
+        )
+
+    # total_rate(c) decreases from +inf (c -> 0) to total_load (c -> inf),
+    # so a solution with total_rate(c) == capacity exists and is unique.
+    lo, hi = 1e-12, 1.0
+    while total_rate(hi) > capacity:
+        hi *= 2.0
+        if hi > 1e18:
+            raise AllocationError("failed to bracket the PDD delay constant")
+    while total_rate(lo) < capacity:
+        lo /= 2.0
+        if lo < 1e-300:
+            raise AllocationError("failed to bracket the PDD delay constant")
+
+    for _ in range(max_iterations):
+        mid = math.sqrt(lo * hi)  # geometric bisection: c spans many decades
+        if total_rate(mid) > capacity:
+            lo = mid
+        else:
+            hi = mid
+        if hi / lo - 1.0 < tolerance:
+            break
+    c = math.sqrt(lo * hi)
+
+    raw = [
+        _rate_for_constant(cls, delta, c) for cls, delta in zip(classes, spec.deltas)
+    ]
+    # Give any zero-arrival class the residual dust and renormalise exactly.
+    scale = capacity / sum(raw) if sum(raw) > 0 else 1.0
+    rates = tuple(r * scale for r in raw)
+    waits = tuple(_predicted_waiting(cls, r) for cls, r in zip(classes, rates))
+    return PddAllocation(rates=rates, predicted_waiting_times=waits, delay_constant=c)

@@ -1,0 +1,144 @@
+"""Capacity planning with the PSD closed forms.
+
+Eq. 18 links the per-class expected slowdowns to the offered load, the
+differentiation parameters and the workload moments.  Inverting it answers
+the provisioning questions an operator actually asks:
+
+* "Given my differentiation parameters and workload mix, how much load can I
+  accept before the highest class's slowdown exceeds its target?"
+  (:func:`max_load_for_slowdown_target`)
+* "How much server capacity do I need for this traffic so that class ``i``
+  stays below a slowdown bound?" (:func:`required_capacity`)
+* "At my current operating point, what slowdown does every class get?"
+  (:func:`slowdown_at_load` — a thin convenience wrapper around Eq. 18).
+
+All helpers assume the Eq. 17 allocation is in force.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..errors import ParameterError, StabilityError
+from ..types import TrafficClass, scale_arrival_rates, total_offered_load
+from ..validation import require_in_range, require_positive
+from .psd import PsdSpec, expected_slowdowns
+
+__all__ = [
+    "PlanningResult",
+    "slowdown_at_load",
+    "max_load_for_slowdown_target",
+    "required_capacity",
+]
+
+
+@dataclass(frozen=True)
+class PlanningResult:
+    """Outcome of a capacity-planning query."""
+
+    value: float
+    slowdowns: tuple[float, ...]
+    total_load: float
+
+
+def _scaled_to_load(classes: Sequence[TrafficClass], load: float) -> tuple[TrafficClass, ...]:
+    current = total_offered_load(classes)
+    if current <= 0.0:
+        raise ParameterError("classes must carry some traffic to plan against")
+    return scale_arrival_rates(classes, load / current)
+
+
+def slowdown_at_load(
+    classes: Sequence[TrafficClass], spec: PsdSpec, load: float
+) -> PlanningResult:
+    """Per-class Eq. 18 slowdowns when the mix is scaled to a total ``load``."""
+    require_in_range(load, "load", 0.0, 1.0, inclusive_low=False, inclusive_high=False)
+    scaled = _scaled_to_load(classes, load)
+    slowdowns = expected_slowdowns(scaled, spec)
+    return PlanningResult(value=load, slowdowns=slowdowns, total_load=load)
+
+
+def max_load_for_slowdown_target(
+    classes: Sequence[TrafficClass],
+    spec: PsdSpec,
+    *,
+    class_index: int,
+    target: float,
+    tolerance: float = 1e-9,
+) -> PlanningResult:
+    """Largest total load at which class ``class_index`` meets ``target``.
+
+    The traffic *mix* (relative class shares) is kept fixed while the total
+    volume is scaled; the answer is found by bisection on the monotone map
+    ``load -> E[S_i](load)``.
+    """
+    require_positive(target, "target")
+    if not (0 <= class_index < spec.num_classes):
+        raise ParameterError("class_index out of range")
+
+    lo, hi = 1e-9, 1.0 - 1e-9
+    if slowdown_at_load(classes, spec, lo).slowdowns[class_index] > target:
+        raise StabilityError(
+            f"the slowdown target {target} for class {class_index} is not "
+            "achievable at any positive load with these parameters"
+        )
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        value = slowdown_at_load(classes, spec, mid).slowdowns[class_index]
+        if value <= target:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tolerance:
+            break
+    result = slowdown_at_load(classes, spec, lo)
+    return PlanningResult(value=lo, slowdowns=result.slowdowns, total_load=lo)
+
+
+def required_capacity(
+    classes: Sequence[TrafficClass],
+    spec: PsdSpec,
+    *,
+    class_index: int,
+    target: float,
+    tolerance: float = 1e-9,
+) -> PlanningResult:
+    """Smallest server capacity (in multiples of the unit server) that keeps
+    class ``class_index`` at or below the slowdown ``target`` for the given
+    (un-scaled) traffic.
+
+    A capacity of ``c`` is equivalent to dividing every arrival rate by ``c``
+    on a unit server, which is how the bisection evaluates candidates.
+    """
+    require_positive(target, "target")
+    if not (0 <= class_index < spec.num_classes):
+        raise ParameterError("class_index out of range")
+    load = total_offered_load(classes)
+    if load <= 0.0:
+        raise ParameterError("classes must carry some traffic to plan against")
+
+    def slowdown_with_capacity(capacity: float) -> tuple[float, ...]:
+        scaled = tuple(
+            cls.with_arrival_rate(cls.arrival_rate / capacity) for cls in classes
+        )
+        return expected_slowdowns(scaled, spec)
+
+    lo = load + 1e-9  # any smaller capacity is unstable
+    hi = max(2.0 * lo, 1.0)
+    while slowdown_with_capacity(hi)[class_index] > target:
+        hi *= 2.0
+        if hi > 1e9:
+            raise ParameterError(
+                f"slowdown target {target} appears unreachable for class {class_index}"
+            )
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if slowdown_with_capacity(mid)[class_index] > target:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tolerance * max(1.0, hi):
+            break
+    slowdowns = slowdown_with_capacity(hi)
+    return PlanningResult(value=hi, slowdowns=slowdowns, total_load=load / hi)

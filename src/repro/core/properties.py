@@ -1,0 +1,176 @@
+"""The three analytic properties of the PSD rate-allocation strategy (Sec. 3).
+
+From Eq. 18 the paper derives three statements about predictability and
+controllability:
+
+1. The slowdown of a request class increases with its own arrival rate.
+2. Increasing the differentiation parameter of a class increases its own
+   slowdown and decreases the slowdown of every other class.
+3. Increasing the workload of a *higher* class (smaller delta) causes a
+   larger increase in every class's slowdown than increasing the workload of
+   a lower class by the same amount.
+
+These helpers evaluate the statements numerically for a concrete workload so
+that tests — and users exploring a configuration — can confirm them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from ..types import TrafficClass
+from ..validation import require_positive
+from .psd import PsdSpec, expected_slowdowns
+
+__all__ = [
+    "PropertyCheck",
+    "check_monotone_in_own_arrival_rate",
+    "check_delta_increase_effect",
+    "check_higher_class_impact",
+    "check_all_properties",
+]
+
+
+@dataclass(frozen=True)
+class PropertyCheck:
+    """Outcome of one property evaluation."""
+
+    name: str
+    holds: bool
+    detail: str
+
+
+def _perturb_rate(
+    classes: Sequence[TrafficClass], index: int, factor: float
+) -> tuple[TrafficClass, ...]:
+    out = list(classes)
+    out[index] = out[index].with_arrival_rate(out[index].arrival_rate * factor)
+    return tuple(out)
+
+
+def check_monotone_in_own_arrival_rate(
+    classes: Sequence[TrafficClass],
+    spec: PsdSpec,
+    *,
+    class_index: int = 0,
+    factor: float = 1.05,
+) -> PropertyCheck:
+    """Property 1: a class's slowdown increases with its own arrival rate."""
+    require_positive(factor, "factor")
+    if factor <= 1.0:
+        raise ParameterError("factor must be > 1 to represent an arrival-rate increase")
+    base = expected_slowdowns(classes, spec)
+    bumped = expected_slowdowns(_perturb_rate(classes, class_index, factor), spec)
+    holds = bumped[class_index] > base[class_index]
+    return PropertyCheck(
+        name="monotone_in_own_arrival_rate",
+        holds=holds,
+        detail=(
+            f"class {class_index}: slowdown {base[class_index]:.6g} -> "
+            f"{bumped[class_index]:.6g} when its arrival rate grows by {factor:g}x"
+        ),
+    )
+
+
+def check_delta_increase_effect(
+    classes: Sequence[TrafficClass],
+    spec: PsdSpec,
+    *,
+    class_index: int = 1,
+    factor: float = 1.5,
+) -> PropertyCheck:
+    """Property 2: raising delta_i raises S_i and lowers every other S_j."""
+    if factor <= 1.0:
+        raise ParameterError("factor must be > 1 to represent a delta increase")
+    base = expected_slowdowns(classes, spec)
+    new_deltas = list(spec.deltas)
+    new_deltas[class_index] *= factor
+    # A raised delta may break the non-decreasing ordering; sortedness is a
+    # labelling convention, not a mathematical requirement of Eq. 18, so we
+    # construct the perturbed spec without the ordering check by re-sorting
+    # classes alongside deltas.
+    order = sorted(range(len(new_deltas)), key=lambda i: new_deltas[i])
+    sorted_spec = PsdSpec(tuple(new_deltas[i] for i in order))
+    sorted_classes = tuple(classes[i] for i in order)
+    sorted_slowdowns = expected_slowdowns(sorted_classes, sorted_spec)
+    bumped = [0.0] * len(classes)
+    for pos, original_index in enumerate(order):
+        bumped[original_index] = sorted_slowdowns[pos]
+
+    own_up = bumped[class_index] > base[class_index]
+    others_down = all(
+        bumped[j] < base[j] for j in range(len(classes)) if j != class_index
+    )
+    return PropertyCheck(
+        name="delta_increase_effect",
+        holds=own_up and others_down,
+        detail=(
+            f"raising delta of class {class_index} by {factor:g}x: own slowdown "
+            f"{base[class_index]:.6g} -> {bumped[class_index]:.6g}; others "
+            f"{'all decreased' if others_down else 'did NOT all decrease'}"
+        ),
+    )
+
+
+def check_higher_class_impact(
+    classes: Sequence[TrafficClass],
+    spec: PsdSpec,
+    *,
+    higher_index: int = 0,
+    lower_index: int = -1,
+    extra_arrival_rate: float | None = None,
+    observed_index: int | None = None,
+) -> PropertyCheck:
+    """Property 3: extra load on a higher class hurts more than on a lower class.
+
+    The same absolute arrival-rate increase is applied once to the higher
+    class and once to the lower class; the resulting slowdown of
+    ``observed_index`` (default: the lower class) must be larger in the first
+    case.
+    """
+    n = len(classes)
+    lower_index = lower_index % n
+    higher_index = higher_index % n
+    if spec.deltas[higher_index] >= spec.deltas[lower_index]:
+        raise ParameterError(
+            "higher_index must refer to a class with a strictly smaller delta than lower_index"
+        )
+    if observed_index is None:
+        observed_index = lower_index
+    if extra_arrival_rate is None:
+        extra_arrival_rate = 0.05 * classes[higher_index].arrival_rate
+    require_positive(extra_arrival_rate, "extra_arrival_rate")
+
+    def bump(index: int) -> tuple[float, ...]:
+        bumped = list(classes)
+        bumped[index] = bumped[index].with_arrival_rate(
+            bumped[index].arrival_rate + extra_arrival_rate
+        )
+        return expected_slowdowns(tuple(bumped), spec)
+
+    with_higher = bump(higher_index)
+    with_lower = bump(lower_index)
+    holds = with_higher[observed_index] > with_lower[observed_index]
+    return PropertyCheck(
+        name="higher_class_impact",
+        holds=holds,
+        detail=(
+            f"observed class {observed_index}: slowdown {with_higher[observed_index]:.6g} "
+            f"when the extra load goes to class {higher_index} vs "
+            f"{with_lower[observed_index]:.6g} when it goes to class {lower_index}"
+        ),
+    )
+
+
+def check_all_properties(
+    classes: Sequence[TrafficClass], spec: PsdSpec
+) -> list[PropertyCheck]:
+    """Evaluate all three Sec. 3 properties for a workload; all should hold."""
+    checks = [check_monotone_in_own_arrival_rate(classes, spec)]
+    if spec.num_classes >= 2:
+        checks.append(check_delta_increase_effect(classes, spec))
+        if spec.deltas[0] < spec.deltas[-1]:
+            checks.append(check_higher_class_impact(classes, spec))
+    return checks

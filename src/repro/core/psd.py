@@ -1,0 +1,151 @@
+"""The proportional slowdown differentiation (PSD) model.
+
+Equation 16 of the paper: the ratio of the average slowdowns of any two
+classes should equal the ratio of their pre-specified differentiation
+parameters,
+
+    E[S_i] / E[S_j] = delta_i / delta_j        for all i, j,
+
+independent of the class loads.  :class:`PsdSpec` captures the delta vector,
+validates the predictability convention (class 1 is the highest class, so the
+deltas are non-decreasing), and provides the closed-form per-class expected
+slowdowns of Eq. 18 once the workload is known.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..errors import ParameterError, StabilityError
+from ..types import TrafficClass, total_offered_load
+from ..validation import require_positive_sequence
+
+__all__ = ["PsdSpec", "expected_slowdowns", "slowdown_ratio_matrix", "psd_error"]
+
+
+@dataclass(frozen=True)
+class PsdSpec:
+    """A PSD differentiation specification: one delta per class.
+
+    By the predictability convention of Sec. 3, class 1 is the highest class
+    and ``delta_1 <= delta_2 <= ... <= delta_N``.  Construction with
+    ``enforce_ordering=False`` (via :meth:`unordered`) is available for
+    experiments that deliberately explore mis-ordered parameters.
+    """
+
+    deltas: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        deltas = require_positive_sequence(self.deltas, "deltas")
+        object.__setattr__(self, "deltas", deltas)
+        for i in range(1, len(deltas)):
+            if deltas[i] < deltas[i - 1]:
+                raise ParameterError(
+                    "differentiation parameters must be non-decreasing "
+                    f"(class 1 is the highest class); got {deltas}"
+                )
+
+    @classmethod
+    def of(cls, *deltas: float) -> "PsdSpec":
+        """``PsdSpec.of(1, 2, 4)`` — convenience variadic constructor."""
+        return cls(tuple(float(d) for d in deltas))
+
+    @classmethod
+    def from_ratios(cls, *ratios: float) -> "PsdSpec":
+        """Build a spec from target ratios relative to class 1.
+
+        ``PsdSpec.from_ratios(2, 4)`` yields deltas ``(1, 2, 4)``: class 2
+        should experience twice, class 3 four times, the slowdown of class 1.
+        """
+        return cls((1.0,) + tuple(float(r) for r in ratios))
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.deltas)
+
+    def target_ratio(self, i: int, j: int) -> float:
+        """Target slowdown ratio ``delta_i / delta_j`` between classes ``i`` and ``j``.
+
+        Classes are 0-indexed here (class ``0`` is the paper's class 1).
+        """
+        return self.deltas[i] / self.deltas[j]
+
+    def target_ratios_to_first(self) -> tuple[float, ...]:
+        """Ratios ``delta_i / delta_1`` for every class (first entry is 1.0)."""
+        return tuple(d / self.deltas[0] for d in self.deltas)
+
+    def normalised(self) -> "PsdSpec":
+        """Equivalent spec with ``delta_1 == 1`` (ratios are what matter)."""
+        return PsdSpec(tuple(d / self.deltas[0] for d in self.deltas))
+
+
+def expected_slowdowns(classes: Sequence[TrafficClass], spec: PsdSpec) -> tuple[float, ...]:
+    """Eq. 18: the per-class expected slowdowns under the PSD rate allocation.
+
+    For class ``i`` with workload constant ``C_i = E[X_i^2] E[1/X_i] / 2``:
+
+        E[S_i] = delta_i * sum_j (C_j * lambda_j / delta_j) / (1 - rho)
+
+    where ``rho = sum_j lambda_j E[X_j]`` is the total offered load.  When all
+    classes share a common service-time distribution this is exactly Eq. 18 of
+    the paper; with per-class distributions it is the natural generalisation
+    obtained from Theorem 1.
+    """
+    _check_spec(classes, spec)
+    rho = total_offered_load(classes)
+    if rho >= 1.0:
+        raise StabilityError(f"total offered load rho={rho:.6g} >= 1; PSD is infeasible")
+    weighted = sum(
+        _slowdown_constant(cls) * cls.arrival_rate / delta
+        for cls, delta in zip(classes, spec.deltas)
+    )
+    return tuple(delta * weighted / (1.0 - rho) for delta in spec.deltas)
+
+
+def slowdown_ratio_matrix(slowdowns: Sequence[float]) -> list[list[float]]:
+    """Matrix of achieved ratios ``S_i / S_j`` for reporting and testing."""
+    vals = [float(s) for s in slowdowns]
+    if any(v <= 0.0 for v in vals):
+        raise ParameterError("slowdowns must be strictly positive to form ratios")
+    return [[si / sj for sj in vals] for si in vals]
+
+
+def psd_error(slowdowns: Sequence[float], spec: PsdSpec) -> float:
+    """Worst relative deviation of achieved ratios from the PSD targets.
+
+    ``max_{i,j} | (S_i/S_j) / (delta_i/delta_j) - 1 |`` — zero when the PSD
+    model is met exactly.  Used both in tests and in the experiment reports.
+    """
+    if len(slowdowns) != spec.num_classes:
+        raise ParameterError("slowdowns and spec must have the same number of classes")
+    achieved = slowdown_ratio_matrix(slowdowns)
+    worst = 0.0
+    for i in range(spec.num_classes):
+        for j in range(spec.num_classes):
+            if i == j:
+                continue
+            target = spec.target_ratio(i, j)
+            worst = max(worst, abs(achieved[i][j] / target - 1.0))
+    return worst
+
+
+def _slowdown_constant(cls: TrafficClass) -> float:
+    second = cls.service.second_moment()
+    inverse = cls.service.mean_inverse()
+    if not (second < float("inf") and inverse < float("inf")):
+        raise ParameterError(
+            f"class {cls.name!r}: the service distribution must have finite "
+            "E[X^2] and E[1/X] for the PSD closed forms (use a bounded "
+            "distribution such as BoundedPareto)"
+        )
+    return second * inverse / 2.0
+
+
+def _check_spec(classes: Sequence[TrafficClass], spec: PsdSpec) -> None:
+    if not classes:
+        raise ParameterError("classes must be non-empty")
+    if len(classes) != spec.num_classes:
+        raise ParameterError(
+            f"spec has {spec.num_classes} deltas but {len(classes)} classes were given"
+        )

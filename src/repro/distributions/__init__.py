@@ -1,0 +1,44 @@
+"""Service-time and job-size distributions.
+
+Everything needed to describe the workloads of the paper: the Bounded Pareto
+family (the central heavy-tailed model), its unbounded parent, light-tailed
+references (exponential, deterministic, uniform), additional Web-workload
+families (hyperexponential, Weibull, lognormal), empirical traces, numerical
+moment verification and reproducible RNG stream management.
+"""
+
+from .base import Distribution, RateScaledDistribution
+from .bounded_pareto import BoundedPareto
+from .deterministic import Deterministic
+from .empirical import Empirical
+from .exponential import BoundedExponential, Exponential
+from .hyperexponential import Hyperexponential
+from .lognormal import Lognormal
+from .moments import MomentReport, numerical_moment, sample_moments, verify_moments
+from .pareto import Pareto
+from .rng import child_generator, make_generator, spawn_generators, spawn_seed_sequences
+from .uniform import Uniform
+from .weibull import Weibull
+
+__all__ = [
+    "Distribution",
+    "RateScaledDistribution",
+    "BoundedPareto",
+    "Pareto",
+    "Exponential",
+    "BoundedExponential",
+    "Deterministic",
+    "Uniform",
+    "Hyperexponential",
+    "Weibull",
+    "Lognormal",
+    "Empirical",
+    "MomentReport",
+    "numerical_moment",
+    "sample_moments",
+    "verify_moments",
+    "make_generator",
+    "spawn_generators",
+    "spawn_seed_sequences",
+    "child_generator",
+]

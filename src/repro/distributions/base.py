@@ -1,0 +1,186 @@
+"""Abstract interface for service-time distributions.
+
+The slowdown analysis of the paper needs three moments of the service-time
+distribution: the mean ``E[X]``, the second moment ``E[X^2]`` and the mean of
+the reciprocal ``E[1/X]`` (Lemma 1).  Every distribution in this package
+therefore exposes those three quantities analytically in addition to the
+usual ``pdf``/``cdf``/``ppf``/``sample`` interface.
+
+Lemma 2 of the paper describes what happens to a service-time distribution
+when the work is executed by a task server that owns only a fraction ``r`` of
+the full processing capacity: every service time is stretched by ``1/r``.
+:meth:`Distribution.scaled` returns exactly that stretched distribution, and
+:class:`RateScaledDistribution` provides a generic implementation for
+distributions without a closed-form scaled family.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DistributionError
+from ..validation import require_positive
+
+__all__ = ["Distribution", "RateScaledDistribution"]
+
+
+class Distribution(abc.ABC):
+    """A continuous, strictly positive service-time (job-size) distribution."""
+
+    # ------------------------------------------------------------------ #
+    # Moments
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """``E[X]``: the mean service time."""
+
+    @abc.abstractmethod
+    def second_moment(self) -> float:
+        """``E[X^2]``: the second raw moment of the service time."""
+
+    @abc.abstractmethod
+    def mean_inverse(self) -> float:
+        """``E[1/X]``: the mean of the reciprocal service time.
+
+        This is the moment that turns an expected queueing delay into an
+        expected slowdown in Lemma 1 (``E[S] = E[W] E[1/X]`` for FCFS, where
+        delay and size are independent).
+        """
+
+    def variance(self) -> float:
+        """``Var[X] = E[X^2] - E[X]^2`` (always >= 0 up to rounding)."""
+        return max(self.second_moment() - self.mean() ** 2, 0.0)
+
+    def std(self) -> float:
+        """Standard deviation of the service time."""
+        return math.sqrt(self.variance())
+
+    def squared_coefficient_of_variation(self) -> float:
+        """``C^2 = Var[X] / E[X]^2``, the burstiness measure used in M/G/1."""
+        mean = self.mean()
+        return self.variance() / (mean * mean)
+
+    # ------------------------------------------------------------------ #
+    # Densities and sampling
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def pdf(self, x):
+        """Probability density function evaluated element-wise at ``x``."""
+
+    @abc.abstractmethod
+    def cdf(self, x):
+        """Cumulative distribution function evaluated element-wise at ``x``."""
+
+    @abc.abstractmethod
+    def ppf(self, q):
+        """Quantile (inverse CDF) function evaluated element-wise at ``q``."""
+
+    def sample(self, rng: np.random.Generator, size: int | tuple[int, ...] | None = None):
+        """Draw samples using inverse-CDF sampling.
+
+        Subclasses may override this when a dedicated sampler is faster, but
+        the inverse-CDF default guarantees every distribution is sampleable
+        as soon as it defines :meth:`ppf`.
+        """
+        u = rng.random(size)
+        return self.ppf(u)
+
+    # ------------------------------------------------------------------ #
+    # Support
+    # ------------------------------------------------------------------ #
+    @property
+    def support(self) -> tuple[float, float]:
+        """The ``(lower, upper)`` support of the distribution.
+
+        ``upper`` may be ``math.inf``.  The default support is ``(0, inf)``.
+        """
+        return (0.0, math.inf)
+
+    # ------------------------------------------------------------------ #
+    # Rate scaling (Lemma 2)
+    # ------------------------------------------------------------------ #
+    def scaled(self, rate: float) -> "Distribution":
+        """Return the distribution of ``X / rate``.
+
+        ``rate`` is the normalised processing rate of a task server
+        (``0 < rate <= 1`` in the paper, although any positive rate is
+        accepted).  The generic implementation wraps ``self`` in a
+        :class:`RateScaledDistribution`; distributions with a closed-form
+        scaled family (e.g. Bounded Pareto, whose bounds simply divide by the
+        rate) override this to return a member of the same family.
+        """
+        return RateScaledDistribution(self, rate)
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+    def describe(self) -> dict[str, float]:
+        """Return the analytic moments as a plain dictionary."""
+        return {
+            "mean": self.mean(),
+            "second_moment": self.second_moment(),
+            "mean_inverse": self.mean_inverse(),
+            "variance": self.variance(),
+            "scv": self.squared_coefficient_of_variation(),
+        }
+
+
+@dataclass(frozen=True)
+class RateScaledDistribution(Distribution):
+    """The distribution of ``X / rate`` for an arbitrary base distribution.
+
+    If ``X`` has density ``f`` then ``Y = X / rate`` has density
+    ``rate * f(rate * y)``; the moments follow Lemma 2 of the paper:
+
+    * ``E[Y]    = E[X] / rate``
+    * ``E[Y^2]  = E[X^2] / rate^2``
+    * ``E[1/Y]  = rate * E[1/X]``
+    """
+
+    base: Distribution
+    rate: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.rate, "rate")
+        if not isinstance(self.base, Distribution):
+            raise DistributionError(
+                f"base must be a Distribution, got {type(self.base).__name__}"
+            )
+
+    def mean(self) -> float:
+        return self.base.mean() / self.rate
+
+    def second_moment(self) -> float:
+        return self.base.second_moment() / (self.rate * self.rate)
+
+    def mean_inverse(self) -> float:
+        return self.rate * self.base.mean_inverse()
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        return self.rate * self.base.pdf(self.rate * x)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        return self.base.cdf(self.rate * x)
+
+    def ppf(self, q):
+        return np.asarray(self.base.ppf(q), dtype=float) / self.rate
+
+    def sample(self, rng: np.random.Generator, size=None):
+        return np.asarray(self.base.sample(rng, size), dtype=float) / self.rate
+
+    @property
+    def support(self) -> tuple[float, float]:
+        lo, hi = self.base.support
+        return (lo / self.rate, hi / self.rate)
+
+    def scaled(self, rate: float) -> Distribution:
+        # Collapse nested scalings so repeated re-allocation in the adaptive
+        # controller does not build an ever-deeper wrapper chain.
+        require_positive(rate, "rate")
+        return RateScaledDistribution(self.base, self.rate * rate)

@@ -1,0 +1,67 @@
+"""Deterministic (constant) service times.
+
+Used for the M/D/1 reduction of the paper (Eq. 15): when every request of a
+class takes the same time ``d`` — the session-based e-commerce states such as
+"home entry" or "register" — the expected slowdown of a task server collapses
+to ``rho / (2 (1 - rho))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..validation import require_positive
+from .base import Distribution
+
+__all__ = ["Deterministic"]
+
+
+@dataclass(frozen=True)
+class Deterministic(Distribution):
+    """A degenerate distribution that always returns ``value``."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.value, "value")
+
+    def mean(self) -> float:
+        return self.value
+
+    def second_moment(self) -> float:
+        return self.value**2
+
+    def mean_inverse(self) -> float:
+        return 1.0 / self.value
+
+    def variance(self) -> float:
+        return 0.0
+
+    def pdf(self, x):
+        # The density is a Dirac mass; we report an indicator-style density
+        # (infinite at the atom) which is what callers comparing supports need.
+        x = np.asarray(x, dtype=float)
+        return np.where(np.isclose(x, self.value), np.inf, 0.0)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        return np.where(x >= self.value, 1.0, 0.0)
+
+    def ppf(self, q):
+        q = np.asarray(q, dtype=float)
+        return np.full_like(q, self.value, dtype=float)
+
+    def sample(self, rng: np.random.Generator, size=None):
+        if size is None:
+            return self.value
+        return np.full(size, self.value, dtype=float)
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (self.value, self.value)
+
+    def scaled(self, rate: float) -> "Deterministic":
+        require_positive(rate, "rate")
+        return Deterministic(self.value / rate)

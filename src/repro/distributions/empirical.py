@@ -1,0 +1,83 @@
+"""Empirical service-time distribution built from observed job sizes.
+
+This substitutes for the proprietary server traces a production deployment
+would use: any measured list of request sizes can be wrapped in an
+:class:`Empirical` distribution and fed to both the analytic formulas (its
+moments are plain sample moments) and the simulator (sampling draws uniformly
+from the observations, i.e. a bootstrap of the trace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DistributionError
+from ..validation import require_positive
+from .base import Distribution
+
+__all__ = ["Empirical"]
+
+
+@dataclass(frozen=True)
+class Empirical(Distribution):
+    """Distribution defined by a finite sample of strictly positive sizes."""
+
+    observations: tuple[float, ...]
+    _sorted: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        data = np.asarray(self.observations, dtype=float)
+        if data.ndim != 1 or data.size == 0:
+            raise DistributionError("observations must be a non-empty 1-D sequence")
+        if np.any(~np.isfinite(data)) or np.any(data <= 0.0):
+            raise DistributionError("observations must be finite and strictly positive")
+        object.__setattr__(self, "observations", tuple(float(v) for v in data))
+        object.__setattr__(self, "_sorted", np.sort(data))
+
+    def mean(self) -> float:
+        return float(np.mean(self._sorted))
+
+    def second_moment(self) -> float:
+        return float(np.mean(self._sorted**2))
+
+    def mean_inverse(self) -> float:
+        return float(np.mean(1.0 / self._sorted))
+
+    def pdf(self, x):
+        # The empirical distribution is discrete; report zero density.  Use
+        # cdf/ppf or sampling instead.
+        x = np.asarray(x, dtype=float)
+        return np.zeros_like(x)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        return np.searchsorted(self._sorted, x, side="right") / self._sorted.size
+
+    def ppf(self, q):
+        q = np.asarray(q, dtype=float)
+        if np.any((q < 0.0) | (q > 1.0)):
+            raise DistributionError("quantiles must lie in [0, 1]")
+        idx = np.minimum((q * self._sorted.size).astype(int), self._sorted.size - 1)
+        return self._sorted[idx]
+
+    def sample(self, rng: np.random.Generator, size=None):
+        return rng.choice(self._sorted, size=size, replace=True)
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (float(self._sorted[0]), float(self._sorted[-1]))
+
+    def scaled(self, rate: float) -> "Empirical":
+        require_positive(rate, "rate")
+        return Empirical(tuple(v / rate for v in self.observations))
+
+    @classmethod
+    def from_distribution(
+        cls, dist: Distribution, rng: np.random.Generator, size: int = 10_000
+    ) -> "Empirical":
+        """Draw ``size`` samples from ``dist`` and wrap them as an empirical trace."""
+        if size <= 0:
+            raise DistributionError("size must be > 0")
+        return cls(tuple(np.asarray(dist.sample(rng, size), dtype=float)))

@@ -1,0 +1,101 @@
+"""Two-or-more phase hyperexponential distribution.
+
+A classic light-tailed-to-moderately-heavy mixture used to model bimodal Web
+request sizes ("small static pages vs large downloads").  Included as an
+additional workload for the examples and to exercise the M/G/1 machinery
+with a distribution whose moments are mixtures.
+
+Note that, like the plain exponential, every phase has positive density at
+arbitrarily small sizes, so ``E[1/X]`` is infinite and the analytic slowdown
+is undefined — the simulator still accepts it, which is useful to show why
+the paper works with bounded distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DistributionError
+from ..validation import require_positive_sequence
+from .base import Distribution
+
+__all__ = ["Hyperexponential"]
+
+
+@dataclass(frozen=True)
+class Hyperexponential(Distribution):
+    """Mixture of exponential phases.
+
+    Parameters
+    ----------
+    probabilities:
+        Mixing probabilities; must sum to 1 (within a small tolerance).
+    means:
+        Mean of each exponential phase; same length as ``probabilities``.
+    """
+
+    probabilities: tuple[float, ...]
+    means: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        probs = require_positive_sequence(self.probabilities, "probabilities")
+        means = require_positive_sequence(self.means, "means")
+        object.__setattr__(self, "probabilities", probs)
+        object.__setattr__(self, "means", means)
+        if len(probs) != len(means):
+            raise DistributionError("probabilities and means must have the same length")
+        if abs(sum(probs) - 1.0) > 1e-9:
+            raise DistributionError(f"probabilities must sum to 1, got {sum(probs)!r}")
+
+    def mean(self) -> float:
+        return sum(p * m for p, m in zip(self.probabilities, self.means))
+
+    def second_moment(self) -> float:
+        return sum(p * 2.0 * m * m for p, m in zip(self.probabilities, self.means))
+
+    def mean_inverse(self) -> float:
+        return math.inf
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        dens = np.zeros_like(x, dtype=float)
+        for p, m in zip(self.probabilities, self.means):
+            dens = dens + p * (1.0 / m) * np.exp(-x / m)
+        return np.where(x >= 0.0, dens, 0.0)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        vals = np.zeros_like(x, dtype=float)
+        for p, m in zip(self.probabilities, self.means):
+            vals = vals + p * (1.0 - np.exp(-x / m))
+        return np.where(x >= 0.0, vals, 0.0)
+
+    def ppf(self, q):
+        q = np.asarray(q, dtype=float)
+        # No closed form; invert the CDF numerically by bisection on a
+        # bracket that covers the requested quantiles.
+        hi = max(self.means) * 50.0
+        lo = np.zeros_like(q, dtype=float)
+        hi_arr = np.full_like(q, hi, dtype=float)
+        for _ in range(80):
+            mid = 0.5 * (lo + hi_arr)
+            below = self.cdf(mid) < q
+            lo = np.where(below, mid, lo)
+            hi_arr = np.where(below, hi_arr, mid)
+        return 0.5 * (lo + hi_arr)
+
+    def sample(self, rng: np.random.Generator, size=None):
+        shape = () if size is None else (size if isinstance(size, tuple) else (size,))
+        n = int(np.prod(shape)) if shape else 1
+        phases = rng.choice(len(self.means), size=n, p=list(self.probabilities))
+        means = np.asarray(self.means, dtype=float)[phases]
+        draws = rng.exponential(1.0, n) * means
+        if not shape:
+            return float(draws[0])
+        return draws.reshape(shape)
+
+    def scaled(self, rate: float) -> "Hyperexponential":
+        return Hyperexponential(self.probabilities, tuple(m / rate for m in self.means))

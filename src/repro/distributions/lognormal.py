@@ -1,0 +1,126 @@
+"""Lognormal service-time distribution.
+
+The lognormal is frequently fitted to the *body* of Web object-size
+distributions (with a Pareto tail).  All three moments used by the slowdown
+analysis exist in closed form, so it can be used directly with the analytic
+machinery as an alternative to the Bounded Pareto.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..validation import require_positive
+from .base import Distribution
+
+__all__ = ["Lognormal"]
+
+
+_SQRT2 = math.sqrt(2.0)
+
+
+def _ndtr(x):
+    """Standard normal CDF via ``erf`` (avoids a SciPy runtime dependency)."""
+    x = np.asarray(x, dtype=float)
+    return 0.5 * (1.0 + _erf_vec(x / _SQRT2))
+
+
+_erf_vec = np.vectorize(math.erf, otypes=[float])
+
+
+def _ndtr_inv(q):
+    """Inverse standard normal CDF (Acklam's rational approximation).
+
+    Accurate to roughly 1e-9 over (0, 1), which is ample for inverse-CDF
+    sampling and quantile reporting.
+    """
+    q = np.asarray(q, dtype=float)
+    a = [-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00]
+    b = [-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00]
+    plow, phigh = 0.02425, 1.0 - 0.02425
+    out = np.empty_like(q)
+
+    low = q < plow
+    high = q > phigh
+    mid = ~(low | high)
+
+    if np.any(low):
+        ql = np.sqrt(-2.0 * np.log(q[low]))
+        out[low] = (((((c[0] * ql + c[1]) * ql + c[2]) * ql + c[3]) * ql + c[4]) * ql + c[5]) / (
+            (((d[0] * ql + d[1]) * ql + d[2]) * ql + d[3]) * ql + 1.0
+        )
+    if np.any(high):
+        qh = np.sqrt(-2.0 * np.log(1.0 - q[high]))
+        out[high] = -(((((c[0] * qh + c[1]) * qh + c[2]) * qh + c[3]) * qh + c[4]) * qh + c[5]) / (
+            (((d[0] * qh + d[1]) * qh + d[2]) * qh + d[3]) * qh + 1.0
+        )
+    if np.any(mid):
+        qm = q[mid] - 0.5
+        r = qm * qm
+        out[mid] = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * qm / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class Lognormal(Distribution):
+    """Lognormal distribution: ``ln X ~ Normal(mu, sigma^2)``."""
+
+    mu: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.sigma, "sigma")
+
+    def mean(self) -> float:
+        return math.exp(self.mu + 0.5 * self.sigma**2)
+
+    def second_moment(self) -> float:
+        return math.exp(2.0 * self.mu + 2.0 * self.sigma**2)
+
+    def mean_inverse(self) -> float:
+        # 1/X is lognormal with parameters (-mu, sigma).
+        return math.exp(-self.mu + 0.5 * self.sigma**2)
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            z = (np.log(np.maximum(x, np.finfo(float).tiny)) - self.mu) / self.sigma
+            dens = np.exp(-0.5 * z * z) / (x * self.sigma * math.sqrt(2.0 * math.pi))
+        return np.where(x > 0.0, dens, 0.0)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            z = (np.log(np.maximum(x, np.finfo(float).tiny)) - self.mu) / self.sigma
+        return np.where(x > 0.0, _ndtr(z), 0.0)
+
+    def ppf(self, q):
+        q = np.asarray(q, dtype=float)
+        return np.exp(self.mu + self.sigma * _ndtr_inv(q))
+
+    def sample(self, rng: np.random.Generator, size=None):
+        return rng.lognormal(self.mu, self.sigma, size)
+
+    def scaled(self, rate: float) -> "Lognormal":
+        require_positive(rate, "rate")
+        return Lognormal(self.mu - math.log(rate), self.sigma)
+
+    @classmethod
+    def from_mean_and_scv(cls, mean: float, scv: float) -> "Lognormal":
+        """Build a lognormal with the given mean and squared coefficient of variation."""
+        require_positive(mean, "mean")
+        require_positive(scv, "scv")
+        sigma2 = math.log(1.0 + scv)
+        mu = math.log(mean) - 0.5 * sigma2
+        return cls(mu, math.sqrt(sigma2))

@@ -1,0 +1,77 @@
+"""Unbounded Pareto distribution.
+
+Included both as the parent family of :class:`~repro.distributions.BoundedPareto`
+and to demonstrate why the paper bounds the job sizes: for shape
+``alpha <= 2`` the second moment is infinite, so the Pollaczek–Khinchin delay
+(and hence the slowdown) of an M/G/1 queue diverges.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..validation import require_positive
+from .base import Distribution
+
+__all__ = ["Pareto"]
+
+
+@dataclass(frozen=True)
+class Pareto(Distribution):
+    """Pareto distribution with scale ``k`` (minimum value) and shape ``alpha``.
+
+    ``pdf(x) = alpha * k^alpha * x^(-alpha-1)`` for ``x >= k``.
+    """
+
+    k: float
+    alpha: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.k, "k")
+        require_positive(self.alpha, "alpha")
+
+    def mean(self) -> float:
+        if self.alpha <= 1.0:
+            return math.inf
+        return self.alpha * self.k / (self.alpha - 1.0)
+
+    def second_moment(self) -> float:
+        if self.alpha <= 2.0:
+            return math.inf
+        return self.alpha * self.k**2 / (self.alpha - 2.0)
+
+    def mean_inverse(self) -> float:
+        # E[1/X] = alpha k^alpha \int_k^inf x^{-alpha-2} dx = alpha / ((alpha+1) k)
+        return self.alpha / ((self.alpha + 1.0) * self.k)
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            dens = self.alpha * self.k**self.alpha * np.power(x, -self.alpha - 1.0)
+        return np.where(x >= self.k, dens, 0.0)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        vals = 1.0 - np.power(self.k / np.maximum(x, self.k), self.alpha)
+        return np.where(x < self.k, 0.0, vals)
+
+    def ppf(self, q):
+        q = np.asarray(q, dtype=float)
+        return self.k * np.power(1.0 - q, -1.0 / self.alpha)
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (self.k, math.inf)
+
+    def scaled(self, rate: float) -> "Pareto":
+        require_positive(rate, "rate")
+        return Pareto(self.k / rate, self.alpha)
+
+    def bounded(self, p: float):
+        """Truncate to ``[k, p]``, returning the Bounded Pareto of the paper."""
+        from .bounded_pareto import BoundedPareto
+
+        return BoundedPareto(self.k, p, self.alpha)

@@ -1,0 +1,73 @@
+"""Weibull service-time distribution.
+
+With shape parameter below one the Weibull is sub-exponential ("stretched
+exponential") and is another common model for Web file sizes.  Like the
+unbounded exponential its reciprocal moment diverges for shape <= 1, which is
+reported as ``inf`` rather than an error so that callers can detect the case.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..validation import require_positive
+from .base import Distribution
+
+__all__ = ["Weibull"]
+
+
+@dataclass(frozen=True)
+class Weibull(Distribution):
+    """Weibull distribution with ``scale`` and ``shape`` parameters.
+
+    ``cdf(x) = 1 - exp(-(x/scale)^shape)``.
+    """
+
+    scale: float
+    shape: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.scale, "scale")
+        require_positive(self.shape, "shape")
+
+    def mean(self) -> float:
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+    def second_moment(self) -> float:
+        return self.scale**2 * math.gamma(1.0 + 2.0 / self.shape)
+
+    def mean_inverse(self) -> float:
+        # E[1/X] = Gamma(1 - 1/shape) / scale, finite only for shape > 1.
+        if self.shape <= 1.0:
+            return math.inf
+        return math.gamma(1.0 - 1.0 / self.shape) / self.scale
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        z = np.maximum(x, 0.0) / self.scale
+        with np.errstate(divide="ignore", invalid="ignore"):
+            dens = (
+                (self.shape / self.scale)
+                * np.power(z, self.shape - 1.0)
+                * np.exp(-np.power(z, self.shape))
+            )
+        return np.where(x > 0.0, dens, 0.0)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        z = np.maximum(x, 0.0) / self.scale
+        return np.where(x > 0.0, 1.0 - np.exp(-np.power(z, self.shape)), 0.0)
+
+    def ppf(self, q):
+        q = np.asarray(q, dtype=float)
+        return self.scale * np.power(-np.log1p(-q), 1.0 / self.shape)
+
+    def sample(self, rng: np.random.Generator, size=None):
+        return self.scale * rng.weibull(self.shape, size)
+
+    def scaled(self, rate: float) -> "Weibull":
+        require_positive(rate, "rate")
+        return Weibull(self.scale / rate, self.shape)

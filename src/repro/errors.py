@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+letting programming errors (``TypeError`` and friends) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "DistributionError",
+    "StabilityError",
+    "AllocationError",
+    "SimulationError",
+    "ExperimentError",
+    "SchedulingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An argument is outside its documented domain.
+
+    Raised, for example, for a negative arrival rate, a Bounded Pareto lower
+    bound that is not strictly positive, or a differentiation parameter vector
+    that is not non-decreasing.
+    """
+
+
+class DistributionError(ParameterError):
+    """A service-time or inter-arrival distribution is mis-specified."""
+
+
+class StabilityError(ReproError, ValueError):
+    """The offered load is infeasible (total utilisation >= 1).
+
+    Both the analytic formulas of the paper (Lemma 1, Theorem 1) and the rate
+    allocation of Eq. 17 are only defined for a stable system; the library
+    refuses to silently return negative or infinite slowdowns.
+    """
+
+
+class AllocationError(ReproError, ValueError):
+    """A processing-rate allocation request cannot be satisfied."""
+
+
+class SchedulingError(ReproError, ValueError):
+    """A proportional-share scheduler was configured or driven incorrectly."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment driver was configured incorrectly or failed to run."""

@@ -1,0 +1,64 @@
+"""Experiment drivers reproducing every figure of the paper's evaluation.
+
+``run("fig2", preset="quick")`` runs one figure; ``run_all`` runs all of them;
+``python -m repro.experiments`` regenerates EXPERIMENTS.md.
+"""
+
+from .base import ExperimentResult, pooled_window_ratios, simulate_psd_point
+from .config import PRESETS, ExperimentConfig, get_preset
+from .controllability import figure9, figure10, run_controllability
+from .effectiveness import figure2, figure3, figure4, run_effectiveness
+from .predictability import (
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    run_individual_requests,
+    run_ratio_percentiles,
+)
+from .registry import EXPERIMENTS, available_experiments, run, run_all
+from .report import PAPER_CLAIMS, build_report, write_report
+from .sensitivity import (
+    DEFAULT_SENSITIVITY_LOAD,
+    figure11,
+    figure12,
+    run_shape_sensitivity,
+    run_upper_bound_sensitivity,
+)
+from .tables import format_value, render_table
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentConfig",
+    "PRESETS",
+    "get_preset",
+    "simulate_psd_point",
+    "pooled_window_ratios",
+    "run",
+    "run_all",
+    "available_experiments",
+    "EXPERIMENTS",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "run_effectiveness",
+    "run_ratio_percentiles",
+    "run_individual_requests",
+    "run_controllability",
+    "run_shape_sensitivity",
+    "run_upper_bound_sensitivity",
+    "DEFAULT_SENSITIVITY_LOAD",
+    "PAPER_CLAIMS",
+    "build_report",
+    "write_report",
+    "render_table",
+    "format_value",
+]

@@ -1,0 +1,66 @@
+"""Command-line entry point: regenerate the experiment report.
+
+Examples
+--------
+Run every figure with the default preset and write EXPERIMENTS.md::
+
+    python -m repro.experiments --preset default --output EXPERIMENTS.md
+
+Run a subset quickly and print the tables to stdout::
+
+    python -m repro.experiments --preset quick --only fig2 fig9
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .registry import available_experiments, run_all
+from .report import build_report, write_report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's figures and write the EXPERIMENTS.md report.",
+    )
+    parser.add_argument(
+        "--preset",
+        default="quick",
+        choices=("paper", "default", "quick"),
+        help="measurement preset (paper = full Sec. 4.1 protocol, slow)",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        metavar="FIG",
+        help=f"subset of experiments to run (default: all of {', '.join(available_experiments())})",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the markdown report to this path (default: print text tables)",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.time()
+    results = run_all(preset=args.preset, only=args.only)
+    elapsed = time.time() - started
+
+    if args.output:
+        path = write_report(results, args.output)
+        print(f"wrote {path} ({len(results)} experiments, {elapsed:.1f}s)")
+    else:
+        for result in results:
+            print(result.to_text())
+            print()
+        print(f"# completed {len(results)} experiments in {elapsed:.1f}s")
+        sys.stdout.flush()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,115 @@
+"""Shared experiment configuration (the Sec. 4.1 protocol) and presets.
+
+Every experiment driver accepts an :class:`ExperimentConfig`, which couples
+
+* the measurement protocol (warm-up, horizon, estimation window,
+  replications) of :class:`repro.simulation.MeasurementConfig`, and
+* the workload parameters of Sec. 4.1 (Bounded Pareto shape/bounds, the
+  system-load grid).
+
+Three presets are provided:
+
+``paper``
+    The full protocol: BP(0.1, 100, 1.5), 10k warm-up, 60k horizon, 1k
+    windows, 100 replications, 10-point load grid.  Slow (hours).
+``default``
+    Same workload, shorter runs and fewer replications; the shapes of all
+    figures are preserved.  This is what EXPERIMENTS.md is generated with.
+``quick``
+    A smoke-test preset used by the test-suite and the pytest benches.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field, replace
+
+from ..distributions.bounded_pareto import BoundedPareto
+from ..errors import ExperimentError
+from ..simulation.monitor import MeasurementConfig
+from ..types import TrafficClass
+from ..workload.webserver import web_classes
+
+__all__ = ["ExperimentConfig", "PRESETS", "get_preset"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Workload and measurement parameters shared by the experiment drivers."""
+
+    measurement: MeasurementConfig = field(default_factory=MeasurementConfig)
+    shape: float = 1.5
+    lower_bound: float = 0.1
+    upper_bound: float = 100.0
+    load_grid: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95)
+    base_seed: int = 20040426  # IPDPS 2004 ;-) any fixed integer works
+    name: str = "default"
+
+    def __post_init__(self) -> None:
+        if not self.load_grid:
+            raise ExperimentError("load_grid must be non-empty")
+        for load in self.load_grid:
+            if not (0.0 < load < 1.0):
+                raise ExperimentError(f"loads must lie in (0, 1), got {load}")
+
+    # ------------------------------------------------------------------ #
+    # Workload helpers
+    # ------------------------------------------------------------------ #
+    def service_distribution(self) -> BoundedPareto:
+        return BoundedPareto(k=self.lower_bound, p=self.upper_bound, alpha=self.shape)
+
+    def classes_for_load(self, load: float, deltas: Sequence[float]) -> tuple[TrafficClass, ...]:
+        """Equal-load classes at ``load`` with this config's service distribution."""
+        return web_classes(len(deltas), load, deltas, service=self.service_distribution())
+
+    def scaled_measurement(self) -> MeasurementConfig:
+        """The measurement protocol converted from "time units" to raw time."""
+        return self.measurement.scaled_to_time_units(self.service_distribution().mean())
+
+    # ------------------------------------------------------------------ #
+    # Variations
+    # ------------------------------------------------------------------ #
+    def with_bounds(self, *, shape: float | None = None, upper_bound: float | None = None) -> "ExperimentConfig":
+        """Copy with a different Bounded Pareto shape and/or upper bound."""
+        return replace(
+            self,
+            shape=self.shape if shape is None else float(shape),
+            upper_bound=self.upper_bound if upper_bound is None else float(upper_bound),
+        )
+
+    def with_loads(self, loads: Sequence[float]) -> "ExperimentConfig":
+        return replace(self, load_grid=tuple(float(l) for l in loads))
+
+    def with_measurement(self, measurement: MeasurementConfig) -> "ExperimentConfig":
+        return replace(self, measurement=measurement)
+
+
+PRESETS: dict[str, ExperimentConfig] = {
+    "paper": ExperimentConfig(
+        measurement=MeasurementConfig.paper(),
+        name="paper",
+    ),
+    "default": ExperimentConfig(
+        measurement=MeasurementConfig(
+            warmup=4_000.0, horizon=24_000.0, window=1_000.0, replications=10
+        ),
+        name="default",
+    ),
+    "quick": ExperimentConfig(
+        measurement=MeasurementConfig(
+            warmup=500.0, horizon=4_000.0, window=500.0, replications=2
+        ),
+        load_grid=(0.3, 0.6, 0.9),
+        name="quick",
+    ),
+}
+
+
+def get_preset(name: str) -> ExperimentConfig:
+    """Look up a preset by name (``paper``, ``default`` or ``quick``)."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown preset {name!r}; available: {sorted(PRESETS)}"
+        ) from None

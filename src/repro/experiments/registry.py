@@ -1,0 +1,71 @@
+"""Registry of experiment drivers, keyed by figure identifier.
+
+``run("fig5", preset="quick")`` executes the driver for Figure 5 with the
+requested preset and returns its :class:`~repro.experiments.base.ExperimentResult`.
+``run_all`` executes every figure (used when regenerating EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from ..errors import ExperimentError
+from .base import ExperimentResult
+from .config import ExperimentConfig, get_preset
+from .controllability import figure9, figure10
+from .effectiveness import figure2, figure3, figure4
+from .predictability import figure5, figure6, figure7, figure8
+from .sensitivity import figure11, figure12
+
+__all__ = ["EXPERIMENTS", "run", "run_all", "available_experiments"]
+
+EXPERIMENTS: dict[str, Callable[[ExperimentConfig | None], ExperimentResult]] = {
+    "fig2": figure2,
+    "fig3": figure3,
+    "fig4": figure4,
+    "fig5": figure5,
+    "fig6": figure6,
+    "fig7": figure7,
+    "fig8": figure8,
+    "fig9": figure9,
+    "fig10": figure10,
+    "fig11": figure11,
+    "fig12": figure12,
+}
+
+
+def available_experiments() -> tuple[str, ...]:
+    """The identifiers of every reproducible figure, in paper order."""
+    return tuple(EXPERIMENTS)
+
+
+def run(
+    experiment_id: str,
+    *,
+    preset: str = "default",
+    config: ExperimentConfig | None = None,
+) -> ExperimentResult:
+    """Run one experiment by figure id with a preset or an explicit config."""
+    try:
+        driver = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    if config is None:
+        config = get_preset(preset)
+    return driver(config)
+
+
+def run_all(
+    *,
+    preset: str = "default",
+    config: ExperimentConfig | None = None,
+    only: Iterable[str] | None = None,
+) -> list[ExperimentResult]:
+    """Run every registered experiment (or the subset named in ``only``)."""
+    wanted = tuple(only) if only is not None else available_experiments()
+    for experiment_id in wanted:
+        if experiment_id not in EXPERIMENTS:
+            raise ExperimentError(f"unknown experiment {experiment_id!r}")
+    return [run(eid, preset=preset, config=config) for eid in wanted]

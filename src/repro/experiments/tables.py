@@ -1,0 +1,56 @@
+"""Plain-text table rendering for experiment output.
+
+The benches print the same rows/series the paper's figures show; the renderer
+keeps columns aligned and floats compact so the tables stay readable in a
+terminal or in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(value: object, *, precision: int = 4) -> str:
+    """Compact string form of a cell value."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def render_table(
+    columns: Sequence[str],
+    rows: Sequence[Mapping[str, object]],
+    *,
+    indent: str = "  ",
+    precision: int = 4,
+) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    if not columns:
+        return ""
+    header = [str(c) for c in columns]
+    body = [
+        [format_value(row.get(c, ""), precision=precision) for c in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(columns))
+    ]
+    lines = [
+        indent + " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+        indent + "-+-".join("-" * w for w in widths),
+    ]
+    for r in body:
+        lines.append(indent + " | ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Percentile summaries of windowed slowdown ratios.
+
+Figures 5 and 6 of the paper report, for every system load, the 5th, 50th
+and 95th percentiles of the slowdown ratio between two classes measured over
+1000-time-unit windows.  :class:`PercentileBand` captures one such
+(5th, 50th, 95th) triple and the helpers compute them from ratio series.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["PercentileBand", "percentile_band", "bands_by_parameter"]
+
+
+@dataclass(frozen=True)
+class PercentileBand:
+    """A (5th, 50th, 95th) percentile triple of a sample."""
+
+    p5: float
+    median: float
+    p95: float
+    count: int
+
+    @property
+    def spread(self) -> float:
+        """Width of the band (95th minus 5th percentile)."""
+        return self.p95 - self.p5
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` falls inside the 5th-95th percentile band."""
+        return self.p5 <= value <= self.p95
+
+
+def percentile_band(values: Sequence[float] | np.ndarray) -> PercentileBand:
+    """Compute the 5th/50th/95th percentile band of a sample (NaNs dropped)."""
+    arr = np.asarray(values, dtype=float)
+    arr = arr[~np.isnan(arr)]
+    if arr.size == 0:
+        nan = float("nan")
+        return PercentileBand(nan, nan, nan, 0)
+    return PercentileBand(
+        p5=float(np.percentile(arr, 5)),
+        median=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        count=int(arr.size),
+    )
+
+
+def bands_by_parameter(
+    samples: dict[float, Sequence[float] | np.ndarray]
+) -> dict[float, PercentileBand]:
+    """Percentile bands for a family of samples keyed by a sweep parameter.
+
+    Typical usage: ``samples`` maps system load -> per-window ratio series;
+    the result is the data behind one curve of Fig. 5 / Fig. 6.
+    """
+    if not samples:
+        raise ParameterError("samples must be non-empty")
+    return {key: percentile_band(vals) for key, vals in samples.items()}

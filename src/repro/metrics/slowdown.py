@@ -1,0 +1,72 @@
+"""Per-class slowdown statistics.
+
+Plain summary statistics over a set of slowdown samples: mean, standard
+deviation, selected percentiles and the sample count.  Used both on raw
+per-request slowdowns and on per-window mean slowdowns (the paper reports
+the latter for its percentile figures).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["SlowdownStats", "summarise_slowdowns", "per_class_stats", "relative_error"]
+
+
+@dataclass(frozen=True)
+class SlowdownStats:
+    """Summary statistics of a slowdown sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p5: float
+    median: float
+    p95: float
+    maximum: float
+
+    @classmethod
+    def empty(cls) -> "SlowdownStats":
+        nan = float("nan")
+        return cls(0, nan, nan, nan, nan, nan, nan, nan)
+
+
+def summarise_slowdowns(values: Sequence[float] | np.ndarray) -> SlowdownStats:
+    """Compute :class:`SlowdownStats` for a (possibly empty) sample."""
+    arr = np.asarray(values, dtype=float)
+    arr = arr[~np.isnan(arr)]
+    if arr.size == 0:
+        return SlowdownStats.empty()
+    if np.any(arr < 0.0):
+        raise ParameterError("slowdowns must be non-negative")
+    return SlowdownStats(
+        count=int(arr.size),
+        mean=float(np.mean(arr)),
+        std=float(np.std(arr, ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(np.min(arr)),
+        p5=float(np.percentile(arr, 5)),
+        median=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        maximum=float(np.max(arr)),
+    )
+
+
+def per_class_stats(samples: Sequence[Sequence[float] | np.ndarray]) -> list[SlowdownStats]:
+    """Summaries for a list of per-class slowdown samples."""
+    return [summarise_slowdowns(s) for s in samples]
+
+
+def relative_error(measured: float, expected: float) -> float:
+    """``|measured - expected| / expected`` with NaN propagation."""
+    if math.isnan(measured) or math.isnan(expected):
+        return float("nan")
+    if expected == 0.0:
+        raise ParameterError("expected value must be non-zero for a relative error")
+    return abs(measured - expected) / abs(expected)

@@ -1,0 +1,78 @@
+"""Cross-replication and paper-vs-measured summaries.
+
+These helpers sit on top of :mod:`repro.simulation.runner` and produce the
+compact records the experiment drivers print: simulated vs analytic slowdowns
+with relative errors, and achieved-ratio tables across a load sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..core.psd import PsdSpec
+from ..errors import ParameterError
+from .ratios import RatioComparison, compare_to_targets
+from .slowdown import relative_error
+
+__all__ = ["SimulatedVsExpected", "compare_simulated_expected", "sweep_table_rows"]
+
+
+@dataclass(frozen=True)
+class SimulatedVsExpected:
+    """Per-class simulated vs analytic (Eq. 18) slowdowns at one operating point."""
+
+    parameter: float
+    simulated: tuple[float, ...]
+    expected: tuple[float, ...]
+
+    @property
+    def relative_errors(self) -> tuple[float, ...]:
+        return tuple(
+            relative_error(s, e) for s, e in zip(self.simulated, self.expected)
+        )
+
+    @property
+    def worst_relative_error(self) -> float:
+        errors = [e for e in self.relative_errors if not math.isnan(e)]
+        return max(errors) if errors else float("nan")
+
+    def as_row(self) -> dict[str, float]:
+        row: dict[str, float] = {"parameter": self.parameter}
+        for i, (s, e) in enumerate(zip(self.simulated, self.expected), start=1):
+            row[f"simulated_{i}"] = s
+            row[f"expected_{i}"] = e
+        row["worst_rel_error"] = self.worst_relative_error
+        return row
+
+
+def compare_simulated_expected(
+    parameter: float,
+    simulated: Sequence[float],
+    expected: Sequence[float],
+) -> SimulatedVsExpected:
+    """Bundle simulated and analytic per-class slowdowns for one sweep point."""
+    if len(simulated) != len(expected):
+        raise ParameterError("simulated and expected must have the same length")
+    return SimulatedVsExpected(
+        parameter=float(parameter),
+        simulated=tuple(float(v) for v in simulated),
+        expected=tuple(float(v) for v in expected),
+    )
+
+
+def sweep_table_rows(
+    points: Sequence[SimulatedVsExpected], spec: PsdSpec | None = None
+) -> list[dict[str, float]]:
+    """Rows (one per sweep point) combining slowdowns, errors and ratio checks."""
+    rows = []
+    for point in points:
+        row = point.as_row()
+        if spec is not None:
+            comparison: RatioComparison = compare_to_targets(point.simulated, spec)
+            row["achieved_ratio_last"] = comparison.achieved[-1]
+            row["target_ratio_last"] = comparison.targets[-1]
+            row["ratio_rel_error"] = comparison.worst_relative_error
+        rows.append(row)
+    return rows

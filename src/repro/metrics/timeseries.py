@@ -1,0 +1,96 @@
+"""Windowed time-series utilities.
+
+Small helpers for turning per-request traces into fixed-width time series
+(mean slowdown per window, arrival counts per window, ...) and for the
+short-timescale views of Figs. 7-8 (per-request scatter over a time span).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..simulation.trace import RequestRecord
+
+__all__ = ["WindowedSeries", "windowed_mean_slowdowns", "per_request_points"]
+
+
+@dataclass(frozen=True)
+class WindowedSeries:
+    """A value per time window, with the window start times."""
+
+    starts: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.starts.shape != self.values.shape:
+            raise ParameterError("starts and values must have the same shape")
+
+    def __len__(self) -> int:
+        return int(self.starts.size)
+
+    def mean(self) -> float:
+        vals = self.values[~np.isnan(self.values)]
+        return float(np.mean(vals)) if vals.size else float("nan")
+
+
+def windowed_mean_slowdowns(
+    records: Sequence[RequestRecord],
+    *,
+    start: float,
+    end: float,
+    window: float,
+    class_index: int | None = None,
+) -> WindowedSeries:
+    """Mean slowdown per window of width ``window`` over ``[start, end)``.
+
+    Requests are attributed to the window containing their completion time;
+    windows with no completions hold NaN.
+    """
+    if window <= 0.0:
+        raise ParameterError("window must be > 0")
+    if end <= start:
+        raise ParameterError("end must exceed start")
+    edges = np.arange(start, end + window * 0.5, window)
+    starts = edges[:-1]
+    sums = np.zeros(starts.size)
+    counts = np.zeros(starts.size, dtype=int)
+    for r in records:
+        if class_index is not None and r.class_index != class_index:
+            continue
+        if not (start <= r.completion_time < end):
+            continue
+        idx = int((r.completion_time - start) // window)
+        idx = min(idx, starts.size - 1)
+        sums[idx] += r.slowdown
+        counts[idx] += 1
+    with np.errstate(invalid="ignore"):
+        values = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+    return WindowedSeries(starts=starts, values=values)
+
+
+def per_request_points(
+    records: Sequence[RequestRecord],
+    *,
+    start: float,
+    end: float,
+    class_index: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(completion time, slowdown) points for requests completing in ``[start, end)``.
+
+    This is the data behind the short-timescale scatter plots (Figs. 7-8).
+    """
+    if end <= start:
+        raise ParameterError("end must exceed start")
+    times = []
+    slowdowns = []
+    for r in records:
+        if class_index is not None and r.class_index != class_index:
+            continue
+        if start <= r.completion_time < end:
+            times.append(r.completion_time)
+            slowdowns.append(r.slowdown)
+    return np.asarray(times, dtype=float), np.asarray(slowdowns, dtype=float)

@@ -1,0 +1,70 @@
+"""Analytic queueing models used by the PSD rate-allocation strategy.
+
+* :mod:`repro.queueing.mg1` — the general M/G/1 FCFS Pollaczek–Khinchin machinery.
+* :mod:`repro.queueing.mgb1` — the M/G_B/1 closed forms (Lemma 1, Lemma 2, Theorem 1).
+* :mod:`repro.queueing.md1` — the deterministic-service reduction (Eq. 15).
+* :mod:`repro.queueing.mm1` — the exponential reference model and the
+  stretch-factor baseline from the related work.
+* :mod:`repro.queueing.scaling` — task-server rate-vector utilities (Eq. 7).
+* :mod:`repro.queueing.stability` — utilisation and stability checks.
+* :mod:`repro.queueing.sensitivity` — analytic parameter sweeps for Figs. 11-12.
+"""
+
+from .mg1 import MG1Queue, expected_response_time, expected_slowdown, expected_waiting_time
+from .mgb1 import (
+    MGB1Queue,
+    lemma1_expected_slowdown,
+    lemma2_scaled_moments,
+    slowdown_constant,
+    theorem1_task_server_slowdown,
+)
+from .md1 import MD1Queue, md1_expected_slowdown, md1_expected_waiting_time
+from .mm1 import MM1Queue
+from .scaling import (
+    check_rate_vector,
+    normalise_rates,
+    per_class_utilisations,
+    scaled_service_distributions,
+)
+from .sensitivity import (
+    SweepPoint,
+    shape_parameter_sweep,
+    slowdown_elasticity,
+    upper_bound_sweep,
+)
+from .stability import (
+    arrival_rate_for_load,
+    check_stability,
+    is_stable,
+    total_utilisation,
+    utilisation,
+)
+
+__all__ = [
+    "MG1Queue",
+    "MGB1Queue",
+    "MD1Queue",
+    "MM1Queue",
+    "expected_waiting_time",
+    "expected_response_time",
+    "expected_slowdown",
+    "lemma1_expected_slowdown",
+    "lemma2_scaled_moments",
+    "theorem1_task_server_slowdown",
+    "slowdown_constant",
+    "md1_expected_slowdown",
+    "md1_expected_waiting_time",
+    "check_rate_vector",
+    "normalise_rates",
+    "per_class_utilisations",
+    "scaled_service_distributions",
+    "utilisation",
+    "total_utilisation",
+    "is_stable",
+    "check_stability",
+    "arrival_rate_for_load",
+    "SweepPoint",
+    "shape_parameter_sweep",
+    "upper_bound_sweep",
+    "slowdown_elasticity",
+]

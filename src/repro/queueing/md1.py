@@ -1,0 +1,77 @@
+"""M/D/1 FCFS queue: deterministic service times.
+
+Equation 15 of the paper: when every request of a class takes the same
+service time ``d`` — the session-based e-commerce scenario — the expected
+slowdown of the task server reduces to
+
+    E[S] = rho / (2 (1 - rho)),        rho = lambda d / r,
+
+independent of the absolute value of ``d``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..distributions.deterministic import Deterministic
+from ..validation import require_non_negative, require_positive
+from .mg1 import MG1Queue
+from .stability import check_stability
+
+__all__ = ["MD1Queue", "md1_expected_slowdown", "md1_expected_waiting_time"]
+
+
+def md1_expected_waiting_time(arrival_rate: float, service_time: float, *, rate: float = 1.0) -> float:
+    """Mean queueing delay of an M/D/1 queue: ``rho d / (2 r (1 - rho))``."""
+    require_non_negative(arrival_rate, "arrival_rate")
+    require_positive(service_time, "service_time")
+    require_positive(rate, "rate")
+    if arrival_rate == 0.0:
+        return 0.0
+    dist = Deterministic(service_time)
+    check_stability(arrival_rate, dist, rate=rate, context="M/D/1 queue")
+    rho = arrival_rate * service_time / rate
+    return rho * (service_time / rate) / (2.0 * (1.0 - rho))
+
+
+def md1_expected_slowdown(arrival_rate: float, service_time: float, *, rate: float = 1.0) -> float:
+    """Eq. 15: ``E[S] = rho / (2 (1 - rho))`` with ``rho = lambda d / r``."""
+    require_non_negative(arrival_rate, "arrival_rate")
+    require_positive(service_time, "service_time")
+    require_positive(rate, "rate")
+    if arrival_rate == 0.0:
+        return 0.0
+    dist = Deterministic(service_time)
+    check_stability(arrival_rate, dist, rate=rate, context="M/D/1 queue")
+    rho = arrival_rate * service_time / rate
+    return rho / (2.0 * (1.0 - rho))
+
+
+@dataclass(frozen=True)
+class MD1Queue:
+    """An M/D/1 FCFS queue with constant service time ``service_time``."""
+
+    arrival_rate: float
+    service_time: float
+    rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.arrival_rate, "arrival_rate")
+        require_positive(self.service_time, "service_time")
+        require_positive(self.rate, "rate")
+
+    def as_mg1(self) -> MG1Queue:
+        return MG1Queue(self.arrival_rate, Deterministic(self.service_time), self.rate)
+
+    @property
+    def utilisation(self) -> float:
+        return self.arrival_rate * self.service_time / self.rate
+
+    def expected_waiting_time(self) -> float:
+        return md1_expected_waiting_time(self.arrival_rate, self.service_time, rate=self.rate)
+
+    def expected_slowdown(self) -> float:
+        return md1_expected_slowdown(self.arrival_rate, self.service_time, rate=self.rate)
+
+    def expected_response_time(self) -> float:
+        return self.expected_waiting_time() + self.service_time / self.rate

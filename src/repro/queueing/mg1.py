@@ -1,0 +1,132 @@
+"""M/G/1 FCFS queue analysis via the Pollaczek–Khinchin formula.
+
+This module implements the general machinery that Lemma 1 of the paper
+instantiates for the Bounded Pareto distribution: for a Poisson arrival
+process of rate ``lambda`` and i.i.d. service times ``X`` served FCFS by a
+unit-rate server,
+
+    E[W] = lambda * E[X^2] / (2 * (1 - rho)),          rho = lambda E[X]
+    E[T] = E[W] + E[X]
+    E[S] = E[W] * E[1/X]
+
+where the slowdown formula uses the FCFS fact that a job's queueing delay is
+independent of its own size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..distributions.base import Distribution
+from ..errors import StabilityError
+from ..validation import require_non_negative, require_positive
+from .stability import check_stability
+
+__all__ = ["MG1Queue", "expected_waiting_time", "expected_response_time", "expected_slowdown"]
+
+
+def expected_waiting_time(arrival_rate: float, service: Distribution, *, rate: float = 1.0) -> float:
+    """Pollaczek–Khinchin mean queueing delay ``E[W]``.
+
+    ``rate`` scales the server speed: a server running at rate ``r`` serves a
+    job of size ``x`` in ``x / r`` time units (Lemma 2).
+    """
+    require_non_negative(arrival_rate, "arrival_rate")
+    require_positive(rate, "rate")
+    if arrival_rate == 0.0:
+        return 0.0
+    scaled = service.scaled(rate)
+    check_stability(arrival_rate, scaled, context="M/G/1 queue")
+    rho = arrival_rate * scaled.mean()
+    return arrival_rate * scaled.second_moment() / (2.0 * (1.0 - rho))
+
+
+def expected_response_time(arrival_rate: float, service: Distribution, *, rate: float = 1.0) -> float:
+    """Mean response (sojourn) time ``E[T] = E[W] + E[X]``."""
+    scaled = service.scaled(rate)
+    return expected_waiting_time(arrival_rate, service, rate=rate) + scaled.mean()
+
+
+def expected_slowdown(arrival_rate: float, service: Distribution, *, rate: float = 1.0) -> float:
+    """Mean slowdown ``E[S] = E[W] * E[1/X]`` (Lemma 1).
+
+    Returns ``inf`` when the service distribution has no finite reciprocal
+    moment (e.g. an unbounded exponential), matching the discussion in
+    Sec. 5 of the paper.
+    """
+    scaled = service.scaled(rate)
+    mean_inverse = scaled.mean_inverse()
+    waiting = expected_waiting_time(arrival_rate, service, rate=rate)
+    if math.isinf(mean_inverse):
+        return math.inf if waiting > 0.0 else 0.0
+    return waiting * mean_inverse
+
+
+@dataclass(frozen=True)
+class MG1Queue:
+    """An M/G/1 FCFS queue: Poisson arrivals at ``arrival_rate``, service-time
+    distribution ``service`` executed by a server of processing rate ``rate``.
+
+    The object form is convenient when several metrics of the same queue are
+    needed; the module-level functions are the light-weight alternative.
+    """
+
+    arrival_rate: float
+    service: Distribution
+    rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.arrival_rate, "arrival_rate")
+        require_positive(self.rate, "rate")
+
+    @property
+    def scaled_service(self) -> Distribution:
+        """The service-time distribution as seen on this server (Lemma 2)."""
+        return self.service.scaled(self.rate)
+
+    @property
+    def utilisation(self) -> float:
+        """Offered load ``rho = lambda * E[X] / rate``."""
+        return self.arrival_rate * self.service.mean() / self.rate
+
+    @property
+    def is_stable(self) -> bool:
+        return self.utilisation < 1.0
+
+    def require_stable(self) -> None:
+        if not self.is_stable:
+            raise StabilityError(
+                f"M/G/1 queue unstable: rho={self.utilisation:.6g} >= 1"
+            )
+
+    def waiting_time(self) -> float:
+        """Mean queueing delay ``E[W]``."""
+        return expected_waiting_time(self.arrival_rate, self.service, rate=self.rate)
+
+    def response_time(self) -> float:
+        """Mean response time ``E[T]``."""
+        return expected_response_time(self.arrival_rate, self.service, rate=self.rate)
+
+    def slowdown(self) -> float:
+        """Mean slowdown ``E[S]`` (Lemma 1)."""
+        return expected_slowdown(self.arrival_rate, self.service, rate=self.rate)
+
+    def mean_queue_length(self) -> float:
+        """Mean number waiting in queue, by Little's law ``L_q = lambda E[W]``."""
+        return self.arrival_rate * self.waiting_time()
+
+    def mean_number_in_system(self) -> float:
+        """Mean number in system ``L = lambda E[T]``."""
+        return self.arrival_rate * self.response_time()
+
+    def describe(self) -> dict[str, float]:
+        """All analytic metrics as a dictionary (handy for table rendering)."""
+        return {
+            "utilisation": self.utilisation,
+            "waiting_time": self.waiting_time(),
+            "response_time": self.response_time(),
+            "slowdown": self.slowdown(),
+            "queue_length": self.mean_queue_length(),
+            "number_in_system": self.mean_number_in_system(),
+        }

@@ -1,0 +1,140 @@
+"""The M/G_B/1 FCFS queue: M/G/1 with Bounded Pareto service times.
+
+This is the queueing model at the heart of the paper.  The module provides
+the closed-form expected slowdown of Lemma 1 specialised to the Bounded
+Pareto distribution, the task-server scaling laws of Lemma 2, and the
+per-task-server slowdown of Theorem 1 — all expressed directly in terms of
+the ``BP(k, p, alpha)`` parameters so that tests can check them against both
+the generic :mod:`repro.queueing.mg1` machinery and simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..distributions.bounded_pareto import BoundedPareto
+from ..errors import ParameterError
+from ..validation import require_non_negative, require_positive
+from .mg1 import MG1Queue
+from .stability import check_stability
+
+__all__ = [
+    "MGB1Queue",
+    "lemma1_expected_slowdown",
+    "lemma2_scaled_moments",
+    "theorem1_task_server_slowdown",
+    "slowdown_constant",
+]
+
+
+def slowdown_constant(service: BoundedPareto) -> float:
+    """The workload constant ``C = E[X^2] * E[1/X] / 2``.
+
+    Theorem 1 can be written ``E[S_i] = C * lambda_i / (r_i - lambda_i E[X])``
+    and Eq. 18 as ``E[S_i] = delta_i * C * sum_j(lambda_j/delta_j) / (1-rho)``;
+    ``C`` captures the entire dependence on the Bounded Pareto parameters.
+    """
+    if not isinstance(service, BoundedPareto):
+        raise ParameterError("slowdown_constant expects a BoundedPareto distribution")
+    return service.second_moment() * service.mean_inverse() / 2.0
+
+
+def lemma1_expected_slowdown(arrival_rate: float, service: BoundedPareto) -> float:
+    """Lemma 1: ``E[S] = lambda E[X^2] E[1/X] / (2 (1 - lambda E[X]))``.
+
+    This is the expected slowdown of an M/G_B/1 FCFS queue on a unit-rate
+    server.
+    """
+    require_non_negative(arrival_rate, "arrival_rate")
+    if arrival_rate == 0.0:
+        return 0.0
+    check_stability(arrival_rate, service, context="M/G_B/1 queue")
+    rho = arrival_rate * service.mean()
+    return (
+        arrival_rate
+        * service.second_moment()
+        * service.mean_inverse()
+        / (2.0 * (1.0 - rho))
+    )
+
+
+def lemma2_scaled_moments(service: BoundedPareto, rate: float) -> dict[str, float]:
+    """Lemma 2: moments of the service time on a task server of rate ``r``.
+
+    Returns a dictionary with ``mean = E[X]/r``, ``second_moment = E[X^2]/r^2``
+    and ``mean_inverse = r E[1/X]`` — computed from the *scaled* Bounded
+    Pareto ``BP(k/r, p/r, alpha)`` so the identity is exercised end to end.
+    """
+    require_positive(rate, "rate")
+    scaled = service.scaled(rate)
+    return {
+        "mean": scaled.mean(),
+        "second_moment": scaled.second_moment(),
+        "mean_inverse": scaled.mean_inverse(),
+    }
+
+
+def theorem1_task_server_slowdown(
+    arrival_rate: float, service: BoundedPareto, rate: float
+) -> float:
+    """Theorem 1: expected slowdown of class ``i`` on its task server.
+
+    ``E[S_i] = lambda_i E[X^2] E[1/X] / (2 (r_i - lambda_i E[X]))`` where the
+    moments are those of the *unscaled* distribution and ``r_i`` is the
+    normalised processing rate granted to the task server.
+    """
+    require_non_negative(arrival_rate, "arrival_rate")
+    require_positive(rate, "rate")
+    if arrival_rate == 0.0:
+        return 0.0
+    check_stability(arrival_rate, service, rate=rate, context="task server")
+    numerator = arrival_rate * service.second_moment() * service.mean_inverse()
+    denominator = 2.0 * (rate - arrival_rate * service.mean())
+    return numerator / denominator
+
+
+@dataclass(frozen=True)
+class MGB1Queue:
+    """An M/G_B/1 FCFS queue on a task server of normalised rate ``rate``.
+
+    Thin convenience wrapper that exposes the paper's closed forms next to
+    the generic M/G/1 metrics (waiting time, response time, ...).
+    """
+
+    arrival_rate: float
+    service: BoundedPareto
+    rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.arrival_rate, "arrival_rate")
+        require_positive(self.rate, "rate")
+        if not isinstance(self.service, BoundedPareto):
+            raise ParameterError("MGB1Queue requires a BoundedPareto service distribution")
+
+    def as_mg1(self) -> MG1Queue:
+        """View this queue through the generic M/G/1 interface."""
+        return MG1Queue(self.arrival_rate, self.service, self.rate)
+
+    @property
+    def utilisation(self) -> float:
+        return self.arrival_rate * self.service.mean() / self.rate
+
+    def expected_slowdown(self) -> float:
+        """Theorem 1 closed form (reduces to Lemma 1 when ``rate == 1``)."""
+        return theorem1_task_server_slowdown(self.arrival_rate, self.service, self.rate)
+
+    def expected_waiting_time(self) -> float:
+        return self.as_mg1().waiting_time()
+
+    def expected_response_time(self) -> float:
+        return self.as_mg1().response_time()
+
+    def scaled_service(self) -> BoundedPareto:
+        """The Bounded Pareto actually experienced on this task server."""
+        return self.service.scaled(self.rate)
+
+    def describe(self) -> dict[str, float]:
+        out = self.as_mg1().describe()
+        out["slowdown_closed_form"] = self.expected_slowdown()
+        out["slowdown_constant"] = slowdown_constant(self.service)
+        return out

@@ -1,0 +1,72 @@
+"""M/M/1 FCFS queue reference model.
+
+The paper's related-work section (Sec. 5) contrasts the Bounded Pareto choice
+with the exponential service times used by the stretch-factor work of Zhu et
+al.: for an M/M/1 FCFS queue with an *unbounded* exponential service time the
+mean slowdown does not exist because ``E[1/X]`` diverges.  This module
+provides the standard M/M/1 metrics and makes that non-existence explicit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..distributions.exponential import Exponential
+from ..validation import require_non_negative, require_positive
+from .mg1 import MG1Queue
+from .stability import check_stability
+
+__all__ = ["MM1Queue"]
+
+
+@dataclass(frozen=True)
+class MM1Queue:
+    """M/M/1 FCFS queue: Poisson arrivals, exponential service of the given mean."""
+
+    arrival_rate: float
+    mean_service_time: float
+    rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.arrival_rate, "arrival_rate")
+        require_positive(self.mean_service_time, "mean_service_time")
+        require_positive(self.rate, "rate")
+
+    @property
+    def service(self) -> Exponential:
+        return Exponential(self.mean_service_time)
+
+    @property
+    def utilisation(self) -> float:
+        return self.arrival_rate * self.mean_service_time / self.rate
+
+    def as_mg1(self) -> MG1Queue:
+        return MG1Queue(self.arrival_rate, self.service, self.rate)
+
+    def expected_waiting_time(self) -> float:
+        """``E[W] = rho * E[X_r] / (1 - rho)`` — the M/M/1 special case of P-K."""
+        if self.arrival_rate == 0.0:
+            return 0.0
+        check_stability(self.arrival_rate, self.service, rate=self.rate, context="M/M/1 queue")
+        rho = self.utilisation
+        return rho * (self.mean_service_time / self.rate) / (1.0 - rho)
+
+    def expected_response_time(self) -> float:
+        return self.expected_waiting_time() + self.mean_service_time / self.rate
+
+    def expected_slowdown(self) -> float:
+        """Always ``inf`` for a loaded queue: ``E[1/X]`` diverges (Sec. 5)."""
+        return math.inf if self.expected_waiting_time() > 0.0 else 0.0
+
+    def processor_sharing_stretch(self) -> float:
+        """The stretch factor used by the demand-driven work of Zhu et al.
+
+        Under processor sharing the mean response time of a job of size ``x``
+        is ``x / (1 - rho)``, so the per-job stretch is the constant
+        ``1 / (1 - rho)``.  Provided as a baseline metric; note it is a
+        response-time stretch, not the FCFS queueing-delay slowdown used in
+        the paper.
+        """
+        check_stability(self.arrival_rate, self.service, rate=self.rate, context="M/M/1 queue")
+        return 1.0 / (1.0 - self.utilisation)

@@ -1,0 +1,69 @@
+"""Task-server rate scaling utilities (Lemma 2 of the paper).
+
+A task server that owns a normalised fraction ``r`` of the server's
+processing capacity serves a job of size ``x`` in ``x / r`` time units.  The
+helpers here express the consequences for a whole vector of task servers and
+check the normalisation constraint ``sum_i r_i = 1`` (Eq. 7).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..distributions.base import Distribution
+from ..errors import AllocationError
+from ..validation import require_positive_sequence
+
+__all__ = [
+    "check_rate_vector",
+    "scaled_service_distributions",
+    "per_class_utilisations",
+    "normalise_rates",
+]
+
+_RATE_SUM_TOL = 1e-9
+
+
+def check_rate_vector(rates: Sequence[float], *, total: float = 1.0) -> tuple[float, ...]:
+    """Validate a normalised processing-rate vector (Eq. 7).
+
+    Every rate must be strictly positive and the vector must sum to ``total``
+    (1.0 for a single server) within a small tolerance.
+    """
+    out = require_positive_sequence(rates, "rates")
+    if abs(sum(out) - total) > _RATE_SUM_TOL * max(1.0, abs(total)):
+        raise AllocationError(
+            f"processing rates must sum to {total}, got {sum(out)!r}"
+        )
+    return out
+
+
+def normalise_rates(weights: Sequence[float], *, total: float = 1.0) -> tuple[float, ...]:
+    """Rescale positive weights so they sum to ``total``."""
+    out = require_positive_sequence(weights, "weights")
+    s = sum(out)
+    return tuple(w / s * total for w in out)
+
+
+def scaled_service_distributions(
+    services: Sequence[Distribution], rates: Sequence[float]
+) -> tuple[Distribution, ...]:
+    """Service-time distributions as experienced on each task server."""
+    if len(services) != len(rates):
+        raise AllocationError("services and rates must have the same length")
+    checked = require_positive_sequence(rates, "rates")
+    return tuple(dist.scaled(rate) for dist, rate in zip(services, checked))
+
+
+def per_class_utilisations(
+    arrival_rates: Sequence[float],
+    services: Sequence[Distribution],
+    rates: Sequence[float],
+) -> tuple[float, ...]:
+    """Utilisation ``rho_i = lambda_i E[X_i] / r_i`` of every task server."""
+    if not (len(arrival_rates) == len(services) == len(rates)):
+        raise AllocationError("arrival_rates, services and rates must have the same length")
+    return tuple(
+        lam * dist.mean() / rate
+        for lam, dist, rate in zip(arrival_rates, services, rates)
+    )

@@ -1,0 +1,100 @@
+"""Sensitivity of the expected slowdown to the Bounded Pareto parameters.
+
+Section 4.5 of the paper studies how the shape parameter ``alpha`` and the
+upper bound ``p`` influence the achieved slowdowns (Figures 11 and 12) and
+explains the trends through the moments ``E[X^2]`` and ``E[1/X]``.  The
+helpers here produce those analytic trends — slowdown as a function of
+``alpha`` or ``p`` at a fixed load — and finite-difference elasticities that
+the experiments compare against simulation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..distributions.bounded_pareto import BoundedPareto
+from ..validation import require_in_range, require_positive
+from .mgb1 import lemma1_expected_slowdown
+from .stability import arrival_rate_for_load
+
+__all__ = [
+    "SweepPoint",
+    "shape_parameter_sweep",
+    "upper_bound_sweep",
+    "slowdown_elasticity",
+]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of an analytic parameter sweep."""
+
+    parameter: float
+    mean: float
+    second_moment: float
+    mean_inverse: float
+    expected_slowdown: float
+
+
+def _point(service: BoundedPareto, load: float, parameter: float) -> SweepPoint:
+    lam = arrival_rate_for_load(load, service)
+    return SweepPoint(
+        parameter=parameter,
+        mean=service.mean(),
+        second_moment=service.second_moment(),
+        mean_inverse=service.mean_inverse(),
+        expected_slowdown=lemma1_expected_slowdown(lam, service),
+    )
+
+
+def shape_parameter_sweep(
+    alphas: Sequence[float], *, k: float, p: float, load: float
+) -> list[SweepPoint]:
+    """Expected slowdown for each shape parameter at a fixed system load.
+
+    The paper's observation (Fig. 11): as ``alpha`` increases the second
+    moment falls, so the slowdown decreases.
+    """
+    require_in_range(load, "load", 0.0, 1.0, inclusive_high=False)
+    return [_point(BoundedPareto(k, p, float(a)), load, float(a)) for a in alphas]
+
+
+def upper_bound_sweep(
+    upper_bounds: Sequence[float], *, k: float, alpha: float, load: float
+) -> list[SweepPoint]:
+    """Expected slowdown for each upper bound ``p`` at a fixed system load.
+
+    The paper's observation (Fig. 12): as ``p`` grows the distribution becomes
+    more heavy-tailed, ``E[X^2]`` grows while ``E[1/X]`` barely changes, so
+    the slowdown increases.
+    """
+    require_in_range(load, "load", 0.0, 1.0, inclusive_high=False)
+    return [_point(BoundedPareto(k, float(p), alpha), load, float(p)) for p in upper_bounds]
+
+
+def slowdown_elasticity(
+    service: BoundedPareto, *, load: float, parameter: str, step: float = 1e-4
+) -> float:
+    """Finite-difference elasticity ``d ln E[S] / d ln theta`` of the slowdown.
+
+    ``parameter`` is ``"alpha"``, ``"p"`` or ``"k"``.  A positive value means
+    the slowdown increases with the parameter at this operating point.
+    """
+    require_positive(step, "step")
+    base_value = {"alpha": service.alpha, "p": service.p, "k": service.k}.get(parameter)
+    if base_value is None:
+        raise ValueError(f"unknown parameter {parameter!r}; expected 'alpha', 'p' or 'k'")
+
+    def build(value: float) -> BoundedPareto:
+        kwargs = {"k": service.k, "p": service.p, "alpha": service.alpha}
+        kwargs[parameter] = value
+        return BoundedPareto(**kwargs)
+
+    hi = build(base_value * (1.0 + step))
+    lo = build(base_value * (1.0 - step))
+    s_hi = lemma1_expected_slowdown(arrival_rate_for_load(load, hi), hi)
+    s_lo = lemma1_expected_slowdown(arrival_rate_for_load(load, lo), lo)
+    import math
+
+    return (math.log(s_hi) - math.log(s_lo)) / (2.0 * step)

@@ -1,0 +1,77 @@
+"""Utilisation and stability checks shared by the analytic queueing models.
+
+Every formula in the paper is derived for a stable queue: the offered load
+``rho = lambda * E[X]`` must be strictly below the processing rate.  The
+helpers here compute utilisations and enforce the stability condition with a
+clear error instead of letting callers receive negative delays.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..distributions.base import Distribution
+from ..errors import StabilityError
+from ..validation import require_non_negative, require_positive
+
+__all__ = [
+    "utilisation",
+    "total_utilisation",
+    "check_stability",
+    "is_stable",
+    "arrival_rate_for_load",
+]
+
+
+def utilisation(arrival_rate: float, service: Distribution, *, rate: float = 1.0) -> float:
+    """Offered load ``rho = lambda * E[X] / rate`` of a single class.
+
+    ``rate`` is the processing rate of the server handling the class
+    (1.0 means the full server).
+    """
+    require_non_negative(arrival_rate, "arrival_rate")
+    require_positive(rate, "rate")
+    return arrival_rate * service.mean() / rate
+
+
+def total_utilisation(
+    arrival_rates: Sequence[float], services: Sequence[Distribution]
+) -> float:
+    """System utilisation ``rho = sum_i lambda_i E[X_i]`` against unit capacity."""
+    if len(arrival_rates) != len(services):
+        raise StabilityError("arrival_rates and services must have the same length")
+    return sum(
+        utilisation(lam, dist) for lam, dist in zip(arrival_rates, services)
+    )
+
+
+def is_stable(arrival_rate: float, service: Distribution, *, rate: float = 1.0) -> bool:
+    """True when the queue is stable (``rho < 1``)."""
+    return utilisation(arrival_rate, service, rate=rate) < 1.0
+
+
+def check_stability(
+    arrival_rate: float, service: Distribution, *, rate: float = 1.0, context: str = "queue"
+) -> float:
+    """Return ``rho`` or raise :class:`StabilityError` when ``rho >= 1``."""
+    rho = utilisation(arrival_rate, service, rate=rate)
+    if rho >= 1.0:
+        raise StabilityError(
+            f"{context} is unstable: offered load rho={rho:.6g} >= 1 "
+            f"(arrival_rate={arrival_rate}, E[X]={service.mean():.6g}, rate={rate})"
+        )
+    return rho
+
+
+def arrival_rate_for_load(load: float, service: Distribution, *, rate: float = 1.0) -> float:
+    """Arrival rate that produces utilisation ``load`` on a server of ``rate``.
+
+    The simulation section of the paper expresses every experiment in terms of
+    the *system load* (10% ... 95%); this helper converts a load target into
+    the Poisson arrival rate used by the generators.
+    """
+    require_non_negative(load, "load")
+    require_positive(rate, "rate")
+    if load >= 1.0:
+        raise StabilityError(f"requested load {load} is not feasible (must be < 1)")
+    return load * rate / service.mean()

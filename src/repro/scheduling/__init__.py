@@ -1,0 +1,42 @@
+"""Proportional-share and priority scheduling substrate.
+
+The paper's rate-allocation strategy assumes a mechanism (GPS, PGPS, lottery
+scheduling, ...) that can hand each per-class task server a configurable
+share of the processing capacity.  This package implements those mechanisms —
+a GPS fluid reference, WFQ/PGPS, start-time fair queueing, self-clocked fair
+queueing, lottery, stride, (deficit) weighted round robin — plus the
+priority-based schedulers from the related work that the experiments use as
+contrast (strict priority and waiting-time priority).
+"""
+
+from .base import QueuedJob, Scheduler, WeightedScheduler
+from .gps import FluidJob, GpsResult, simulate_gps
+from .lottery import LotteryScheduler
+from .priority import (
+    SlowdownWtpScheduler,
+    StrictPriorityScheduler,
+    WaitingTimePriorityScheduler,
+)
+from .sfq import StartTimeFairQueueing
+from .stride import StrideScheduler
+from .wfq import SelfClockedFairQueueing, WeightedFairQueueing
+from .wrr import DeficitWeightedRoundRobin, WeightedRoundRobin
+
+__all__ = [
+    "QueuedJob",
+    "Scheduler",
+    "WeightedScheduler",
+    "FluidJob",
+    "GpsResult",
+    "simulate_gps",
+    "WeightedFairQueueing",
+    "SelfClockedFairQueueing",
+    "StartTimeFairQueueing",
+    "LotteryScheduler",
+    "StrideScheduler",
+    "WeightedRoundRobin",
+    "DeficitWeightedRoundRobin",
+    "StrictPriorityScheduler",
+    "WaitingTimePriorityScheduler",
+    "SlowdownWtpScheduler",
+]

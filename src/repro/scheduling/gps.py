@@ -1,0 +1,142 @@
+"""Generalised Processor Sharing (GPS): the idealised fluid reference.
+
+GPS [Parekh & Gallager 1993] is the fluid-flow ideal that packet-by-packet
+schedulers (WFQ/PGPS, SFQ, ...) approximate: at every instant the server's
+capacity is divided among the *backlogged* classes in proportion to their
+weights, and within a class the fluid drains in FCFS order.
+
+The fluid model cannot be expressed as a job-at-a-time
+:class:`~repro.scheduling.base.Scheduler`; instead this module provides an
+event-driven fluid simulator that, given a list of arrivals, computes each
+job's completion time exactly.  It is used
+
+* as the reference in tests of the packetised schedulers (a WFQ job finishes
+  no later than its GPS finish time plus one maximum job size over the link
+  rate), and
+* as the justification for the idealised per-class task servers of the
+  paper's simulation model: when every class is continuously backlogged the
+  GPS share of class ``i`` is exactly ``w_i / sum w``, i.e. a task server of
+  that rate.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..errors import SchedulingError
+from ..validation import require_positive, require_positive_sequence
+
+__all__ = ["FluidJob", "GpsResult", "simulate_gps"]
+
+
+@dataclass(frozen=True)
+class FluidJob:
+    """One job for the fluid simulation."""
+
+    class_index: int
+    arrival_time: float
+    size: float
+
+
+@dataclass(frozen=True)
+class GpsResult:
+    """Completion times (same order as the input jobs) and per-class work."""
+
+    completion_times: tuple[float, ...]
+    per_class_service: tuple[float, ...]
+
+
+def simulate_gps(
+    jobs: Sequence[FluidJob],
+    weights: Sequence[float],
+    *,
+    capacity: float = 1.0,
+) -> GpsResult:
+    """Simulate a GPS fluid server over a finite set of jobs.
+
+    The simulation advances from event to event (arrival or within-class
+    head-of-line completion); between events the backlog of each backlogged
+    class drains at rate ``capacity * w_i / sum_{backlogged} w_j``.
+
+    Jobs within a class are served FCFS: the class's fluid rate drains the
+    earliest-arrived unfinished job first.
+    """
+    require_positive(capacity, "capacity")
+    w = require_positive_sequence(weights, "weights")
+    n_classes = len(w)
+    for j in jobs:
+        if not (0 <= j.class_index < n_classes):
+            raise SchedulingError(f"job class {j.class_index} out of range")
+        if j.size <= 0.0:
+            raise SchedulingError("job sizes must be > 0")
+        if j.arrival_time < 0.0:
+            raise SchedulingError("arrival times must be >= 0")
+
+    order = sorted(range(len(jobs)), key=lambda i: (jobs[i].arrival_time, i))
+    arrivals = [(jobs[i].arrival_time, i) for i in order]
+    arrival_pos = 0
+
+    # Per-class FCFS queue of (job_index, remaining_size).
+    queues: list[list[tuple[int, float]]] = [[] for _ in range(n_classes)]
+    heads: list[int] = [0] * n_classes  # index of head job within queues[c]
+    completion = [math.nan] * len(jobs)
+    per_class_service = [0.0] * n_classes
+
+    now = 0.0 if not arrivals else arrivals[0][0]
+
+    def backlogged() -> list[int]:
+        return [c for c in range(n_classes) if heads[c] < len(queues[c])]
+
+    while True:
+        active = backlogged()
+        if not active and arrival_pos >= len(arrivals):
+            break
+        if not active:
+            now = max(now, arrivals[arrival_pos][0])
+            # Admit every arrival at this instant.
+            while arrival_pos < len(arrivals) and arrivals[arrival_pos][0] <= now:
+                _, ji = arrivals[arrival_pos]
+                queues[jobs[ji].class_index].append((ji, jobs[ji].size))
+                arrival_pos += 1
+            continue
+
+        total_weight = sum(w[c] for c in active)
+        rates = {c: capacity * w[c] / total_weight for c in active}
+
+        # Time until the earliest head-of-line job finishes at current rates.
+        finish_dt = math.inf
+        for c in active:
+            _, remaining = queues[c][heads[c]]
+            finish_dt = min(finish_dt, remaining / rates[c])
+        # Time until the next arrival.
+        arrival_dt = math.inf
+        if arrival_pos < len(arrivals):
+            arrival_dt = arrivals[arrival_pos][0] - now
+        dt = min(finish_dt, arrival_dt)
+        if dt < 0.0:
+            raise SchedulingError("GPS simulation time went backwards (bug)")
+
+        # Drain fluid for dt.
+        for c in active:
+            ji, remaining = queues[c][heads[c]]
+            drained = rates[c] * dt
+            per_class_service[c] += min(drained, remaining)
+            queues[c][heads[c]] = (ji, remaining - drained)
+        now += dt
+
+        # Record completions (allow for floating-point dust).
+        for c in active:
+            ji, remaining = queues[c][heads[c]]
+            if remaining <= 1e-12:
+                completion[ji] = now
+                heads[c] += 1
+
+        # Admit arrivals occurring exactly now.
+        while arrival_pos < len(arrivals) and arrivals[arrival_pos][0] <= now + 1e-15:
+            _, ji = arrivals[arrival_pos]
+            queues[jobs[ji].class_index].append((ji, jobs[ji].size))
+            arrival_pos += 1
+
+    return GpsResult(tuple(completion), tuple(per_class_service))

@@ -1,0 +1,53 @@
+"""Start-time Fair Queueing (SFQ).
+
+SFQ [Goyal, Vin & Cheng 1996] tags every arriving job with a *start* tag
+``S = max(v, F_prev)`` and a finish tag ``F = S + size / w``, serves the
+backlogged job with the smallest start tag, and sets the virtual time ``v``
+to the start tag of the job in service.  SFQ is attractive on servers because
+it does not require knowing job sizes before dispatch to compute the
+*selection* key (the start tag depends only on previously completed work),
+which matches the paper's observation that request service times are hard to
+know a priori.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .base import QueuedJob, WeightedScheduler
+
+__all__ = ["StartTimeFairQueueing"]
+
+
+class StartTimeFairQueueing(WeightedScheduler):
+    """Start-time Fair Queueing over per-class FCFS queues."""
+
+    def __init__(self, num_classes: int, weights: Sequence[float] | None = None) -> None:
+        super().__init__(num_classes, weights)
+        self._virtual_time = 0.0
+        self._last_finish_tag = [0.0] * num_classes
+        self._start_tags: dict[int, float] = {}
+
+    def _on_enqueue(self, job: QueuedJob, now: float) -> None:
+        c = job.class_index
+        start = max(self._virtual_time, self._last_finish_tag[c])
+        self._start_tags[id(job)] = start
+        self._last_finish_tag[c] = start + job.size / self.weights[c]
+
+    def _select_class(self, now: float) -> int:
+        best_class = -1
+        best_tag = float("inf")
+        for c in self.backlogged_classes():
+            head = self.peek(c)
+            assert head is not None
+            tag = self._start_tags.get(id(head), float("inf"))
+            if tag < best_tag:
+                best_tag = tag
+                best_class = c
+        return best_class
+
+    def _on_dequeue(self, job: QueuedJob, now: float) -> None:
+        self._virtual_time = self._start_tags.pop(id(job), self._virtual_time)
+        if self.total_backlog() == 0:
+            self._virtual_time = 0.0
+            self._last_finish_tag = [0.0] * self.num_classes

@@ -1,0 +1,106 @@
+"""Weighted round robin over per-class FCFS queues.
+
+The simplest proportional-share approximation: classes are visited in a fixed
+cyclic order and class ``c`` may serve up to ``quantum_c`` requests per
+cycle, with ``quantum_c`` proportional to its weight.  Cheap but coarse — the
+achieved shares are proportional in *request count*, not in work, so a class
+with larger requests receives more than its weight of the processing
+capacity.  Included as a deliberately imperfect baseline for the scheduler
+ablation bench.
+
+``DeficitWeightedRoundRobin`` corrects the request-size bias with the
+standard deficit-counter technique (Shreedhar & Varghese 1996): a class may
+only send a request when its accumulated deficit covers the request's size.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from .base import QueuedJob, WeightedScheduler
+
+__all__ = ["WeightedRoundRobin", "DeficitWeightedRoundRobin"]
+
+
+class WeightedRoundRobin(WeightedScheduler):
+    """Classic weighted round robin (per-request quanta)."""
+
+    def __init__(self, num_classes: int, weights: Sequence[float] | None = None) -> None:
+        self._cursor = 0
+        self._credit = 0.0
+        super().__init__(num_classes, weights)
+
+    def _on_weights_changed(self) -> None:
+        min_weight = min(self.weights)
+        self._quanta = [max(1, round(w / min_weight)) for w in self.weights]
+        self._credit = 0.0
+
+    def _select_class(self, now: float) -> int:
+        # Walk the cyclic order until a backlogged class with remaining
+        # quantum is found; refill quanta when a full cycle passes.
+        for _ in range(2 * self.num_classes + 1):
+            c = self._cursor
+            if self.backlog(c) > 0 and self._credit < self._quanta[c]:
+                self._credit += 1.0
+                return c
+            self._cursor = (self._cursor + 1) % self.num_classes
+            self._credit = 0.0
+        # All quanta exhausted in this sweep: restart the cycle.
+        self._cursor = self.backlogged_classes()[0]
+        self._credit = 1.0
+        return self._cursor
+
+
+class DeficitWeightedRoundRobin(WeightedScheduler):
+    """Deficit round robin: proportional shares in work rather than requests."""
+
+    def __init__(
+        self,
+        num_classes: int,
+        weights: Sequence[float] | None = None,
+        *,
+        quantum: float = 1.0,
+    ) -> None:
+        if quantum <= 0.0:
+            raise ValueError("quantum must be > 0")
+        self._quantum = float(quantum)
+        self._deficits = [0.0] * num_classes
+        self._cursor = 0
+        super().__init__(num_classes, weights)
+
+    def _on_weights_changed(self) -> None:
+        total = sum(self.weights)
+        self._increments = [self._quantum * w / total * self.num_classes for w in self.weights]
+
+    def _select_class(self, now: float) -> int:
+        guard = 0
+        while True:
+            c = self._cursor
+            head = self.peek(c)
+            if head is not None and self._deficits[c] >= head.size:
+                # Keep serving this class while its deficit lasts (one DRR turn).
+                return c
+            # Advance the round-robin pointer; entering a backlogged class
+            # grants it one quantum, entering an empty class clears its deficit.
+            self._cursor = (self._cursor + 1) % self.num_classes
+            nxt = self._cursor
+            if self.peek(nxt) is not None:
+                self._deficits[nxt] += self._increments[nxt]
+            else:
+                self._deficits[nxt] = 0.0
+            guard += 1
+            if guard > 10_000 * self.num_classes:
+                # Degenerate configuration (e.g. enormous job with tiny
+                # quantum); serve the class closest to affording its head job
+                # to stay work-conserving.
+                backlogged = self.backlogged_classes()
+                return max(backlogged, key=lambda i: self._deficits[i])
+
+    def _on_dequeue(self, job: QueuedJob, now: float) -> None:
+        c = job.class_index
+        self._deficits[c] = max(0.0, self._deficits[c] - job.size)
+        if self.backlog(c) == 0:
+            self._deficits[c] = 0.0
+        if not math.isfinite(self._deficits[c]):
+            self._deficits[c] = 0.0

@@ -1,0 +1,67 @@
+"""Discrete-event simulation of PSD provisioning on an Internet server.
+
+* :mod:`repro.simulation.engine` / :mod:`repro.simulation.events` — the DES core.
+* :mod:`repro.simulation.generator` — per-class Poisson request sources.
+* :mod:`repro.simulation.task_server` — rate-scalable FCFS task servers.
+* :mod:`repro.simulation.psd_server` — the full Fig. 1 model (idealised task servers).
+* :mod:`repro.simulation.shared_server` — a single processor driven by a
+  proportional-share scheduler (the packetised counterpart).
+* :mod:`repro.simulation.monitor` / :mod:`repro.simulation.trace` — measurement.
+* :mod:`repro.simulation.runner` — multi-replication orchestration.
+"""
+
+from .engine import SimulationEngine
+from .events import Event, EventQueue
+from .generator import (
+    ArrivalProcess,
+    DeterministicArrivals,
+    PoissonArrivals,
+    RequestSource,
+    TraceSource,
+    sources_from_classes,
+)
+from .monitor import MeasurementConfig, WindowSample, WindowedMonitor
+from .psd_server import (
+    PsdServerSimulation,
+    RateController,
+    SimulationResult,
+    StaticRateController,
+)
+from .requests import Request
+from .runner import (
+    ReplicatedStatistic,
+    ReplicationSummary,
+    run_replications,
+    summarise_replications,
+)
+from .shared_server import SharedProcessorSimulation
+from .task_server import FcfsTaskServer
+from .trace import RequestRecord, SimulationTrace
+
+__all__ = [
+    "SimulationEngine",
+    "Event",
+    "EventQueue",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DeterministicArrivals",
+    "RequestSource",
+    "TraceSource",
+    "sources_from_classes",
+    "MeasurementConfig",
+    "WindowSample",
+    "WindowedMonitor",
+    "Request",
+    "FcfsTaskServer",
+    "PsdServerSimulation",
+    "SharedProcessorSimulation",
+    "SimulationResult",
+    "RateController",
+    "StaticRateController",
+    "SimulationTrace",
+    "RequestRecord",
+    "ReplicationSummary",
+    "ReplicatedStatistic",
+    "run_replications",
+    "summarise_replications",
+]

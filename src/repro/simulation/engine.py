@@ -1,0 +1,96 @@
+"""The discrete-event simulation engine.
+
+A thin, explicit core: a clock, an event calendar and a run loop.  Model
+components (generators, task servers, monitors) schedule callbacks on the
+engine; the engine guarantees the clock never moves backwards and stops at a
+configurable horizon.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..errors import SimulationError
+from ..validation import require_non_negative
+from .events import Event, EventQueue
+
+__all__ = ["SimulationEngine"]
+
+
+class SimulationEngine:
+    """Event-driven simulation clock and dispatcher."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._processed = 0
+
+    # ------------------------------------------------------------------ #
+    # Clock and scheduling
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events dispatched so far (useful for progress checks)."""
+        return self._processed
+
+    def schedule_at(self, time: float, callback: Callable[[], None], *, label: str = "") -> Event:
+        """Schedule ``callback`` at absolute simulated time ``time``."""
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule an event in the past (now={self._now}, requested={time})"
+            )
+        return self._queue.push(max(time, self._now), callback, label=label)
+
+    def schedule_after(self, delay: float, callback: Callable[[], None], *, label: str = "") -> Event:
+        """Schedule ``callback`` after ``delay`` time units."""
+        require_non_negative(delay, "delay")
+        return self._queue.push(self._now + delay, callback, label=label)
+
+    # ------------------------------------------------------------------ #
+    # Run loop
+    # ------------------------------------------------------------------ #
+    def run_until(self, horizon: float) -> None:
+        """Dispatch events in time order until the calendar is empty or the
+        next event lies beyond ``horizon`` (the clock is then left at
+        ``horizon``)."""
+        if horizon < self._now:
+            raise SimulationError(
+                f"horizon {horizon} lies before the current time {self._now}"
+            )
+        if self._running:
+            raise SimulationError("run_until called re-entrantly")
+        self._running = True
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > horizon:
+                    break
+                event = self._queue.pop()
+                if event is None:
+                    break
+                if event.time < self._now - 1e-9:
+                    raise SimulationError(
+                        f"event calendar produced a past event ({event.time} < {self._now})"
+                    )
+                self._now = max(self._now, event.time)
+                event.callback()
+                self._processed += 1
+            self._now = max(self._now, horizon)
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Dispatch a single event; returns ``False`` when the calendar is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._now = max(self._now, event.time)
+        event.callback()
+        self._processed += 1
+        return True

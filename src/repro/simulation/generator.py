@@ -1,0 +1,134 @@
+"""Per-class request generators.
+
+Each generator produces a Poisson arrival stream (exponential inter-arrival
+times) of requests whose sizes are drawn from the class's service-time
+distribution — the ``M/G_B/1`` traffic model of the paper when the size
+distribution is Bounded Pareto.  Deterministic and trace-driven variants are
+provided for tests and for replaying recorded workloads.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from ..distributions.base import Distribution
+from ..errors import ParameterError
+from ..types import TrafficClass
+from ..validation import require_non_negative, require_positive
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DeterministicArrivals",
+    "RequestSource",
+    "TraceSource",
+    "sources_from_classes",
+]
+
+
+class ArrivalProcess(abc.ABC):
+    """Produces successive inter-arrival times."""
+
+    @abc.abstractmethod
+    def next_interarrival(self, rng: np.random.Generator) -> float:
+        """Time until the next arrival (strictly positive)."""
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Exponential inter-arrival times with the given rate (Poisson process)."""
+
+    def __init__(self, rate: float) -> None:
+        require_non_negative(rate, "rate")
+        self.rate = float(rate)
+
+    def next_interarrival(self, rng: np.random.Generator) -> float:
+        if self.rate == 0.0:
+            return float("inf")
+        return float(rng.exponential(1.0 / self.rate))
+
+
+class DeterministicArrivals(ArrivalProcess):
+    """Evenly spaced arrivals (used in tests for exact, noise-free scenarios)."""
+
+    def __init__(self, interval: float) -> None:
+        require_positive(interval, "interval")
+        self.interval = float(interval)
+
+    def next_interarrival(self, rng: np.random.Generator) -> float:
+        return self.interval
+
+
+class RequestSource:
+    """A stream of (inter-arrival, size) pairs for one traffic class."""
+
+    def __init__(
+        self,
+        class_index: int,
+        arrivals: ArrivalProcess,
+        sizes: Distribution,
+        rng: np.random.Generator,
+    ) -> None:
+        if class_index < 0:
+            raise ParameterError("class_index must be >= 0")
+        self.class_index = int(class_index)
+        self.arrivals = arrivals
+        self.sizes = sizes
+        self.rng = rng
+
+    def next_interarrival(self) -> float:
+        return self.arrivals.next_interarrival(self.rng)
+
+    def next_size(self) -> float:
+        size = float(self.sizes.sample(self.rng))
+        if size <= 0.0:
+            raise ParameterError(
+                f"size distribution produced a non-positive sample {size!r}"
+            )
+        return size
+
+
+class TraceSource(RequestSource):
+    """Replays a recorded sequence of (inter-arrival, size) pairs.
+
+    Once the trace is exhausted the source reports an infinite inter-arrival
+    time, which effectively switches the class off.
+    """
+
+    def __init__(self, class_index: int, interarrivals: Sequence[float], sizes: Sequence[float]) -> None:
+        if len(interarrivals) != len(sizes):
+            raise ParameterError("interarrivals and sizes must have the same length")
+        self.class_index = int(class_index)
+        self._interarrivals: Iterator[float] = iter([float(v) for v in interarrivals])
+        self._sizes: Iterator[float] = iter([float(v) for v in sizes])
+        self._pending_size: float | None = None
+
+    def next_interarrival(self) -> float:
+        try:
+            gap = next(self._interarrivals)
+            self._pending_size = next(self._sizes)
+            return gap
+        except StopIteration:
+            self._pending_size = None
+            return float("inf")
+
+    def next_size(self) -> float:
+        if self._pending_size is None:
+            raise ParameterError("trace exhausted: no size available")
+        size = self._pending_size
+        self._pending_size = None
+        return size
+
+
+def sources_from_classes(
+    classes: Sequence[TrafficClass], rngs: Sequence[np.random.Generator]
+) -> list[RequestSource]:
+    """One Poisson request source per traffic class, each on its own RNG stream."""
+    if len(classes) != len(rngs):
+        raise ParameterError("classes and rngs must have the same length")
+    return [
+        RequestSource(i, PoissonArrivals(cls.arrival_rate), cls.service, rng)
+        for i, (cls, rng) in enumerate(zip(classes, rngs))
+    ]

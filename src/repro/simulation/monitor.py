@@ -1,0 +1,172 @@
+"""Measurement configuration and windowed monitors.
+
+The paper's measurement protocol (Sec. 4.1): warm the simulator up for
+10,000 time units, measure class slowdowns every 1,000 time units until
+60,000 time units, and average the per-window statistics.  A *time unit* is
+the processing time of an average-size request, so all durations here are
+expressed in multiples of the workload's mean service time.
+
+:class:`MeasurementConfig` captures the protocol; :class:`WindowedMonitor`
+collects per-window, per-class slowdown statistics as requests complete.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..validation import require_non_negative, require_positive
+from .trace import RequestRecord
+
+__all__ = ["MeasurementConfig", "WindowSample", "WindowedMonitor"]
+
+
+@dataclass(frozen=True)
+class MeasurementConfig:
+    """Warm-up, horizon and window lengths, in "time units" (mean service times).
+
+    Attributes mirror Sec. 4.1: ``warmup=10_000``, ``horizon=60_000``,
+    ``window=1_000``, estimation history of 5 windows, 100 replications.
+    Scaled-down defaults are used by the test-suite and benches; the full
+    paper protocol is available via :meth:`paper`.
+    """
+
+    warmup: float = 2_000.0
+    horizon: float = 12_000.0
+    window: float = 1_000.0
+    estimation_history: int = 5
+    replications: int = 5
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.warmup, "warmup")
+        require_positive(self.horizon, "horizon")
+        require_positive(self.window, "window")
+        if self.horizon <= self.warmup:
+            raise ParameterError("horizon must exceed warmup")
+        if self.estimation_history <= 0:
+            raise ParameterError("estimation_history must be > 0")
+        if self.replications <= 0:
+            raise ParameterError("replications must be > 0")
+
+    @classmethod
+    def paper(cls) -> "MeasurementConfig":
+        """The full protocol of Sec. 4.1 (expensive: ~60k time units x 100 runs)."""
+        return cls(
+            warmup=10_000.0,
+            horizon=60_000.0,
+            window=1_000.0,
+            estimation_history=5,
+            replications=100,
+        )
+
+    @classmethod
+    def quick(cls) -> "MeasurementConfig":
+        """A fast configuration for unit tests and smoke benches."""
+        return cls(warmup=500.0, horizon=3_000.0, window=250.0, replications=3)
+
+    @property
+    def measurement_duration(self) -> float:
+        return self.horizon - self.warmup
+
+    def scaled_to_time_units(self, time_unit: float) -> "MeasurementConfig":
+        """Convert from abstract time units into simulated seconds.
+
+        ``time_unit`` is the mean full-rate service time of the workload; the
+        returned config expresses warm-up, horizon and window in the same
+        units as the service-time distribution, which is what the simulator
+        consumes.
+        """
+        require_positive(time_unit, "time_unit")
+        return MeasurementConfig(
+            warmup=self.warmup * time_unit,
+            horizon=self.horizon * time_unit,
+            window=self.window * time_unit,
+            estimation_history=self.estimation_history,
+            replications=self.replications,
+        )
+
+
+@dataclass(frozen=True)
+class WindowSample:
+    """Per-class mean slowdowns measured over one window."""
+
+    start: float
+    end: float
+    mean_slowdowns: tuple[float, ...]
+    counts: tuple[int, ...]
+
+    def ratio(self, numerator: int, denominator: int) -> float:
+        """Slowdown ratio between two classes in this window (NaN when undefined)."""
+        num = self.mean_slowdowns[numerator]
+        den = self.mean_slowdowns[denominator]
+        if math.isnan(num) or math.isnan(den) or den == 0.0:
+            return float("nan")
+        return num / den
+
+
+class WindowedMonitor:
+    """Accumulates per-class slowdowns window by window.
+
+    Completed requests are attributed to the window containing their
+    completion time; requests completing before ``warmup`` are discarded, as
+    in the paper.
+    """
+
+    def __init__(self, num_classes: int, *, warmup: float, window: float) -> None:
+        if num_classes <= 0:
+            raise ParameterError("num_classes must be > 0")
+        require_non_negative(warmup, "warmup")
+        require_positive(window, "window")
+        self.num_classes = int(num_classes)
+        self.warmup = float(warmup)
+        self.window = float(window)
+        self._buckets: dict[int, list[list[float]]] = {}
+
+    def record(self, record: RequestRecord) -> None:
+        if record.completion_time < self.warmup:
+            return
+        index = int((record.completion_time - self.warmup) // self.window)
+        bucket = self._buckets.setdefault(
+            index, [[] for _ in range(self.num_classes)]
+        )
+        bucket[record.class_index].append(record.slowdown)
+
+    def samples(self) -> list[WindowSample]:
+        """Per-window summaries in time order."""
+        out: list[WindowSample] = []
+        for index in sorted(self._buckets):
+            per_class = self._buckets[index]
+            means = tuple(
+                float(np.mean(vals)) if vals else float("nan") for vals in per_class
+            )
+            counts = tuple(len(vals) for vals in per_class)
+            start = self.warmup + index * self.window
+            out.append(
+                WindowSample(start=start, end=start + self.window, mean_slowdowns=means, counts=counts)
+            )
+        return out
+
+    def ratio_series(self, numerator: int, denominator: int) -> np.ndarray:
+        """Per-window slowdown ratios between two classes (NaNs dropped)."""
+        ratios = [s.ratio(numerator, denominator) for s in self.samples()]
+        arr = np.asarray(ratios, dtype=float)
+        return arr[~np.isnan(arr)]
+
+    def per_class_window_means(self, *, drop_nan: bool = False) -> list[np.ndarray]:
+        """For each class, the vector of its per-window mean slowdowns.
+
+        By default the per-class arrays stay aligned window-by-window (NaN
+        where a class completed no request in a window) so that ratio
+        computations can pair them up; pass ``drop_nan=True`` for standalone
+        per-class statistics.
+        """
+        samples = self.samples()
+        out = []
+        for c in range(self.num_classes):
+            vals = np.asarray([s.mean_slowdowns[c] for s in samples], dtype=float)
+            out.append(vals[~np.isnan(vals)] if drop_nan else vals)
+        return out

@@ -1,0 +1,98 @@
+"""Request records flowing through the simulated server."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+__all__ = ["Request"]
+
+
+@dataclass
+class Request:
+    """One simulated request.
+
+    ``size`` is the service demand at *full server rate* (so the actual
+    service duration on a task server of rate ``r`` is ``size / r``).  The
+    slowdown uses the paper's definition: queueing delay divided by the
+    request's own full-rate service time.
+    """
+
+    request_id: int
+    class_index: int
+    arrival_time: float
+    size: float
+    service_start_time: float = math.nan
+    completion_time: float = math.nan
+    extra: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start_service(self, time: float) -> None:
+        if not math.isnan(self.service_start_time):
+            raise SimulationError(f"request {self.request_id} started service twice")
+        if time < self.arrival_time - 1e-12:
+            raise SimulationError(
+                f"request {self.request_id} started service before arriving"
+            )
+        self.service_start_time = time
+
+    def complete(self, time: float) -> None:
+        if math.isnan(self.service_start_time):
+            raise SimulationError(
+                f"request {self.request_id} completed without starting service"
+            )
+        if not math.isnan(self.completion_time):
+            raise SimulationError(f"request {self.request_id} completed twice")
+        if time < self.service_start_time - 1e-12:
+            raise SimulationError(
+                f"request {self.request_id} completed before service started"
+            )
+        self.completion_time = time
+
+    # ------------------------------------------------------------------ #
+    # Derived metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def is_complete(self) -> bool:
+        return not math.isnan(self.completion_time)
+
+    @property
+    def waiting_time(self) -> float:
+        """Queueing delay: time between arrival and the start of service."""
+        return self.service_start_time - self.arrival_time
+
+    @property
+    def response_time(self) -> float:
+        """Total sojourn time: completion minus arrival."""
+        return self.completion_time - self.arrival_time
+
+    @property
+    def service_duration(self) -> float:
+        """Actual time spent in service (reflects the task server's rate)."""
+        return self.completion_time - self.service_start_time
+
+    @property
+    def slowdown(self) -> float:
+        """The paper's slowdown: queueing delay over the request's service time.
+
+        "Service time" is the time the request actually spends in service on
+        its task server — for a server running at rate ``r`` this is
+        ``size / r`` (Lemma 2 models exactly this scaled distribution), so a
+        request served by a slower task server has both a longer delay and a
+        longer service time.
+        """
+        return self.waiting_time / self.service_duration
+
+    @property
+    def demand_slowdown(self) -> float:
+        """Queueing delay over the *full-rate* service demand ``size``.
+
+        An alternative normalisation (delay per unit of intrinsic work),
+        useful when comparing requests across task servers of different
+        rates; the paper's figures use :attr:`slowdown`.
+        """
+        return self.waiting_time / self.size

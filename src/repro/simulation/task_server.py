@@ -1,0 +1,146 @@
+"""A rate-scalable FCFS task server.
+
+The paper's simulation model (Fig. 1) dedicates one task server to every
+request class: requests of the class wait in a FCFS queue and are served one
+at a time at the task server's currently allocated processing rate.  The rate
+can change while a request is in service (the rate allocator runs every
+estimation window); the server therefore tracks the *remaining work* of the
+in-service request and reschedules its completion whenever the rate changes,
+exactly as a proportional-share CPU scheduler would.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+
+from ..errors import SimulationError
+from ..validation import require_non_negative
+from .engine import SimulationEngine
+from .events import Event
+from .requests import Request
+
+__all__ = ["FcfsTaskServer"]
+
+
+class FcfsTaskServer:
+    """FCFS queue plus a single service position running at a mutable rate."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        class_index: int,
+        rate: float,
+        *,
+        on_completion: Callable[[Request], None] | None = None,
+    ) -> None:
+        require_non_negative(rate, "rate")
+        self.engine = engine
+        self.class_index = int(class_index)
+        self._rate = float(rate)
+        self._on_completion = on_completion
+        self.queue: deque[Request] = deque()
+        self.in_service: Request | None = None
+        self._remaining_work = 0.0
+        self._last_progress_time = 0.0
+        self._completion_event: Event | None = None
+        self.busy_time = 0.0
+        self.completed_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Public interface
+    # ------------------------------------------------------------------ #
+    @property
+    def rate(self) -> float:
+        """The task server's current normalised processing rate."""
+        return self._rate
+
+    @property
+    def backlog(self) -> int:
+        """Requests waiting in queue (not counting the one in service)."""
+        return len(self.queue)
+
+    @property
+    def is_busy(self) -> bool:
+        return self.in_service is not None
+
+    def submit(self, request: Request) -> None:
+        """A request of this class arrived: queue it (and serve it if idle)."""
+        if request.class_index != self.class_index:
+            raise SimulationError(
+                f"request of class {request.class_index} submitted to task "
+                f"server {self.class_index}"
+            )
+        self.queue.append(request)
+        if self.in_service is None:
+            self._start_next()
+
+    def set_rate(self, rate: float) -> None:
+        """Change the processing rate, rescheduling the in-service request.
+
+        The remaining work of the in-service request is first decreased by
+        the progress made at the old rate, then its completion is
+        re-scheduled at the new rate.
+        """
+        require_non_negative(rate, "rate")
+        self._account_progress()
+        self._rate = float(rate)
+        self._reschedule_completion()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _account_progress(self) -> None:
+        """Drain the elapsed progress of the in-service request at the old rate."""
+        now = self.engine.now
+        if self.in_service is not None and self._rate > 0.0:
+            elapsed = now - self._last_progress_time
+            progress = elapsed * self._rate
+            self._remaining_work = max(self._remaining_work - progress, 0.0)
+            self.busy_time += elapsed
+        self._last_progress_time = now
+
+    def _start_next(self) -> None:
+        if self.in_service is not None:
+            raise SimulationError("task server started a request while busy")
+        if not self.queue:
+            return
+        request = self.queue.popleft()
+        request.start_service(self.engine.now)
+        self.in_service = request
+        self._remaining_work = request.size
+        self._last_progress_time = self.engine.now
+        self._reschedule_completion()
+
+    def _reschedule_completion(self) -> None:
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        if self.in_service is None:
+            return
+        if self._rate <= 0.0:
+            # Zero rate: the request is frozen until the next re-allocation.
+            return
+        delay = self._remaining_work / self._rate
+        self._completion_event = self.engine.schedule_after(
+            delay, self._complete_current, label=f"complete-class-{self.class_index}"
+        )
+
+    def _complete_current(self) -> None:
+        if self.in_service is None:
+            raise SimulationError("completion fired on an idle task server")
+        self._account_progress()
+        if self._remaining_work > 1e-9:
+            # A rate change between scheduling and firing left work behind;
+            # reschedule instead of completing early.
+            self._reschedule_completion()
+            return
+        request = self.in_service
+        request.complete(self.engine.now)
+        self.in_service = None
+        self._completion_event = None
+        self._remaining_work = 0.0
+        self.completed_count += 1
+        if self._on_completion is not None:
+            self._on_completion(request)
+        self._start_next()

@@ -1,0 +1,165 @@
+"""Per-request traces and post-run query helpers.
+
+Every completed request is recorded as an immutable :class:`RequestRecord`;
+:class:`SimulationTrace` collects them and offers the slicing operations the
+experiments need (filter by class, by time window, convert to NumPy arrays,
+per-class mean slowdowns), so that figure drivers never re-implement ad-hoc
+loops over the raw trace.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+from .requests import Request
+
+__all__ = ["RequestRecord", "SimulationTrace"]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Immutable snapshot of a completed request."""
+
+    request_id: int
+    class_index: int
+    arrival_time: float
+    size: float
+    service_start_time: float
+    completion_time: float
+
+    @property
+    def waiting_time(self) -> float:
+        return self.service_start_time - self.arrival_time
+
+    @property
+    def response_time(self) -> float:
+        return self.completion_time - self.arrival_time
+
+    @property
+    def service_duration(self) -> float:
+        return self.completion_time - self.service_start_time
+
+    @property
+    def slowdown(self) -> float:
+        """Queueing delay over the time actually spent in service (the paper's metric)."""
+        return self.waiting_time / self.service_duration
+
+    @property
+    def demand_slowdown(self) -> float:
+        """Queueing delay over the full-rate service demand ``size``."""
+        return self.waiting_time / self.size
+
+    @classmethod
+    def from_request(cls, request: Request) -> "RequestRecord":
+        if not request.is_complete:
+            raise SimulationError(
+                f"cannot record incomplete request {request.request_id}"
+            )
+        return cls(
+            request_id=request.request_id,
+            class_index=request.class_index,
+            arrival_time=request.arrival_time,
+            size=request.size,
+            service_start_time=request.service_start_time,
+            completion_time=request.completion_time,
+        )
+
+
+class SimulationTrace:
+    """An append-only collection of completed-request records."""
+
+    def __init__(self, num_classes: int) -> None:
+        if num_classes <= 0:
+            raise SimulationError("num_classes must be > 0")
+        self.num_classes = int(num_classes)
+        self._records: list[RequestRecord] = []
+
+    # ------------------------------------------------------------------ #
+    # Collection
+    # ------------------------------------------------------------------ #
+    def add(self, request: Request) -> RequestRecord:
+        record = RequestRecord.from_request(request)
+        if not (0 <= record.class_index < self.num_classes):
+            raise SimulationError(
+                f"record class {record.class_index} out of range [0, {self.num_classes})"
+            )
+        self._records.append(record)
+        return record
+
+    def extend(self, requests: Iterable[Request]) -> None:
+        for request in requests:
+            self.add(request)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    @property
+    def records(self) -> Sequence[RequestRecord]:
+        return tuple(self._records)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def for_class(self, class_index: int) -> list[RequestRecord]:
+        return [r for r in self._records if r.class_index == class_index]
+
+    def in_window(self, start: float, end: float, *, by: str = "arrival") -> list[RequestRecord]:
+        """Records whose ``arrival`` (default) or ``completion`` time lies in ``[start, end)``."""
+        if by not in ("arrival", "completion"):
+            raise SimulationError("by must be 'arrival' or 'completion'")
+        if by == "arrival":
+            return [r for r in self._records if start <= r.arrival_time < end]
+        return [r for r in self._records if start <= r.completion_time < end]
+
+    def slowdowns(self, class_index: int | None = None) -> np.ndarray:
+        records = self._records if class_index is None else self.for_class(class_index)
+        return np.asarray([r.slowdown for r in records], dtype=float)
+
+    def waiting_times(self, class_index: int | None = None) -> np.ndarray:
+        records = self._records if class_index is None else self.for_class(class_index)
+        return np.asarray([r.waiting_time for r in records], dtype=float)
+
+    def mean_slowdown(self, class_index: int | None = None) -> float:
+        values = self.slowdowns(class_index)
+        return float(np.mean(values)) if values.size else float("nan")
+
+    def per_class_mean_slowdowns(self) -> tuple[float, ...]:
+        return tuple(self.mean_slowdown(c) for c in range(self.num_classes))
+
+    def per_class_counts(self) -> tuple[int, ...]:
+        counts = [0] * self.num_classes
+        for r in self._records:
+            counts[r.class_index] += 1
+        return tuple(counts)
+
+    def weighted_system_slowdown(self) -> float:
+        """Request-weighted mean slowdown across all classes.
+
+        This is the "achieved system slowdown" curve of Fig. 2 of the paper
+        (the weighted slowdown of the classes).
+        """
+        return self.mean_slowdown(None)
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Columnar view of the whole trace (for plotting or DataFrame-free analysis)."""
+        return {
+            "request_id": np.asarray([r.request_id for r in self._records], dtype=int),
+            "class_index": np.asarray([r.class_index for r in self._records], dtype=int),
+            "arrival_time": np.asarray([r.arrival_time for r in self._records], dtype=float),
+            "size": np.asarray([r.size for r in self._records], dtype=float),
+            "service_start_time": np.asarray(
+                [r.service_start_time for r in self._records], dtype=float
+            ),
+            "completion_time": np.asarray(
+                [r.completion_time for r in self._records], dtype=float
+            ),
+            "waiting_time": np.asarray([r.waiting_time for r in self._records], dtype=float),
+            "slowdown": np.asarray([r.slowdown for r in self._records], dtype=float),
+        }

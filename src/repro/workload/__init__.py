@@ -1,0 +1,19 @@
+"""Workload factories: the paper's Web workload, session-based e-commerce and sweeps."""
+
+from .ecommerce import DEFAULT_STATES, SessionProfile, SessionState, ecommerce_classes
+from .mixes import PAPER_LOAD_GRID, load_sweep, share_sweep, skewed_shares
+from .webserver import paper_service_distribution, web_classes, web_classes_with_shares
+
+__all__ = [
+    "paper_service_distribution",
+    "web_classes",
+    "web_classes_with_shares",
+    "SessionState",
+    "SessionProfile",
+    "DEFAULT_STATES",
+    "ecommerce_classes",
+    "PAPER_LOAD_GRID",
+    "load_sweep",
+    "share_sweep",
+    "skewed_shares",
+]

@@ -1,0 +1,119 @@
+"""Session-based e-commerce workload (the M/D/1 scenario of Sec. 2.2).
+
+The paper observes that requests at some session states — "home entry",
+"register", "sign-in" — take approximately the same service time and can
+therefore be modelled as M/D/1 queues, for which the expected slowdown
+collapses to ``rho / (2 (1 - rho))`` (Eq. 15).  This module provides a small
+session model: a set of request states, each with a deterministic (or very
+low-variance) service time and a visit probability, from which per-class
+traffic can be generated for the simulator and checked against the M/D/1
+closed form.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..distributions.deterministic import Deterministic
+from ..distributions.hyperexponential import Hyperexponential
+from ..distributions.base import Distribution
+from ..errors import ParameterError
+from ..queueing.md1 import md1_expected_slowdown
+from ..types import TrafficClass
+from ..validation import require_in_range, require_positive, require_probability
+
+__all__ = ["SessionState", "SessionProfile", "ecommerce_classes", "DEFAULT_STATES"]
+
+
+@dataclass(frozen=True)
+class SessionState:
+    """One request state of an e-commerce session."""
+
+    name: str
+    service_time: float
+    visit_probability: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ParameterError("state name must be non-empty")
+        require_positive(self.service_time, "service_time")
+        require_probability(self.visit_probability, "visit_probability")
+
+
+DEFAULT_STATES: tuple[SessionState, ...] = (
+    SessionState("home", service_time=1.0, visit_probability=0.35),
+    SessionState("browse", service_time=1.0, visit_probability=0.30),
+    SessionState("search", service_time=1.0, visit_probability=0.20),
+    SessionState("register", service_time=1.0, visit_probability=0.05),
+    SessionState("checkout", service_time=1.0, visit_probability=0.10),
+)
+
+
+@dataclass(frozen=True)
+class SessionProfile:
+    """A mixture of session states describing one customer class."""
+
+    states: tuple[SessionState, ...] = DEFAULT_STATES
+
+    def __post_init__(self) -> None:
+        if not self.states:
+            raise ParameterError("a session profile needs at least one state")
+        total = sum(s.visit_probability for s in self.states)
+        if abs(total - 1.0) > 1e-9:
+            raise ParameterError(f"visit probabilities must sum to 1, got {total!r}")
+
+    @property
+    def mean_service_time(self) -> float:
+        return sum(s.service_time * s.visit_probability for s in self.states)
+
+    def service_distribution(self) -> Distribution:
+        """The request service-time distribution induced by the state mix.
+
+        When every state has the same service time this is exactly the
+        deterministic distribution of the paper's M/D/1 reduction; otherwise
+        it is a hyperexponential-like mixture approximated with exponential
+        phases of the state means (a conservative, slightly more variable
+        stand-in that still has finite moments only when bounded — for the
+        analytic comparisons use uniform state times).
+        """
+        times = {s.service_time for s in self.states}
+        if len(times) == 1:
+            return Deterministic(next(iter(times)))
+        return Hyperexponential(
+            probabilities=tuple(s.visit_probability for s in self.states),
+            means=tuple(s.service_time for s in self.states),
+        )
+
+    def expected_md1_slowdown(self, arrival_rate: float, *, rate: float = 1.0) -> float:
+        """Eq. 15 applied to the profile's mean service time."""
+        return md1_expected_slowdown(arrival_rate, self.mean_service_time, rate=rate)
+
+
+def ecommerce_classes(
+    system_load: float,
+    deltas: Sequence[float],
+    *,
+    profile: SessionProfile | None = None,
+) -> tuple[TrafficClass, ...]:
+    """Equal-load session classes (e.g. guests vs members vs admins).
+
+    All classes share the profile's service-time distribution; the target
+    ``system_load`` is split evenly.
+    """
+    require_in_range(system_load, "system_load", 0.0, 1.0, inclusive_low=False, inclusive_high=False)
+    if not deltas:
+        raise ParameterError("deltas must be non-empty")
+    if profile is None:
+        profile = SessionProfile()
+    service = profile.service_distribution()
+    per_class_rate = system_load / service.mean() / len(deltas)
+    return tuple(
+        TrafficClass(
+            name=f"session-class-{i + 1}",
+            arrival_rate=per_class_rate,
+            service=service,
+            delta=float(delta),
+        )
+        for i, delta in enumerate(deltas)
+    )

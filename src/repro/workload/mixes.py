@@ -1,0 +1,69 @@
+"""Load sweeps and traffic mixes.
+
+The evaluation sweeps the system load from light to heavy (the x-axis of most
+figures) while keeping the class structure fixed.  These helpers generate the
+corresponding families of traffic-class vectors, plus a couple of non-uniform
+mixes (skewed load shares, bursty on/off modulation of a class) used by the
+extension benches.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from ..distributions.base import Distribution
+from ..errors import ParameterError
+from ..types import TrafficClass
+from ..validation import require_in_range, require_positive_sequence
+from .webserver import web_classes, web_classes_with_shares
+
+__all__ = ["load_sweep", "share_sweep", "PAPER_LOAD_GRID", "skewed_shares"]
+
+#: The system loads (fractions of capacity) used on the x-axes of Figs. 2-10.
+#: The paper plots 10%..95%; loads of exactly 100% are infeasible for the
+#: allocation, so the grid tops out at 0.95.
+PAPER_LOAD_GRID: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95)
+
+
+def load_sweep(
+    loads: Sequence[float],
+    deltas: Sequence[float],
+    *,
+    service: Distribution | None = None,
+) -> Iterator[tuple[float, tuple[TrafficClass, ...]]]:
+    """Yield ``(load, classes)`` pairs with equal class loads for each system load."""
+    if not loads:
+        raise ParameterError("loads must be non-empty")
+    for load in loads:
+        require_in_range(float(load), "load", 0.0, 1.0, inclusive_low=False, inclusive_high=False)
+        yield float(load), web_classes(len(deltas), float(load), deltas, service=service)
+
+
+def share_sweep(
+    shares_list: Sequence[Sequence[float]],
+    system_load: float,
+    deltas: Sequence[float],
+    *,
+    service: Distribution | None = None,
+) -> Iterator[tuple[tuple[float, ...], tuple[TrafficClass, ...]]]:
+    """Yield ``(shares, classes)`` pairs for different splits of a fixed system load."""
+    if not shares_list:
+        raise ParameterError("shares_list must be non-empty")
+    for shares in shares_list:
+        checked = require_positive_sequence(shares, "shares")
+        yield checked, web_classes_with_shares(checked, system_load, deltas, service=service)
+
+
+def skewed_shares(num_classes: int, *, skew: float = 2.0) -> tuple[float, ...]:
+    """Load shares decaying geometrically by ``skew`` from class 1 downwards.
+
+    ``skew=1`` gives equal shares; larger values concentrate the load on the
+    higher classes (the situation Property 3 of Sec. 3 is about).
+    """
+    if num_classes <= 0:
+        raise ParameterError("num_classes must be > 0")
+    if skew <= 0.0:
+        raise ParameterError("skew must be > 0")
+    raw = [skew ** (-i) for i in range(num_classes)]
+    total = sum(raw)
+    return tuple(r / total for r in raw)

@@ -1,0 +1,77 @@
+"""Heavy-tailed Web-server workloads (the Sec. 4.1 configuration).
+
+The paper's simulations use a Bounded Pareto job-size distribution with shape
+1.5 and bounds [0.1, 100], Poisson arrivals, and equal per-class loads.  The
+factory functions here build :class:`~repro.types.TrafficClass` vectors for a
+target *system load* expressed as a fraction of the server capacity, either
+with equal class loads (the paper's default) or with arbitrary load shares.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..distributions.bounded_pareto import BoundedPareto
+from ..distributions.base import Distribution
+from ..errors import ParameterError
+from ..queueing.stability import arrival_rate_for_load
+from ..types import TrafficClass
+from ..validation import require_in_range, require_positive_sequence
+
+__all__ = ["paper_service_distribution", "web_classes", "web_classes_with_shares"]
+
+
+def paper_service_distribution(
+    *, shape: float = 1.5, lower: float = 0.1, upper: float = 100.0
+) -> BoundedPareto:
+    """The Bounded Pareto used throughout Sec. 4: ``BP(0.1, 100, 1.5)``."""
+    return BoundedPareto(k=lower, p=upper, alpha=shape)
+
+
+def web_classes(
+    num_classes: int,
+    system_load: float,
+    deltas: Sequence[float],
+    *,
+    service: Distribution | None = None,
+) -> tuple[TrafficClass, ...]:
+    """Traffic classes with equal loads summing to ``system_load``.
+
+    ``deltas`` are the differentiation parameters (one per class).  All
+    classes share the same service-time distribution, as in the paper.
+    """
+    if num_classes <= 0:
+        raise ParameterError("num_classes must be > 0")
+    if len(deltas) != num_classes:
+        raise ParameterError("deltas must have one entry per class")
+    shares = tuple(1.0 / num_classes for _ in range(num_classes))
+    return web_classes_with_shares(shares, system_load, deltas, service=service)
+
+
+def web_classes_with_shares(
+    load_shares: Sequence[float],
+    system_load: float,
+    deltas: Sequence[float],
+    *,
+    service: Distribution | None = None,
+) -> tuple[TrafficClass, ...]:
+    """Traffic classes whose loads split ``system_load`` according to ``load_shares``."""
+    require_in_range(system_load, "system_load", 0.0, 1.0, inclusive_low=False, inclusive_high=False)
+    shares = require_positive_sequence(load_shares, "load_shares")
+    if abs(sum(shares) - 1.0) > 1e-9:
+        raise ParameterError(f"load_shares must sum to 1, got {sum(shares)!r}")
+    deltas = require_positive_sequence(deltas, "deltas")
+    if len(deltas) != len(shares):
+        raise ParameterError("deltas and load_shares must have the same length")
+    if service is None:
+        service = paper_service_distribution()
+    total_rate = arrival_rate_for_load(system_load, service)
+    return tuple(
+        TrafficClass(
+            name=f"class-{i + 1}",
+            arrival_rate=total_rate * share,
+            service=service,
+            delta=delta,
+        )
+        for i, (share, delta) in enumerate(zip(shares, deltas))
+    )

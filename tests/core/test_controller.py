@@ -1,0 +1,127 @@
+"""Tests for the adaptive PSD controller."""
+
+import pytest
+
+from repro.core import (
+    OracleLoadEstimator,
+    PsdController,
+    PsdSpec,
+    WindowedLoadEstimator,
+    allocate_rates,
+)
+from repro.errors import ParameterError, StabilityError
+from tests.conftest import make_classes
+
+
+@pytest.fixture
+def classes(moderate_bp):
+    return make_classes(moderate_bp, 0.6, (1.0, 2.0))
+
+
+@pytest.fixture
+def spec():
+    return PsdSpec.of(1, 2)
+
+
+def window_observation(classes, window_length: float):
+    """A synthetic observation whose rates exactly match the configured classes."""
+    arrivals = [round(c.arrival_rate * window_length) for c in classes]
+    work = [c.arrival_rate * window_length * c.service.mean() for c in classes]
+    return arrivals, work
+
+
+class TestInitialisation:
+    def test_initial_rates_use_configured_loads(self, classes, spec):
+        controller = PsdController(classes, spec)
+        expected = allocate_rates(classes, spec).rates
+        assert controller.current_rates == pytest.approx(expected)
+
+    def test_mismatched_spec_rejected(self, classes):
+        with pytest.raises(ParameterError):
+            PsdController(classes, PsdSpec.of(1, 2, 3))
+
+    def test_mismatched_estimator_rejected(self, classes, spec):
+        with pytest.raises(ParameterError):
+            PsdController(classes, spec, estimator=WindowedLoadEstimator(3))
+
+    def test_invalid_overload_policy_rejected(self, classes, spec):
+        with pytest.raises(ParameterError):
+            PsdController(classes, spec, overload_policy="panic")
+
+
+class TestAdaptation:
+    def test_stationary_observations_keep_rates_near_initial(self, classes, spec):
+        controller = PsdController(classes, spec)
+        initial = controller.current_rates
+        arrivals, work = window_observation(classes, 1000.0)
+        for step in range(5):
+            controller.observe_window(1000.0 * (step + 1), 1000.0, arrivals, work)
+        assert controller.current_rates == pytest.approx(initial, rel=0.02)
+
+    def test_shifted_load_moves_rates(self, classes, spec):
+        controller = PsdController(classes, spec)
+        before = controller.current_rates
+        # Class 2's traffic doubles for several windows.
+        arrivals, work = window_observation(classes, 1000.0)
+        arrivals = [arrivals[0], arrivals[1] * 2]
+        work = [work[0], work[1] * 2]
+        for step in range(6):
+            controller.observe_window(1000.0 * (step + 1), 1000.0, arrivals, work)
+        after = controller.current_rates
+        assert after[1] > before[1]
+        assert sum(after) == pytest.approx(1.0)
+
+    def test_decisions_are_recorded(self, classes, spec):
+        controller = PsdController(classes, spec)
+        arrivals, work = window_observation(classes, 500.0)
+        decision = controller.observe_window(500.0, 500.0, arrivals, work)
+        assert controller.decisions == [decision]
+        assert decision.feasible
+        assert decision.rates == controller.current_rates
+
+    def test_oracle_estimator_reproduces_static_allocation(self, classes, spec):
+        oracle = OracleLoadEstimator(
+            [c.arrival_rate for c in classes], [c.offered_load for c in classes]
+        )
+        controller = PsdController(classes, spec, estimator=oracle)
+        arrivals, work = window_observation(classes, 1000.0)
+        controller.observe_window(1000.0, 1000.0, arrivals, work)
+        assert controller.current_rates == pytest.approx(
+            allocate_rates(classes, spec).rates
+        )
+
+
+class TestOverloadPolicies:
+    def overload_observation(self, classes):
+        # Twice the stable load: clearly infeasible.
+        arrivals = [round(c.arrival_rate * 1000.0 * 2) for c in classes]
+        work = [c.arrival_rate * 1000.0 * 2 * c.service.mean() for c in classes]
+        return arrivals, work
+
+    def test_scale_policy_returns_feasible_rates(self, classes, spec):
+        controller = PsdController(classes, spec, overload_policy="scale")
+        arrivals, work = self.overload_observation(classes)
+        for step in range(6):
+            decision = controller.observe_window(1000.0 * (step + 1), 1000.0, arrivals, work)
+        assert not decision.feasible
+        assert sum(decision.rates) == pytest.approx(1.0)
+        assert all(rate > 0.0 for rate in decision.rates)
+
+    def test_hold_policy_keeps_previous_rates(self, classes, spec):
+        controller = PsdController(classes, spec, overload_policy="hold")
+        initial = controller.current_rates
+        arrivals, work = self.overload_observation(classes)
+        for step in range(6):
+            decision = controller.observe_window(1000.0 * (step + 1), 1000.0, arrivals, work)
+        assert decision.rates == pytest.approx(initial)
+
+    def test_raise_policy_propagates(self, classes, spec):
+        controller = PsdController(classes, spec, overload_policy="raise")
+        arrivals, work = self.overload_observation(classes)
+        with pytest.raises(StabilityError):
+            for step in range(6):
+                controller.observe_window(1000.0 * (step + 1), 1000.0, arrivals, work)
+
+    def test_invalid_headroom(self, classes, spec):
+        with pytest.raises(ParameterError):
+            PsdController(classes, spec, overload_headroom=1.5)

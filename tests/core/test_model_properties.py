@@ -1,0 +1,84 @@
+"""Tests for the three Sec. 3 properties of the PSD allocation strategy."""
+
+import pytest
+
+from repro.core import (
+    PsdSpec,
+    check_all_properties,
+    check_delta_increase_effect,
+    check_higher_class_impact,
+    check_monotone_in_own_arrival_rate,
+)
+from repro.errors import ParameterError
+from tests.conftest import make_classes
+
+
+@pytest.fixture
+def classes(moderate_bp):
+    return make_classes(moderate_bp, 0.6, (1.0, 2.0, 3.0))
+
+
+@pytest.fixture
+def spec():
+    return PsdSpec.of(1, 2, 3)
+
+
+class TestProperty1:
+    def test_holds_for_every_class(self, classes, spec):
+        for index in range(len(classes)):
+            check = check_monotone_in_own_arrival_rate(classes, spec, class_index=index)
+            assert check.holds, check.detail
+
+    def test_requires_increase_factor(self, classes, spec):
+        with pytest.raises(ParameterError):
+            check_monotone_in_own_arrival_rate(classes, spec, factor=1.0)
+
+
+class TestProperty2:
+    def test_raising_delta_hurts_self_helps_others(self, classes, spec):
+        check = check_delta_increase_effect(classes, spec, class_index=1, factor=1.5)
+        assert check.holds, check.detail
+
+    def test_applies_to_highest_class_too(self, classes, spec):
+        check = check_delta_increase_effect(classes, spec, class_index=0, factor=1.5)
+        assert check.holds, check.detail
+
+    def test_requires_increase_factor(self, classes, spec):
+        with pytest.raises(ParameterError):
+            check_delta_increase_effect(classes, spec, factor=0.9)
+
+
+class TestProperty3:
+    def test_higher_class_load_hurts_more(self, classes, spec):
+        check = check_higher_class_impact(classes, spec)
+        assert check.holds, check.detail
+
+    def test_observed_class_can_be_any(self, classes, spec):
+        check = check_higher_class_impact(classes, spec, observed_index=1)
+        assert check.holds, check.detail
+
+    def test_rejects_equal_delta_comparison(self, moderate_bp):
+        classes = make_classes(moderate_bp, 0.5, (1.0, 1.0))
+        with pytest.raises(ParameterError):
+            check_higher_class_impact(classes, PsdSpec.of(1, 1))
+
+
+class TestCheckAll:
+    def test_all_hold_for_standard_workload(self, classes, spec):
+        checks = check_all_properties(classes, spec)
+        assert len(checks) == 3
+        assert all(c.holds for c in checks), [c.detail for c in checks]
+
+    def test_single_class_only_property1(self, moderate_bp):
+        classes = make_classes(moderate_bp, 0.5, (1.0,))
+        checks = check_all_properties(classes, PsdSpec.of(1))
+        assert len(checks) == 1
+        assert checks[0].holds
+
+    def test_two_equal_delta_classes_skip_property3(self, moderate_bp):
+        classes = make_classes(moderate_bp, 0.5, (1.0, 1.0))
+        checks = check_all_properties(classes, PsdSpec.of(1, 1))
+        assert {c.name for c in checks} == {
+            "monotone_in_own_arrival_rate",
+            "delta_increase_effect",
+        }

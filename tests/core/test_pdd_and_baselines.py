@@ -1,0 +1,142 @@
+"""Tests for the PDD contrast allocator and the naive baseline splits."""
+
+import pytest
+
+from repro.core import (
+    PsdSpec,
+    allocate_pdd_rates,
+    allocate_rates,
+    demand_proportional_split,
+    equal_split,
+    expected_slowdowns,
+    weighted_demand_split,
+)
+from repro.distributions import BoundedPareto
+from repro.errors import AllocationError, StabilityError
+from repro.queueing import MG1Queue, theorem1_task_server_slowdown
+from repro.types import TrafficClass
+from tests.conftest import make_classes
+
+
+class TestPddAllocation:
+    def test_rates_sum_to_capacity(self, two_classes, two_class_spec):
+        allocation = allocate_pdd_rates(two_classes, two_class_spec)
+        assert sum(allocation.rates) == pytest.approx(1.0)
+
+    def test_achieves_delay_ratios(self, paper_bp):
+        classes = make_classes(paper_bp, 0.7, (1.0, 3.0))
+        spec = PsdSpec.of(1, 3)
+        allocation = allocate_pdd_rates(classes, spec)
+        waits = [
+            MG1Queue(c.arrival_rate, c.service, rate).waiting_time()
+            for c, rate in zip(classes, allocation.rates)
+        ]
+        assert waits[1] / waits[0] == pytest.approx(3.0, rel=1e-6)
+        assert allocation.predicted_ratios_to_first[1] == pytest.approx(3.0, rel=1e-6)
+
+    def test_pdd_rates_do_not_achieve_psd(self, paper_bp):
+        """The paper's argument: delay-proportional rates give slowdown ratios
+        different from the deltas (here they equal the deltas only for delays)."""
+        classes = make_classes(paper_bp, 0.7, (1.0, 3.0))
+        spec = PsdSpec.of(1, 3)
+        pdd = allocate_pdd_rates(classes, spec)
+        slowdowns = [
+            theorem1_task_server_slowdown(c.arrival_rate, paper_bp, rate)
+            for c, rate in zip(classes, pdd.rates)
+        ]
+        ratio = slowdowns[1] / slowdowns[0]
+        # Under PDD rates the slowdown ratio lands away from the delay target:
+        # the lower class's slower task server also stretches its service
+        # times, which cancels part of the intended spacing.
+        assert ratio != pytest.approx(3.0, rel=0.05)
+
+    def test_psd_and_pdd_rates_differ(self, two_classes, two_class_spec):
+        psd = allocate_rates(two_classes, two_class_spec)
+        pdd = allocate_pdd_rates(two_classes, two_class_spec)
+        assert psd.rates != pytest.approx(pdd.rates)
+
+    def test_overload_rejected(self, moderate_bp):
+        classes = (
+            TrafficClass("c", 1.2 / moderate_bp.mean(), moderate_bp, 1.0),
+        )
+        with pytest.raises(StabilityError):
+            allocate_pdd_rates(classes, PsdSpec.of(1))
+
+    def test_all_idle_rejected(self, moderate_bp):
+        classes = (
+            TrafficClass("a", 0.0, moderate_bp, 1.0),
+            TrafficClass("b", 0.0, moderate_bp, 2.0),
+        )
+        with pytest.raises(AllocationError):
+            allocate_pdd_rates(classes, PsdSpec.of(1, 2))
+
+    def test_length_mismatch_rejected(self, two_classes):
+        with pytest.raises(AllocationError):
+            allocate_pdd_rates(two_classes, PsdSpec.of(1, 2, 3))
+
+
+class TestBaselines:
+    def test_equal_split(self, three_classes):
+        rates = equal_split(three_classes)
+        assert rates == (pytest.approx(1 / 3),) * 3
+        assert sum(rates) == pytest.approx(1.0)
+
+    def test_demand_proportional_split_equalises_utilisation(self, moderate_bp):
+        classes = (
+            TrafficClass("a", 0.2 / moderate_bp.mean(), moderate_bp, 1.0),
+            TrafficClass("b", 0.4 / moderate_bp.mean(), moderate_bp, 2.0),
+        )
+        rates = demand_proportional_split(classes)
+        utilisations = [c.offered_load / r for c, r in zip(classes, rates)]
+        assert utilisations[0] == pytest.approx(utilisations[1])
+
+    def test_demand_proportional_no_differentiation(self, moderate_bp):
+        """Proportional-to-demand rates give (nearly) equal slowdowns: no PSD."""
+        classes = make_classes(moderate_bp, 0.6, (1.0, 2.0))
+        rates = demand_proportional_split(classes)
+        slowdowns = [
+            theorem1_task_server_slowdown(c.arrival_rate, moderate_bp, r)
+            for c, r in zip(classes, rates)
+        ]
+        assert slowdowns[0] == pytest.approx(slowdowns[1])
+
+    def test_weighted_demand_split_equals_eq17_for_common_distribution(
+        self, two_classes, two_class_spec
+    ):
+        assert weighted_demand_split(two_classes, two_class_spec) == pytest.approx(
+            allocate_rates(two_classes, two_class_spec).rates
+        )
+
+    def test_weighted_demand_split_differs_with_per_class_distributions(self):
+        small = BoundedPareto(0.1, 10.0, 1.5)
+        large = BoundedPareto(0.1, 200.0, 1.5)
+        classes = (
+            TrafficClass("a", 0.2 / small.mean(), small, 1.0),
+            TrafficClass("b", 0.2 / large.mean(), large, 2.0),
+        )
+        spec = PsdSpec.of(1, 2)
+        naive = weighted_demand_split(classes, spec)
+        exact = allocate_rates(classes, spec).rates
+        assert naive != pytest.approx(exact)
+
+    def test_overload_rejected(self, moderate_bp):
+        classes = (TrafficClass("c", 1.2 / moderate_bp.mean(), moderate_bp, 1.0),)
+        with pytest.raises(StabilityError):
+            equal_split(classes)
+        with pytest.raises(StabilityError):
+            demand_proportional_split(classes)
+
+    def test_empty_classes_rejected(self):
+        with pytest.raises(AllocationError):
+            equal_split(())
+
+    def test_zero_traffic_falls_back_to_equal(self, moderate_bp):
+        classes = (
+            TrafficClass("a", 0.0, moderate_bp, 1.0),
+            TrafficClass("b", 0.0, moderate_bp, 2.0),
+        )
+        assert demand_proportional_split(classes) == (pytest.approx(0.5), pytest.approx(0.5))
+        assert weighted_demand_split(classes, PsdSpec.of(1, 2)) == (
+            pytest.approx(0.5),
+            pytest.approx(0.5),
+        )

@@ -1,0 +1,100 @@
+"""Tests for the capacity-planning helpers built on Eq. 18."""
+
+import pytest
+
+from repro.core import (
+    PsdSpec,
+    expected_slowdowns,
+    max_load_for_slowdown_target,
+    required_capacity,
+    slowdown_at_load,
+)
+from repro.errors import ParameterError, StabilityError
+from repro.types import TrafficClass
+from tests.conftest import make_classes
+
+
+@pytest.fixture
+def spec():
+    return PsdSpec.of(1, 2)
+
+
+@pytest.fixture
+def classes(moderate_bp):
+    return make_classes(moderate_bp, 0.6, (1.0, 2.0))
+
+
+class TestSlowdownAtLoad:
+    def test_matches_eq18_after_scaling(self, classes, spec, moderate_bp):
+        result = slowdown_at_load(classes, spec, 0.3)
+        rescaled = make_classes(moderate_bp, 0.3, (1.0, 2.0))
+        assert result.slowdowns == pytest.approx(expected_slowdowns(rescaled, spec))
+        assert result.total_load == pytest.approx(0.3)
+
+    def test_rejects_infeasible_load(self, classes, spec):
+        with pytest.raises(ParameterError):
+            slowdown_at_load(classes, spec, 1.0)
+
+    def test_rejects_zero_traffic(self, moderate_bp, spec):
+        idle = (
+            TrafficClass("a", 0.0, moderate_bp, 1.0),
+            TrafficClass("b", 0.0, moderate_bp, 2.0),
+        )
+        with pytest.raises(ParameterError):
+            slowdown_at_load(idle, spec, 0.5)
+
+
+class TestMaxLoad:
+    def test_found_load_meets_target_tightly(self, classes, spec):
+        target = 5.0
+        result = max_load_for_slowdown_target(classes, spec, class_index=0, target=target)
+        assert result.slowdowns[0] <= target * (1 + 1e-6)
+        # Slightly more load would violate the target.
+        above = slowdown_at_load(classes, spec, min(result.value + 0.01, 0.999))
+        assert above.slowdowns[0] > target
+
+    def test_monotone_in_target(self, classes, spec):
+        lenient = max_load_for_slowdown_target(classes, spec, class_index=0, target=20.0)
+        strict = max_load_for_slowdown_target(classes, spec, class_index=0, target=2.0)
+        assert lenient.value > strict.value
+
+    def test_lower_class_target_binds_earlier(self, classes, spec):
+        # For the same numeric target, constraining class 2 (delta 2) allows
+        # less load than constraining class 1.
+        via_class1 = max_load_for_slowdown_target(classes, spec, class_index=0, target=6.0)
+        via_class2 = max_load_for_slowdown_target(classes, spec, class_index=1, target=6.0)
+        assert via_class2.value < via_class1.value
+
+    def test_unreachable_target_rejected(self, classes, spec):
+        with pytest.raises(StabilityError):
+            max_load_for_slowdown_target(classes, spec, class_index=0, target=1e-9)
+
+    def test_invalid_class_index(self, classes, spec):
+        with pytest.raises(ParameterError):
+            max_load_for_slowdown_target(classes, spec, class_index=5, target=1.0)
+
+
+class TestRequiredCapacity:
+    def test_capacity_meets_target(self, classes, spec):
+        target = 3.0
+        result = required_capacity(classes, spec, class_index=1, target=target)
+        assert result.slowdowns[1] <= target * (1 + 1e-6)
+        assert result.value > sum(c.offered_load for c in classes)
+
+    def test_tighter_target_needs_more_capacity(self, classes, spec):
+        loose = required_capacity(classes, spec, class_index=1, target=10.0)
+        tight = required_capacity(classes, spec, class_index=1, target=1.0)
+        assert tight.value > loose.value
+
+    def test_capacity_scales_with_traffic(self, moderate_bp, spec):
+        light = make_classes(moderate_bp, 0.4, (1.0, 2.0))
+        heavy = make_classes(moderate_bp, 0.8, (1.0, 2.0))
+        light_cap = required_capacity(light, spec, class_index=0, target=4.0)
+        heavy_cap = required_capacity(heavy, spec, class_index=0, target=4.0)
+        assert heavy_cap.value == pytest.approx(2.0 * light_cap.value, rel=1e-3)
+
+    def test_invalid_arguments(self, classes, spec):
+        with pytest.raises(ParameterError):
+            required_capacity(classes, spec, class_index=0, target=0.0)
+        with pytest.raises(ParameterError):
+            required_capacity(classes, spec, class_index=9, target=1.0)

@@ -1,0 +1,91 @@
+"""Property-based tests for the Eq. 17 allocation and Eq. 18 slowdowns."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import PsdSpec, allocate_rates, expected_slowdowns, psd_error
+from repro.distributions import BoundedPareto
+from repro.queueing import theorem1_task_server_slowdown
+from repro.types import TrafficClass
+
+# Workload strategy: 2-4 classes, positive loads summing to < 0.97, deltas
+# drawn non-decreasing, a shared Bounded Pareto service distribution.
+loads_strategy = st.lists(
+    st.floats(min_value=0.01, max_value=0.4), min_size=2, max_size=4
+)
+delta_steps_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=4.0), min_size=2, max_size=4
+)
+bp_strategy = st.builds(
+    lambda k, ratio, alpha: BoundedPareto(k=k, p=k * ratio, alpha=alpha),
+    st.floats(min_value=0.05, max_value=1.0),
+    st.floats(min_value=5.0, max_value=200.0),
+    st.floats(min_value=1.0, max_value=2.2),
+)
+
+
+def build_workload(bp, loads, delta_steps):
+    n = min(len(loads), len(delta_steps))
+    loads = loads[:n]
+    total = sum(loads)
+    assume(total < 0.97)
+    deltas = []
+    current = 1.0
+    for step in delta_steps[:n]:
+        current += step
+        deltas.append(current)
+    deltas = [d / deltas[0] for d in deltas]
+    classes = tuple(
+        TrafficClass(f"c{i}", load / bp.mean(), bp, delta)
+        for i, (load, delta) in enumerate(zip(loads, deltas))
+    )
+    return classes, PsdSpec(tuple(deltas))
+
+
+class TestAllocationProperties:
+    @given(bp_strategy, loads_strategy, delta_steps_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_rates_sum_to_one_and_cover_loads(self, bp, loads, delta_steps):
+        classes, spec = build_workload(bp, loads, delta_steps)
+        allocation = allocate_rates(classes, spec)
+        assert math.isclose(sum(allocation.rates), 1.0, rel_tol=1e-9)
+        for rate, cls in zip(allocation.rates, classes):
+            assert rate > cls.offered_load - 1e-12
+            assert rate <= 1.0 + 1e-9
+
+    @given(bp_strategy, loads_strategy, delta_steps_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_theorem1_slowdowns_hit_target_ratios(self, bp, loads, delta_steps):
+        classes, spec = build_workload(bp, loads, delta_steps)
+        allocation = allocate_rates(classes, spec)
+        slowdowns = [
+            theorem1_task_server_slowdown(c.arrival_rate, bp, r)
+            for c, r in zip(classes, allocation.rates)
+        ]
+        assert psd_error(slowdowns, spec) < 1e-8
+
+    @given(bp_strategy, loads_strategy, delta_steps_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_eq18_matches_theorem1(self, bp, loads, delta_steps):
+        classes, spec = build_workload(bp, loads, delta_steps)
+        allocation = allocate_rates(classes, spec)
+        via_eq18 = expected_slowdowns(classes, spec)
+        via_theorem = [
+            theorem1_task_server_slowdown(c.arrival_rate, bp, r)
+            for c, r in zip(classes, allocation.rates)
+        ]
+        for a, b in zip(via_eq18, via_theorem):
+            assert math.isclose(a, b, rel_tol=1e-8)
+
+    @given(bp_strategy, loads_strategy, delta_steps_strategy, st.floats(min_value=1.05, max_value=2.0))
+    @settings(max_examples=60, deadline=None)
+    def test_property1_monotone_in_own_load(self, bp, loads, delta_steps, factor):
+        classes, spec = build_workload(bp, loads, delta_steps)
+        base = expected_slowdowns(classes, spec)
+        bumped_classes = list(classes)
+        bumped_classes[0] = classes[0].with_arrival_rate(classes[0].arrival_rate * factor)
+        assume(sum(c.offered_load for c in bumped_classes) < 0.99)
+        bumped = expected_slowdowns(tuple(bumped_classes), spec)
+        assert bumped[0] > base[0]

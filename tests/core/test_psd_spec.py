@@ -1,0 +1,142 @@
+"""Tests for the PSD specification and the Eq. 18 expected slowdowns."""
+
+import pytest
+
+from repro.core import PsdSpec, expected_slowdowns, psd_error, slowdown_ratio_matrix
+from repro.distributions import BoundedPareto, Exponential
+from repro.errors import ParameterError, StabilityError
+from repro.queueing import theorem1_task_server_slowdown
+from repro.types import TrafficClass
+from tests.conftest import make_classes
+
+
+class TestPsdSpec:
+    def test_basic_construction(self):
+        spec = PsdSpec.of(1, 2, 4)
+        assert spec.num_classes == 3
+        assert spec.deltas == (1.0, 2.0, 4.0)
+
+    def test_from_ratios(self):
+        spec = PsdSpec.from_ratios(2, 4)
+        assert spec.deltas == (1.0, 2.0, 4.0)
+
+    def test_rejects_decreasing_deltas(self):
+        with pytest.raises(ParameterError):
+            PsdSpec.of(2, 1)
+
+    def test_rejects_non_positive_deltas(self):
+        with pytest.raises(ParameterError):
+            PsdSpec.of(0, 1)
+        with pytest.raises(ParameterError):
+            PsdSpec.of(-1, 1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            PsdSpec(())
+
+    def test_target_ratios(self):
+        spec = PsdSpec.of(1, 2, 4)
+        assert spec.target_ratio(1, 0) == pytest.approx(2.0)
+        assert spec.target_ratio(2, 1) == pytest.approx(2.0)
+        assert spec.target_ratios_to_first() == (1.0, 2.0, 4.0)
+
+    def test_normalised(self):
+        spec = PsdSpec.of(2, 4, 8).normalised()
+        assert spec.deltas == (1.0, 2.0, 4.0)
+
+    def test_equal_deltas_allowed(self):
+        # Equal deltas mean "no differentiation" and are a legal configuration.
+        spec = PsdSpec.of(1, 1)
+        assert spec.target_ratio(1, 0) == 1.0
+
+
+class TestExpectedSlowdowns:
+    def test_ratios_match_deltas_exactly(self, moderate_bp):
+        classes = make_classes(moderate_bp, 0.6, (1.0, 2.0, 3.0))
+        spec = PsdSpec.of(1, 2, 3)
+        slowdowns = expected_slowdowns(classes, spec)
+        assert slowdowns[1] / slowdowns[0] == pytest.approx(2.0)
+        assert slowdowns[2] / slowdowns[0] == pytest.approx(3.0)
+
+    def test_matches_paper_formula_common_distribution(self, paper_bp):
+        """Eq. 18 with a shared distribution: delta_i * C * sum(lambda_j/delta_j) / (1 - rho)."""
+        classes = make_classes(paper_bp, 0.7, (1.0, 2.0))
+        spec = PsdSpec.of(1, 2)
+        slowdowns = expected_slowdowns(classes, spec)
+        c = paper_bp.second_moment() * paper_bp.mean_inverse() / 2.0
+        rho = sum(cls.offered_load for cls in classes)
+        weighted = sum(cls.arrival_rate / d for cls, d in zip(classes, spec.deltas))
+        for delta, slowdown in zip(spec.deltas, slowdowns):
+            assert slowdown == pytest.approx(delta * c * weighted / (1.0 - rho))
+
+    def test_consistent_with_theorem1_under_eq17_rates(self, paper_bp):
+        """Eq. 17 rates plugged into Theorem 1 reproduce the Eq. 18 slowdowns."""
+        from repro.core import allocate_rates
+
+        classes = make_classes(paper_bp, 0.8, (1.0, 2.0, 3.0))
+        spec = PsdSpec.of(1, 2, 3)
+        allocation = allocate_rates(classes, spec)
+        via_eq18 = expected_slowdowns(classes, spec)
+        via_theorem = tuple(
+            theorem1_task_server_slowdown(cls.arrival_rate, paper_bp, rate)
+            for cls, rate in zip(classes, allocation.rates)
+        )
+        assert via_theorem == pytest.approx(via_eq18)
+
+    def test_increases_with_load(self, moderate_bp):
+        spec = PsdSpec.of(1, 2)
+        light = expected_slowdowns(make_classes(moderate_bp, 0.3, (1, 2)), spec)
+        heavy = expected_slowdowns(make_classes(moderate_bp, 0.9, (1, 2)), spec)
+        assert heavy[0] > light[0]
+        assert heavy[1] > light[1]
+
+    def test_rejects_overload(self, moderate_bp):
+        lam = 1.2 / moderate_bp.mean()
+        classes = [TrafficClass("c", lam, moderate_bp, 1.0)]
+        with pytest.raises(StabilityError):
+            expected_slowdowns(classes, PsdSpec.of(1))
+
+    def test_rejects_length_mismatch(self, two_classes):
+        with pytest.raises(ParameterError):
+            expected_slowdowns(two_classes, PsdSpec.of(1, 2, 3))
+
+    def test_rejects_unbounded_service(self):
+        classes = [TrafficClass("c", 0.5, Exponential(1.0), 1.0)]
+        with pytest.raises(ParameterError):
+            expected_slowdowns(classes, PsdSpec.of(1))
+
+    def test_per_class_distributions_generalisation(self):
+        """With different per-class distributions the ratios still hit the targets."""
+        bp_small = BoundedPareto(0.1, 10.0, 1.5)
+        bp_large = BoundedPareto(0.5, 50.0, 1.8)
+        classes = (
+            TrafficClass("a", 0.2 / bp_small.mean(), bp_small, 1.0),
+            TrafficClass("b", 0.2 / bp_large.mean(), bp_large, 2.0),
+        )
+        spec = PsdSpec.of(1, 2)
+        slowdowns = expected_slowdowns(classes, spec)
+        assert slowdowns[1] / slowdowns[0] == pytest.approx(2.0)
+
+
+class TestRatioHelpers:
+    def test_ratio_matrix(self):
+        matrix = slowdown_ratio_matrix([2.0, 4.0])
+        assert matrix[1][0] == pytest.approx(2.0)
+        assert matrix[0][1] == pytest.approx(0.5)
+        assert matrix[0][0] == 1.0
+
+    def test_ratio_matrix_rejects_non_positive(self):
+        with pytest.raises(ParameterError):
+            slowdown_ratio_matrix([0.0, 1.0])
+
+    def test_psd_error_zero_when_exact(self):
+        spec = PsdSpec.of(1, 2, 4)
+        assert psd_error([3.0, 6.0, 12.0], spec) == pytest.approx(0.0)
+
+    def test_psd_error_detects_deviation(self):
+        spec = PsdSpec.of(1, 2)
+        assert psd_error([1.0, 3.0], spec) == pytest.approx(0.5)
+
+    def test_psd_error_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            psd_error([1.0], PsdSpec.of(1, 2))

@@ -1,0 +1,79 @@
+"""Tests for the Distribution base class and the generic rate-scaling wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    BoundedPareto,
+    Deterministic,
+    RateScaledDistribution,
+    Uniform,
+)
+from repro.errors import DistributionError, ParameterError
+
+
+class TestRateScaledDistribution:
+    def test_moments_follow_lemma2(self):
+        base = Uniform(1.0, 5.0)
+        rate = 0.5
+        scaled = RateScaledDistribution(base, rate)
+        assert scaled.mean() == pytest.approx(base.mean() / rate)
+        assert scaled.second_moment() == pytest.approx(base.second_moment() / rate**2)
+        assert scaled.mean_inverse() == pytest.approx(rate * base.mean_inverse())
+
+    def test_pdf_change_of_variables(self):
+        base = Uniform(1.0, 3.0)
+        scaled = RateScaledDistribution(base, 0.5)  # support becomes [2, 6]
+        xs = np.linspace(0.0, 8.0, 200)
+        # Densities must integrate to one over the scaled support.
+        mass = np.trapezoid(scaled.pdf(xs), xs)
+        assert mass == pytest.approx(1.0, rel=2e-2)
+        assert scaled.support == (2.0, 6.0)
+
+    def test_cdf_and_ppf_consistency(self):
+        base = Uniform(1.0, 3.0)
+        scaled = base.scaled(0.25)
+        qs = np.linspace(0.0, 1.0, 21)
+        xs = scaled.ppf(qs)
+        np.testing.assert_allclose(scaled.cdf(xs), qs, atol=1e-12)
+
+    def test_sampling_scales_samples(self, rng):
+        base = Deterministic(2.0)
+        scaled = base.scaled(0.5)
+        assert float(scaled.sample(rng)) == pytest.approx(4.0)
+
+    def test_nested_scaling_collapses(self):
+        base = Uniform(1.0, 3.0)
+        twice = RateScaledDistribution(base, 0.5).scaled(0.5)
+        assert isinstance(twice, RateScaledDistribution)
+        assert twice.base is base
+        assert twice.rate == pytest.approx(0.25)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ParameterError):
+            RateScaledDistribution(Uniform(1.0, 2.0), 0.0)
+        with pytest.raises(DistributionError):
+            RateScaledDistribution("not a distribution", 1.0)  # type: ignore[arg-type]
+
+
+class TestDerivedStatistics:
+    def test_variance_and_scv(self):
+        u = Uniform(1.0, 3.0)
+        # Var of U(1,3) = (3-1)^2/12 = 1/3
+        assert u.variance() == pytest.approx(1.0 / 3.0)
+        assert u.squared_coefficient_of_variation() == pytest.approx((1.0 / 3.0) / 4.0)
+
+    def test_describe_contains_all_moments(self):
+        bp = BoundedPareto.paper_default()
+        d = bp.describe()
+        assert set(d) == {"mean", "second_moment", "mean_inverse", "variance", "scv"}
+        assert d["mean"] == pytest.approx(bp.mean())
+
+    def test_deterministic_zero_variance(self):
+        d = Deterministic(3.0)
+        assert d.variance() == 0.0
+        assert d.squared_coefficient_of_variation() == 0.0
+
+    def test_heavy_tail_has_larger_scv_than_deterministic(self):
+        bp = BoundedPareto.paper_default()
+        assert bp.squared_coefficient_of_variation() > 1.0

@@ -1,0 +1,178 @@
+"""Unit tests for the Bounded Pareto distribution (Eqs. 2-5 of the paper)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import BoundedPareto, numerical_moment, verify_moments
+from repro.errors import DistributionError, ParameterError
+
+
+class TestConstruction:
+    def test_paper_default_parameters(self):
+        bp = BoundedPareto.paper_default()
+        assert bp.k == pytest.approx(0.1)
+        assert bp.p == pytest.approx(100.0)
+        assert bp.alpha == pytest.approx(1.5)
+
+    def test_rejects_non_positive_lower_bound(self):
+        with pytest.raises(ParameterError):
+            BoundedPareto(k=0.0, p=10.0, alpha=1.5)
+        with pytest.raises(ParameterError):
+            BoundedPareto(k=-1.0, p=10.0, alpha=1.5)
+
+    def test_rejects_upper_bound_not_above_lower(self):
+        with pytest.raises(DistributionError):
+            BoundedPareto(k=1.0, p=1.0, alpha=1.5)
+        with pytest.raises(DistributionError):
+            BoundedPareto(k=2.0, p=1.0, alpha=1.5)
+
+    def test_rejects_non_positive_shape(self):
+        with pytest.raises(ParameterError):
+            BoundedPareto(k=0.1, p=10.0, alpha=0.0)
+
+    def test_support_is_bounds(self):
+        bp = BoundedPareto(0.5, 20.0, 1.2)
+        assert bp.support == (0.5, 20.0)
+
+
+class TestDensityAndCdf:
+    def test_pdf_zero_outside_support(self, paper_bp):
+        assert paper_bp.pdf(0.05) == 0.0
+        assert paper_bp.pdf(150.0) == 0.0
+
+    def test_pdf_integrates_to_one(self, paper_bp):
+        total = numerical_moment(paper_bp, 0.0)
+        assert total == pytest.approx(1.0, rel=1e-6)
+
+    def test_cdf_monotone_and_bounded(self, paper_bp):
+        xs = np.linspace(0.01, 120.0, 500)
+        cdf = paper_bp.cdf(xs)
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[0] == pytest.approx(0.0)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_cdf_at_bounds(self, paper_bp):
+        assert paper_bp.cdf(paper_bp.k) == pytest.approx(0.0, abs=1e-12)
+        assert paper_bp.cdf(paper_bp.p) == pytest.approx(1.0)
+
+    def test_ppf_inverts_cdf(self, paper_bp):
+        qs = np.linspace(0.001, 0.999, 101)
+        xs = paper_bp.ppf(qs)
+        np.testing.assert_allclose(paper_bp.cdf(xs), qs, rtol=1e-10, atol=1e-12)
+
+    def test_ppf_rejects_out_of_range_quantiles(self, paper_bp):
+        with pytest.raises(DistributionError):
+            paper_bp.ppf([-0.1])
+        with pytest.raises(DistributionError):
+            paper_bp.ppf([1.5])
+
+    def test_ppf_endpoints(self, paper_bp):
+        assert paper_bp.ppf(0.0) == pytest.approx(paper_bp.k)
+        assert paper_bp.ppf(1.0) == pytest.approx(paper_bp.p)
+
+
+class TestMoments:
+    def test_moments_match_numerical_integration(self, paper_bp):
+        report = verify_moments(paper_bp, points=100_001)
+        assert report.max_relative_error < 1e-6
+
+    def test_moments_match_numerical_integration_other_shapes(self):
+        for alpha in (0.8, 1.0, 1.2, 2.0, 2.5):
+            bp = BoundedPareto(0.2, 50.0, alpha)
+            report = verify_moments(bp, points=100_001)
+            assert report.max_relative_error < 1e-5, f"alpha={alpha}"
+
+    def test_alpha_one_limit_continuous(self):
+        below = BoundedPareto(0.1, 100.0, 1.0 - 1e-7).mean()
+        exact = BoundedPareto(0.1, 100.0, 1.0).mean()
+        above = BoundedPareto(0.1, 100.0, 1.0 + 1e-7).mean()
+        assert below == pytest.approx(exact, rel=1e-4)
+        assert above == pytest.approx(exact, rel=1e-4)
+
+    def test_alpha_two_limit_continuous(self):
+        below = BoundedPareto(0.1, 100.0, 2.0 - 1e-7).second_moment()
+        exact = BoundedPareto(0.1, 100.0, 2.0).second_moment()
+        above = BoundedPareto(0.1, 100.0, 2.0 + 1e-7).second_moment()
+        assert below == pytest.approx(exact, rel=1e-4)
+        assert above == pytest.approx(exact, rel=1e-4)
+
+    def test_second_moment_increases_with_upper_bound(self):
+        """The Fig. 12 mechanism: a larger upper bound -> heavier tail -> larger E[X^2]."""
+        bounds = [100.0, 1000.0, 10000.0]
+        second_moments = [BoundedPareto(0.1, p, 1.5).second_moment() for p in bounds]
+        assert second_moments[0] < second_moments[1] < second_moments[2]
+
+    def test_second_moment_decreases_with_shape(self):
+        """The Fig. 11 mechanism: larger alpha -> less bursty -> smaller E[X^2]."""
+        alphas = [1.1, 1.5, 1.9]
+        second_moments = [BoundedPareto(0.1, 100.0, a).second_moment() for a in alphas]
+        assert second_moments[0] > second_moments[1] > second_moments[2]
+
+    def test_mean_inverse_nearly_insensitive_to_upper_bound(self):
+        """Sec. 4.5: E[1/X] 'remains almost unchanged' as the upper bound grows."""
+        low = BoundedPareto(0.1, 100.0, 1.5).mean_inverse()
+        high = BoundedPareto(0.1, 10000.0, 1.5).mean_inverse()
+        assert abs(low - high) / low < 0.01
+
+    def test_variance_non_negative(self, paper_bp):
+        assert paper_bp.variance() >= 0.0
+        assert paper_bp.std() == pytest.approx(math.sqrt(paper_bp.variance()))
+
+    def test_raw_moment_general_order(self, paper_bp):
+        for order in (-1.0, 0.5, 1.0, 1.5, 2.0, 3.0):
+            analytic = paper_bp.raw_moment(order)
+            numeric = numerical_moment(paper_bp, order)
+            assert analytic == pytest.approx(numeric, rel=1e-5), f"order={order}"
+
+
+class TestSampling:
+    def test_samples_within_support(self, paper_bp, rng):
+        samples = paper_bp.sample(rng, 10_000)
+        assert np.all(samples >= paper_bp.k)
+        assert np.all(samples <= paper_bp.p)
+
+    def test_sample_mean_converges(self, moderate_bp, rng):
+        samples = moderate_bp.sample(rng, 200_000)
+        assert np.mean(samples) == pytest.approx(moderate_bp.mean(), rel=0.02)
+
+    def test_sample_mean_inverse_converges(self, paper_bp, rng):
+        samples = paper_bp.sample(rng, 200_000)
+        assert np.mean(1.0 / samples) == pytest.approx(paper_bp.mean_inverse(), rel=0.02)
+
+    def test_sampling_is_reproducible(self, paper_bp):
+        a = paper_bp.sample(np.random.default_rng(7), 100)
+        b = paper_bp.sample(np.random.default_rng(7), 100)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestScaling:
+    def test_scaled_is_bounded_pareto_with_divided_bounds(self, paper_bp):
+        scaled = paper_bp.scaled(0.25)
+        assert isinstance(scaled, BoundedPareto)
+        assert scaled.k == pytest.approx(paper_bp.k / 0.25)
+        assert scaled.p == pytest.approx(paper_bp.p / 0.25)
+        assert scaled.alpha == pytest.approx(paper_bp.alpha)
+
+    def test_lemma2_moment_scaling(self, paper_bp):
+        rate = 0.4
+        scaled = paper_bp.scaled(rate)
+        assert scaled.mean() == pytest.approx(paper_bp.mean() / rate)
+        assert scaled.second_moment() == pytest.approx(paper_bp.second_moment() / rate**2)
+        assert scaled.mean_inverse() == pytest.approx(rate * paper_bp.mean_inverse())
+
+    def test_scaling_rejects_non_positive_rate(self, paper_bp):
+        with pytest.raises(ParameterError):
+            paper_bp.scaled(0.0)
+
+
+class TestWithMean:
+    def test_with_mean_hits_target(self):
+        bp = BoundedPareto.with_mean(1.0, p=100.0, alpha=1.5)
+        assert bp.mean() == pytest.approx(1.0, rel=1e-8)
+        assert bp.p == pytest.approx(100.0)
+
+    def test_with_mean_infeasible_target(self):
+        with pytest.raises(DistributionError):
+            BoundedPareto.with_mean(200.0, p=100.0, alpha=1.5)

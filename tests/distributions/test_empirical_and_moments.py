@@ -1,0 +1,94 @@
+"""Tests for the empirical distribution and the numerical moment machinery."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    BoundedPareto,
+    Empirical,
+    Uniform,
+    numerical_moment,
+    sample_moments,
+    verify_moments,
+)
+from repro.errors import DistributionError
+
+
+class TestEmpirical:
+    def test_moments_are_sample_moments(self):
+        data = (1.0, 2.0, 4.0)
+        emp = Empirical(data)
+        assert emp.mean() == pytest.approx(np.mean(data))
+        assert emp.second_moment() == pytest.approx(np.mean(np.square(data)))
+        assert emp.mean_inverse() == pytest.approx(np.mean(1.0 / np.asarray(data)))
+
+    def test_rejects_empty_or_non_positive(self):
+        with pytest.raises(DistributionError):
+            Empirical(())
+        with pytest.raises(DistributionError):
+            Empirical((1.0, 0.0))
+        with pytest.raises(DistributionError):
+            Empirical((1.0, float("nan")))
+
+    def test_cdf_and_ppf(self):
+        emp = Empirical((1.0, 2.0, 3.0, 4.0))
+        assert emp.cdf(2.5) == pytest.approx(0.5)
+        assert emp.ppf(0.0) == pytest.approx(1.0)
+        assert emp.ppf(0.99) == pytest.approx(4.0)
+        with pytest.raises(DistributionError):
+            emp.ppf([1.2])
+
+    def test_sampling_draws_from_observations(self, rng):
+        data = (1.0, 5.0, 9.0)
+        emp = Empirical(data)
+        samples = emp.sample(rng, 1000)
+        assert set(np.unique(samples)).issubset(set(data))
+
+    def test_support_and_scaling(self):
+        emp = Empirical((2.0, 8.0))
+        assert emp.support == (2.0, 8.0)
+        scaled = emp.scaled(2.0)
+        assert scaled.support == (1.0, 4.0)
+        assert scaled.mean() == pytest.approx(emp.mean() / 2.0)
+
+    def test_from_distribution_bootstraps_moments(self, rng):
+        bp = BoundedPareto(0.1, 10.0, 1.5)
+        emp = Empirical.from_distribution(bp, rng, size=100_000)
+        assert emp.mean() == pytest.approx(bp.mean(), rel=0.05)
+        assert emp.mean_inverse() == pytest.approx(bp.mean_inverse(), rel=0.05)
+
+    def test_from_distribution_rejects_bad_size(self, rng):
+        with pytest.raises(DistributionError):
+            Empirical.from_distribution(Uniform(1.0, 2.0), rng, size=0)
+
+
+class TestNumericalMoments:
+    def test_matches_closed_form_for_uniform(self):
+        u = Uniform(1.0, 2.0)
+        assert numerical_moment(u, 1.0) == pytest.approx(1.5, rel=1e-6)
+
+    def test_requires_enough_points(self):
+        with pytest.raises(DistributionError):
+            numerical_moment(Uniform(1.0, 2.0), 1.0, points=2)
+
+    def test_sample_moments_structure(self, rng):
+        samples = Uniform(1.0, 2.0).sample(rng, 10_000)
+        m = sample_moments(samples)
+        assert set(m) == {"mean", "second_moment", "mean_inverse"}
+        assert m["mean"] == pytest.approx(1.5, rel=0.02)
+
+    def test_sample_moments_rejects_empty(self):
+        with pytest.raises(DistributionError):
+            sample_moments(np.asarray([]))
+
+    def test_verify_moments_report(self):
+        report = verify_moments(BoundedPareto(0.1, 10.0, 1.5), points=50_001)
+        assert report.max_relative_error < 1e-5
+        assert report.analytic_mean == pytest.approx(report.numeric_mean, rel=1e-5)
+
+    def test_verify_moments_skips_infinite_analytic_values(self):
+        from repro.distributions import Exponential
+
+        report = verify_moments(Exponential(1.0), points=50_001)
+        # E[1/X] is infinite analytically; the report must not blow up.
+        assert report.max_relative_error < 1e-3

@@ -1,0 +1,67 @@
+"""Tests for RNG stream management."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    child_generator,
+    make_generator,
+    spawn_generators,
+    spawn_seed_sequences,
+)
+from repro.errors import ParameterError
+
+
+class TestMakeGenerator:
+    def test_from_int_is_reproducible(self):
+        a = make_generator(42).random(5)
+        b = make_generator(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_passthrough_of_existing_generator(self):
+        g = np.random.default_rng(1)
+        assert make_generator(g) is g
+
+    def test_from_seed_sequence(self):
+        ss = np.random.SeedSequence(7)
+        a = make_generator(ss).random(3)
+        b = make_generator(np.random.SeedSequence(7)).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_unsupported_seed(self):
+        with pytest.raises(ParameterError):
+            make_generator("not-a-seed")  # type: ignore[arg-type]
+
+
+class TestSpawning:
+    def test_spawn_count_and_independence(self):
+        gens = spawn_generators(0, 4)
+        assert len(gens) == 4
+        draws = [g.random(8) for g in gens]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.allclose(draws[i], draws[j])
+
+    def test_spawn_rejects_non_positive_count(self):
+        with pytest.raises(ParameterError):
+            spawn_seed_sequences(0, 0)
+
+    def test_spawn_is_reproducible(self):
+        a = [g.random(4) for g in spawn_generators(9, 3)]
+        b = [g.random(4) for g in spawn_generators(9, 3)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_child_generator_path_determinism(self):
+        a = child_generator(5, (2, 1)).random(6)
+        b = child_generator(5, (2, 1)).random(6)
+        np.testing.assert_array_equal(a, b)
+
+    def test_child_generator_distinct_paths_differ(self):
+        a = child_generator(5, (0, 0)).random(6)
+        b = child_generator(5, (0, 1)).random(6)
+        assert not np.allclose(a, b)
+
+    def test_child_generator_rejects_negative_index(self):
+        with pytest.raises(ParameterError):
+            child_generator(5, (-1,))

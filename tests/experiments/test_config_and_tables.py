@@ -1,0 +1,121 @@
+"""Tests for experiment configuration presets, table rendering and results."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentResult,
+    PRESETS,
+    format_value,
+    get_preset,
+    render_table,
+)
+from repro.simulation import MeasurementConfig
+
+
+class TestPresets:
+    def test_all_presets_available(self):
+        assert set(PRESETS) == {"paper", "default", "quick"}
+
+    def test_paper_preset_follows_section_4_1(self):
+        cfg = get_preset("paper")
+        assert cfg.measurement.warmup == 10_000
+        assert cfg.measurement.horizon == 60_000
+        assert cfg.measurement.window == 1_000
+        assert cfg.measurement.replications == 100
+        assert cfg.shape == 1.5
+        assert (cfg.lower_bound, cfg.upper_bound) == (0.1, 100.0)
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ExperimentError):
+            get_preset("huge")
+
+    def test_quick_preset_is_cheap(self):
+        quick = get_preset("quick")
+        default = get_preset("default")
+        assert quick.measurement.horizon < default.measurement.horizon
+        assert quick.measurement.replications < default.measurement.replications
+        assert len(quick.load_grid) < len(default.load_grid)
+
+
+class TestExperimentConfig:
+    def test_classes_for_load(self):
+        cfg = get_preset("quick")
+        classes = cfg.classes_for_load(0.6, (1.0, 2.0))
+        assert sum(c.offered_load for c in classes) == pytest.approx(0.6)
+
+    def test_scaled_measurement_uses_service_mean(self):
+        cfg = get_preset("quick")
+        scaled = cfg.scaled_measurement()
+        mean = cfg.service_distribution().mean()
+        assert scaled.window == pytest.approx(cfg.measurement.window * mean)
+
+    def test_with_bounds_and_loads(self):
+        cfg = get_preset("quick").with_bounds(shape=1.8, upper_bound=1000.0)
+        assert cfg.service_distribution().alpha == 1.8
+        assert cfg.service_distribution().p == 1000.0
+        narrowed = cfg.with_loads([0.5])
+        assert narrowed.load_grid == (0.5,)
+
+    def test_with_measurement(self):
+        cfg = get_preset("quick").with_measurement(MeasurementConfig.quick())
+        assert cfg.measurement == MeasurementConfig.quick()
+
+    def test_invalid_load_grid(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(load_grid=())
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(load_grid=(1.5,))
+
+
+class TestTableRendering:
+    def test_format_value(self):
+        assert format_value(1.23456) == "1.235"
+        assert format_value(0.000001234) == "1.2340e-06"
+        assert format_value(float("nan")) == "nan"
+        assert format_value(True) == "yes"
+        assert format_value("text") == "text"
+        assert format_value(0.0) == "0"
+
+    def test_render_table_alignment(self):
+        rows = [{"a": 1.0, "b": "x"}, {"a": 22.5, "b": "yy"}]
+        text = render_table(["a", "b"], rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "b" in lines[0]
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_render_table_empty_columns(self):
+        assert render_table([], []) == ""
+
+    def test_missing_cell_rendered_empty(self):
+        text = render_table(["a", "b"], [{"a": 1.0}])
+        assert "1" in text
+
+
+class TestExperimentResult:
+    def test_add_row_checks_columns(self):
+        result = ExperimentResult("figX", "test", columns=("a", "b"))
+        result.add_row(a=1, b=2)
+        with pytest.raises(ExperimentError):
+            result.add_row(a=1)
+        assert result.column("a") == [1]
+
+    def test_to_text_contains_parameters_and_notes(self):
+        result = ExperimentResult(
+            "figX", "demo", parameters={"load": 0.5}, columns=("a",)
+        )
+        result.add_row(a=1.0)
+        result.notes.append("shape holds")
+        text = result.to_text()
+        assert "figX: demo" in text
+        assert "load=0.5" in text
+        assert "shape holds" in text
+
+    def test_to_markdown_table(self):
+        result = ExperimentResult("figY", "demo", columns=("a", "b"))
+        result.add_row(a=1.0, b=2.0)
+        md = result.to_markdown()
+        assert "| a | b |" in md
+        assert "| 1 | 2 |" in md

@@ -1,0 +1,134 @@
+"""Tests for the per-figure experiment drivers.
+
+To keep the suite fast these use a tiny custom configuration (short horizon,
+one or two loads, 2 replications) — enough to check structure, qualitative
+shape and bookkeeping, not statistical accuracy (the benches handle that).
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    figure2,
+    figure4,
+    figure7,
+    figure9,
+    figure11,
+    figure12,
+    run_individual_requests,
+    run_ratio_percentiles,
+)
+from repro.simulation import MeasurementConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        measurement=MeasurementConfig(
+            warmup=400.0, horizon=3_000.0, window=400.0, replications=2
+        ),
+        load_grid=(0.4, 0.8),
+        name="tiny",
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_moderate_config(tiny_config) -> ExperimentConfig:
+    """Tiny config on a lighter-tailed workload for faster convergence."""
+    return tiny_config.with_bounds(upper_bound=10.0)
+
+
+class TestEffectivenessDrivers:
+    def test_figure2_structure(self, tiny_moderate_config):
+        result = figure2(tiny_moderate_config)
+        assert result.experiment_id == "fig2"
+        assert len(result.rows) == 2
+        assert set(result.columns).issuperset(
+            {"load", "simulated_1", "expected_1", "simulated_2", "expected_2"}
+        )
+        # Expected slowdowns grow with load and respect the 2x spacing.
+        expected_first = result.column("expected_1")
+        assert expected_first[1] > expected_first[0]
+        for row in result.rows:
+            assert row["expected_2"] / row["expected_1"] == pytest.approx(2.0)
+            assert row["simulated_1"] > 0
+            assert row["worst_rel_error"] >= 0
+
+    def test_figure4_three_classes(self, tiny_moderate_config):
+        result = figure4(tiny_moderate_config)
+        assert "simulated_3" in result.columns
+        for row in result.rows:
+            assert row["expected_3"] / row["expected_1"] == pytest.approx(3.0)
+
+
+class TestPredictabilityDrivers:
+    def test_ratio_percentiles_structure(self, tiny_moderate_config):
+        result = run_ratio_percentiles(
+            [(1.0, 2.0)],
+            tiny_moderate_config,
+            experiment_id="fig5-test",
+            title="test",
+        )
+        assert len(result.rows) == len(tiny_moderate_config.load_grid)
+        for row in result.rows:
+            assert row["target_ratio"] == pytest.approx(2.0)
+            assert row["p5"] <= row["median"] <= row["p95"]
+            assert row["windows"] > 0
+
+    def test_individual_requests_driver(self, tiny_moderate_config):
+        result = run_individual_requests(
+            0.5,
+            tiny_moderate_config,
+            experiment_id="fig7-test",
+            title="test",
+            span=400.0,
+        )
+        assert len(result.rows) == 2
+        assert all(row["requests"] >= 0 for row in result.rows)
+        assert any("short" in note or "span" in note for note in result.notes)
+
+    def test_figure7_uses_50_percent_load(self, tiny_moderate_config):
+        result = figure7(tiny_moderate_config)
+        assert result.parameters["load"] == 0.5
+
+
+class TestControllabilityDrivers:
+    def test_figure9_structure(self, tiny_moderate_config):
+        result = figure9(tiny_moderate_config)
+        # 3 delta vectors x 2 loads x 1 non-reference class each.
+        assert len(result.rows) == 6
+        targets = sorted({row["target_ratio"] for row in result.rows})
+        assert targets == [2.0, 4.0, 8.0]
+        for row in result.rows:
+            assert row["achieved_ratio"] > 0
+            assert row["rel_error"] >= 0
+
+
+class TestSensitivityDrivers:
+    def test_figure11_slowdown_decreases_with_alpha(self, tiny_config):
+        cfg = tiny_config.with_loads((0.6,))
+        result = figure11(
+            ExperimentConfig(
+                measurement=cfg.measurement,
+                load_grid=cfg.load_grid,
+                upper_bound=10.0,
+                name="quick",
+            )
+        )
+        alphas = result.column("alpha")
+        expected = result.column("expected_1")
+        assert alphas == sorted(alphas)
+        assert expected == sorted(expected, reverse=True)
+
+    def test_figure12_expected_slowdown_increases_with_bound(self, tiny_config):
+        result = figure12(
+            ExperimentConfig(
+                measurement=tiny_config.measurement,
+                load_grid=(0.6,),
+                name="quick",
+            )
+        )
+        bounds = result.column("upper_bound")
+        expected = result.column("expected_1")
+        assert bounds == sorted(bounds)
+        assert expected == sorted(expected)

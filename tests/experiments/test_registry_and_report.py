@@ -1,0 +1,86 @@
+"""Tests for the experiment registry, the CLI entry point and report building."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    PAPER_CLAIMS,
+    available_experiments,
+    build_report,
+    run,
+    run_all,
+    write_report,
+)
+
+
+class TestRegistry:
+    def test_all_eleven_figures_registered(self):
+        assert available_experiments() == (
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+        )
+
+    def test_every_figure_has_a_paper_claim(self):
+        assert set(PAPER_CLAIMS) == set(EXPERIMENTS)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ExperimentError):
+            run("fig99", preset="quick")
+
+    def test_unknown_subset_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_all(preset="quick", only=["fig2", "nope"])
+
+
+class TestReportBuilding:
+    def fake_results(self):
+        result = ExperimentResult("fig2", "demo", columns=("load", "value"))
+        result.add_row(load=0.5, value=1.23)
+        result.notes.append("qualitative shape holds")
+        return [result]
+
+    def test_build_report_contains_sections(self):
+        text = build_report(self.fake_results())
+        assert "# EXPERIMENTS" in text
+        assert "FIG2" in text
+        assert "**Paper:**" in text
+        assert "| load | value |" in text
+        assert "qualitative shape holds" in text
+
+    def test_write_report_creates_file(self, tmp_path):
+        path = tmp_path / "sub" / "EXPERIMENTS.md"
+        out = write_report(self.fake_results(), str(path))
+        assert path.exists()
+        assert out == str(path)
+        assert "FIG2" in path.read_text()
+
+
+class TestCommandLine:
+    def test_main_prints_tables(self, capsys):
+        from repro.experiments.__main__ import main
+
+        code = main(["--preset", "quick", "--only", "fig7"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "fig7" in captured.out
+        assert "completed 1 experiments" in captured.out
+
+    def test_main_writes_report(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        out_file = tmp_path / "EXPERIMENTS.md"
+        code = main(["--preset", "quick", "--only", "fig7", "--output", str(out_file)])
+        assert code == 0
+        assert out_file.exists()
+        assert "FIG7" in out_file.read_text()

@@ -1,0 +1,106 @@
+"""Tests for slowdown summary statistics and percentile bands."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.metrics import (
+    PercentileBand,
+    SlowdownStats,
+    bands_by_parameter,
+    per_class_stats,
+    percentile_band,
+    relative_error,
+    summarise_slowdowns,
+)
+
+
+class TestSummariseSlowdowns:
+    def test_basic_statistics(self):
+        stats = summarise_slowdowns([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.median == pytest.approx(2.5)
+
+    def test_nan_values_dropped(self):
+        stats = summarise_slowdowns([1.0, float("nan"), 3.0])
+        assert stats.count == 2
+        assert stats.mean == pytest.approx(2.0)
+
+    def test_empty_sample(self):
+        stats = summarise_slowdowns([])
+        assert stats.count == 0
+        assert math.isnan(stats.mean)
+        assert SlowdownStats.empty().count == 0
+
+    def test_single_sample_zero_std(self):
+        stats = summarise_slowdowns([2.0])
+        assert stats.std == 0.0
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ParameterError):
+            summarise_slowdowns([1.0, -0.5])
+
+    def test_per_class_stats(self):
+        stats = per_class_stats([[1.0, 2.0], [], [5.0]])
+        assert len(stats) == 3
+        assert stats[0].mean == pytest.approx(1.5)
+        assert stats[1].count == 0
+        assert stats[2].mean == pytest.approx(5.0)
+
+    def test_percentiles_ordered(self):
+        rng = np.random.default_rng(0)
+        stats = summarise_slowdowns(rng.exponential(1.0, 1000))
+        assert stats.p5 <= stats.median <= stats.p95
+        assert stats.minimum <= stats.p5
+        assert stats.p95 <= stats.maximum
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+        assert relative_error(0.9, 1.0) == pytest.approx(0.1)
+
+    def test_nan_propagates(self):
+        assert math.isnan(relative_error(float("nan"), 1.0))
+
+    def test_zero_expected_rejected(self):
+        with pytest.raises(ParameterError):
+            relative_error(1.0, 0.0)
+
+
+class TestPercentileBand:
+    def test_band_of_known_sample(self):
+        values = np.arange(1.0, 101.0)
+        band = percentile_band(values)
+        assert band.median == pytest.approx(50.5)
+        assert band.p5 < band.median < band.p95
+        assert band.count == 100
+        assert band.spread == pytest.approx(band.p95 - band.p5)
+
+    def test_contains(self):
+        band = PercentileBand(p5=1.0, median=2.0, p95=4.0, count=10)
+        assert band.contains(2.0)
+        assert not band.contains(5.0)
+
+    def test_empty_band(self):
+        band = percentile_band([])
+        assert band.count == 0
+        assert math.isnan(band.median)
+
+    def test_nan_dropped(self):
+        band = percentile_band([1.0, float("nan"), 3.0])
+        assert band.count == 2
+
+    def test_bands_by_parameter(self):
+        bands = bands_by_parameter({0.3: [1.0, 2.0], 0.6: [2.0, 4.0]})
+        assert set(bands) == {0.3, 0.6}
+        assert bands[0.6].median == pytest.approx(3.0)
+
+    def test_bands_by_parameter_requires_data(self):
+        with pytest.raises(ParameterError):
+            bands_by_parameter({})

@@ -1,0 +1,83 @@
+"""Tests for the M/D/1 reduction (Eq. 15) and the M/M/1 reference model."""
+
+import math
+
+import pytest
+
+from repro.distributions import Deterministic
+from repro.errors import StabilityError
+from repro.queueing import (
+    MD1Queue,
+    MG1Queue,
+    MM1Queue,
+    md1_expected_slowdown,
+    md1_expected_waiting_time,
+)
+
+
+class TestMD1:
+    def test_eq15_slowdown(self):
+        # Eq. 15: E[S] = rho / (2 (1 - rho)), independent of the absolute service time.
+        for d in (0.5, 1.0, 4.0):
+            lam = 0.6 / d
+            assert md1_expected_slowdown(lam, d) == pytest.approx(0.6 / (2 * 0.4))
+
+    def test_slowdown_with_rate(self):
+        # rho = lam * d / r
+        assert md1_expected_slowdown(0.3, 1.0, rate=0.5) == pytest.approx(0.6 / (2 * 0.4))
+
+    def test_matches_generic_mg1(self):
+        lam, d = 0.7, 1.0
+        assert md1_expected_waiting_time(lam, d) == pytest.approx(
+            MG1Queue(lam, Deterministic(d)).waiting_time()
+        )
+        assert md1_expected_slowdown(lam, d) == pytest.approx(
+            MG1Queue(lam, Deterministic(d)).slowdown()
+        )
+
+    def test_zero_arrivals(self):
+        assert md1_expected_slowdown(0.0, 1.0) == 0.0
+        assert md1_expected_waiting_time(0.0, 1.0) == 0.0
+
+    def test_unstable_raises(self):
+        with pytest.raises(StabilityError):
+            md1_expected_slowdown(1.0, 1.0)
+
+    def test_queue_object(self):
+        q = MD1Queue(0.5, 1.0)
+        assert q.utilisation == pytest.approx(0.5)
+        assert q.expected_slowdown() == pytest.approx(0.5 / (2 * 0.5))
+        assert q.expected_response_time() == pytest.approx(
+            q.expected_waiting_time() + 1.0
+        )
+        assert q.as_mg1().slowdown() == pytest.approx(q.expected_slowdown())
+
+
+class TestMM1:
+    def test_waiting_time(self):
+        q = MM1Queue(0.5, 1.0)
+        assert q.expected_waiting_time() == pytest.approx(0.5 / 0.5)
+
+    def test_response_time(self):
+        q = MM1Queue(0.5, 1.0)
+        assert q.expected_response_time() == pytest.approx(2.0)
+
+    def test_slowdown_does_not_exist(self):
+        # Sec. 5: no valid slowdown for unbounded exponential service times.
+        assert math.isinf(MM1Queue(0.5, 1.0).expected_slowdown())
+        assert MM1Queue(0.0, 1.0).expected_slowdown() == 0.0
+
+    def test_processor_sharing_stretch(self):
+        q = MM1Queue(0.75, 1.0)
+        assert q.processor_sharing_stretch() == pytest.approx(4.0)
+
+    def test_unstable_raises(self):
+        with pytest.raises(StabilityError):
+            MM1Queue(1.0, 1.0).expected_waiting_time()
+        with pytest.raises(StabilityError):
+            MM1Queue(1.2, 1.0).processor_sharing_stretch()
+
+    def test_rate_scaling(self):
+        q = MM1Queue(0.25, 1.0, rate=0.5)
+        assert q.utilisation == pytest.approx(0.5)
+        assert q.expected_waiting_time() == pytest.approx(0.5 * 2.0 / 0.5)

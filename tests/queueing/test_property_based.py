@@ -1,0 +1,58 @@
+"""Property-based tests for the queueing closed forms."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import BoundedPareto
+from repro.queueing import (
+    lemma1_expected_slowdown,
+    theorem1_task_server_slowdown,
+)
+
+bp_strategy = st.builds(
+    lambda k, ratio, alpha: BoundedPareto(k=k, p=k * ratio, alpha=alpha),
+    st.floats(min_value=0.05, max_value=1.0),
+    st.floats(min_value=5.0, max_value=200.0),
+    st.floats(min_value=1.0, max_value=2.5),
+)
+
+
+class TestSlowdownProperties:
+    @given(bp_strategy, st.floats(min_value=0.01, max_value=0.95))
+    @settings(max_examples=80, deadline=None)
+    def test_lemma1_positive_and_finite_when_stable(self, bp, load):
+        lam = load / bp.mean()
+        s = lemma1_expected_slowdown(lam, bp)
+        assert math.isfinite(s)
+        assert s > 0.0
+
+    @given(bp_strategy, st.floats(min_value=0.05, max_value=0.9))
+    @settings(max_examples=80, deadline=None)
+    def test_lemma1_monotone_in_load(self, bp, load):
+        lam_low = load * 0.5 / bp.mean()
+        lam_high = load / bp.mean()
+        assert lemma1_expected_slowdown(lam_high, bp) >= lemma1_expected_slowdown(lam_low, bp)
+
+    @given(
+        bp_strategy,
+        st.floats(min_value=0.05, max_value=0.6),
+        st.floats(min_value=0.05, max_value=0.35),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_theorem1_scale_invariance(self, bp, load, extra_rate):
+        """Theorem 1 equals Lemma 1 on the scaled distribution for any rate."""
+        rate = load + extra_rate  # guarantees the task server is stable
+        lam = load / bp.mean()
+        via_theorem = theorem1_task_server_slowdown(lam, bp, rate)
+        via_scaled = lemma1_expected_slowdown(lam, bp.scaled(rate))
+        assert math.isclose(via_theorem, via_scaled, rel_tol=1e-9)
+
+    @given(bp_strategy, st.floats(min_value=0.05, max_value=0.5))
+    @settings(max_examples=80, deadline=None)
+    def test_theorem1_decreasing_in_rate(self, bp, load):
+        lam = load / bp.mean()
+        slow = theorem1_task_server_slowdown(lam, bp, min(load + 0.1, 0.99))
+        fast = theorem1_task_server_slowdown(lam, bp, 1.0)
+        assert slow >= fast

@@ -1,0 +1,60 @@
+"""Tests for the analytic parameter-sensitivity sweeps (Figs. 11-12 trends)."""
+
+import pytest
+
+from repro.distributions import BoundedPareto
+from repro.errors import ParameterError
+from repro.queueing import (
+    shape_parameter_sweep,
+    slowdown_elasticity,
+    upper_bound_sweep,
+)
+
+
+class TestShapeParameterSweep:
+    def test_slowdown_decreases_with_alpha(self):
+        points = shape_parameter_sweep(
+            [1.1, 1.3, 1.5, 1.7, 1.9], k=0.1, p=100.0, load=0.8
+        )
+        slowdowns = [p.expected_slowdown for p in points]
+        assert slowdowns == sorted(slowdowns, reverse=True)
+
+    def test_second_moment_decreases_with_alpha(self):
+        points = shape_parameter_sweep([1.1, 1.5, 1.9], k=0.1, p=100.0, load=0.8)
+        second = [p.second_moment for p in points]
+        assert second == sorted(second, reverse=True)
+
+    def test_point_consistency(self):
+        (point,) = shape_parameter_sweep([1.5], k=0.1, p=100.0, load=0.5)
+        bp = BoundedPareto(0.1, 100.0, 1.5)
+        assert point.mean == pytest.approx(bp.mean())
+        assert point.parameter == 1.5
+
+    def test_rejects_infeasible_load(self):
+        with pytest.raises(ParameterError):
+            shape_parameter_sweep([1.5], k=0.1, p=100.0, load=1.0)
+
+
+class TestUpperBoundSweep:
+    def test_slowdown_increases_with_upper_bound(self):
+        points = upper_bound_sweep([100.0, 1000.0, 10000.0], k=0.1, alpha=1.5, load=0.8)
+        slowdowns = [p.expected_slowdown for p in points]
+        assert slowdowns == sorted(slowdowns)
+
+    def test_mean_inverse_stays_roughly_constant(self):
+        points = upper_bound_sweep([100.0, 10000.0], k=0.1, alpha=1.5, load=0.8)
+        assert points[0].mean_inverse == pytest.approx(points[1].mean_inverse, rel=0.01)
+
+
+class TestElasticity:
+    def test_positive_for_upper_bound(self):
+        bp = BoundedPareto.paper_default()
+        assert slowdown_elasticity(bp, load=0.8, parameter="p") > 0.0
+
+    def test_negative_for_shape(self):
+        bp = BoundedPareto.paper_default()
+        assert slowdown_elasticity(bp, load=0.8, parameter="alpha") < 0.0
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError):
+            slowdown_elasticity(BoundedPareto.paper_default(), load=0.5, parameter="zeta")

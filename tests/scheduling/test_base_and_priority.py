@@ -1,0 +1,149 @@
+"""Tests for the scheduler base class and the priority schedulers."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.scheduling import (
+    SlowdownWtpScheduler,
+    StrictPriorityScheduler,
+    WaitingTimePriorityScheduler,
+    WeightedFairQueueing,
+)
+
+
+class TestSchedulerBase:
+    def test_enqueue_and_backlog_accounting(self):
+        s = StrictPriorityScheduler(2)
+        assert s.total_backlog() == 0
+        s.enqueue(0, 1.0, 0.0)
+        s.enqueue(1, 2.0, 0.0)
+        s.enqueue(1, 3.0, 1.0)
+        assert s.backlog(0) == 1
+        assert s.backlog(1) == 2
+        assert s.total_backlog() == 3
+        assert s.backlogged_classes() == [0, 1]
+
+    def test_select_empties_queues_fcfs_within_class(self):
+        s = StrictPriorityScheduler(1)
+        a = s.enqueue(0, 1.0, 0.0, payload="a")
+        b = s.enqueue(0, 1.0, 1.0, payload="b")
+        assert s.select(2.0) is a
+        assert s.select(2.0) is b
+        assert s.select(2.0) is None
+
+    def test_peek_does_not_remove(self):
+        s = StrictPriorityScheduler(2)
+        job = s.enqueue(1, 1.0, 0.0)
+        assert s.peek(1) is job
+        assert s.backlog(1) == 1
+        assert s.peek(0) is None
+
+    def test_invalid_class_index(self):
+        s = StrictPriorityScheduler(2)
+        with pytest.raises(SchedulingError):
+            s.enqueue(2, 1.0, 0.0)
+        with pytest.raises(SchedulingError):
+            s.backlog(-1)
+
+    def test_invalid_job_size(self):
+        s = StrictPriorityScheduler(1)
+        with pytest.raises(SchedulingError):
+            s.enqueue(0, 0.0, 0.0)
+
+    def test_invalid_num_classes(self):
+        with pytest.raises(SchedulingError):
+            StrictPriorityScheduler(0)
+
+
+class TestWeightedSchedulerConfiguration:
+    def test_default_weights_are_uniform(self):
+        s = WeightedFairQueueing(3)
+        assert s.weights == (1.0, 1.0, 1.0)
+
+    def test_set_weights_validation(self):
+        s = WeightedFairQueueing(2)
+        with pytest.raises(SchedulingError):
+            s.set_weights([1.0])
+        with pytest.raises(Exception):
+            s.set_weights([1.0, 0.0])
+
+    def test_set_weights_updates(self):
+        s = WeightedFairQueueing(2, weights=[0.5, 0.5])
+        s.set_weights([0.9, 0.1])
+        assert s.weights == (0.9, 0.1)
+
+
+class TestStrictPriority:
+    def test_highest_priority_first(self):
+        s = StrictPriorityScheduler(3)
+        s.enqueue(2, 1.0, 0.0, payload="low")
+        s.enqueue(0, 1.0, 0.0, payload="high")
+        s.enqueue(1, 1.0, 0.0, payload="mid")
+        assert s.select(1.0).payload == "high"
+        assert s.select(1.0).payload == "mid"
+        assert s.select(1.0).payload == "low"
+
+    def test_custom_priority_permutation(self):
+        s = StrictPriorityScheduler(2, priorities=[1, 0])  # class 1 is highest
+        s.enqueue(0, 1.0, 0.0, payload="a")
+        s.enqueue(1, 1.0, 0.0, payload="b")
+        assert s.select(1.0).payload == "b"
+
+    def test_invalid_priorities(self):
+        with pytest.raises(SchedulingError):
+            StrictPriorityScheduler(2, priorities=[0, 0])
+
+    def test_starvation_of_low_class(self):
+        """Strict priority can starve the lower class while the high class is busy."""
+        s = StrictPriorityScheduler(2)
+        s.enqueue(1, 1.0, 0.0)
+        for i in range(5):
+            s.enqueue(0, 1.0, float(i))
+        served = [s.select(10.0).class_index for _ in range(5)]
+        assert served == [0, 0, 0, 0, 0]
+
+
+class TestWaitingTimePriority:
+    def test_longer_wait_scaled_by_delta_wins(self):
+        s = WaitingTimePriorityScheduler(2, deltas=[1.0, 2.0])
+        s.enqueue(0, 1.0, 0.0)   # class 1: waited 4 by t=4, priority 4
+        s.enqueue(1, 1.0, 0.0)   # class 2: waited 4, priority 2
+        assert s.select(4.0).class_index == 0
+
+    def test_low_class_eventually_served(self):
+        s = WaitingTimePriorityScheduler(2, deltas=[1.0, 2.0])
+        s.enqueue(1, 1.0, 0.0)
+        s.enqueue(0, 1.0, 9.5)  # class 1 arrived much later
+        # class 2 has waited 10/2 = 5 > class 1's 0.5/1.
+        assert s.select(10.0).class_index == 1
+
+    def test_requires_delta_per_class(self):
+        with pytest.raises(SchedulingError):
+            WaitingTimePriorityScheduler(2, deltas=[1.0])
+
+
+class TestSlowdownWtp:
+    def test_small_jobs_prioritised(self):
+        s = SlowdownWtpScheduler(1, deltas=[1.0])
+        s.enqueue(0, 10.0, 0.0, payload="big")
+        s.enqueue(0, 0.1, 0.0, payload="small")
+        # FCFS within a class: the big job is still at the head of its queue,
+        # so per-class FCFS order is preserved even though the small job has a
+        # larger instantaneous slowdown.
+        assert s.select(5.0).payload == "big"
+
+    def test_across_classes_prefers_higher_instantaneous_slowdown(self):
+        s = SlowdownWtpScheduler(2, deltas=[1.0, 1.0])
+        s.enqueue(0, 10.0, 0.0, payload="big")
+        s.enqueue(1, 0.1, 0.0, payload="small")
+        assert s.select(5.0).payload == "small"
+
+    def test_delta_scales_priority(self):
+        s = SlowdownWtpScheduler(2, deltas=[1.0, 8.0])
+        s.enqueue(0, 1.0, 0.0, payload="high-class")
+        s.enqueue(1, 1.0, 0.0, payload="low-class")
+        assert s.select(4.0).payload == "high-class"
+
+    def test_requires_delta_per_class(self):
+        with pytest.raises(SchedulingError):
+            SlowdownWtpScheduler(2, deltas=[1.0, 2.0, 3.0])

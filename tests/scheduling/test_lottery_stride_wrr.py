@@ -1,0 +1,134 @@
+"""Tests for lottery, stride and (deficit) weighted-round-robin schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.scheduling import (
+    DeficitWeightedRoundRobin,
+    LotteryScheduler,
+    StrideScheduler,
+    WeightedRoundRobin,
+)
+
+
+def saturate(sched, rng, total=1000, equal_sizes=True):
+    for i in range(total):
+        size = 1.0 if equal_sizes else float(rng.uniform(0.2, 2.0))
+        sched.enqueue(i % 2, size, 0.0, payload=i)
+
+
+def serve_work(sched, count):
+    served = [0.0, 0.0]
+    now = 0.0
+    for _ in range(count):
+        job = sched.select(now)
+        served[job.class_index] += job.size
+        now += job.size
+    return served
+
+
+class TestLottery:
+    def test_shares_converge_to_ticket_ratio(self, rng):
+        sched = LotteryScheduler(2, weights=[0.75, 0.25], rng=np.random.default_rng(3))
+        saturate(sched, rng)
+        served = serve_work(sched, 600)
+        assert served[0] / sum(served) == pytest.approx(0.75, abs=0.05)
+
+    def test_single_backlogged_class_always_wins(self, rng):
+        sched = LotteryScheduler(2, weights=[0.5, 0.5], rng=np.random.default_rng(0))
+        sched.enqueue(1, 1.0, 0.0)
+        assert sched.select(0.0).class_index == 1
+
+    def test_reproducible_with_seed(self, rng):
+        def run(seed):
+            sched = LotteryScheduler(2, weights=[0.5, 0.5], rng=np.random.default_rng(seed))
+            saturate(sched, np.random.default_rng(1), total=100)
+            return [sched.select(0.0).class_index for _ in range(50)]
+
+        assert run(7) == run(7)
+
+    def test_weights_can_be_updated(self, rng):
+        sched = LotteryScheduler(2, weights=[0.5, 0.5], rng=np.random.default_rng(5))
+        saturate(sched, rng, total=800)
+        sched.set_weights([0.95, 0.05])
+        served = serve_work(sched, 400)
+        assert served[0] / sum(served) > 0.85
+
+
+class TestStride:
+    def test_deterministic_proportions(self, rng):
+        sched = StrideScheduler(2, weights=[0.75, 0.25])
+        saturate(sched, rng)
+        served = serve_work(sched, 400)
+        assert served[0] / sum(served) == pytest.approx(0.75, abs=0.02)
+
+    def test_work_proportionality_with_unequal_sizes(self, rng):
+        sched = StrideScheduler(2, weights=[0.6, 0.4])
+        saturate(sched, rng, equal_sizes=False)
+        served = serve_work(sched, 500)
+        assert served[0] / sum(served) == pytest.approx(0.6, abs=0.05)
+
+    def test_idle_class_does_not_monopolise_on_wakeup(self, rng):
+        sched = StrideScheduler(2, weights=[0.5, 0.5])
+        # Class 0 runs alone for a while, building up pass value.
+        for i in range(50):
+            sched.enqueue(0, 1.0, 0.0, payload=i)
+        for _ in range(50):
+            sched.select(0.0)
+        # Class 1 wakes up; both now backlogged.
+        for i in range(100):
+            sched.enqueue(0, 1.0, 1.0, payload=1000 + i)
+            sched.enqueue(1, 1.0, 1.0, payload=2000 + i)
+        served = serve_work(sched, 100)
+        # Class 1 must not receive (much) more than its 50% share.
+        assert served[1] / sum(served) < 0.65
+
+    def test_short_term_fairness_better_than_lottery(self, rng):
+        """Over a short horizon the stride split is within one job of ideal."""
+        sched = StrideScheduler(2, weights=[0.5, 0.5])
+        saturate(sched, rng, total=100)
+        selections = [sched.select(0.0).class_index for _ in range(20)]
+        assert abs(selections.count(0) - selections.count(1)) <= 1
+
+
+class TestWeightedRoundRobin:
+    def test_request_count_proportions(self, rng):
+        sched = WeightedRoundRobin(2, weights=[3.0, 1.0])
+        saturate(sched, rng)
+        selections = [sched.select(0.0).class_index for _ in range(400)]
+        share = selections.count(0) / len(selections)
+        assert share == pytest.approx(0.75, abs=0.05)
+
+    def test_skips_empty_classes(self, rng):
+        sched = WeightedRoundRobin(3, weights=[1.0, 1.0, 1.0])
+        sched.enqueue(2, 1.0, 0.0)
+        assert sched.select(0.0).class_index == 2
+
+    def test_request_bias_with_unequal_sizes(self):
+        """Plain WRR is proportional in requests, not work — the documented flaw."""
+        sched = WeightedRoundRobin(2, weights=[1.0, 1.0])
+        for i in range(200):
+            sched.enqueue(0, 2.0, 0.0, payload=i)      # class 0 sends big jobs
+            sched.enqueue(1, 0.5, 0.0, payload=1000 + i)
+        served = serve_work(sched, 200)
+        assert served[0] / sum(served) > 0.7  # far above its 50% work share
+
+
+class TestDeficitRoundRobin:
+    def test_work_proportions_with_unequal_sizes(self):
+        sched = DeficitWeightedRoundRobin(2, weights=[1.0, 1.0], quantum=1.0)
+        for i in range(300):
+            sched.enqueue(0, 2.0, 0.0, payload=i)
+            sched.enqueue(1, 0.5, 0.0, payload=1000 + i)
+        served = serve_work(sched, 300)
+        assert served[0] / sum(served) == pytest.approx(0.5, abs=0.08)
+
+    def test_weighted_work_proportions(self, rng):
+        sched = DeficitWeightedRoundRobin(2, weights=[0.7, 0.3], quantum=1.0)
+        saturate(sched, rng, equal_sizes=False)
+        served = serve_work(sched, 500)
+        assert served[0] / sum(served) == pytest.approx(0.7, abs=0.08)
+
+    def test_rejects_bad_quantum(self):
+        with pytest.raises(ValueError):
+            DeficitWeightedRoundRobin(2, quantum=0.0)

@@ -1,0 +1,136 @@
+"""Hand-computable end-to-end scenarios.
+
+These tests drive the full PSD server with trace sources (deterministic
+arrival times and sizes) and a static rate controller so every waiting time,
+completion time and slowdown can be verified against pencil-and-paper
+values.  They pin down the exact semantics of the simulator: FCFS order
+within a class, rate scaling of service times, and the slowdown definition
+(delay over the time actually spent in service).
+"""
+
+import math
+
+import pytest
+
+from repro.core import PsdSpec
+from repro.distributions import Deterministic
+from repro.simulation import (
+    MeasurementConfig,
+    PsdServerSimulation,
+    StaticRateController,
+    TraceSource,
+)
+from repro.types import TrafficClass
+
+
+def run_scenario(sources, rates, *, horizon=100.0, num_classes=2):
+    classes = tuple(
+        TrafficClass(f"c{i}", 0.0, Deterministic(1.0), float(i + 1))
+        for i in range(num_classes)
+    )
+    config = MeasurementConfig(warmup=0.0, horizon=horizon, window=horizon)
+    sim = PsdServerSimulation(
+        classes,
+        config,
+        controller=StaticRateController(rates),
+        sources=sources,
+        seed=0,
+    )
+    return sim.run()
+
+
+class TestSingleClassTrace:
+    def test_back_to_back_requests_wait_for_predecessors(self):
+        # Three requests of size 2 arriving at t = 0, 1, 2 on a full-rate server.
+        source = TraceSource(0, interarrivals=[0.0, 1.0, 1.0], sizes=[2.0, 2.0, 2.0])
+        result = run_scenario([source], rates=[1.0], num_classes=1)
+        records = sorted(result.trace.records, key=lambda r: r.arrival_time)
+        assert [r.arrival_time for r in records] == [0.0, 1.0, 2.0]
+        assert [r.service_start_time for r in records] == [0.0, 2.0, 4.0]
+        assert [r.completion_time for r in records] == [2.0, 4.0, 6.0]
+        assert [r.waiting_time for r in records] == [0.0, 1.0, 2.0]
+        assert [r.slowdown for r in records] == [0.0, 0.5, 1.0]
+
+    def test_half_rate_task_server_doubles_everything(self):
+        source = TraceSource(0, interarrivals=[0.0, 1.0], sizes=[1.0, 1.0])
+        result = run_scenario([source], rates=[0.5], num_classes=1)
+        records = sorted(result.trace.records, key=lambda r: r.arrival_time)
+        # First request served 0 -> 2 (size 1 at rate 0.5); second arrives at
+        # t=1, waits 1, served 2 -> 4.
+        assert records[0].completion_time == pytest.approx(2.0)
+        assert records[1].waiting_time == pytest.approx(1.0)
+        assert records[1].completion_time == pytest.approx(4.0)
+        # Slowdown divides by the *scaled* service duration (2.0).
+        assert records[1].slowdown == pytest.approx(0.5)
+        assert records[1].demand_slowdown == pytest.approx(1.0)
+
+    def test_idle_gap_resets_queueing(self):
+        source = TraceSource(0, interarrivals=[0.0, 10.0], sizes=[1.0, 1.0])
+        result = run_scenario([source], rates=[1.0], num_classes=1)
+        records = sorted(result.trace.records, key=lambda r: r.arrival_time)
+        assert records[1].waiting_time == 0.0
+        assert records[1].slowdown == 0.0
+
+
+class TestTwoClassTraces:
+    def test_classes_do_not_interfere_on_separate_task_servers(self):
+        # Identical traces in both classes; class 2's task server is half as
+        # fast, so only its service times (not its arrival pattern) differ.
+        source_a = TraceSource(0, interarrivals=[0.0, 0.5], sizes=[1.0, 1.0])
+        source_b = TraceSource(1, interarrivals=[0.0, 0.5], sizes=[1.0, 1.0])
+        result = run_scenario([source_a, source_b], rates=[0.5, 0.5])
+        for class_index, rate in ((0, 0.5), (1, 0.5)):
+            records = sorted(
+                result.trace.for_class(class_index), key=lambda r: r.arrival_time
+            )
+            assert records[0].service_duration == pytest.approx(1.0 / rate)
+            # Second request arrives at 0.5, first finishes at 2.0.
+            assert records[1].waiting_time == pytest.approx(1.5)
+            assert records[1].slowdown == pytest.approx(1.5 / 2.0)
+
+    def test_unequal_rates_produce_proportional_service_durations(self):
+        source_a = TraceSource(0, interarrivals=[0.0], sizes=[1.0])
+        source_b = TraceSource(1, interarrivals=[0.0], sizes=[1.0])
+        result = run_scenario([source_a, source_b], rates=[0.8, 0.2])
+        fast = result.trace.for_class(0)[0]
+        slow = result.trace.for_class(1)[0]
+        assert fast.service_duration == pytest.approx(1.25)
+        assert slow.service_duration == pytest.approx(5.0)
+        assert fast.waiting_time == 0.0 and slow.waiting_time == 0.0
+
+    def test_exhausted_trace_stops_generating(self):
+        source_a = TraceSource(0, interarrivals=[0.0], sizes=[1.0])
+        source_b = TraceSource(1, interarrivals=[0.0, 1.0, 1.0], sizes=[1.0, 1.0, 1.0])
+        result = run_scenario([source_a, source_b], rates=[0.5, 0.5])
+        assert result.generated_counts == (1, 3)
+        assert result.completed_counts == (1, 3)
+
+
+class TestMeasurementSemantics:
+    def test_warmup_excludes_early_completions_from_summaries(self):
+        source = TraceSource(0, interarrivals=[0.0, 1.0, 50.0], sizes=[1.0, 1.0, 1.0])
+        classes = (TrafficClass("c0", 0.0, Deterministic(1.0), 1.0),)
+        config = MeasurementConfig(warmup=10.0, horizon=100.0, window=10.0)
+        sim = PsdServerSimulation(
+            classes,
+            config,
+            controller=StaticRateController([1.0]),
+            sources=[source],
+            seed=0,
+        )
+        result = sim.run()
+        # All three complete, but only the request finishing after the warm-up
+        # (the one arriving at t=51) contributes to the measured mean.
+        assert len(result.trace) == 3
+        measured = result.measured_records()
+        assert len(measured) == 1
+        assert result.per_class_mean_slowdowns()[0] == pytest.approx(0.0)
+
+    def test_unfinished_requests_are_not_recorded(self):
+        # A request whose service extends past the horizon never completes.
+        source = TraceSource(0, interarrivals=[0.0], sizes=[1000.0])
+        result = run_scenario([source], rates=[1.0], num_classes=1, horizon=10.0)
+        assert result.generated_counts == (1,)
+        assert result.completed_counts == (0,)
+        assert len(result.trace) == 0
+        assert math.isnan(result.per_class_mean_slowdowns()[0])

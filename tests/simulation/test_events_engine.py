@@ -1,0 +1,141 @@
+"""Tests for the event calendar and the simulation engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import EventQueue, SimulationEngine
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        order = []
+        q.push(2.0, lambda: order.append("b"))
+        q.push(1.0, lambda: order.append("a"))
+        q.push(3.0, lambda: order.append("c"))
+        while (event := q.pop()) is not None:
+            event.callback()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        q = EventQueue()
+        order = []
+        q.push(1.0, lambda: order.append("first"))
+        q.push(1.0, lambda: order.append("second"))
+        q.pop().callback()
+        q.pop().callback()
+        assert order == ["first", "second"]
+
+    def test_cancellation_skips_event(self):
+        q = EventQueue()
+        fired = []
+        keep = q.push(1.0, lambda: fired.append("keep"))
+        cancel = q.push(0.5, lambda: fired.append("cancel"))
+        cancel.cancel()
+        event = q.pop()
+        event.callback()
+        assert fired == ["keep"]
+        assert len(q) == 0
+        assert keep is event
+
+    def test_len_ignores_cancelled(self):
+        q = EventQueue()
+        a = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        a.cancel()
+        assert len(q) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        a = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        a.cancel()
+        assert q.peek_time() == 2.0
+
+    def test_rejects_nan_time(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(float("nan"), lambda: None)
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        q.clear()
+        assert q.pop() is None
+
+
+class TestSimulationEngine:
+    def test_clock_advances_to_horizon(self):
+        engine = SimulationEngine()
+        engine.run_until(50.0)
+        assert engine.now == 50.0
+
+    def test_events_fire_in_order_and_update_clock(self):
+        engine = SimulationEngine()
+        times = []
+        engine.schedule_at(5.0, lambda: times.append(engine.now))
+        engine.schedule_at(1.0, lambda: times.append(engine.now))
+        engine.run_until(10.0)
+        assert times == [1.0, 5.0]
+        assert engine.events_processed == 2
+
+    def test_events_beyond_horizon_not_fired(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(20.0, lambda: fired.append("late"))
+        engine.run_until(10.0)
+        assert fired == []
+        assert engine.now == 10.0
+        engine.run_until(30.0)
+        assert fired == ["late"]
+
+    def test_schedule_after_relative_delay(self):
+        engine = SimulationEngine()
+        seen = []
+
+        def chain():
+            seen.append(engine.now)
+            if len(seen) < 3:
+                engine.schedule_after(2.0, chain)
+
+        engine.schedule_after(1.0, chain)
+        engine.run_until(100.0)
+        assert seen == [1.0, 3.0, 5.0]
+
+    def test_cannot_schedule_in_past(self):
+        engine = SimulationEngine()
+        engine.schedule_at(5.0, lambda: None)
+        engine.run_until(10.0)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(3.0, lambda: None)
+
+    def test_cannot_run_backwards(self):
+        engine = SimulationEngine()
+        engine.run_until(10.0)
+        with pytest.raises(SimulationError):
+            engine.run_until(5.0)
+
+    def test_step_dispatches_single_event(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append(1))
+        engine.schedule_at(2.0, lambda: fired.append(2))
+        assert engine.step()
+        assert fired == [1]
+        assert engine.step()
+        assert not engine.step()
+
+    def test_event_scheduling_from_callback(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(1.0, lambda: engine.schedule_after(0.5, lambda: fired.append(engine.now)))
+        engine.run_until(2.0)
+        assert fired == [1.5]
+
+    def test_cancelled_event_not_dispatched(self):
+        engine = SimulationEngine()
+        fired = []
+        handle = engine.schedule_at(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        engine.run_until(2.0)
+        assert fired == []
+        assert engine.events_processed == 0

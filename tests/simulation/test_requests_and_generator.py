@@ -1,0 +1,134 @@
+"""Tests for request lifecycle records and request sources."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import BoundedPareto, Deterministic
+from repro.errors import ParameterError, SimulationError
+from repro.simulation import (
+    DeterministicArrivals,
+    PoissonArrivals,
+    Request,
+    RequestSource,
+    TraceSource,
+    sources_from_classes,
+)
+from repro.types import TrafficClass
+
+
+class TestRequestLifecycle:
+    def test_normal_lifecycle_metrics(self):
+        r = Request(request_id=1, class_index=0, arrival_time=10.0, size=2.0)
+        r.start_service(14.0)
+        r.complete(18.0)
+        assert r.waiting_time == pytest.approx(4.0)
+        assert r.service_duration == pytest.approx(4.0)
+        assert r.response_time == pytest.approx(8.0)
+        # Paper slowdown: delay over actual service duration.
+        assert r.slowdown == pytest.approx(1.0)
+        # Alternative normalisation: delay over full-rate demand.
+        assert r.demand_slowdown == pytest.approx(2.0)
+        assert r.is_complete
+
+    def test_zero_wait_zero_slowdown(self):
+        r = Request(1, 0, 5.0, 1.0)
+        r.start_service(5.0)
+        r.complete(6.0)
+        assert r.slowdown == 0.0
+
+    def test_cannot_start_twice(self):
+        r = Request(1, 0, 0.0, 1.0)
+        r.start_service(1.0)
+        with pytest.raises(SimulationError):
+            r.start_service(2.0)
+
+    def test_cannot_complete_without_start(self):
+        r = Request(1, 0, 0.0, 1.0)
+        with pytest.raises(SimulationError):
+            r.complete(2.0)
+
+    def test_cannot_complete_twice(self):
+        r = Request(1, 0, 0.0, 1.0)
+        r.start_service(0.0)
+        r.complete(1.0)
+        with pytest.raises(SimulationError):
+            r.complete(2.0)
+
+    def test_cannot_start_before_arrival(self):
+        r = Request(1, 0, 5.0, 1.0)
+        with pytest.raises(SimulationError):
+            r.start_service(4.0)
+
+    def test_incomplete_request_flags(self):
+        r = Request(1, 0, 0.0, 1.0)
+        assert not r.is_complete
+        assert math.isnan(r.completion_time)
+
+
+class TestArrivalProcesses:
+    def test_poisson_mean_interarrival(self, rng):
+        p = PoissonArrivals(rate=2.0)
+        gaps = [p.next_interarrival(rng) for _ in range(20_000)]
+        assert np.mean(gaps) == pytest.approx(0.5, rel=0.03)
+
+    def test_zero_rate_never_arrives(self, rng):
+        assert math.isinf(PoissonArrivals(0.0).next_interarrival(rng))
+
+    def test_deterministic_arrivals(self, rng):
+        d = DeterministicArrivals(0.25)
+        assert d.next_interarrival(rng) == 0.25
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            PoissonArrivals(-1.0)
+        with pytest.raises(ParameterError):
+            DeterministicArrivals(0.0)
+
+
+class TestRequestSource:
+    def test_sizes_come_from_distribution(self, rng):
+        source = RequestSource(0, PoissonArrivals(1.0), Deterministic(3.0), rng)
+        assert source.next_size() == 3.0
+
+    def test_sources_from_classes(self, rng):
+        bp = BoundedPareto(0.1, 10.0, 1.5)
+        classes = (
+            TrafficClass("a", 1.0, bp, 1.0),
+            TrafficClass("b", 2.0, Deterministic(1.0), 2.0),
+        )
+        sources = sources_from_classes(classes, [np.random.default_rng(1), np.random.default_rng(2)])
+        assert len(sources) == 2
+        assert sources[0].class_index == 0
+        assert sources[1].next_size() == 1.0
+
+    def test_sources_from_classes_length_mismatch(self, rng):
+        bp = BoundedPareto(0.1, 10.0, 1.5)
+        with pytest.raises(ParameterError):
+            sources_from_classes((TrafficClass("a", 1.0, bp, 1.0),), [])
+
+    def test_negative_class_index_rejected(self, rng):
+        with pytest.raises(ParameterError):
+            RequestSource(-1, PoissonArrivals(1.0), Deterministic(1.0), rng)
+
+
+class TestTraceSource:
+    def test_replays_in_order(self):
+        source = TraceSource(0, interarrivals=[1.0, 2.0], sizes=[0.5, 0.7])
+        assert source.next_interarrival() == 1.0
+        assert source.next_size() == 0.5
+        assert source.next_interarrival() == 2.0
+        assert source.next_size() == 0.7
+
+    def test_exhaustion_returns_infinite_gap(self):
+        source = TraceSource(0, interarrivals=[1.0], sizes=[0.5])
+        source.next_interarrival()
+        source.next_size()
+        assert math.isinf(source.next_interarrival())
+        with pytest.raises(ParameterError):
+            source.next_size()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            TraceSource(0, interarrivals=[1.0], sizes=[0.5, 0.6])

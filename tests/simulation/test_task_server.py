@@ -1,0 +1,133 @@
+"""Tests for the rate-scalable FCFS task server."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import FcfsTaskServer, Request, SimulationEngine
+
+
+def make_request(request_id, arrival, size, class_index=0):
+    return Request(request_id=request_id, class_index=class_index, arrival_time=arrival, size=size)
+
+
+class TestFcfsService:
+    def test_single_request_full_rate(self):
+        engine = SimulationEngine()
+        done = []
+        server = FcfsTaskServer(engine, 0, 1.0, on_completion=done.append)
+        server.submit(make_request(1, 0.0, 2.0))
+        engine.run_until(10.0)
+        assert len(done) == 1
+        assert done[0].completion_time == pytest.approx(2.0)
+        assert done[0].waiting_time == pytest.approx(0.0)
+
+    def test_half_rate_doubles_service_time(self):
+        engine = SimulationEngine()
+        done = []
+        server = FcfsTaskServer(engine, 0, 0.5, on_completion=done.append)
+        server.submit(make_request(1, 0.0, 2.0))
+        engine.run_until(10.0)
+        assert done[0].completion_time == pytest.approx(4.0)
+        assert done[0].service_duration == pytest.approx(4.0)
+        # Slowdown uses the scaled service time: no queueing -> slowdown 0.
+        assert done[0].slowdown == pytest.approx(0.0)
+
+    def test_fcfs_order_and_waiting(self):
+        engine = SimulationEngine()
+        done = []
+        server = FcfsTaskServer(engine, 0, 1.0, on_completion=done.append)
+        server.submit(make_request(1, 0.0, 2.0))
+        server.submit(make_request(2, 0.0, 1.0))
+        engine.run_until(10.0)
+        assert [r.request_id for r in done] == [1, 2]
+        assert done[1].waiting_time == pytest.approx(2.0)
+        assert done[1].completion_time == pytest.approx(3.0)
+        assert done[1].slowdown == pytest.approx(2.0)
+
+    def test_backlog_accounting(self):
+        engine = SimulationEngine()
+        server = FcfsTaskServer(engine, 0, 1.0)
+        server.submit(make_request(1, 0.0, 1.0))
+        server.submit(make_request(2, 0.0, 1.0))
+        assert server.is_busy
+        assert server.backlog == 1
+        engine.run_until(10.0)
+        assert server.backlog == 0
+        assert not server.is_busy
+        assert server.completed_count == 2
+
+    def test_wrong_class_rejected(self):
+        engine = SimulationEngine()
+        server = FcfsTaskServer(engine, 0, 1.0)
+        with pytest.raises(SimulationError):
+            server.submit(make_request(1, 0.0, 1.0, class_index=3))
+
+
+class TestRateChanges:
+    def test_rate_change_mid_service_adjusts_completion(self):
+        engine = SimulationEngine()
+        done = []
+        server = FcfsTaskServer(engine, 0, 1.0, on_completion=done.append)
+        server.submit(make_request(1, 0.0, 2.0))
+        # After 1 time unit (half the work done) the rate drops to 0.5, so the
+        # remaining 1 unit of work takes 2 more time units.
+        engine.schedule_at(1.0, lambda: server.set_rate(0.5))
+        engine.run_until(10.0)
+        assert done[0].completion_time == pytest.approx(3.0)
+
+    def test_rate_increase_mid_service(self):
+        engine = SimulationEngine()
+        done = []
+        server = FcfsTaskServer(engine, 0, 0.5, on_completion=done.append)
+        server.submit(make_request(1, 0.0, 2.0))
+        # After 2 time units, 1 unit of work remains; at rate 2 it takes 0.5.
+        engine.schedule_at(2.0, lambda: server.set_rate(2.0))
+        engine.run_until(10.0)
+        assert done[0].completion_time == pytest.approx(2.5)
+
+    def test_zero_rate_freezes_service(self):
+        engine = SimulationEngine()
+        done = []
+        server = FcfsTaskServer(engine, 0, 1.0, on_completion=done.append)
+        server.submit(make_request(1, 0.0, 2.0))
+        engine.schedule_at(1.0, lambda: server.set_rate(0.0))
+        engine.schedule_at(5.0, lambda: server.set_rate(1.0))
+        engine.run_until(20.0)
+        # 1 unit done before the freeze, 1 unit after it lifts at t=5.
+        assert done[0].completion_time == pytest.approx(6.0)
+
+    def test_multiple_rate_changes_conserve_work(self):
+        engine = SimulationEngine()
+        done = []
+        server = FcfsTaskServer(engine, 0, 0.8, on_completion=done.append)
+        server.submit(make_request(1, 0.0, 4.0))
+        for t, rate in ((1.0, 0.4), (2.0, 1.0), (3.0, 0.6)):
+            engine.schedule_at(t, lambda rate=rate: server.set_rate(rate))
+        engine.run_until(50.0)
+        # Work done: 0.8 + 0.4 + 1.0 = 2.2 by t=3; remaining 1.8 at 0.6 -> 3 more.
+        assert done[0].completion_time == pytest.approx(6.0)
+
+    def test_rate_change_while_idle_is_harmless(self):
+        engine = SimulationEngine()
+        server = FcfsTaskServer(engine, 0, 1.0)
+        server.set_rate(0.3)
+        assert server.rate == pytest.approx(0.3)
+        done = []
+        server2 = FcfsTaskServer(engine, 0, 1.0, on_completion=done.append)
+        server2.set_rate(0.5)
+        server2.submit(make_request(1, 0.0, 1.0))
+        engine.run_until(10.0)
+        assert done[0].completion_time == pytest.approx(2.0)
+
+    def test_negative_rate_rejected(self):
+        engine = SimulationEngine()
+        server = FcfsTaskServer(engine, 0, 1.0)
+        with pytest.raises(Exception):
+            server.set_rate(-0.1)
+
+    def test_busy_time_accounting(self):
+        engine = SimulationEngine()
+        server = FcfsTaskServer(engine, 0, 1.0)
+        server.submit(make_request(1, 0.0, 1.5))
+        engine.run_until(10.0)
+        assert server.busy_time == pytest.approx(1.5)

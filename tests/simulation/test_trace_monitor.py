@@ -1,0 +1,168 @@
+"""Tests for trace records, trace queries, measurement config and monitors."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, SimulationError
+from repro.simulation import (
+    MeasurementConfig,
+    Request,
+    RequestRecord,
+    SimulationTrace,
+    WindowedMonitor,
+)
+
+
+def completed_request(request_id, class_index, arrival, wait, service):
+    r = Request(request_id=request_id, class_index=class_index, arrival_time=arrival, size=service)
+    r.start_service(arrival + wait)
+    r.complete(arrival + wait + service)
+    return r
+
+
+class TestRequestRecord:
+    def test_from_request(self):
+        r = completed_request(1, 0, 10.0, 3.0, 1.5)
+        rec = RequestRecord.from_request(r)
+        assert rec.waiting_time == pytest.approx(3.0)
+        assert rec.slowdown == pytest.approx(2.0)
+        assert rec.demand_slowdown == pytest.approx(2.0)
+        assert rec.response_time == pytest.approx(4.5)
+
+    def test_incomplete_request_rejected(self):
+        r = Request(1, 0, 0.0, 1.0)
+        with pytest.raises(SimulationError):
+            RequestRecord.from_request(r)
+
+
+class TestSimulationTrace:
+    def build_trace(self):
+        trace = SimulationTrace(2)
+        trace.add(completed_request(1, 0, 0.0, 1.0, 1.0))   # slowdown 1
+        trace.add(completed_request(2, 0, 5.0, 4.0, 2.0))   # slowdown 2
+        trace.add(completed_request(3, 1, 5.0, 9.0, 3.0))   # slowdown 3
+        return trace
+
+    def test_counts_and_iteration(self):
+        trace = self.build_trace()
+        assert len(trace) == 3
+        assert trace.per_class_counts() == (2, 1)
+        assert len(list(iter(trace))) == 3
+
+    def test_per_class_slowdowns(self):
+        trace = self.build_trace()
+        assert trace.mean_slowdown(0) == pytest.approx(1.5)
+        assert trace.mean_slowdown(1) == pytest.approx(3.0)
+        assert trace.per_class_mean_slowdowns() == (pytest.approx(1.5), pytest.approx(3.0))
+        assert trace.weighted_system_slowdown() == pytest.approx(2.0)
+
+    def test_empty_class_gives_nan(self):
+        trace = SimulationTrace(2)
+        trace.add(completed_request(1, 0, 0.0, 1.0, 1.0))
+        assert math.isnan(trace.mean_slowdown(1))
+
+    def test_window_filters(self):
+        trace = self.build_trace()
+        early = trace.in_window(0.0, 5.0, by="completion")
+        assert [r.request_id for r in early] == [1]
+        by_arrival = trace.in_window(5.0, 6.0, by="arrival")
+        assert sorted(r.request_id for r in by_arrival) == [2, 3]
+        with pytest.raises(SimulationError):
+            trace.in_window(0.0, 1.0, by="departure")
+
+    def test_to_arrays(self):
+        arrays = self.build_trace().to_arrays()
+        assert arrays["slowdown"].shape == (3,)
+        assert arrays["class_index"].dtype.kind == "i"
+        np.testing.assert_allclose(arrays["slowdown"], [1.0, 2.0, 3.0])
+
+    def test_class_out_of_range_rejected(self):
+        trace = SimulationTrace(1)
+        with pytest.raises(SimulationError):
+            trace.add(completed_request(1, 3, 0.0, 1.0, 1.0))
+
+    def test_invalid_construction(self):
+        with pytest.raises(SimulationError):
+            SimulationTrace(0)
+
+
+class TestMeasurementConfig:
+    def test_defaults_valid(self):
+        cfg = MeasurementConfig()
+        assert cfg.measurement_duration > 0
+
+    def test_paper_protocol(self):
+        cfg = MeasurementConfig.paper()
+        assert cfg.warmup == 10_000
+        assert cfg.horizon == 60_000
+        assert cfg.window == 1_000
+        assert cfg.replications == 100
+        assert cfg.estimation_history == 5
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            MeasurementConfig(warmup=100.0, horizon=50.0)
+        with pytest.raises(ParameterError):
+            MeasurementConfig(window=0.0)
+        with pytest.raises(ParameterError):
+            MeasurementConfig(replications=0)
+
+    def test_scaling_to_time_units(self):
+        cfg = MeasurementConfig(warmup=1000.0, horizon=2000.0, window=100.0)
+        scaled = cfg.scaled_to_time_units(0.5)
+        assert scaled.warmup == pytest.approx(500.0)
+        assert scaled.horizon == pytest.approx(1000.0)
+        assert scaled.window == pytest.approx(50.0)
+        assert scaled.replications == cfg.replications
+
+
+class TestWindowedMonitor:
+    def test_requests_bucketed_by_completion_window(self):
+        monitor = WindowedMonitor(2, warmup=10.0, window=5.0)
+        monitor.record(RequestRecord.from_request(completed_request(1, 0, 9.0, 2.0, 1.0)))   # completes 12
+        monitor.record(RequestRecord.from_request(completed_request(2, 1, 10.0, 3.0, 1.0)))  # completes 14
+        monitor.record(RequestRecord.from_request(completed_request(3, 0, 15.0, 1.0, 1.0)))  # completes 17
+        samples = monitor.samples()
+        assert len(samples) == 2
+        assert samples[0].start == 10.0
+        assert samples[0].counts == (1, 1)
+        assert samples[1].counts == (1, 0)
+
+    def test_warmup_requests_dropped(self):
+        monitor = WindowedMonitor(1, warmup=10.0, window=5.0)
+        monitor.record(RequestRecord.from_request(completed_request(1, 0, 0.0, 1.0, 1.0)))
+        assert monitor.samples() == []
+
+    def test_ratio_series(self):
+        monitor = WindowedMonitor(2, warmup=0.0, window=10.0)
+        # Window 0: class 0 slowdown 1, class 1 slowdown 2.
+        monitor.record(RequestRecord.from_request(completed_request(1, 0, 0.0, 1.0, 1.0)))
+        monitor.record(RequestRecord.from_request(completed_request(2, 1, 0.0, 4.0, 2.0)))
+        # Window 1: only class 0 completes; the ratio is undefined there.
+        monitor.record(RequestRecord.from_request(completed_request(3, 0, 11.0, 1.0, 1.0)))
+        ratios = monitor.ratio_series(1, 0)
+        np.testing.assert_allclose(ratios, [2.0])
+
+    def test_per_class_window_means_alignment(self):
+        monitor = WindowedMonitor(2, warmup=0.0, window=10.0)
+        monitor.record(RequestRecord.from_request(completed_request(1, 0, 0.0, 1.0, 1.0)))
+        monitor.record(RequestRecord.from_request(completed_request(2, 0, 11.0, 2.0, 1.0)))
+        aligned = monitor.per_class_window_means()
+        assert len(aligned[0]) == len(aligned[1]) == 2
+        assert math.isnan(aligned[1][0])
+        dropped = monitor.per_class_window_means(drop_nan=True)
+        assert dropped[1].size == 0
+
+    def test_window_sample_ratio_nan_handling(self):
+        monitor = WindowedMonitor(2, warmup=0.0, window=10.0)
+        monitor.record(RequestRecord.from_request(completed_request(1, 0, 0.0, 1.0, 1.0)))
+        sample = monitor.samples()[0]
+        assert math.isnan(sample.ratio(1, 0))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ParameterError):
+            WindowedMonitor(0, warmup=0.0, window=1.0)
+        with pytest.raises(ParameterError):
+            WindowedMonitor(1, warmup=0.0, window=0.0)

@@ -1,0 +1,115 @@
+"""Tests for the validation helpers, the error hierarchy and shared types."""
+
+import math
+
+import pytest
+
+from repro.errors import (
+    AllocationError,
+    DistributionError,
+    ExperimentError,
+    ParameterError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    StabilityError,
+)
+from repro.validation import (
+    as_float_tuple,
+    require_finite,
+    require_in_range,
+    require_non_decreasing,
+    require_non_negative,
+    require_positive,
+    require_positive_sequence,
+    require_probability,
+    require_same_length,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for error_cls in (
+            ParameterError,
+            DistributionError,
+            StabilityError,
+            AllocationError,
+            SchedulingError,
+            SimulationError,
+            ExperimentError,
+        ):
+            assert issubclass(error_cls, ReproError)
+
+    def test_value_errors_where_appropriate(self):
+        assert issubclass(ParameterError, ValueError)
+        assert issubclass(StabilityError, ValueError)
+        assert issubclass(AllocationError, ValueError)
+
+    def test_distribution_error_is_parameter_error(self):
+        assert issubclass(DistributionError, ParameterError)
+
+    def test_runtime_errors(self):
+        assert issubclass(SimulationError, RuntimeError)
+        assert issubclass(ExperimentError, RuntimeError)
+
+
+class TestScalarValidators:
+    def test_require_finite(self):
+        assert require_finite(1.5, "x") == 1.5
+        with pytest.raises(ParameterError):
+            require_finite(math.inf, "x")
+        with pytest.raises(ParameterError):
+            require_finite(math.nan, "x")
+
+    def test_require_positive(self):
+        assert require_positive(0.1, "x") == 0.1
+        with pytest.raises(ParameterError):
+            require_positive(0.0, "x")
+        with pytest.raises(ParameterError):
+            require_positive(-1.0, "x")
+
+    def test_require_non_negative(self):
+        assert require_non_negative(0.0, "x") == 0.0
+        with pytest.raises(ParameterError):
+            require_non_negative(-0.001, "x")
+
+    def test_require_in_range(self):
+        assert require_in_range(0.5, "x", 0.0, 1.0) == 0.5
+        assert require_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        with pytest.raises(ParameterError):
+            require_in_range(0.0, "x", 0.0, 1.0, inclusive_low=False)
+        with pytest.raises(ParameterError):
+            require_in_range(1.5, "x", 0.0, 1.0)
+
+    def test_require_probability(self):
+        assert require_probability(1.0, "p") == 1.0
+        with pytest.raises(ParameterError):
+            require_probability(1.01, "p")
+
+    def test_error_messages_name_the_argument(self):
+        with pytest.raises(ParameterError, match="arrival_rate"):
+            require_positive(-1.0, "arrival_rate")
+
+
+class TestSequenceValidators:
+    def test_as_float_tuple(self):
+        assert as_float_tuple([1, 2], "x") == (1.0, 2.0)
+        with pytest.raises(ParameterError):
+            as_float_tuple([], "x")
+        with pytest.raises(ParameterError):
+            as_float_tuple([1.0, math.nan], "x")
+
+    def test_require_positive_sequence(self):
+        assert require_positive_sequence([0.5, 1.0], "x") == (0.5, 1.0)
+        with pytest.raises(ParameterError):
+            require_positive_sequence([0.5, 0.0], "x")
+
+    def test_require_non_decreasing(self):
+        assert require_non_decreasing([1.0, 1.0, 2.0], "x") == (1.0, 1.0, 2.0)
+        with pytest.raises(ParameterError):
+            require_non_decreasing([2.0, 1.0], "x")
+
+    def test_require_same_length(self):
+        require_same_length([1], [2], "a", "b")
+        with pytest.raises(ParameterError):
+            require_same_length([1], [2, 3], "a", "b")
