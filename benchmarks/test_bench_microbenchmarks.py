@@ -7,13 +7,20 @@ performance regressions in the substrate are visible separately from the
 figure benches.
 """
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.core import PsdSpec, allocate_rates, expected_slowdowns
 from repro.distributions import BoundedPareto
 from repro.scheduling import WeightedFairQueueing
-from repro.simulation import MeasurementConfig, PsdServerSimulation
+from repro.simulation import (
+    MeasurementConfig,
+    PsdServerSimulation,
+    ReplicationRunner,
+    Scenario,
+)
 from repro.workload import web_classes
 
 
@@ -77,3 +84,52 @@ def test_wfq_selection_throughput(benchmark):
 
     served = benchmark.pedantic(churn, rounds=3, iterations=1)
     assert served == sizes.size
+
+
+@pytest.mark.benchmark(group="micro")
+def test_replication_runner_serial_vs_parallel(benchmark):
+    """Wall-time of serial vs forked parallel replications, same aggregate.
+
+    The determinism contract is the hard assertion: ``workers=N`` must
+    reproduce the ``workers=1`` summary statistics bit-for-bit (same child
+    seeds in the same order, results re-assembled by replication index).
+    The wall-times are printed for the record; no speedup is asserted —
+    with one CPU (or tiny replications) fork + result pickling dominates.
+    """
+    classes = web_classes(2, 0.7, (1.0, 2.0))
+    config = MeasurementConfig(
+        warmup=500.0, horizon=6_000.0, window=500.0
+    ).scaled_to_time_units(classes[0].service.mean())
+
+    def build(_, seed_seq):
+        return Scenario(classes, config, spec=PsdSpec.of(1, 2), seed=seed_seq).run()
+
+    def timed(workers):
+        start = time.perf_counter()
+        summary = ReplicationRunner(
+            replications=4, base_seed=1729, workers=workers
+        ).run(build)
+        return time.perf_counter() - start, summary
+
+    def run_both():
+        serial_time, serial = timed(1)
+        parallel_time, parallel = timed(2)
+        return serial_time, serial, parallel_time, parallel
+
+    serial_time, serial, parallel_time, parallel = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    print()
+    print(
+        f"  serial: {serial_time:.2f}s  parallel(2 workers): {parallel_time:.2f}s  "
+        f"speedup: {serial_time / parallel_time:.2f}x"
+    )
+
+    # Bit-identical aggregates regardless of worker count.
+    assert parallel.per_class_slowdowns == serial.per_class_slowdowns
+    assert parallel.system_slowdown == serial.system_slowdown
+    assert parallel.ratios_to_first == serial.ratios_to_first
+    assert parallel.mean_slowdowns == serial.mean_slowdowns
+    assert [r.generated_counts for r in parallel.results] == [
+        r.generated_counts for r in serial.results
+    ]

@@ -23,7 +23,7 @@ from __future__ import annotations
 from repro.core import PsdSpec, allocate_rates, expected_slowdowns
 from repro.experiments import render_table
 from repro.queueing import md1_expected_slowdown
-from repro.simulation import MeasurementConfig, PsdServerSimulation, run_replications
+from repro.simulation import MeasurementConfig, ReplicationRunner, Scenario
 from repro.workload import SessionProfile, ecommerce_classes
 
 DELTAS = (1.0, 2.0, 4.0)          # premium, member, guest
@@ -64,9 +64,11 @@ def main() -> None:
     config = MeasurementConfig(warmup=2_000.0, horizon=20_000.0, window=1_000.0)
 
     def build(_, seed_seq):
-        return PsdServerSimulation(classes, config, spec=spec, seed=seed_seq).run()
+        return Scenario(classes, config, spec=spec, seed=seed_seq).run()
 
-    summary = run_replications(build, replications=3, base_seed=7)
+    # workers=0 auto-sizes to the CPU count; the aggregate is identical to a
+    # serial run for the same base seed.
+    summary = ReplicationRunner(replications=3, base_seed=7, workers=0).run(build)
     print("Simulated vs expected (3 replications):")
     out = []
     for name, sim, exp in zip(NAMES, summary.mean_slowdowns, predicted):

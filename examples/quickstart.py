@@ -22,8 +22,9 @@ from __future__ import annotations
 from repro import (
     BoundedPareto,
     MeasurementConfig,
-    PsdServerSimulation,
     PsdSpec,
+    RateScalableServers,
+    Scenario,
     TrafficClass,
     allocate_rates,
     expected_slowdowns,
@@ -58,12 +59,17 @@ def main() -> None:
         print(f"  {cls.name:<7} E[S] = {value:.2f}")
     print(f"  predicted ratio silver/gold = {predicted[1] / predicted[0]:.2f}\n")
 
-    # 4. Simulate the Fig. 1 server: per-class FCFS task servers, load
-    #    estimated every 1000 time units, rates re-allocated from Eq. 17.
+    # 4. Simulate the Fig. 1 server: a Scenario wires the sources, monitor
+    #    and controller around a pluggable server model — here the paper's
+    #    idealised per-class rate-scalable task servers.  Swap the server
+    #    for SharedProcessorServer(WeightedFairQueueing(2)) to see the same
+    #    workload on a realistic scheduler-driven processor.
     config = MeasurementConfig(
         warmup=2_000.0, horizon=20_000.0, window=1_000.0
     ).scaled_to_time_units(service.mean())
-    result = PsdServerSimulation(classes, config, spec=spec, seed=2004).run()
+    result = Scenario(
+        classes, config, server=RateScalableServers(), spec=spec, seed=2004
+    ).run()
 
     measured = result.per_class_mean_slowdowns()
     print("Simulated slowdowns (one run, 20k time units)")

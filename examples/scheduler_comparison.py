@@ -33,9 +33,10 @@ from repro.scheduling import (
 )
 from repro.simulation import (
     MeasurementConfig,
-    PsdServerSimulation,
-    SharedProcessorSimulation,
-    run_replications,
+    RateScalableServers,
+    ReplicationRunner,
+    Scenario,
+    SharedProcessorServer,
 )
 from repro.workload import paper_service_distribution, web_classes
 
@@ -45,26 +46,33 @@ REPLICATIONS = 3
 
 
 def run_realisation(name, classes, spec, config, seed):
-    def make_scheduler():
+    # Every realisation is "the same Scenario, a different ServerModel":
+    # the sources, monitor and controller are assembled identically, only
+    # the serving substrate changes.
+    def make_server():
+        if name == "task servers (paper)":
+            return RateScalableServers()
         if name == "wfq":
-            return WeightedFairQueueing(2)
+            return SharedProcessorServer(WeightedFairQueueing(2))
         if name == "lottery":
-            return LotteryScheduler(2, rng=np.random.default_rng(seed))
+            return SharedProcessorServer(
+                LotteryScheduler(2, rng=np.random.default_rng(seed))
+            )
         if name == "drr":
-            return DeficitWeightedRoundRobin(2, quantum=classes[0].service.mean())
+            return SharedProcessorServer(
+                DeficitWeightedRoundRobin(2, quantum=classes[0].service.mean())
+            )
         if name == "strict priority":
-            return StrictPriorityScheduler(2)
+            return SharedProcessorServer(StrictPriorityScheduler(2))
         raise ValueError(name)
 
     def build(_, seed_seq):
-        if name == "task servers (paper)":
-            return PsdServerSimulation(classes, config, spec=spec, seed=seed_seq).run()
-        return SharedProcessorSimulation(
-            classes, config, make_scheduler(), spec=spec, seed=seed_seq
+        return Scenario(
+            classes, config, server=make_server(), spec=spec, seed=seed_seq
         ).run()
 
-    summary = run_replications(build, replications=REPLICATIONS, base_seed=seed)
-    return summary
+    runner = ReplicationRunner(replications=REPLICATIONS, base_seed=seed, workers=0)
+    return runner.run(build)
 
 
 def main() -> None:

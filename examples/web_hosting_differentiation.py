@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from repro.core import PsdSpec, check_all_properties, expected_slowdowns
 from repro.experiments import render_table
-from repro.simulation import MeasurementConfig, PsdServerSimulation, run_replications
+from repro.simulation import MeasurementConfig, Scenario, run_replications
 from repro.workload import paper_service_distribution, web_classes
 
 TIERS = ("gold", "silver", "bronze")
@@ -31,9 +31,11 @@ LOADS = (0.3, 0.5, 0.7, 0.85)
 
 def simulate(classes, spec, config, seed):
     def build(_, seed_seq):
-        return PsdServerSimulation(classes, config, spec=spec, seed=seed_seq).run()
+        return Scenario(classes, config, spec=spec, seed=seed_seq).run()
 
-    return run_replications(build, replications=3, base_seed=seed)
+    # workers=0 fans the replications out across the available CPUs while
+    # keeping the aggregate bit-identical to a serial run.
+    return run_replications(build, replications=3, base_seed=seed, workers=0)
 
 
 def main() -> None:

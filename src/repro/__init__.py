@@ -13,8 +13,10 @@ Xu — IPDPS 2004), built as a reusable library:
   controller.
 * :mod:`repro.scheduling` — GPS/WFQ/lottery/stride/priority schedulers that
   realise rate allocation on a single shared processor.
-* :mod:`repro.simulation` — the discrete-event simulation of Fig. 1 and its
-  shared-processor variant.
+* :mod:`repro.simulation` — the discrete-event simulation: a composable
+  :class:`Scenario` assembly over pluggable :class:`ServerModel` substrates
+  (the idealised Fig. 1 task servers, a scheduler-driven shared processor)
+  plus a serial/parallel :class:`ReplicationRunner`.
 * :mod:`repro.workload`, :mod:`repro.metrics`, :mod:`repro.experiments` —
   workload factories, evaluation statistics, and drivers regenerating every
   figure of the paper's evaluation.
@@ -62,6 +64,11 @@ from .queueing import (
 from .simulation import (
     MeasurementConfig,
     PsdServerSimulation,
+    RateScalableServers,
+    ReplicationRunner,
+    Scenario,
+    ServerModel,
+    SharedProcessorServer,
     SharedProcessorSimulation,
     SimulationResult,
     run_replications,
@@ -91,9 +98,14 @@ __all__ = [
     "PsdController",
     # simulation
     "MeasurementConfig",
+    "Scenario",
+    "ServerModel",
+    "RateScalableServers",
+    "SharedProcessorServer",
     "PsdServerSimulation",
     "SharedProcessorSimulation",
     "SimulationResult",
+    "ReplicationRunner",
     "run_replications",
     # shared types and errors
     "TrafficClass",

@@ -4,7 +4,7 @@
 ``python -m repro.experiments`` regenerates EXPERIMENTS.md.
 """
 
-from .base import ExperimentResult, pooled_window_ratios, simulate_psd_point
+from .base import ExperimentResult, ServerFactory, pooled_window_ratios, simulate_psd_point
 from .config import PRESETS, ExperimentConfig, get_preset
 from .controllability import figure9, figure10, run_controllability
 from .effectiveness import figure2, figure3, figure4, run_effectiveness
@@ -30,6 +30,7 @@ from .tables import format_value, render_table
 __all__ = [
     "ExperimentResult",
     "ExperimentConfig",
+    "ServerFactory",
     "PRESETS",
     "get_preset",
     "simulate_psd_point",

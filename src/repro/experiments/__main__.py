@@ -17,6 +17,8 @@ import argparse
 import sys
 import time
 
+from ..errors import ExperimentError
+from .config import get_preset
 from .registry import available_experiments, run_all
 from .report import build_report, write_report
 
@@ -44,10 +46,21 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="write the markdown report to this path (default: print text tables)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes per replication batch (0 = auto-size to the "
+        "CPU count); results are identical for every value",
+    )
     args = parser.parse_args(argv)
+    try:
+        config = get_preset(args.preset).with_workers(args.workers)
+    except ExperimentError as error:
+        parser.error(str(error))
 
     started = time.time()
-    results = run_all(preset=args.preset, only=args.only)
+    results = run_all(preset=args.preset, config=config, only=args.only)
     elapsed = time.time() - started
 
     if args.output:

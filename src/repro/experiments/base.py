@@ -3,14 +3,18 @@
 * :class:`ExperimentResult` — the uniform container every driver returns:
   an identifier, descriptive parameters, named columns and rows, plus
   free-text notes about the qualitative expectations from the paper.
-* :func:`simulate_psd_point` — run the PSD server simulation at one
-  operating point (a class vector + differentiation spec) with the
-  configured number of replications and return the aggregated summary.
+* :func:`simulate_psd_point` — run one simulation scenario at one operating
+  point (a class vector + differentiation spec) with the configured number
+  of replications and return the aggregated summary.  The serving substrate
+  is a pluggable :class:`~repro.simulation.ServerModel` (the paper's
+  idealised task servers by default), so every figure can be regenerated
+  against any realisation — and replications run in parallel when the
+  config asks for workers.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -18,13 +22,18 @@ import numpy as np
 from ..core.psd import PsdSpec
 from ..errors import ExperimentError
 from ..simulation.monitor import MeasurementConfig
-from ..simulation.psd_server import PsdServerSimulation, SimulationResult
-from ..simulation.runner import ReplicationSummary, run_replications
+from ..simulation.runner import ReplicationRunner, ReplicationSummary
+from ..simulation.scenario import Scenario, SimulationResult
+from ..simulation.server_models import RateScalableServers, ServerModel
 from ..types import TrafficClass
 from .config import ExperimentConfig
 from .tables import render_table
 
-__all__ = ["ExperimentResult", "simulate_psd_point", "pooled_window_ratios"]
+__all__ = ["ExperimentResult", "ServerFactory", "simulate_psd_point", "pooled_window_ratios"]
+
+#: Builds a fresh :class:`ServerModel` per replication (models hold per-run
+#: state).  ``None`` means the paper's idealised :class:`RateScalableServers`.
+ServerFactory = Callable[[], ServerModel]
 
 
 @dataclass
@@ -103,22 +112,30 @@ def simulate_psd_point(
     *,
     seed_offset: int = 0,
     measurement: MeasurementConfig | None = None,
+    server_factory: ServerFactory | None = None,
+    workers: int | None = None,
 ) -> ReplicationSummary:
-    """Run the PSD simulation at one operating point, with replications.
+    """Run one scenario at one operating point, with replications.
 
     ``seed_offset`` decorrelates different sweep points while keeping the
     whole experiment reproducible from ``config.base_seed``.
+    ``server_factory`` selects the serving substrate (fresh instance per
+    replication); ``workers`` overrides ``config.workers``.  Results are
+    bit-identical for every worker count.
     """
     scaled = measurement if measurement is not None else config.scaled_measurement()
     base_seed = np.random.SeedSequence(entropy=config.base_seed + seed_offset)
 
     def build(_: int, seed: np.random.SeedSequence) -> SimulationResult:
-        sim = PsdServerSimulation(classes, scaled, spec=spec, seed=seed)
-        return sim.run()
+        server = server_factory() if server_factory is not None else RateScalableServers()
+        return Scenario(classes, scaled, server=server, spec=spec, seed=seed).run()
 
-    return run_replications(
-        build, replications=config.measurement.replications, base_seed=base_seed
+    runner = ReplicationRunner(
+        replications=config.measurement.replications,
+        base_seed=base_seed,
+        workers=config.workers if workers is None else workers,
     )
+    return runner.run(build)
 
 
 def pooled_window_ratios(

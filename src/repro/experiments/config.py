@@ -44,6 +44,9 @@ class ExperimentConfig:
     load_grid: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95)
     base_seed: int = 20040426  # IPDPS 2004 ;-) any fixed integer works
     name: str = "default"
+    #: Worker processes per replication batch: 1 = serial, 0 = auto-size to
+    #: the CPU count.  Aggregated results are identical for every value.
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if not self.load_grid:
@@ -51,6 +54,8 @@ class ExperimentConfig:
         for load in self.load_grid:
             if not (0.0 < load < 1.0):
                 raise ExperimentError(f"loads must lie in (0, 1), got {load}")
+        if self.workers < 0:
+            raise ExperimentError(f"workers must be >= 0, got {self.workers}")
 
     # ------------------------------------------------------------------ #
     # Workload helpers
@@ -82,6 +87,10 @@ class ExperimentConfig:
 
     def with_measurement(self, measurement: MeasurementConfig) -> "ExperimentConfig":
         return replace(self, measurement=measurement)
+
+    def with_workers(self, workers: int) -> "ExperimentConfig":
+        """Copy with a different replication worker count (0 = auto)."""
+        return replace(self, workers=int(workers))
 
 
 PRESETS: dict[str, ExperimentConfig] = {

@@ -27,7 +27,12 @@ import numpy as np
 from ..core.psd import PsdSpec
 from ..metrics.percentile import percentile_band
 from ..simulation.monitor import MeasurementConfig
-from .base import ExperimentResult, pooled_window_ratios, simulate_psd_point
+from .base import (
+    ExperimentResult,
+    ServerFactory,
+    pooled_window_ratios,
+    simulate_psd_point,
+)
 from .config import ExperimentConfig, get_preset
 
 __all__ = [
@@ -49,6 +54,7 @@ def run_ratio_percentiles(
     *,
     experiment_id: str,
     title: str,
+    server_factory: ServerFactory | None = None,
 ) -> ExperimentResult:
     """Percentiles of windowed slowdown ratios for one or more delta vectors.
 
@@ -80,7 +86,11 @@ def run_ratio_percentiles(
         for load_index, load in enumerate(config.load_grid):
             classes = config.classes_for_load(load, spec.deltas)
             summary = simulate_psd_point(
-                classes, spec, config, seed_offset=1000 * vec_index + load_index
+                classes,
+                spec,
+                config,
+                seed_offset=1000 * vec_index + load_index,
+                server_factory=server_factory,
             )
             for class_index in range(1, spec.num_classes):
                 ratios = pooled_window_ratios(summary, class_index, 0)
@@ -136,6 +146,7 @@ def run_individual_requests(
     title: str,
     deltas: Sequence[float] = (1.0, 2.0),
     span: float = 1000.0,
+    server_factory: ServerFactory | None = None,
 ) -> ExperimentResult:
     """Per-request slowdowns over the last ``span`` time units of one run.
 
@@ -152,7 +163,12 @@ def run_individual_requests(
     measurement: MeasurementConfig = config.scaled_measurement()
     window_start = measurement.horizon - span * service_mean
     summary = simulate_psd_point(
-        classes, spec, config, seed_offset=int(load * 100), measurement=measurement
+        classes,
+        spec,
+        config,
+        seed_offset=int(load * 100),
+        measurement=measurement,
+        server_factory=server_factory,
     )
     run = summary.results[0]
     records = run.trace.in_window(window_start, measurement.horizon, by="completion")

@@ -38,8 +38,8 @@ Reproduction of every figure in the evaluation section (Sec. 4) of
 "Processing Rate Allocation for Proportional Slowdown Differentiation on
 Internet Servers" (Zhou, Wei, Xu — IPDPS 2004).  The paper contains no
 numbered tables; Figures 2-12 are the complete set of quantitative results
-(Figure 1 is the simulation-model diagram, reproduced as the architecture of
-`repro.simulation.PsdServerSimulation`).
+(Figure 1 is the simulation-model diagram, reproduced as a
+`repro.simulation.Scenario` over the idealised `RateScalableServers` model).
 
 Absolute numbers need not match the paper (different random-number generator,
 shorter runs unless the `paper` preset is used); the *shapes* — who is slower,

@@ -1,13 +1,35 @@
 """Discrete-event simulation of PSD provisioning on an Internet server.
 
-* :mod:`repro.simulation.engine` / :mod:`repro.simulation.events` — the DES core.
-* :mod:`repro.simulation.generator` — per-class Poisson request sources.
-* :mod:`repro.simulation.task_server` — rate-scalable FCFS task servers.
-* :mod:`repro.simulation.psd_server` — the full Fig. 1 model (idealised task servers).
-* :mod:`repro.simulation.shared_server` — a single processor driven by a
-  proportional-share scheduler (the packetised counterpart).
-* :mod:`repro.simulation.monitor` / :mod:`repro.simulation.trace` — measurement.
-* :mod:`repro.simulation.runner` — multi-replication orchestration.
+The package is layered as *engine -> scenario -> server model -> runner*:
+
+* :mod:`repro.simulation.engine` / :mod:`repro.simulation.events` — the DES
+  core (clock, calendar, run loop).
+* :mod:`repro.simulation.generator` — per-class request sources (Poisson,
+  deterministic, trace replay).
+* :mod:`repro.simulation.scenario` — :class:`Scenario`, the composable
+  assembly every simulation shares: sources, admission, windowed monitor,
+  trace, estimation-window ticks and the controller hookup.
+* :mod:`repro.simulation.server_models` — pluggable :class:`ServerModel`
+  substrates: :class:`RateScalableServers` (the paper's idealised Fig. 1
+  model) and :class:`SharedProcessorServer` (one full-speed processor driven
+  by any :mod:`repro.scheduling` discipline).
+* :mod:`repro.simulation.psd_server` / :mod:`repro.simulation.shared_server`
+  — thin named wrappers (``PsdServerSimulation``,
+  ``SharedProcessorSimulation``) that pre-select a server model.
+* :mod:`repro.simulation.monitor` / :mod:`repro.simulation.trace` —
+  measurement.
+* :mod:`repro.simulation.runner` — :class:`ReplicationRunner`:
+  multi-replication orchestration, serial or parallel (forked workers) with
+  bit-identical aggregates for any worker count.
+
+Adding a new server model
+-------------------------
+Subclass :class:`ServerModel` and implement ``_on_bind`` (build per-run
+state against the engine), ``submit`` (serve an admitted request, calling
+``self.deliver(request)`` once it completes), ``apply_rates`` (react to a
+re-allocation) and ``backlogs``.  Then run it with
+``Scenario(classes, config, server=YourModel(...)).run()`` — every
+experiment driver, example and bench composes through that same path.
 """
 
 from .engine import SimulationEngine
@@ -21,18 +43,25 @@ from .generator import (
     sources_from_classes,
 )
 from .monitor import MeasurementConfig, WindowSample, WindowedMonitor
-from .psd_server import (
-    PsdServerSimulation,
-    RateController,
-    SimulationResult,
-    StaticRateController,
-)
+from .psd_server import PsdServerSimulation
 from .requests import Request
 from .runner import (
     ReplicatedStatistic,
+    ReplicationRunner,
     ReplicationSummary,
     run_replications,
     summarise_replications,
+)
+from .scenario import (
+    RateController,
+    Scenario,
+    SimulationResult,
+    StaticRateController,
+)
+from .server_models import (
+    RateScalableServers,
+    ServerModel,
+    SharedProcessorServer,
 )
 from .shared_server import SharedProcessorSimulation
 from .task_server import FcfsTaskServer
@@ -53,6 +82,10 @@ __all__ = [
     "WindowedMonitor",
     "Request",
     "FcfsTaskServer",
+    "Scenario",
+    "ServerModel",
+    "RateScalableServers",
+    "SharedProcessorServer",
     "PsdServerSimulation",
     "SharedProcessorSimulation",
     "SimulationResult",
@@ -60,6 +93,7 @@ __all__ = [
     "StaticRateController",
     "SimulationTrace",
     "RequestRecord",
+    "ReplicationRunner",
     "ReplicationSummary",
     "ReplicatedStatistic",
     "run_replications",

@@ -40,7 +40,17 @@ class SimulationEngine:
         return self._processed
 
     def schedule_at(self, time: float, callback: Callable[[], None], *, label: str = "") -> Event:
-        """Schedule ``callback`` at absolute simulated time ``time``."""
+        """Schedule ``callback`` at absolute simulated time ``time``.
+
+        Tolerance contract: requests strictly earlier than ``now`` are
+        rejected, but a tolerance of ``1e-12`` absorbs float drift — model
+        code frequently derives "the current time" through arithmetic such
+        as ``start + k * window``, which can land a hair *below* the exact
+        clock value.  Any ``time`` within ``now - 1e-12 <= time <= now``
+        (including exactly ``now``) is accepted and clamped to ``now``, so
+        the event fires immediately after the current one and the clock
+        never moves backwards.
+        """
         if time < self._now - 1e-12:
             raise SimulationError(
                 f"cannot schedule an event in the past (now={self._now}, requested={time})"

@@ -1,127 +1,46 @@
 """The full PSD server simulation (Figure 1 of the paper).
 
-The model assembles, per request class: a Poisson request generator, a FCFS
-waiting queue and a rate-scalable task server.  A load estimator observes
-every class over fixed estimation windows; at each window boundary the rate
-allocator (Eq. 17) recomputes the task servers' processing rates from the
-estimated loads.  Completed requests are recorded in a trace and a windowed
-monitor, which the experiments turn into the figures of Sec. 4.
+This module is a thin compatibility wrapper: the common assembly (sources,
+monitor, trace, estimation windows, controller hookup) lives in
+:class:`repro.simulation.scenario.Scenario`, and the idealised per-class
+rate-scalable task servers live in
+:class:`repro.simulation.server_models.RateScalableServers`.
+:class:`PsdServerSimulation` simply pre-selects that server model, so legacy
+call sites keep working unchanged.
 
-All durations (warm-up, horizon, window) are interpreted in the same units
-as the service-time distributions — use
-:meth:`repro.simulation.MeasurementConfig.scaled_to_time_units` to convert a
-protocol expressed in the paper's abstract "time units" (multiples of the
-mean service time).
+``RateController``, ``StaticRateController`` and ``SimulationResult`` are
+re-exported from :mod:`repro.simulation.scenario` for backwards
+compatibility.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.controller import PsdController
 from ..core.psd import PsdSpec
-from ..distributions.rng import spawn_generators
-from ..errors import SimulationError
 from ..types import TrafficClass
-from .engine import SimulationEngine
-from .generator import RequestSource, sources_from_classes
-from .monitor import MeasurementConfig, WindowedMonitor
-from .requests import Request
+from .generator import RequestSource
+from .monitor import MeasurementConfig
+from .scenario import (
+    RateController,
+    Scenario,
+    SimulationResult,
+    StaticRateController,
+)
+from .server_models import RateScalableServers
 from .task_server import FcfsTaskServer
-from .trace import SimulationTrace
 
 __all__ = ["SimulationResult", "PsdServerSimulation", "RateController", "StaticRateController"]
 
 
-class RateController:
-    """Protocol-style base for rate controllers driven by the simulation.
+class PsdServerSimulation(Scenario):
+    """Discrete-event simulation of the PSD server of Fig. 1.
 
-    A controller exposes the rate vector currently in force and accepts one
-    observation per estimation window.  :class:`repro.core.PsdController`
-    implements this interface; :class:`StaticRateController` provides a
-    non-adaptive alternative used by the baseline and ablation benches.
+    Equivalent to ``Scenario(classes, config, server=RateScalableServers(),
+    ...)``; kept as a named entry point for the paper's model.
     """
-
-    @property
-    def current_rates(self) -> tuple[float, ...]:  # pragma: no cover - interface
-        raise NotImplementedError
-
-    def observe_window(
-        self, time: float, window_length: float, arrivals: Sequence[int], work: Sequence[float]
-    ):  # pragma: no cover - interface
-        raise NotImplementedError
-
-
-class StaticRateController(RateController):
-    """A controller that never changes its rate vector."""
-
-    def __init__(self, rates: Sequence[float]) -> None:
-        rates = tuple(float(r) for r in rates)
-        if not rates or any(r < 0.0 for r in rates):
-            raise SimulationError("rates must be a non-empty vector of non-negative values")
-        self._rates = rates
-        self.observations = 0
-
-    @property
-    def current_rates(self) -> tuple[float, ...]:
-        return self._rates
-
-    def observe_window(self, time, window_length, arrivals, work):
-        self.observations += 1
-        return None
-
-
-@dataclass
-class SimulationResult:
-    """Everything a single simulation run produced."""
-
-    classes: tuple[TrafficClass, ...]
-    config: MeasurementConfig
-    trace: SimulationTrace
-    monitor: WindowedMonitor
-    controller: RateController
-    rate_history: list[tuple[float, tuple[float, ...]]] = field(default_factory=list)
-    generated_counts: tuple[int, ...] = ()
-    completed_counts: tuple[int, ...] = ()
-    rejected_counts: tuple[int, ...] = ()
-
-    # ------------------------------------------------------------------ #
-    # Post-warm-up summaries (the quantities the paper reports)
-    # ------------------------------------------------------------------ #
-    def measured_records(self):
-        """Completed requests whose completion falls after the warm-up."""
-        return self.trace.in_window(self.config.warmup, float("inf"), by="completion")
-
-    def per_class_mean_slowdowns(self) -> tuple[float, ...]:
-        records = self.measured_records()
-        out = []
-        for c in range(len(self.classes)):
-            vals = [r.slowdown for r in records if r.class_index == c]
-            out.append(float(np.mean(vals)) if vals else float("nan"))
-        return tuple(out)
-
-    def per_class_mean_waiting_times(self) -> tuple[float, ...]:
-        records = self.measured_records()
-        out = []
-        for c in range(len(self.classes)):
-            vals = [r.waiting_time for r in records if r.class_index == c]
-            out.append(float(np.mean(vals)) if vals else float("nan"))
-        return tuple(out)
-
-    def system_mean_slowdown(self) -> float:
-        vals = [r.slowdown for r in self.measured_records()]
-        return float(np.mean(vals)) if vals else float("nan")
-
-    def slowdown_ratios_to_first(self) -> tuple[float, ...]:
-        means = self.per_class_mean_slowdowns()
-        return tuple(m / means[0] for m in means)
-
-
-class PsdServerSimulation:
-    """Discrete-event simulation of the PSD server of Fig. 1."""
 
     def __init__(
         self,
@@ -134,147 +53,18 @@ class PsdServerSimulation:
         sources: Sequence[RequestSource] | None = None,
         admission: "AdmissionPolicy | None" = None,
     ) -> None:
-        if not classes:
-            raise SimulationError("classes must be non-empty")
-        self.classes = tuple(classes)
-        self.config = config
-        self.admission = admission
-        self.engine = SimulationEngine()
-        if controller is None:
-            if spec is None:
-                spec = PsdSpec(tuple(cls.delta for cls in classes))
-            controller = PsdController(self.classes, spec)
-        self.controller = controller
-        if sources is None:
-            rngs = spawn_generators(seed, len(self.classes))
-            sources = sources_from_classes(self.classes, rngs)
-        if len(sources) != len(self.classes):
-            raise SimulationError("one request source per class is required")
-        self.sources = list(sources)
-
-        self.trace = SimulationTrace(len(self.classes))
-        self.monitor = WindowedMonitor(
-            len(self.classes), warmup=config.warmup, window=config.window
+        super().__init__(
+            classes,
+            config,
+            server=RateScalableServers(),
+            spec=spec,
+            controller=controller,
+            seed=seed,
+            sources=sources,
+            admission=admission,
         )
-        self.rate_history: list[tuple[float, tuple[float, ...]]] = []
 
-        self._request_counter = 0
-        self._window_arrivals = [0] * len(self.classes)
-        self._window_work = [0.0] * len(self.classes)
-        self._window_slowdown_sums = [0.0] * len(self.classes)
-        self._window_slowdown_counts = [0] * len(self.classes)
-        self._generated = [0] * len(self.classes)
-        self._completed = [0] * len(self.classes)
-        self._rejected = [0] * len(self.classes)
-
-        initial_rates = self.controller.current_rates
-        if len(initial_rates) != len(self.classes):
-            raise SimulationError("controller rate vector length does not match classes")
-        self.task_servers = [
-            FcfsTaskServer(self.engine, i, rate, on_completion=self._on_completion)
-            for i, rate in enumerate(initial_rates)
-        ]
-        self.rate_history.append((0.0, tuple(initial_rates)))
-
-    # ------------------------------------------------------------------ #
-    # Event handlers
-    # ------------------------------------------------------------------ #
-    def _schedule_first_arrivals(self) -> None:
-        for index, source in enumerate(self.sources):
-            gap = source.next_interarrival()
-            if np.isfinite(gap):
-                self.engine.schedule_after(gap, self._make_arrival(index), label=f"arrival-{index}")
-
-    def _make_arrival(self, class_index: int):
-        def handle() -> None:
-            source = self.sources[class_index]
-            size = source.next_size()
-            self._generated[class_index] += 1
-            if self._admit(class_index, size):
-                request = Request(
-                    request_id=self._request_counter,
-                    class_index=class_index,
-                    arrival_time=self.engine.now,
-                    size=size,
-                )
-                self._request_counter += 1
-                self._window_arrivals[class_index] += 1
-                self._window_work[class_index] += size
-                self.task_servers[class_index].submit(request)
-            else:
-                self._rejected[class_index] += 1
-            gap = source.next_interarrival()
-            if np.isfinite(gap):
-                self.engine.schedule_after(gap, handle, label=f"arrival-{class_index}")
-
-        return handle
-
-    def _admit(self, class_index: int, size: float) -> bool:
-        if self.admission is None:
-            return True
-        from ..core.admission import SystemSnapshot
-
-        allocation = getattr(self.controller, "current_allocation", None)
-        estimated = (
-            tuple(allocation.offered_loads)
-            if allocation is not None
-            else tuple(0.0 for _ in self.classes)
-        )
-        snapshot = SystemSnapshot(
-            time=self.engine.now,
-            backlogs=tuple(server.backlog for server in self.task_servers),
-            estimated_loads=estimated,
-        )
-        return self.admission.admit(class_index, size, snapshot)
-
-    def _on_completion(self, request: Request) -> None:
-        self._completed[request.class_index] += 1
-        record = self.trace.add(request)
-        self.monitor.record(record)
-        self._window_slowdown_sums[request.class_index] += record.slowdown
-        self._window_slowdown_counts[request.class_index] += 1
-
-    def _window_boundary(self) -> None:
-        arrivals = tuple(self._window_arrivals)
-        work = tuple(self._window_work)
-        slowdowns = tuple(
-            (s / c) if c else float("nan")
-            for s, c in zip(self._window_slowdown_sums, self._window_slowdown_counts)
-        )
-        self._window_arrivals = [0] * len(self.classes)
-        self._window_work = [0.0] * len(self.classes)
-        self._window_slowdown_sums = [0.0] * len(self.classes)
-        self._window_slowdown_counts = [0] * len(self.classes)
-        if getattr(self.controller, "wants_slowdown_feedback", False):
-            self.controller.observe_window(
-                self.engine.now, self.config.window, arrivals, work, slowdowns=slowdowns
-            )
-        else:
-            self.controller.observe_window(self.engine.now, self.config.window, arrivals, work)
-        rates = self.controller.current_rates
-        for server, rate in zip(self.task_servers, rates):
-            server.set_rate(rate)
-        self.rate_history.append((self.engine.now, tuple(rates)))
-        next_boundary = self.engine.now + self.config.window
-        if next_boundary <= self.config.horizon:
-            self.engine.schedule_at(next_boundary, self._window_boundary, label="window")
-
-    # ------------------------------------------------------------------ #
-    # Run
-    # ------------------------------------------------------------------ #
-    def run(self) -> SimulationResult:
-        """Execute the simulation and return the collected results."""
-        self._schedule_first_arrivals()
-        self.engine.schedule_at(self.config.window, self._window_boundary, label="window")
-        self.engine.run_until(self.config.horizon)
-        return SimulationResult(
-            classes=self.classes,
-            config=self.config,
-            trace=self.trace,
-            monitor=self.monitor,
-            controller=self.controller,
-            rate_history=self.rate_history,
-            generated_counts=tuple(self._generated),
-            completed_counts=tuple(self._completed),
-            rejected_counts=tuple(self._rejected),
-        )
+    @property
+    def task_servers(self) -> list[FcfsTaskServer]:
+        """The per-class rate-scalable task servers of the Fig. 1 model."""
+        return self.server.servers

@@ -1,15 +1,36 @@
-"""Multi-replication orchestration.
+"""Multi-replication orchestration, serial or parallel.
 
-Every data point in the paper is an average over 100 independent runs.  The
-runner spawns one child seed per replication (so replications are independent
-and reproducible), executes a caller-supplied simulation factory for each,
-and aggregates per-class slowdowns and slowdown ratios with standard errors
-and normal-approximation confidence intervals.
+Every data point in the paper is an average over 100 independent runs.
+:class:`ReplicationRunner` spawns one child seed per replication (so
+replications are independent and reproducible), executes a caller-supplied
+simulation factory for each — serially or across ``workers`` forked
+processes — and aggregates per-class slowdowns and slowdown ratios with
+standard errors and normal-approximation confidence intervals.
+
+Determinism contract: the child seeds are spawned once, in replication
+order, from ``base_seed`` (``spawn_seed_sequences(base_seed, replications)``)
+and the per-replication results are re-assembled in replication order before
+aggregation.  A run with ``workers=N`` therefore produces *bit-for-bit* the
+same :class:`ReplicationSummary` statistics as ``workers=1`` for the same
+``base_seed``, regardless of worker count or completion order.
+
+Parallel execution uses ``fork``-start multiprocessing so that arbitrary
+build closures (the common idiom throughout the experiments) need not be
+picklable; on platforms without ``fork`` the runner silently degrades to
+serial execution, preserving results exactly.  Note that in parallel mode
+any mutation the build callable performs on enclosing state happens in the
+child process and is *not* visible to the parent — return everything you
+need through the :class:`SimulationResult`.
 """
 
 from __future__ import annotations
 
 import math
+import multiprocessing
+import os
+import pickle
+import queue as queue_module
+import traceback
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
@@ -17,9 +38,19 @@ import numpy as np
 
 from ..distributions.rng import spawn_seed_sequences
 from ..errors import SimulationError
-from .psd_server import SimulationResult
+from .scenario import SimulationResult
 
-__all__ = ["ReplicationSummary", "ReplicatedStatistic", "run_replications", "summarise_replications"]
+__all__ = [
+    "ReplicationRunner",
+    "ReplicationSummary",
+    "ReplicatedStatistic",
+    "run_replications",
+    "summarise_replications",
+]
+
+#: A build callable: ``build(replication_index, seed_sequence)`` constructs,
+#: runs and returns one :class:`SimulationResult`.
+BuildFn = Callable[[int, np.random.SeedSequence], SimulationResult]
 
 
 @dataclass(frozen=True)
@@ -72,23 +103,157 @@ class ReplicationSummary:
         return tuple(m / means[0] for m in means)
 
 
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _worker(
+    build: BuildFn,
+    seeds: Sequence[np.random.SeedSequence],
+    indices: Sequence[int],
+    out: "multiprocessing.Queue",
+) -> None:
+    """Run a contiguous-by-stride slice of replications in a forked child.
+
+    Results are pre-pickled inside the try block: the queue's feeder thread
+    serialises asynchronously, so an unpicklable result would otherwise be
+    dropped silently and surface as an uninformative dead-worker error.
+    KeyboardInterrupt/SystemExit are deliberately not caught — they kill the
+    child, which the parent's dead-worker check reports.
+    """
+    for index in indices:
+        try:
+            payload = pickle.dumps(build(index, seeds[index]))
+        except Exception:
+            out.put((index, None, traceback.format_exc()))
+            return
+        out.put((index, payload, None))
+
+
+@dataclass(frozen=True)
+class ReplicationRunner:
+    """Runs N independent replications and aggregates their statistics.
+
+    Parameters
+    ----------
+    replications:
+        Number of independent simulation runs.
+    base_seed:
+        Root of the seed tree; one child ``SeedSequence`` is spawned per
+        replication, in replication order.
+    workers:
+        ``1`` (default) runs serially in-process.  ``N > 1`` forks ``N``
+        worker processes, each executing a deterministic slice of the
+        replication indices.  ``0`` or ``None`` auto-sizes to the CPU count;
+        negative values are rejected.  The aggregated summary is bit-for-bit
+        identical for every value.
+
+    Error contract: an exception raised by ``build`` propagates unchanged in
+    serial mode; in parallel mode it surfaces as a :class:`SimulationError`
+    carrying the failing replication index and the child's traceback (the
+    original exception object cannot cross the process boundary reliably).
+    """
+
+    replications: int
+    base_seed: int | np.random.SeedSequence | None = 0
+    workers: int | None = 1
+
+    def resolved_workers(self) -> int:
+        """The number of worker processes a :meth:`run` call will use."""
+        if self.workers is not None and self.workers < 0:
+            raise SimulationError(f"workers must be >= 0, got {self.workers}")
+        if self.workers is None or self.workers == 0:
+            if hasattr(os, "sched_getaffinity"):
+                limit = len(os.sched_getaffinity(0)) or 1
+            else:  # pragma: no cover - non-Linux
+                limit = os.cpu_count() or 1
+        else:
+            limit = self.workers
+        return max(1, min(limit, self.replications))
+
+    def run(self, build: BuildFn) -> ReplicationSummary:
+        """Execute ``build`` for every replication and aggregate the results."""
+        return summarise_replications(self.run_raw(build))
+
+    def run_raw(self, build: BuildFn) -> list[SimulationResult]:
+        """Execute every replication and return the results in index order."""
+        if self.replications <= 0:
+            raise SimulationError("replications must be > 0")
+        seeds = spawn_seed_sequences(self.base_seed, self.replications)
+        workers = self.resolved_workers()
+        if workers <= 1 or not _fork_available():
+            return [build(i, seed) for i, seed in enumerate(seeds)]
+        return self._run_parallel(build, seeds, workers)
+
+    # ------------------------------------------------------------------ #
+    # Parallel execution
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _run_parallel(
+        build: BuildFn, seeds: list[np.random.SeedSequence], workers: int
+    ) -> list[SimulationResult]:
+        ctx = multiprocessing.get_context("fork")
+        out: multiprocessing.Queue = ctx.Queue()
+        # Strided slices balance heterogeneous replication costs and are a
+        # pure function of (replications, workers) — never of timing.
+        slices = [list(range(start, len(seeds), workers)) for start in range(workers)]
+        processes = [
+            ctx.Process(target=_worker, args=(build, seeds, indices, out), daemon=True)
+            for indices in slices
+            if indices
+        ]
+        for process in processes:
+            process.start()
+        results: list[SimulationResult | None] = [None] * len(seeds)
+        failure: tuple[int, str] | None = None
+        remaining = len(seeds)
+        try:
+            while remaining and failure is None:
+                try:
+                    index, result, error = out.get(timeout=1.0)
+                except queue_module.Empty:
+                    if not any(p.is_alive() for p in processes) and out.empty():
+                        raise SimulationError(
+                            "a replication worker died without reporting a result"
+                        ) from None
+                    continue
+                remaining -= 1
+                if error is not None:
+                    failure = (index, error)
+                else:
+                    results[index] = pickle.loads(result)
+        finally:
+            if failure is not None or remaining:
+                for process in processes:
+                    process.terminate()
+            for process in processes:
+                process.join()
+        if failure is not None:
+            index, error = failure
+            raise SimulationError(
+                f"replication {index} failed in a worker process:\n{error}"
+            )
+        return results  # type: ignore[return-value]
+
+
 def run_replications(
-    build: Callable[[int, np.random.SeedSequence], SimulationResult],
+    build: BuildFn,
     *,
     replications: int,
     base_seed: int | np.random.SeedSequence | None = 0,
+    workers: int | None = 1,
 ) -> ReplicationSummary:
     """Run ``replications`` independent simulations and aggregate them.
 
+    Convenience wrapper over :class:`ReplicationRunner`;
     ``build(replication_index, seed_sequence)`` must construct, run and
     return one :class:`SimulationResult`.  Seeds are spawned from
-    ``base_seed`` so each replication gets an independent stream.
+    ``base_seed`` so each replication gets an independent stream; the
+    aggregate is identical for every ``workers`` value.
     """
-    if replications <= 0:
-        raise SimulationError("replications must be > 0")
-    seeds = spawn_seed_sequences(base_seed, replications)
-    results = [build(i, seed) for i, seed in enumerate(seeds)]
-    return summarise_replications(results)
+    return ReplicationRunner(
+        replications=replications, base_seed=base_seed, workers=workers
+    ).run(build)
 
 
 def summarise_replications(results: Sequence[SimulationResult]) -> ReplicationSummary:

@@ -1,0 +1,324 @@
+"""The composable simulation scenario: common assembly for every server model.
+
+Every PSD simulation — the paper's idealised Fig. 1 model, the realistic
+shared-processor variant, or any future server model — shares the same
+skeleton: per-class request sources feed requests through an (optional)
+admission policy into the serving substrate; a windowed monitor and a trace
+record completions; at every estimation-window boundary the controller
+observes the window's arrivals/work (and, for feedback controllers, the
+measured slowdowns) and re-allocates the per-class processing rates, which
+are pushed back into the server model.
+
+:class:`Scenario` owns that skeleton once.  The serving substrate is a
+pluggable :class:`~repro.simulation.server_models.ServerModel`; the
+controller is any :class:`RateController` (the adaptive
+:class:`repro.core.PsdController` by default).  The legacy entry points
+``PsdServerSimulation`` and ``SharedProcessorSimulation`` are thin wrappers
+that pre-select the server model.
+
+All durations (warm-up, horizon, window) are interpreted in the same units
+as the service-time distributions — use
+:meth:`repro.simulation.MeasurementConfig.scaled_to_time_units` to convert a
+protocol expressed in the paper's abstract "time units" (multiples of the
+mean service time).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.controller import PsdController
+from ..core.psd import PsdSpec
+from ..distributions.rng import spawn_generators
+from ..errors import SimulationError
+from ..types import TrafficClass
+from .engine import SimulationEngine
+from .generator import RequestSource, sources_from_classes
+from .monitor import MeasurementConfig, WindowedMonitor
+from .requests import Request
+from .server_models import RateScalableServers, ServerModel
+from .trace import SimulationTrace
+
+__all__ = [
+    "RateController",
+    "StaticRateController",
+    "SimulationResult",
+    "Scenario",
+]
+
+
+class RateController:
+    """Protocol-style base for rate controllers driven by the simulation.
+
+    A controller exposes the rate vector currently in force and accepts one
+    observation per estimation window.  :class:`repro.core.PsdController`
+    implements this interface; :class:`StaticRateController` provides a
+    non-adaptive alternative used by the baseline and ablation benches.
+    """
+
+    @property
+    def current_rates(self) -> tuple[float, ...]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def observe_window(
+        self, time: float, window_length: float, arrivals: Sequence[int], work: Sequence[float]
+    ):  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class StaticRateController(RateController):
+    """A controller that never changes its rate vector."""
+
+    def __init__(self, rates: Sequence[float]) -> None:
+        rates = tuple(float(r) for r in rates)
+        if not rates or any(r < 0.0 for r in rates):
+            raise SimulationError("rates must be a non-empty vector of non-negative values")
+        self._rates = rates
+        self.observations = 0
+
+    @property
+    def current_rates(self) -> tuple[float, ...]:
+        return self._rates
+
+    def observe_window(self, time, window_length, arrivals, work):
+        self.observations += 1
+        return None
+
+
+@dataclass
+class SimulationResult:
+    """Everything a single simulation run produced."""
+
+    classes: tuple[TrafficClass, ...]
+    config: MeasurementConfig
+    trace: SimulationTrace
+    monitor: WindowedMonitor
+    controller: RateController
+    rate_history: list[tuple[float, tuple[float, ...]]] = field(default_factory=list)
+    generated_counts: tuple[int, ...] = ()
+    completed_counts: tuple[int, ...] = ()
+    rejected_counts: tuple[int, ...] = ()
+
+    # ------------------------------------------------------------------ #
+    # Post-warm-up summaries (the quantities the paper reports)
+    # ------------------------------------------------------------------ #
+    def measured_records(self):
+        """Completed requests whose completion falls after the warm-up."""
+        return self.trace.in_window(self.config.warmup, float("inf"), by="completion")
+
+    def per_class_mean_slowdowns(self) -> tuple[float, ...]:
+        records = self.measured_records()
+        out = []
+        for c in range(len(self.classes)):
+            vals = [r.slowdown for r in records if r.class_index == c]
+            out.append(float(np.mean(vals)) if vals else float("nan"))
+        return tuple(out)
+
+    def per_class_mean_waiting_times(self) -> tuple[float, ...]:
+        records = self.measured_records()
+        out = []
+        for c in range(len(self.classes)):
+            vals = [r.waiting_time for r in records if r.class_index == c]
+            out.append(float(np.mean(vals)) if vals else float("nan"))
+        return tuple(out)
+
+    def per_class_completed_work(self) -> tuple[float, ...]:
+        """Total full-rate service demand completed per class after warm-up."""
+        records = self.measured_records()
+        work = [0.0] * len(self.classes)
+        for r in records:
+            work[r.class_index] += r.size
+        return tuple(work)
+
+    def system_mean_slowdown(self) -> float:
+        vals = [r.slowdown for r in self.measured_records()]
+        return float(np.mean(vals)) if vals else float("nan")
+
+    def slowdown_ratios_to_first(self) -> tuple[float, ...]:
+        means = self.per_class_mean_slowdowns()
+        return tuple(m / means[0] for m in means)
+
+
+class Scenario:
+    """One simulation run: sources + admission + server model + controller.
+
+    Parameters
+    ----------
+    classes:
+        The traffic classes sharing the server.
+    config:
+        Measurement protocol (warm-up, horizon, estimation window).
+    server:
+        The serving substrate; defaults to the paper's idealised
+        :class:`~repro.simulation.server_models.RateScalableServers`.  Server
+        models hold per-run state, so pass a *fresh* instance per scenario.
+    spec / controller:
+        Either a :class:`~repro.core.PsdSpec` (an adaptive
+        :class:`~repro.core.PsdController` is built from it) or an explicit
+        :class:`RateController`.  With neither, the spec defaults to the
+        classes' own deltas.
+    seed / sources:
+        Either a seed (one RNG stream is spawned per class and Poisson
+        sources are built from the classes) or explicit request sources.
+    admission:
+        Optional :class:`repro.core.AdmissionPolicy`; rejected requests are
+        counted but never enter the server model.
+    """
+
+    def __init__(
+        self,
+        classes: Sequence[TrafficClass],
+        config: MeasurementConfig,
+        *,
+        server: ServerModel | None = None,
+        spec: PsdSpec | None = None,
+        controller: RateController | None = None,
+        seed: int | np.random.SeedSequence | None = 0,
+        sources: Sequence[RequestSource] | None = None,
+        admission: "AdmissionPolicy | None" = None,
+    ) -> None:
+        if not classes:
+            raise SimulationError("classes must be non-empty")
+        self.classes = tuple(classes)
+        self.config = config
+        self.admission = admission
+        self.engine = SimulationEngine()
+        if controller is None:
+            if spec is None:
+                spec = PsdSpec(tuple(cls.delta for cls in classes))
+            controller = PsdController(self.classes, spec)
+        self.controller = controller
+        if sources is None:
+            rngs = spawn_generators(seed, len(self.classes))
+            sources = sources_from_classes(self.classes, rngs)
+        if len(sources) != len(self.classes):
+            raise SimulationError("one request source per class is required")
+        self.sources = list(sources)
+
+        self.trace = SimulationTrace(len(self.classes))
+        self.monitor = WindowedMonitor(
+            len(self.classes), warmup=config.warmup, window=config.window
+        )
+        self.rate_history: list[tuple[float, tuple[float, ...]]] = []
+
+        self._request_counter = 0
+        self._window_arrivals = [0] * len(self.classes)
+        self._window_work = [0.0] * len(self.classes)
+        self._window_slowdown_sums = [0.0] * len(self.classes)
+        self._window_slowdown_counts = [0] * len(self.classes)
+        self._generated = [0] * len(self.classes)
+        self._completed = [0] * len(self.classes)
+        self._rejected = [0] * len(self.classes)
+
+        initial_rates = self.controller.current_rates
+        if len(initial_rates) != len(self.classes):
+            raise SimulationError("controller rate vector length does not match classes")
+        self.server = server if server is not None else RateScalableServers()
+        self.server.bind(self.engine, self.classes, self._on_completion)
+        self.server.apply_rates(initial_rates)
+        self.rate_history.append((0.0, tuple(initial_rates)))
+
+    # ------------------------------------------------------------------ #
+    # Event handlers
+    # ------------------------------------------------------------------ #
+    def _schedule_first_arrivals(self) -> None:
+        for index, source in enumerate(self.sources):
+            gap = source.next_interarrival()
+            if np.isfinite(gap):
+                self.engine.schedule_after(gap, self._make_arrival(index), label=f"arrival-{index}")
+
+    def _make_arrival(self, class_index: int):
+        def handle() -> None:
+            source = self.sources[class_index]
+            size = source.next_size()
+            self._generated[class_index] += 1
+            if self._admit(class_index, size):
+                request = Request(
+                    request_id=self._request_counter,
+                    class_index=class_index,
+                    arrival_time=self.engine.now,
+                    size=size,
+                )
+                self._request_counter += 1
+                self._window_arrivals[class_index] += 1
+                self._window_work[class_index] += size
+                self.server.submit(request)
+            else:
+                self._rejected[class_index] += 1
+            gap = source.next_interarrival()
+            if np.isfinite(gap):
+                self.engine.schedule_after(gap, handle, label=f"arrival-{class_index}")
+
+        return handle
+
+    def _admit(self, class_index: int, size: float) -> bool:
+        if self.admission is None:
+            return True
+        from ..core.admission import SystemSnapshot
+
+        allocation = getattr(self.controller, "current_allocation", None)
+        estimated = (
+            tuple(allocation.offered_loads)
+            if allocation is not None
+            else tuple(0.0 for _ in self.classes)
+        )
+        snapshot = SystemSnapshot(
+            time=self.engine.now,
+            backlogs=self.server.backlogs(),
+            estimated_loads=estimated,
+        )
+        return self.admission.admit(class_index, size, snapshot)
+
+    def _on_completion(self, request: Request) -> None:
+        self._completed[request.class_index] += 1
+        record = self.trace.add(request)
+        self.monitor.record(record)
+        self._window_slowdown_sums[request.class_index] += record.slowdown
+        self._window_slowdown_counts[request.class_index] += 1
+
+    def _window_boundary(self) -> None:
+        arrivals = tuple(self._window_arrivals)
+        work = tuple(self._window_work)
+        slowdowns = tuple(
+            (s / c) if c else float("nan")
+            for s, c in zip(self._window_slowdown_sums, self._window_slowdown_counts)
+        )
+        self._window_arrivals = [0] * len(self.classes)
+        self._window_work = [0.0] * len(self.classes)
+        self._window_slowdown_sums = [0.0] * len(self.classes)
+        self._window_slowdown_counts = [0] * len(self.classes)
+        if getattr(self.controller, "wants_slowdown_feedback", False):
+            self.controller.observe_window(
+                self.engine.now, self.config.window, arrivals, work, slowdowns=slowdowns
+            )
+        else:
+            self.controller.observe_window(self.engine.now, self.config.window, arrivals, work)
+        rates = tuple(self.controller.current_rates)
+        self.server.apply_rates(rates)
+        self.rate_history.append((self.engine.now, rates))
+        next_boundary = self.engine.now + self.config.window
+        if next_boundary <= self.config.horizon:
+            self.engine.schedule_at(next_boundary, self._window_boundary, label="window")
+
+    # ------------------------------------------------------------------ #
+    # Run
+    # ------------------------------------------------------------------ #
+    def run(self) -> SimulationResult:
+        """Execute the simulation and return the collected results."""
+        self._schedule_first_arrivals()
+        self.engine.schedule_at(self.config.window, self._window_boundary, label="window")
+        self.engine.run_until(self.config.horizon)
+        return SimulationResult(
+            classes=self.classes,
+            config=self.config,
+            trace=self.trace,
+            monitor=self.monitor,
+            controller=self.controller,
+            rate_history=self.rate_history,
+            generated_counts=tuple(self._generated),
+            completed_counts=tuple(self._completed),
+            rejected_counts=tuple(self._rejected),
+        )

@@ -1,0 +1,221 @@
+"""Pluggable server models: how allocated rates are realised on hardware.
+
+A :class:`ServerModel` is the serving substrate of a
+:class:`~repro.simulation.scenario.Scenario`.  The scenario owns everything
+that is common to every PSD simulation — request sources, measurement,
+estimation windows, the controller — and delegates to the server model the
+one thing that differs between the paper's idealised analysis and a real
+deployment: *how* requests are served once the controller has decided the
+per-class processing rates.
+
+Two implementations are provided:
+
+* :class:`RateScalableServers` — the paper's Fig. 1 model: one rate-scalable
+  FCFS task server per class, each running at exactly the allocated rate
+  (the fluid idealisation behind Eq. 17).
+* :class:`SharedProcessorServer` — a realistic variant: one full-speed
+  processor and a proportional-share scheduler from
+  :mod:`repro.scheduling` (WFQ, SFQ, stride, lottery, WRR, priority, ...)
+  whose weights track the allocated rates.
+
+Adding a new model (a multi-server cluster, an async backend, a cache in
+front of the processor) means subclassing :class:`ServerModel` and
+implementing four methods; every scenario, experiment driver and replication
+runner then works with it unchanged.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable, Sequence
+
+from ..errors import SimulationError
+from ..scheduling.base import Scheduler, WeightedScheduler
+from ..types import TrafficClass
+from .engine import SimulationEngine
+from .requests import Request
+from .task_server import FcfsTaskServer
+
+__all__ = ["ServerModel", "RateScalableServers", "SharedProcessorServer"]
+
+#: Weights pushed into a :class:`WeightedScheduler` are floored at this value
+#: so that a class with zero allocated rate (no estimated traffic) keeps the
+#: fair-queueing tag arithmetic well defined.
+WEIGHT_FLOOR = 1e-9
+
+
+class ServerModel(abc.ABC):
+    """Protocol for the serving substrate of a scenario.
+
+    Lifecycle: the scenario constructs the model, calls :meth:`bind` exactly
+    once (handing over the engine, the traffic classes and a completion
+    callback), then immediately pushes the controller's initial rate vector
+    via :meth:`apply_rates`.  During the run the scenario calls
+    :meth:`submit` for every admitted request and :meth:`apply_rates` after
+    every estimation window; the model must invoke the ``deliver`` callback
+    with each request once it has been completed (``request.complete`` must
+    already have been called).
+    """
+
+    def __init__(self) -> None:
+        self.engine: SimulationEngine | None = None
+        self.classes: tuple[TrafficClass, ...] = ()
+        self._deliver: Callable[[Request], None] | None = None
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+    def bind(
+        self,
+        engine: SimulationEngine,
+        classes: Sequence[TrafficClass],
+        deliver: Callable[[Request], None],
+    ) -> None:
+        """Attach the model to a scenario's engine and completion sink."""
+        if self.engine is not None:
+            raise SimulationError(
+                "server model is already bound to a scenario; build a fresh "
+                "model instance per scenario (they hold per-run state)"
+            )
+        if not classes:
+            raise SimulationError("classes must be non-empty")
+        self.engine = engine
+        self.classes = tuple(classes)
+        self._deliver = deliver
+        self._on_bind()
+
+    def deliver(self, request: Request) -> None:
+        """Hand a completed request back to the scenario."""
+        if self._deliver is None:
+            raise SimulationError("server model delivered a request before bind()")
+        self._deliver(request)
+
+    # ------------------------------------------------------------------ #
+    # Model interface
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _on_bind(self) -> None:
+        """Build per-run state (task servers, dispatch bookkeeping, ...)."""
+
+    @abc.abstractmethod
+    def submit(self, request: Request) -> None:
+        """An admitted request arrived and must eventually be served."""
+
+    @abc.abstractmethod
+    def apply_rates(self, rates: Sequence[float]) -> None:
+        """The controller (re-)allocated the per-class processing rates."""
+
+    @abc.abstractmethod
+    def backlogs(self) -> tuple[int, ...]:
+        """Per-class queued request counts (excluding any in service)."""
+
+
+class RateScalableServers(ServerModel):
+    """The paper's idealised model: one rate-scalable task server per class.
+
+    Each class owns a :class:`~repro.simulation.task_server.FcfsTaskServer`
+    whose processing rate is set to the class's allocated rate; a rate change
+    mid-service rescales the in-service request's remaining work, exactly as
+    the fluid analysis of Eq. 17 assumes.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.servers: list[FcfsTaskServer] = []
+
+    def _on_bind(self) -> None:
+        self.servers = [
+            FcfsTaskServer(self.engine, i, 0.0, on_completion=self.deliver)
+            for i in range(self.num_classes)
+        ]
+
+    def submit(self, request: Request) -> None:
+        self.servers[request.class_index].submit(request)
+
+    def apply_rates(self, rates: Sequence[float]) -> None:
+        if len(rates) != len(self.servers):
+            raise SimulationError(
+                f"expected {len(self.servers)} rates, got {len(rates)}"
+            )
+        for server, rate in zip(self.servers, rates):
+            server.set_rate(rate)
+
+    def backlogs(self) -> tuple[int, ...]:
+        return tuple(server.backlog for server in self.servers)
+
+
+class SharedProcessorServer(ServerModel):
+    """A single full-speed processor driven by a pluggable scheduler.
+
+    A real multi-process server has one processor (of ``capacity``) that
+    serves one request at a time; the allocated rates are realised by a
+    proportional-share scheduler deciding, whenever the processor becomes
+    free, which class's head-of-line request runs next.  Service is
+    non-preemptive and always happens at full speed, mirroring
+    packet-by-packet fair queueing.  Any :class:`repro.scheduling.Scheduler`
+    plugs in; for :class:`~repro.scheduling.base.WeightedScheduler` policies
+    the weights are updated to the allocated rates after every estimation
+    window (floored at ``WEIGHT_FLOOR``).
+    """
+
+    def __init__(self, scheduler: Scheduler, *, capacity: float = 1.0) -> None:
+        super().__init__()
+        if capacity <= 0.0:
+            raise SimulationError("capacity must be > 0")
+        self.scheduler = scheduler
+        self.capacity = float(capacity)
+        self._in_service: Request | None = None
+
+    def _on_bind(self) -> None:
+        if self.scheduler.num_classes != self.num_classes:
+            raise SimulationError(
+                "scheduler and classes disagree on the number of classes"
+            )
+        self._in_service = None
+
+    @property
+    def in_service(self) -> Request | None:
+        """The request currently occupying the processor, if any."""
+        return self._in_service
+
+    def submit(self, request: Request) -> None:
+        self.scheduler.enqueue(
+            request.class_index, request.size, self.engine.now, payload=request
+        )
+        self._dispatch_if_idle()
+
+    def apply_rates(self, rates: Sequence[float]) -> None:
+        if isinstance(self.scheduler, WeightedScheduler):
+            self.scheduler.set_weights([max(r, WEIGHT_FLOOR) for r in rates])
+
+    def backlogs(self) -> tuple[int, ...]:
+        return tuple(self.scheduler.backlog(i) for i in range(self.num_classes))
+
+    # ------------------------------------------------------------------ #
+    # Dispatch loop
+    # ------------------------------------------------------------------ #
+    def _dispatch_if_idle(self) -> None:
+        if self._in_service is not None:
+            return
+        job = self.scheduler.select(self.engine.now)
+        if job is None:
+            return
+        request = job.payload
+        if not isinstance(request, Request):
+            raise SimulationError("scheduler returned a job without its request payload")
+        request.start_service(self.engine.now)
+        self._in_service = request
+        service_duration = request.size / self.capacity
+        self.engine.schedule_after(
+            service_duration, self._complete_current, label="completion"
+        )
+
+    def _complete_current(self) -> None:
+        request = self._in_service
+        if request is None:
+            raise SimulationError("completion fired while the processor was idle")
+        request.complete(self.engine.now)
+        self._in_service = None
+        self.deliver(request)
+        self._dispatch_if_idle()

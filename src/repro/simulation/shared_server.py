@@ -1,17 +1,15 @@
 """A shared-processor server driven by a proportional-share scheduler.
 
-The paper's simulation model idealises the rate allocation by giving every
-class its own task server running at exactly the allocated rate.  A real
-multi-process or multi-threaded server instead has a single processor that
-serves one request at a time and realises the rates through a
-proportional-share scheduler (WFQ, lottery, stride, ...).  This module
-simulates that realistic variant: the scheduler's weights are set to the
-allocated rates after every estimation window, and whenever the processor
-becomes free the scheduler picks the next request, which is then served
-non-preemptively at full speed.
+This module is a thin compatibility wrapper: the common assembly lives in
+:class:`repro.simulation.scenario.Scenario`, and the single full-speed
+processor with a pluggable scheduler lives in
+:class:`repro.simulation.server_models.SharedProcessorServer`.
+:class:`SharedProcessorSimulation` pre-selects that server model.
 
-Comparing the two models quantifies how much of the PSD behaviour survives
-packetisation — the scheduler-ablation bench in ``benchmarks/``.
+Comparing this realisation with the idealised
+:class:`~repro.simulation.psd_server.PsdServerSimulation` quantifies how
+much of the PSD behaviour survives packetisation — the scheduler-ablation
+bench in ``benchmarks/``.
 """
 
 from __future__ import annotations
@@ -20,24 +18,23 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from ..core.controller import PsdController
 from ..core.psd import PsdSpec
-from ..distributions.rng import spawn_generators
-from ..errors import SimulationError
-from ..scheduling.base import Scheduler, WeightedScheduler
+from ..scheduling.base import Scheduler
 from ..types import TrafficClass
-from .engine import SimulationEngine
-from .generator import RequestSource, sources_from_classes
-from .monitor import MeasurementConfig, WindowedMonitor
-from .psd_server import RateController, SimulationResult
-from .requests import Request
-from .trace import SimulationTrace
+from .generator import RequestSource
+from .monitor import MeasurementConfig
+from .scenario import RateController, Scenario, SimulationResult
+from .server_models import SharedProcessorServer
 
-__all__ = ["SharedProcessorSimulation"]
+__all__ = ["SharedProcessorSimulation", "SimulationResult"]
 
 
-class SharedProcessorSimulation:
-    """Single full-speed processor + pluggable scheduler + PSD controller."""
+class SharedProcessorSimulation(Scenario):
+    """Single full-speed processor + pluggable scheduler + PSD controller.
+
+    Equivalent to ``Scenario(classes, config,
+    server=SharedProcessorServer(scheduler, capacity=capacity), ...)``.
+    """
 
     def __init__(
         self,
@@ -50,137 +47,25 @@ class SharedProcessorSimulation:
         seed: int | np.random.SeedSequence | None = 0,
         sources: Sequence[RequestSource] | None = None,
         capacity: float = 1.0,
+        admission: "AdmissionPolicy | None" = None,
     ) -> None:
-        if not classes:
-            raise SimulationError("classes must be non-empty")
-        if scheduler.num_classes != len(classes):
-            raise SimulationError("scheduler and classes disagree on the number of classes")
-        if capacity <= 0.0:
-            raise SimulationError("capacity must be > 0")
-        self.classes = tuple(classes)
-        self.config = config
-        self.scheduler = scheduler
-        self.capacity = float(capacity)
-        self.engine = SimulationEngine()
-        if controller is None:
-            if spec is None:
-                spec = PsdSpec(tuple(cls.delta for cls in classes))
-            controller = PsdController(self.classes, spec)
-        self.controller = controller
-        if sources is None:
-            rngs = spawn_generators(seed, len(self.classes))
-            sources = sources_from_classes(self.classes, rngs)
-        self.sources = list(sources)
-
-        self.trace = SimulationTrace(len(self.classes))
-        self.monitor = WindowedMonitor(
-            len(self.classes), warmup=config.warmup, window=config.window
-        )
-        self.rate_history: list[tuple[float, tuple[float, ...]]] = []
-
-        self._request_counter = 0
-        self._window_arrivals = [0] * len(self.classes)
-        self._window_work = [0.0] * len(self.classes)
-        self._generated = [0] * len(self.classes)
-        self._completed = [0] * len(self.classes)
-        self._in_service: Request | None = None
-
-        self._apply_rates(self.controller.current_rates, time=0.0)
-
-    # ------------------------------------------------------------------ #
-    # Controller coupling
-    # ------------------------------------------------------------------ #
-    def _apply_rates(self, rates: Sequence[float], *, time: float) -> None:
-        if isinstance(self.scheduler, WeightedScheduler):
-            # Guard against zero rates (a class with no estimated traffic):
-            # weights must stay positive for the fair-queueing tag arithmetic.
-            floor = 1e-9
-            self.scheduler.set_weights([max(r, floor) for r in rates])
-        self.rate_history.append((time, tuple(float(r) for r in rates)))
-
-    # ------------------------------------------------------------------ #
-    # Event handlers
-    # ------------------------------------------------------------------ #
-    def _schedule_first_arrivals(self) -> None:
-        for index, source in enumerate(self.sources):
-            gap = source.next_interarrival()
-            if np.isfinite(gap):
-                self.engine.schedule_after(gap, self._make_arrival(index), label=f"arrival-{index}")
-
-    def _make_arrival(self, class_index: int):
-        def handle() -> None:
-            source = self.sources[class_index]
-            size = source.next_size()
-            request = Request(
-                request_id=self._request_counter,
-                class_index=class_index,
-                arrival_time=self.engine.now,
-                size=size,
-            )
-            self._request_counter += 1
-            self._generated[class_index] += 1
-            self._window_arrivals[class_index] += 1
-            self._window_work[class_index] += size
-            self.scheduler.enqueue(class_index, size, self.engine.now, payload=request)
-            self._dispatch_if_idle()
-            gap = source.next_interarrival()
-            if np.isfinite(gap):
-                self.engine.schedule_after(gap, handle, label=f"arrival-{class_index}")
-
-        return handle
-
-    def _dispatch_if_idle(self) -> None:
-        if self._in_service is not None:
-            return
-        job = self.scheduler.select(self.engine.now)
-        if job is None:
-            return
-        request = job.payload
-        if not isinstance(request, Request):
-            raise SimulationError("scheduler returned a job without its request payload")
-        request.start_service(self.engine.now)
-        self._in_service = request
-        service_duration = request.size / self.capacity
-        self.engine.schedule_after(
-            service_duration, self._complete_current, label="completion"
+        super().__init__(
+            classes,
+            config,
+            server=SharedProcessorServer(scheduler, capacity=capacity),
+            spec=spec,
+            controller=controller,
+            seed=seed,
+            sources=sources,
+            admission=admission,
         )
 
-    def _complete_current(self) -> None:
-        request = self._in_service
-        if request is None:
-            raise SimulationError("completion fired while the processor was idle")
-        request.complete(self.engine.now)
-        self._in_service = None
-        self._completed[request.class_index] += 1
-        record = self.trace.add(request)
-        self.monitor.record(record)
-        self._dispatch_if_idle()
+    @property
+    def scheduler(self) -> Scheduler:
+        """The proportional-share scheduler realising the rate allocation."""
+        return self.server.scheduler
 
-    def _window_boundary(self) -> None:
-        arrivals = tuple(self._window_arrivals)
-        work = tuple(self._window_work)
-        self._window_arrivals = [0] * len(self.classes)
-        self._window_work = [0.0] * len(self.classes)
-        self.controller.observe_window(self.engine.now, self.config.window, arrivals, work)
-        self._apply_rates(self.controller.current_rates, time=self.engine.now)
-        next_boundary = self.engine.now + self.config.window
-        if next_boundary <= self.config.horizon:
-            self.engine.schedule_at(next_boundary, self._window_boundary, label="window")
-
-    # ------------------------------------------------------------------ #
-    # Run
-    # ------------------------------------------------------------------ #
-    def run(self) -> SimulationResult:
-        self._schedule_first_arrivals()
-        self.engine.schedule_at(self.config.window, self._window_boundary, label="window")
-        self.engine.run_until(self.config.horizon)
-        return SimulationResult(
-            classes=self.classes,
-            config=self.config,
-            trace=self.trace,
-            monitor=self.monitor,
-            controller=self.controller,
-            rate_history=self.rate_history,
-            generated_counts=tuple(self._generated),
-            completed_counts=tuple(self._completed),
-        )
+    @property
+    def capacity(self) -> float:
+        """The shared processor's full-speed capacity."""
+        return self.server.capacity

@@ -1,0 +1,1 @@
+"""Test package (gives duplicate test basenames unique import paths)."""

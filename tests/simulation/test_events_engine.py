@@ -108,6 +108,36 @@ class TestSimulationEngine:
         with pytest.raises(SimulationError):
             engine.schedule_at(3.0, lambda: None)
 
+    def test_schedule_at_now_after_float_drift_is_clamped(self):
+        """The ``now - 1e-12`` tolerance contract of ``schedule_at``.
+
+        Model code derives boundary times arithmetically (``start + k *
+        window``), which can land a hair below the exact clock value; such
+        requests — and requests at exactly ``now`` — must be accepted and
+        clamped to ``now``, never dispatched in the past nor rejected.
+        """
+        engine = SimulationEngine()
+        engine.schedule_at(0.3, lambda: None)
+        engine.run_until(1.0)
+        now = engine.now
+        fired = []
+        # 0.1 + 0.2 == 0.30000000000000004 style drift: a shade below now.
+        drifted = now - 5e-13
+        assert drifted < now
+        engine.schedule_at(drifted, lambda: fired.append(engine.now))
+        engine.schedule_at(now, lambda: fired.append(engine.now))
+        engine.run_until(2.0)
+        # Both fire, clamped to the clock value at scheduling time.
+        assert fired == [now, now]
+        assert engine.now == 2.0
+
+    def test_schedule_at_beyond_tolerance_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule_at(0.5, lambda: None)
+        engine.run_until(1.0)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(engine.now - 1e-9, lambda: None)
+
     def test_cannot_run_backwards(self):
         engine = SimulationEngine()
         engine.run_until(10.0)
