@@ -14,12 +14,14 @@ import pytest
 
 from repro.core import PsdSpec, allocate_rates, expected_slowdowns
 from repro.distributions import BoundedPareto
+from repro.experiments.base import ScenarioBuild
 from repro.scheduling import WeightedFairQueueing
 from repro.simulation import (
     MeasurementConfig,
     PsdServerSimulation,
     ReplicationRunner,
     Scenario,
+    WorkerPool,
 )
 from repro.workload import web_classes
 
@@ -133,3 +135,67 @@ def test_replication_runner_serial_vs_parallel(benchmark):
     assert [r.generated_counts for r in parallel.results] == [
         r.generated_counts for r in serial.results
     ]
+
+
+@pytest.mark.benchmark(group="micro")
+def test_worker_pool_reuse_across_batches(benchmark):
+    """Per-batch forking vs a persistent pool over a multi-batch sweep.
+
+    The pool amortises the fork cost that dominates small (quick-preset)
+    batches; the hard assertion is again the determinism contract — the pool
+    must reproduce the per-batch-fork summaries bit-for-bit for every batch
+    of the sweep.  Wall-times are printed for the record; no speedup is
+    asserted (with one CPU the pool saves only the forks).
+    """
+    classes = web_classes(2, 0.6, (1.0, 2.0))
+    config = MeasurementConfig(
+        warmup=300.0, horizon=2_500.0, window=300.0
+    ).scaled_to_time_units(classes[0].service.mean())
+    build = ScenarioBuild(tuple(classes), config, PsdSpec.of(1, 2))
+    batches = 6
+
+    def run_batches(pool):
+        summaries = []
+        for batch in range(batches):
+            runner = ReplicationRunner(
+                replications=4, base_seed=900 + batch, workers=2, pool=pool
+            )
+            summaries.append(runner.run(build))
+        return summaries
+
+    def timed():
+        start = time.perf_counter()
+        pool = WorkerPool(workers=2)
+        try:
+            pooled = run_batches(pool)
+        finally:
+            pool.close()
+        pooled_time = time.perf_counter() - start
+        # The fresh-pool-per-batch baseline isolates exactly the reuse win.
+        start = time.perf_counter()
+        forked = []
+        for batch in range(batches):
+            pool = WorkerPool(workers=2)
+            try:
+                forked.append(
+                    ReplicationRunner(
+                        replications=4, base_seed=900 + batch, workers=2, pool=pool
+                    ).run(build)
+                )
+            finally:
+                pool.close()
+        forked_time = time.perf_counter() - start
+        return pooled, pooled_time, forked, forked_time
+
+    pooled, pooled_time, forked, forked_time = benchmark.pedantic(
+        timed, rounds=1, iterations=1
+    )
+    print()
+    print(
+        f"  persistent pool: {pooled_time:.2f}s  fork-per-batch: {forked_time:.2f}s  "
+        f"({batches} batches x 4 replications)"
+    )
+    for reused, fresh in zip(pooled, forked):
+        assert reused.per_class_slowdowns == fresh.per_class_slowdowns
+        assert reused.system_slowdown == fresh.system_slowdown
+        assert reused.ratios_to_first == fresh.ratios_to_first

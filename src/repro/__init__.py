@@ -17,6 +17,11 @@ Xu — IPDPS 2004), built as a reusable library:
   :class:`Scenario` assembly over pluggable :class:`ServerModel` substrates
   (the idealised Fig. 1 task servers, a scheduler-driven shared processor)
   plus a serial/parallel :class:`ReplicationRunner`.
+* :mod:`repro.cluster` — the multi-node serving substrate:
+  :class:`ClusterServerModel` dispatches requests across N member server
+  models through pluggable dispatch policies (round-robin, weighted random,
+  join-shortest-queue, least-work-left, class affinity) and fans the
+  controller's rate allocation out via rate partitioners.
 * :mod:`repro.workload`, :mod:`repro.metrics`, :mod:`repro.experiments` —
   workload factories, evaluation statistics, and drivers regenerating every
   figure of the paper's evaluation.
@@ -34,6 +39,13 @@ Quickstart
 """
 
 from ._version import __version__
+from .cluster import (
+    ClusterServerModel,
+    DispatchPolicy,
+    RatePartitioner,
+    build_dispatch_policy,
+    make_cluster,
+)
 from .core import (
     PsdController,
     PsdRateAllocator,
@@ -71,6 +83,8 @@ from .simulation import (
     SharedProcessorServer,
     SharedProcessorSimulation,
     SimulationResult,
+    WorkerPool,
+    load_trace,
     run_replications,
 )
 from .types import TrafficClass
@@ -106,7 +120,15 @@ __all__ = [
     "SharedProcessorSimulation",
     "SimulationResult",
     "ReplicationRunner",
+    "WorkerPool",
     "run_replications",
+    "load_trace",
+    # cluster
+    "ClusterServerModel",
+    "make_cluster",
+    "DispatchPolicy",
+    "RatePartitioner",
+    "build_dispatch_policy",
     # shared types and errors
     "TrafficClass",
     "ReproError",

@@ -1,0 +1,57 @@
+"""Cluster serving: dispatching PSD traffic across many processors.
+
+The paper evaluates proportional slowdown differentiation on a single
+serving substrate; real hosting platforms run the same control loop over a
+*cluster* of processors.  This package provides that substrate as just
+another :class:`~repro.simulation.ServerModel`:
+
+* :mod:`repro.cluster.model` — :class:`ClusterServerModel`, N member server
+  models (idealised task servers, scheduler-driven shared processors, or
+  nested clusters) behind one dispatch point.
+* :mod:`repro.cluster.dispatch` — pluggable :class:`DispatchPolicy` routing:
+  round-robin, seeded weighted-random, join-shortest-queue, least-work-left
+  and class-affinity partitioning.
+* :mod:`repro.cluster.partition` — :class:`RatePartitioner` strategies that
+  fan the controller's per-class rate allocation out to the nodes (equal
+  split, backlog-proportional, affinity-aware), keeping the feedback loop
+  closed over the whole cluster.
+
+``Scenario(classes, config, server=make_cluster(4, "jsq"))`` is all it takes
+to rerun any experiment on a 4-node cluster; the monitor, estimator and
+controller stacks are unchanged.
+"""
+
+from .dispatch import (
+    DISPATCH_POLICIES,
+    ClassAffinity,
+    DispatchPolicy,
+    JoinShortestQueue,
+    LeastWorkLeft,
+    RoundRobin,
+    WeightedRandom,
+    build_dispatch_policy,
+)
+from .model import ClusterServerModel, make_cluster
+from .partition import (
+    AffinityPartitioner,
+    BacklogProportional,
+    EqualSplit,
+    RatePartitioner,
+)
+
+__all__ = [
+    "ClusterServerModel",
+    "make_cluster",
+    "DispatchPolicy",
+    "RoundRobin",
+    "WeightedRandom",
+    "JoinShortestQueue",
+    "LeastWorkLeft",
+    "ClassAffinity",
+    "DISPATCH_POLICIES",
+    "build_dispatch_policy",
+    "RatePartitioner",
+    "EqualSplit",
+    "BacklogProportional",
+    "AffinityPartitioner",
+]

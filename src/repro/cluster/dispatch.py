@@ -1,0 +1,244 @@
+"""Pluggable dispatch policies: which cluster node serves each request.
+
+A :class:`DispatchPolicy` is the routing brain of a
+:class:`~repro.cluster.model.ClusterServerModel`: every admitted request is
+handed to :meth:`DispatchPolicy.select_node`, which returns the index of the
+member node that will serve it.  Policies see the cluster through a small
+read-only view (node/class counts, per-node pending work) so the same policy
+works over any mix of member server models.
+
+Determinism contract: given the same cluster state and, for randomised
+policies, the same seed, ``select_node`` returns the same node.  All ties are
+broken by the lowest node index, so a whole simulation run is reproducible
+from the scenario's master seed alone.
+
+Policies hold per-run state (round-robin cursors, RNG streams) and are bound
+to exactly one cluster — build a fresh policy per scenario, exactly like
+server models.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from ..distributions.rng import make_generator
+from ..errors import SimulationError
+from ..simulation.requests import Request
+
+__all__ = [
+    "DispatchPolicy",
+    "RoundRobin",
+    "WeightedRandom",
+    "JoinShortestQueue",
+    "LeastWorkLeft",
+    "ClassAffinity",
+    "DISPATCH_POLICIES",
+    "build_dispatch_policy",
+]
+
+
+class DispatchPolicy(abc.ABC):
+    """Protocol for cluster request routing.
+
+    The cluster calls :meth:`bind` exactly once (handing over a read-only
+    view of itself — see :class:`~repro.cluster.model.ClusterServerModel` for
+    the accessors policies may use: ``num_nodes``, ``num_classes``,
+    ``pending``, ``work_left``) and then :meth:`select_node` once per
+    admitted request.
+    """
+
+    def __init__(self) -> None:
+        self.cluster = None
+
+    def bind(self, cluster) -> None:
+        """Attach the policy to its cluster; validates policy parameters."""
+        if self.cluster is not None:
+            raise SimulationError(
+                "dispatch policy is already bound to a cluster; build a fresh "
+                "policy per scenario (they hold per-run state)"
+            )
+        if cluster.num_nodes <= 0:
+            raise SimulationError("cluster must have at least one node")
+        self.cluster = cluster
+        self._on_bind()
+
+    def _on_bind(self) -> None:
+        """Validate parameters against the bound cluster (optional hook)."""
+
+    def preferred_partitioner(self):
+        """The rate partitioner this policy works best with, or ``None``.
+
+        Used by :class:`~repro.cluster.model.ClusterServerModel` when the
+        caller does not pick a partitioner explicitly; ``None`` selects the
+        cluster's default (equal split).  :class:`ClassAffinity` overrides
+        this — splitting a class's rate over nodes that never see its
+        requests would waste capacity.
+        """
+        return None
+
+    @abc.abstractmethod
+    def select_node(self, request: Request) -> int:
+        """The index of the member node that will serve ``request``."""
+
+
+class RoundRobin(DispatchPolicy):
+    """Cycle through the nodes in index order, one request per node."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next = 0
+
+    def select_node(self, request: Request) -> int:
+        node = self._next
+        self._next = (self._next + 1) % self.cluster.num_nodes
+        return node
+
+
+class WeightedRandom(DispatchPolicy):
+    """Pick a node at random with the given (or uniform) weights.
+
+    The stream is an explicit :class:`numpy.random.Generator` seeded by the
+    caller — scenario builders spawn it from the scenario's master seed so a
+    run's dispatch sequence is reproducible bit-for-bit.
+    """
+
+    def __init__(
+        self,
+        weights: Sequence[float] | None = None,
+        *,
+        seed: int | np.random.SeedSequence | np.random.Generator | None = 0,
+    ) -> None:
+        super().__init__()
+        self.weights = None if weights is None else tuple(float(w) for w in weights)
+        self.rng = make_generator(seed)
+        self._cumulative: np.ndarray | None = None
+
+    def _on_bind(self) -> None:
+        weights = self.weights
+        if weights is None:
+            weights = (1.0,) * self.cluster.num_nodes
+        if len(weights) != self.cluster.num_nodes:
+            raise SimulationError(
+                f"expected {self.cluster.num_nodes} node weights, got {len(weights)}"
+            )
+        if any(w < 0.0 for w in weights) or sum(weights) <= 0.0:
+            raise SimulationError("node weights must be non-negative with a positive sum")
+        self._cumulative = np.cumsum(np.asarray(weights, dtype=float))
+        self._cumulative /= self._cumulative[-1]
+
+    def select_node(self, request: Request) -> int:
+        return int(np.searchsorted(self._cumulative, self.rng.random(), side="right"))
+
+
+class JoinShortestQueue(DispatchPolicy):
+    """Send the request to the node with the fewest pending requests.
+
+    ``pending`` counts queued *and* in-service requests of the request's own
+    class (the per-class backlog the monitor stack also sees), so a node busy
+    with the class is never mistaken for an idle one.  Ties are broken by the
+    lowest node index, which keeps runs deterministic.
+    """
+
+    def select_node(self, request: Request) -> int:
+        cluster = self.cluster
+        best, best_pending = 0, cluster.pending(0, request.class_index)
+        for node in range(1, cluster.num_nodes):
+            pending = cluster.pending(node, request.class_index)
+            if pending < best_pending:
+                best, best_pending = node, pending
+        return best
+
+
+class LeastWorkLeft(DispatchPolicy):
+    """Send the request to the node with the least outstanding work.
+
+    Outstanding work is the total full-rate service demand of every request
+    dispatched to the node and not yet completed (all classes).  Ties are
+    broken by the lowest node index.
+    """
+
+    def select_node(self, request: Request) -> int:
+        cluster = self.cluster
+        best, best_work = 0, cluster.work_left(0)
+        for node in range(1, cluster.num_nodes):
+            work = cluster.work_left(node)
+            if work < best_work:
+                best, best_work = node, work
+        return best
+
+
+class ClassAffinity(DispatchPolicy):
+    """Partition the request classes across the nodes.
+
+    Every class is pinned to exactly one home node (``partition[c]`` is the
+    node serving class ``c``); by default class ``c`` lives on node
+    ``c % num_nodes``.  Pairs with an affinity-aware rate partitioner (its
+    :meth:`preferred_partitioner`) so each class's allocated rate lands on
+    the node that actually serves it.
+    """
+
+    def __init__(self, partition: Sequence[int] | None = None) -> None:
+        super().__init__()
+        self.partition = None if partition is None else tuple(partition)
+
+    def _on_bind(self) -> None:
+        cluster = self.cluster
+        if self.partition is None:
+            self.partition = tuple(c % cluster.num_nodes for c in range(cluster.num_classes))
+        if len(self.partition) != cluster.num_classes:
+            raise SimulationError(
+                f"partition maps {len(self.partition)} classes, cluster has "
+                f"{cluster.num_classes}"
+            )
+        for class_index, node in enumerate(self.partition):
+            if not isinstance(node, (int, np.integer)) or isinstance(node, bool):
+                raise SimulationError(
+                    f"partition[{class_index}] must be a node index, got {node!r}"
+                )
+            if not (0 <= node < cluster.num_nodes):
+                raise SimulationError(
+                    f"partition[{class_index}] = {node} out of range "
+                    f"[0, {cluster.num_nodes})"
+                )
+        self.partition = tuple(int(node) for node in self.partition)
+
+    def preferred_partitioner(self):
+        from .partition import AffinityPartitioner
+
+        return AffinityPartitioner(self)
+
+    def select_node(self, request: Request) -> int:
+        return self.partition[request.class_index]
+
+
+#: Registry of dispatch-policy factories by short name, as accepted by the
+#: experiments CLI (``--dispatch``) and :func:`build_dispatch_policy`.  Each
+#: factory takes the seed for the policy's RNG stream (ignored by the
+#: deterministic policies).
+DISPATCH_POLICIES: dict[str, Callable[..., DispatchPolicy]] = {
+    "round_robin": lambda *, seed=0: RoundRobin(),
+    "weighted_random": lambda *, seed=0: WeightedRandom(seed=seed),
+    "jsq": lambda *, seed=0: JoinShortestQueue(),
+    "least_work": lambda *, seed=0: LeastWorkLeft(),
+    "affinity": lambda *, seed=0: ClassAffinity(),
+}
+
+
+def build_dispatch_policy(
+    name: str, *, seed: int | np.random.SeedSequence | np.random.Generator | None = 0
+) -> DispatchPolicy:
+    """Build a fresh dispatch policy by registry name.
+
+    ``seed`` feeds the RNG stream of randomised policies (currently only
+    ``weighted_random``); deterministic policies ignore it.
+    """
+    try:
+        factory = DISPATCH_POLICIES[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown dispatch policy {name!r}; available: {sorted(DISPATCH_POLICIES)}"
+        ) from None
+    return factory(seed=seed)

@@ -1,0 +1,217 @@
+"""A multi-node cluster serving substrate.
+
+:class:`ClusterServerModel` is a :class:`~repro.simulation.ServerModel` that
+owns N member server models (any mix of
+:class:`~repro.simulation.RateScalableServers` and
+:class:`~repro.simulation.SharedProcessorServer`, or further clusters) and
+routes every admitted request through a pluggable
+:class:`~repro.cluster.dispatch.DispatchPolicy`.  The controller's per-class
+rate allocation is fanned out to the nodes by a
+:class:`~repro.cluster.partition.RatePartitioner`, so the PSD feedback loop
+closes over the whole cluster; ``backlogs()`` aggregates the per-class
+counts, so the existing monitor/estimator stack works unchanged.
+
+Capacity semantics: member rates are *absolute* for rate-scalable nodes (the
+equal-split cluster of N such nodes has the same total capacity as the
+single server) and *relative weights* for shared-processor nodes (whose
+capacity is fixed at construction) — size shared-processor nodes at
+``capacity = 1 / N`` for a cluster comparable to one unit-capacity server.
+
+The cluster additionally tracks, per node, the pending request count per
+class (queued plus in service) and the outstanding full-rate work, which is
+what the backlog-aware policies and partitioners consume — the bookkeeping
+is model-agnostic, so any member substrate participates in JSQ and
+least-work dispatch without exposing internals.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..simulation.requests import Request
+from ..simulation.server_models import RateScalableServers, ServerModel
+from .dispatch import DispatchPolicy, RoundRobin, build_dispatch_policy
+from .partition import EqualSplit, RatePartitioner
+
+__all__ = ["ClusterServerModel", "make_cluster"]
+
+#: Absolute slack allowed between a class's cluster-level rate and the sum of
+#: its per-node shares before the partition is rejected as non-conserving.
+RATE_CONSERVATION_TOL = 1e-9
+
+
+class ClusterServerModel(ServerModel):
+    """N member server models behind a dispatch policy and a rate partitioner.
+
+    Parameters
+    ----------
+    nodes:
+        The member server models, fresh instances (they hold per-run state).
+    dispatch:
+        Routing policy; defaults to :class:`~repro.cluster.dispatch.RoundRobin`.
+    partitioner:
+        How the controller's per-class rates are split across nodes; defaults
+        to the dispatch policy's preferred partitioner, or an equal split.
+    record_dispatch:
+        When true, every dispatched request's node index is appended to
+        :attr:`dispatch_log` (one entry per request for the whole run — the
+        determinism tests diff these logs).  Off by default so large
+        trace-replay runs do not grow an unbounded list nobody reads;
+        :meth:`dispatch_counts` is always maintained.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[ServerModel],
+        *,
+        dispatch: DispatchPolicy | None = None,
+        partitioner: RatePartitioner | None = None,
+        record_dispatch: bool = False,
+    ) -> None:
+        super().__init__()
+        if not nodes:
+            raise SimulationError("a cluster needs at least one member node")
+        for node in nodes:
+            if not isinstance(node, ServerModel):
+                raise SimulationError(
+                    f"cluster nodes must be ServerModel instances, got "
+                    f"{type(node).__name__}"
+                )
+            if node.engine is not None:
+                raise SimulationError(
+                    "cluster nodes must be fresh, unbound server models"
+                )
+        self.nodes = tuple(nodes)
+        self.dispatch = dispatch if dispatch is not None else RoundRobin()
+        if partitioner is None:
+            partitioner = self.dispatch.preferred_partitioner() or EqualSplit()
+        self.partitioner = partitioner
+        self.record_dispatch = bool(record_dispatch)
+        self._pending: list[list[int]] = []
+        self._work_left: list[float] = []
+        self._dispatch_counts: list[list[int]] = []
+        #: Node index chosen for every submitted request, in submission order
+        #: (only populated with ``record_dispatch=True``; the determinism
+        #: tests compare this log between runs).
+        self.dispatch_log: list[int] = []
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    # ------------------------------------------------------------------ #
+    # Read-only view consumed by policies and partitioners
+    # ------------------------------------------------------------------ #
+    def pending(self, node: int, class_index: int) -> int:
+        """Requests of ``class_index`` dispatched to ``node`` and not yet done
+        (queued plus in service)."""
+        return self._pending[node][class_index]
+
+    def work_left(self, node: int) -> float:
+        """Outstanding full-rate service demand dispatched to ``node``."""
+        return self._work_left[node]
+
+    def dispatch_counts(self) -> tuple[tuple[int, ...], ...]:
+        """Total requests dispatched per node per class over the whole run."""
+        return tuple(tuple(row) for row in self._dispatch_counts)
+
+    def node_backlogs(self, node: int) -> tuple[int, ...]:
+        """The member node's own per-class queued counts."""
+        return self.nodes[node].backlogs()
+
+    # ------------------------------------------------------------------ #
+    # ServerModel interface
+    # ------------------------------------------------------------------ #
+    def _on_bind(self) -> None:
+        n, c = self.num_nodes, self.num_classes
+        self._pending = [[0] * c for _ in range(n)]
+        self._work_left = [0.0] * n
+        self._dispatch_counts = [[0] * c for _ in range(n)]
+        self.dispatch_log = []
+        for index, node in enumerate(self.nodes):
+            node.bind(self.engine, self.classes, self._completion_sink(index))
+        self.dispatch.bind(self)
+
+    def _completion_sink(self, node: int) -> Callable[[Request], None]:
+        def deliver(request: Request) -> None:
+            self._pending[node][request.class_index] -= 1
+            # Clamp: summation order can leave ~1e-16 residuals behind.
+            self._work_left[node] = max(self._work_left[node] - request.size, 0.0)
+            self.deliver(request)
+
+        return deliver
+
+    def submit(self, request: Request) -> None:
+        node = self.dispatch.select_node(request)
+        if not isinstance(node, (int, np.integer)) or not (0 <= node < self.num_nodes):
+            raise SimulationError(
+                f"dispatch policy {type(self.dispatch).__name__} chose invalid "
+                f"node {node!r} (cluster has {self.num_nodes})"
+            )
+        node = int(node)
+        self._pending[node][request.class_index] += 1
+        self._work_left[node] += request.size
+        self._dispatch_counts[node][request.class_index] += 1
+        if self.record_dispatch:
+            self.dispatch_log.append(node)
+        self.nodes[node].submit(request)
+
+    def apply_rates(self, rates: Sequence[float]) -> None:
+        if len(rates) != self.num_classes:
+            raise SimulationError(
+                f"expected {self.num_classes} rates, got {len(rates)}"
+            )
+        shares = self.partitioner.partition(tuple(float(r) for r in rates), self)
+        if len(shares) != self.num_nodes:
+            raise SimulationError(
+                f"partitioner returned {len(shares)} share vectors for "
+                f"{self.num_nodes} nodes"
+            )
+        for c, rate in enumerate(rates):
+            assigned = sum(share[c] for share in shares)
+            if abs(assigned - rate) > RATE_CONSERVATION_TOL:
+                raise SimulationError(
+                    f"partitioner does not conserve class {c}'s rate: allocated "
+                    f"{rate}, distributed {assigned}"
+                )
+        for node, share in zip(self.nodes, shares):
+            node.apply_rates(share)
+
+    def backlogs(self) -> tuple[int, ...]:
+        totals = [0] * self.num_classes
+        for node in self.nodes:
+            for c, count in enumerate(node.backlogs()):
+                totals[c] += count
+        return tuple(totals)
+
+
+def make_cluster(
+    num_nodes: int,
+    policy: str | DispatchPolicy = "round_robin",
+    *,
+    node_factory: Callable[[], ServerModel] = RateScalableServers,
+    partitioner: RatePartitioner | None = None,
+    seed: int | np.random.SeedSequence | np.random.Generator | None = 0,
+    record_dispatch: bool = False,
+) -> ClusterServerModel:
+    """Build a homogeneous cluster of ``num_nodes`` fresh member models.
+
+    ``policy`` is a :data:`~repro.cluster.dispatch.DISPATCH_POLICIES` name
+    (``seed`` feeds randomised policies — spawn it from the scenario's master
+    seed for reproducible runs) or an already-built policy instance.
+    """
+    if num_nodes <= 0:
+        raise SimulationError(f"num_nodes must be > 0, got {num_nodes}")
+    if isinstance(policy, DispatchPolicy):
+        dispatch = policy
+    else:
+        dispatch = build_dispatch_policy(policy, seed=seed)
+    return ClusterServerModel(
+        [node_factory() for _ in range(num_nodes)],
+        dispatch=dispatch,
+        partitioner=partitioner,
+        record_dispatch=record_dispatch,
+    )

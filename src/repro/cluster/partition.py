@@ -1,0 +1,113 @@
+"""Rate partitioners: fanning the controller's allocation out to nodes.
+
+The PSD controller allocates one processing rate per *class* for the whole
+system; a cluster must decide how much of each class's rate every member
+node receives.  A :class:`RatePartitioner` makes that decision at every
+estimation-window boundary, when
+:meth:`~repro.cluster.model.ClusterServerModel.apply_rates` runs.
+
+Conservation contract: for every class, the per-node shares must sum to the
+class's cluster-level rate (the cluster validates this, with a small float
+tolerance), so the feedback loop closes over exactly the capacity the
+controller allocated.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+
+from ..errors import SimulationError
+
+__all__ = [
+    "RatePartitioner",
+    "EqualSplit",
+    "BacklogProportional",
+    "AffinityPartitioner",
+]
+
+
+class RatePartitioner(abc.ABC):
+    """Protocol for splitting per-class rates across cluster nodes."""
+
+    @abc.abstractmethod
+    def partition(
+        self, rates: Sequence[float], cluster
+    ) -> list[tuple[float, ...]]:
+        """One per-class rate vector per node, conserving each class's rate.
+
+        ``cluster`` is the read-only view also given to dispatch policies
+        (``num_nodes``, ``num_classes``, ``pending``, ``work_left``).
+        """
+
+
+class EqualSplit(RatePartitioner):
+    """Every node receives ``rate / num_nodes`` of every class's rate.
+
+    The predictable baseline: with a dispatch policy that spreads requests
+    evenly (round-robin, weighted random, JSQ) each node is a 1/N-scale copy
+    of the single server, and the slowdown metric — waiting time over time in
+    service — is invariant under that uniform scaling.
+    """
+
+    def partition(self, rates: Sequence[float], cluster) -> list[tuple[float, ...]]:
+        share = tuple(rate / cluster.num_nodes for rate in rates)
+        return [share for _ in range(cluster.num_nodes)]
+
+
+class BacklogProportional(RatePartitioner):
+    """Split each class's rate in proportion to the nodes' pending requests.
+
+    For class ``c`` node ``n`` receives weight ``pending(n, c) + smoothing``;
+    the default ``smoothing=1`` keeps every node's share strictly positive,
+    so a request dispatched to a momentarily empty node is never frozen until
+    the next estimation window.  ``smoothing=0`` gives the pure proportional
+    split (falling back to an equal split when no requests of the class are
+    pending anywhere).
+    """
+
+    def __init__(self, smoothing: float = 1.0) -> None:
+        if smoothing < 0.0:
+            raise SimulationError(f"smoothing must be >= 0, got {smoothing}")
+        self.smoothing = float(smoothing)
+
+    def partition(self, rates: Sequence[float], cluster) -> list[tuple[float, ...]]:
+        nodes, shares = cluster.num_nodes, []
+        for node in range(nodes):
+            shares.append([0.0] * len(rates))
+        for c, rate in enumerate(rates):
+            weights = [cluster.pending(node, c) + self.smoothing for node in range(nodes)]
+            total = sum(weights)
+            if total <= 0.0:
+                for node in range(nodes):
+                    shares[node][c] = rate / nodes
+            else:
+                for node in range(nodes):
+                    shares[node][c] = rate * weights[node] / total
+        return [tuple(share) for share in shares]
+
+
+class AffinityPartitioner(RatePartitioner):
+    """Give each class's whole rate to its :class:`ClassAffinity` home node.
+
+    The natural partner of class-affinity dispatch: every request of class
+    ``c`` goes to ``partition[c]``, so that node must also receive the full
+    per-class rate — an equal split would serve the class at ``rate / N``
+    while the other nodes' shares idle, destabilising the queue at loads an
+    undivided server would sustain.
+    """
+
+    def __init__(self, affinity) -> None:
+        self.affinity = affinity
+
+    def partition(self, rates: Sequence[float], cluster) -> list[tuple[float, ...]]:
+        partition = self.affinity.partition
+        if partition is None or len(partition) != len(rates):
+            raise SimulationError(
+                "AffinityPartitioner requires a bound ClassAffinity policy with "
+                "one home node per class"
+            )
+        shares = [[0.0] * len(rates) for _ in range(cluster.num_nodes)]
+        for c, rate in enumerate(rates):
+            shares[partition[c]][c] = rate
+        return [tuple(share) for share in shares]

@@ -4,7 +4,14 @@
 ``python -m repro.experiments`` regenerates EXPERIMENTS.md.
 """
 
-from .base import ExperimentResult, ServerFactory, pooled_window_ratios, simulate_psd_point
+from .base import (
+    ExperimentResult,
+    ScenarioBuild,
+    ServerFactory,
+    pooled_window_ratios,
+    simulate_psd_point,
+)
+from .cluster import ClusterScalingBuild, cluster_scaling, run_cluster_scaling
 from .config import PRESETS, ExperimentConfig, get_preset
 from .controllability import figure9, figure10, run_controllability
 from .effectiveness import figure2, figure3, figure4, run_effectiveness
@@ -50,6 +57,10 @@ __all__ = [
     "figure10",
     "figure11",
     "figure12",
+    "cluster_scaling",
+    "run_cluster_scaling",
+    "ClusterScalingBuild",
+    "ScenarioBuild",
     "run_effectiveness",
     "run_ratio_percentiles",
     "run_individual_requests",

@@ -2,13 +2,19 @@
 
 Examples
 --------
-Run every figure with the default preset and write EXPERIMENTS.md::
+Run every figure with the default preset, all cores, and write
+EXPERIMENTS.md::
 
-    python -m repro.experiments --preset default --output EXPERIMENTS.md
+    python -m repro.experiments --preset default --workers 0 --output EXPERIMENTS.md
 
 Run a subset quickly and print the tables to stdout::
 
     python -m repro.experiments --preset quick --only fig2 fig9
+
+Sweep the cluster extension over a custom grid::
+
+    python -m repro.experiments --preset quick --only cluster \
+        --cluster-nodes 2 8 --dispatch jsq weighted_random
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ import argparse
 import sys
 import time
 
+from ..cluster import DISPATCH_POLICIES
 from ..errors import ExperimentError
 from .config import get_preset
 from .registry import available_experiments, run_all
@@ -53,9 +60,29 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes per replication batch (0 = auto-size to the "
         "CPU count); results are identical for every value",
     )
+    parser.add_argument(
+        "--cluster-nodes",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="node counts swept by the 'cluster' experiment "
+        "(default: the preset's grid)",
+    )
+    parser.add_argument(
+        "--dispatch",
+        nargs="+",
+        default=None,
+        metavar="POLICY",
+        choices=sorted(DISPATCH_POLICIES),
+        help="dispatch policies swept by the 'cluster' experiment "
+        f"(choices: {', '.join(sorted(DISPATCH_POLICIES))})",
+    )
     args = parser.parse_args(argv)
     try:
         config = get_preset(args.preset).with_workers(args.workers)
+        if args.cluster_nodes is not None or args.dispatch is not None:
+            config = config.with_cluster(nodes=args.cluster_nodes, policies=args.dispatch)
     except ExperimentError as error:
         parser.error(str(error))
 

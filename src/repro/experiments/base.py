@@ -29,7 +29,13 @@ from ..types import TrafficClass
 from .config import ExperimentConfig
 from .tables import render_table
 
-__all__ = ["ExperimentResult", "ServerFactory", "simulate_psd_point", "pooled_window_ratios"]
+__all__ = [
+    "ExperimentResult",
+    "ServerFactory",
+    "ScenarioBuild",
+    "simulate_psd_point",
+    "pooled_window_ratios",
+]
 
 #: Builds a fresh :class:`ServerModel` per replication (models hold per-run
 #: state).  ``None`` means the paper's idealised :class:`RateScalableServers`.
@@ -105,6 +111,31 @@ def _format_cell(value: object) -> str:
     return str(value)
 
 
+@dataclass(frozen=True)
+class ScenarioBuild:
+    """A picklable replication build: one scenario per (index, seed).
+
+    Being a module-level callable dataclass (rather than a closure) lets the
+    parallel :class:`~repro.simulation.runner.ReplicationRunner` ship it to
+    the persistent worker pool, which amortises the per-batch fork cost
+    across every sweep point of an experiment.  ``server_factory`` must
+    itself be picklable (``None``, a class, or a module-level callable) for
+    the pool path; a closure factory silently degrades to per-batch forking.
+    """
+
+    classes: tuple[TrafficClass, ...]
+    measurement: MeasurementConfig
+    spec: PsdSpec
+    server_factory: ServerFactory | None = None
+
+    def __call__(self, _: int, seed: np.random.SeedSequence) -> SimulationResult:
+        factory = self.server_factory
+        server = factory() if factory is not None else RateScalableServers()
+        return Scenario(
+            self.classes, self.measurement, server=server, spec=self.spec, seed=seed
+        ).run()
+
+
 def simulate_psd_point(
     classes: Sequence[TrafficClass],
     spec: PsdSpec,
@@ -125,11 +156,7 @@ def simulate_psd_point(
     """
     scaled = measurement if measurement is not None else config.scaled_measurement()
     base_seed = np.random.SeedSequence(entropy=config.base_seed + seed_offset)
-
-    def build(_: int, seed: np.random.SeedSequence) -> SimulationResult:
-        server = server_factory() if server_factory is not None else RateScalableServers()
-        return Scenario(classes, scaled, server=server, spec=spec, seed=seed).run()
-
+    build = ScenarioBuild(tuple(classes), scaled, spec, server_factory)
     runner = ReplicationRunner(
         replications=config.measurement.replications,
         base_seed=base_seed,

@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
 
+from ..cluster.dispatch import DISPATCH_POLICIES
 from ..distributions.bounded_pareto import BoundedPareto
 from ..errors import ExperimentError
 from ..simulation.monitor import MeasurementConfig
@@ -47,6 +48,13 @@ class ExperimentConfig:
     #: Worker processes per replication batch: 1 = serial, 0 = auto-size to
     #: the CPU count.  Aggregated results are identical for every value.
     workers: int = 1
+    #: Node counts swept by the cluster-scaling experiment.
+    cluster_nodes: tuple[int, ...] = (1, 2, 4)
+    #: Dispatch policies swept by the cluster-scaling experiment; defaults to
+    #: every registered :data:`repro.cluster.DISPATCH_POLICIES` name.
+    dispatch_policies: tuple[str, ...] = field(
+        default_factory=lambda: tuple(DISPATCH_POLICIES)
+    )
 
     def __post_init__(self) -> None:
         if not self.load_grid:
@@ -56,6 +64,16 @@ class ExperimentConfig:
                 raise ExperimentError(f"loads must lie in (0, 1), got {load}")
         if self.workers < 0:
             raise ExperimentError(f"workers must be >= 0, got {self.workers}")
+        if not self.cluster_nodes or any(n < 1 for n in self.cluster_nodes):
+            raise ExperimentError("cluster_nodes must be a non-empty tuple of counts >= 1")
+        if not self.dispatch_policies:
+            raise ExperimentError("dispatch_policies must be non-empty")
+        unknown = [p for p in self.dispatch_policies if p not in DISPATCH_POLICIES]
+        if unknown:
+            raise ExperimentError(
+                f"unknown dispatch policies {unknown}; "
+                f"available: {sorted(DISPATCH_POLICIES)}"
+            )
 
     # ------------------------------------------------------------------ #
     # Workload helpers
@@ -92,6 +110,23 @@ class ExperimentConfig:
         """Copy with a different replication worker count (0 = auto)."""
         return replace(self, workers=int(workers))
 
+    def with_cluster(
+        self,
+        *,
+        nodes: Sequence[int] | None = None,
+        policies: Sequence[str] | None = None,
+    ) -> "ExperimentConfig":
+        """Copy with a different cluster-scaling sweep grid."""
+        return replace(
+            self,
+            cluster_nodes=self.cluster_nodes
+            if nodes is None
+            else tuple(int(n) for n in nodes),
+            dispatch_policies=self.dispatch_policies
+            if policies is None
+            else tuple(str(p) for p in policies),
+        )
+
 
 PRESETS: dict[str, ExperimentConfig] = {
     "paper": ExperimentConfig(
@@ -110,6 +145,8 @@ PRESETS: dict[str, ExperimentConfig] = {
         ),
         load_grid=(0.3, 0.6, 0.9),
         name="quick",
+        cluster_nodes=(1, 2),
+        dispatch_policies=("round_robin", "jsq"),
     ),
 }
 

@@ -11,6 +11,7 @@ from collections.abc import Callable, Iterable
 
 from ..errors import ExperimentError
 from .base import ExperimentResult
+from .cluster import cluster_scaling
 from .config import ExperimentConfig, get_preset
 from .controllability import figure9, figure10
 from .effectiveness import figure2, figure3, figure4
@@ -31,6 +32,8 @@ EXPERIMENTS: dict[str, Callable[[ExperimentConfig | None], ExperimentResult]] = 
     "fig10": figure10,
     "fig11": figure11,
     "fig12": figure12,
+    # Extension beyond the paper: the PSD loop over a multi-node cluster.
+    "cluster": cluster_scaling,
 }
 
 

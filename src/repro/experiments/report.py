@@ -30,6 +30,11 @@ PAPER_CLAIMS: dict[str, str] = {
     "fig10": "Achieved 3-class ratios track targets 2 and 3 with more variance than the 2-class case.",
     "fig11": "Slowdown decreases as alpha grows; agreement with Eq. 18 independent of alpha.",
     "fig12": "Slowdown increases with upper bound p; agreement with Eq. 18 independent of p.",
+    "cluster": (
+        "Extension beyond the paper: dispatching across N homogeneous nodes "
+        "preserves the slowdown ratios of the single server for every dispatch "
+        "policy; backlog-aware dispatch lowers absolute slowdowns at high load."
+    ),
 }
 
 _HEADER = """# EXPERIMENTS — paper vs. measured
@@ -47,10 +52,12 @@ by what factor, and how the curves move with load and with the Bounded Pareto
 parameters — are the reproduction target.  Each section lists the paper's
 claim, the measured rows, and a short assessment.
 
-Regenerate with:
+Regenerate with (``--workers 0`` parallelises each replication batch across
+the machine's cores; the tables are bit-for-bit identical for every worker
+count):
 
 ```bash
-python -m repro.experiments --preset default --output EXPERIMENTS.md
+python -m repro.experiments --preset default --workers 0 --output EXPERIMENTS.md
 ```
 """
 

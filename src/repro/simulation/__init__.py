@@ -18,6 +18,8 @@ The package is layered as *engine -> scenario -> server model -> runner*:
   ``SharedProcessorSimulation``) that pre-select a server model.
 * :mod:`repro.simulation.monitor` / :mod:`repro.simulation.trace` —
   measurement.
+* :mod:`repro.simulation.trace_io` — :func:`load_trace`: CSV/NPZ arrival
+  logs parsed columnar into per-class :class:`TraceSource`s.
 * :mod:`repro.simulation.runner` — :class:`ReplicationRunner`:
   multi-replication orchestration, serial or parallel (forked workers) with
   bit-identical aggregates for any worker count.
@@ -49,7 +51,9 @@ from .runner import (
     ReplicatedStatistic,
     ReplicationRunner,
     ReplicationSummary,
+    WorkerPool,
     run_replications,
+    shared_pool,
     summarise_replications,
 )
 from .scenario import (
@@ -66,6 +70,7 @@ from .server_models import (
 from .shared_server import SharedProcessorSimulation
 from .task_server import FcfsTaskServer
 from .trace import RequestRecord, SimulationTrace
+from .trace_io import load_trace, trace_sources_from_arrays
 
 __all__ = [
     "SimulationEngine",
@@ -77,6 +82,8 @@ __all__ = [
     "RequestSource",
     "TraceSource",
     "sources_from_classes",
+    "load_trace",
+    "trace_sources_from_arrays",
     "MeasurementConfig",
     "WindowSample",
     "WindowedMonitor",
@@ -96,6 +103,8 @@ __all__ = [
     "ReplicationRunner",
     "ReplicationSummary",
     "ReplicatedStatistic",
+    "WorkerPool",
+    "shared_pool",
     "run_replications",
     "summarise_replications",
 ]

@@ -10,7 +10,7 @@ provided for tests and for replaying recorded workloads.
 from __future__ import annotations
 
 import abc
-from collections.abc import Iterator, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -93,26 +93,56 @@ class RequestSource:
 class TraceSource(RequestSource):
     """Replays a recorded sequence of (inter-arrival, size) pairs.
 
+    The trace is held as two NumPy arrays and replayed by cursor — an
+    ``np.float64`` array passed in is used as-is (no per-element Python
+    objects are ever materialised), so million-request arrival logs loaded
+    with :func:`~repro.simulation.trace_io.load_trace` replay without a
+    memory spike.  Any other sequence is converted once via ``np.asarray``.
+
     Once the trace is exhausted the source reports an infinite inter-arrival
     time, which effectively switches the class off.
     """
 
-    def __init__(self, class_index: int, interarrivals: Sequence[float], sizes: Sequence[float]) -> None:
-        if len(interarrivals) != len(sizes):
+    def __init__(
+        self,
+        class_index: int,
+        interarrivals: Sequence[float] | np.ndarray,
+        sizes: Sequence[float] | np.ndarray,
+    ) -> None:
+        if class_index < 0:
+            raise ParameterError("class_index must be >= 0")
+        gaps = np.asarray(interarrivals, dtype=float)
+        demand = np.asarray(sizes, dtype=float)
+        if gaps.ndim != 1 or demand.ndim != 1:
+            raise ParameterError("interarrivals and sizes must be one-dimensional")
+        if gaps.shape != demand.shape:
             raise ParameterError("interarrivals and sizes must have the same length")
+        if gaps.size and (not np.all(np.isfinite(gaps)) or gaps.min() < 0.0):
+            raise ParameterError("interarrivals must be finite and >= 0")
+        if demand.size and (not np.all(np.isfinite(demand)) or demand.min() <= 0.0):
+            raise ParameterError("sizes must be finite and > 0")
         self.class_index = int(class_index)
-        self._interarrivals: Iterator[float] = iter([float(v) for v in interarrivals])
-        self._sizes: Iterator[float] = iter([float(v) for v in sizes])
+        self._interarrivals = gaps
+        self._sizes = demand
+        self._position = 0
         self._pending_size: float | None = None
 
+    def __len__(self) -> int:
+        return int(self._interarrivals.size)
+
+    @property
+    def remaining(self) -> int:
+        """Requests of the trace not yet replayed."""
+        return len(self) - self._position
+
     def next_interarrival(self) -> float:
-        try:
-            gap = next(self._interarrivals)
-            self._pending_size = next(self._sizes)
-            return gap
-        except StopIteration:
+        if self._position >= self._interarrivals.size:
             self._pending_size = None
             return float("inf")
+        gap = float(self._interarrivals[self._position])
+        self._pending_size = float(self._sizes[self._position])
+        self._position += 1
+        return gap
 
     def next_size(self) -> float:
         if self._pending_size is None:

@@ -21,10 +21,21 @@ serial execution, preserving results exactly.  Note that in parallel mode
 any mutation the build callable performs on enclosing state happens in the
 child process and is *not* visible to the parent — return everything you
 need through the :class:`SimulationResult`.
+
+When the build callable *is* picklable (a module-level function or callable
+dataclass — the experiment drivers' builds are), parallel batches are routed
+through a persistent :class:`WorkerPool` of forked workers that is reused
+across batches, amortising the fork + import cost that dominates small
+(``quick``-preset) replication batches.  The pool changes nothing about the
+results: the same child seeds are spawned in the same order and the results
+are re-assembled by replication index, so the aggregates stay bit-for-bit
+identical to serial execution.  Unpicklable builds transparently fall back
+to the per-batch fork path.
 """
 
 from __future__ import annotations
 
+import atexit
 import math
 import multiprocessing
 import os
@@ -44,6 +55,8 @@ __all__ = [
     "ReplicationRunner",
     "ReplicationSummary",
     "ReplicatedStatistic",
+    "WorkerPool",
+    "shared_pool",
     "run_replications",
     "summarise_replications",
 ]
@@ -130,6 +143,199 @@ def _worker(
         out.put((index, payload, None))
 
 
+class _PoolFallback(Exception):
+    """Internal: a pool batch could not run; retry on the per-batch fork path.
+
+    Raised for conditions that do not indicate a build failure — the build
+    could not be deserialised in a worker (e.g. its module was imported
+    after the pool forked) or a worker process died.  Retrying via the
+    per-batch fork path yields identical results, so callers recover
+    silently.
+    """
+
+
+def _pool_worker(tasks: "multiprocessing.Queue", out: "multiprocessing.Queue") -> None:
+    """Long-lived worker loop: execute batches of replications until told to stop.
+
+    Each task is ``(build_bytes, [(index, seed), ...])`` — only the worker's
+    own slice of the seed tree crosses the queue.  The worker reports exactly
+    one ``(index, payload, error)`` message per assigned index, where
+    ``error`` is ``None`` or ``(kind, traceback_text)`` with kind
+    ``"deserialize"`` (build could not be unpickled here — the parent falls
+    back to per-batch forking) or ``"build"`` (the build itself raised).
+    Unlike the one-shot :func:`_worker`, errors do not kill the worker: the
+    pool outlives failed batches.
+    """
+    while True:
+        task = tasks.get()
+        if task is None:
+            return
+        build_bytes, assignments = task
+        try:
+            build = pickle.loads(build_bytes)
+        except Exception:
+            error = ("deserialize", traceback.format_exc())
+            for index, _ in assignments:
+                out.put((index, None, error))
+            continue
+        for index, seed in assignments:
+            try:
+                payload = pickle.dumps(build(index, seed))
+            except Exception:
+                out.put((index, None, ("build", traceback.format_exc())))
+                continue
+            out.put((index, payload, None))
+
+
+class WorkerPool:
+    """A persistent pool of forked replication workers, reusable across batches.
+
+    The workers are forked lazily at the first :meth:`run_batch` (so they
+    inherit every module imported up to that point) and then stay alive,
+    amortising the fork cost over all subsequent batches.  Builds must be
+    picklable to cross the task queue; :class:`ReplicationRunner` checks
+    that and falls back to per-batch forking otherwise, so the pool never
+    changes results — only wall-time.
+
+    Two consequences of the one-time fork to be aware of:
+
+    * workers carry the parent's state *as of the first batch* — a build
+      must be a pure function of ``(index, seed)`` and its own pickled
+      fields (already required by the determinism contract); one that reads
+      module-level globals mutated between batches would see stale values;
+    * the daemon workers (and their copy-on-write memory snapshot) stay
+      alive until :meth:`close` or interpreter exit — long-lived host
+      processes that are done replicating should close their pools (the
+      process-wide :func:`shared_pool` is closed automatically at exit).
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise SimulationError(f"a worker pool needs >= 1 workers, got {workers}")
+        if not _fork_available():
+            raise SimulationError("WorkerPool requires fork-start multiprocessing")
+        self.workers = int(workers)
+        self._processes: list = []
+        self._task_queues: list = []
+        self._out = None
+        self.broken = False
+        self.closed = False
+
+    @property
+    def started(self) -> bool:
+        return bool(self._processes)
+
+    def _ensure_started(self) -> None:
+        if self.closed or self.broken:
+            raise SimulationError("worker pool is closed")
+        if self._processes:
+            return
+        ctx = multiprocessing.get_context("fork")
+        self._out = ctx.Queue()
+        self._task_queues = [ctx.Queue() for _ in range(self.workers)]
+        self._processes = [
+            ctx.Process(target=_pool_worker, args=(tasks, self._out), daemon=True)
+            for tasks in self._task_queues
+        ]
+        for process in self._processes:
+            process.start()
+
+    def run_batch(
+        self, build_payload: bytes, seeds: Sequence[np.random.SeedSequence]
+    ) -> list[SimulationResult]:
+        """Run one batch of replications (one pickled build, one seed per index).
+
+        Unlike the per-batch fork path, a failing build does not abort the
+        rest of the batch: the pool must drain every in-flight message to
+        stay reusable, so the error is raised only after the batch
+        completes (with the lowest failing index, deterministically).
+        """
+        self._ensure_started()
+        # Strided slices, a pure function of (len(seeds), workers) — the
+        # same deterministic split the per-batch fork path uses.
+        for start, tasks in enumerate(self._task_queues):
+            assignments = [
+                (index, seeds[index]) for index in range(start, len(seeds), self.workers)
+            ]
+            if assignments:
+                tasks.put((build_payload, assignments))
+        results: list[SimulationResult | None] = [None] * len(seeds)
+        failures: list[tuple[int, str]] = []
+        fallback = False
+        remaining = len(seeds)
+        while remaining:
+            try:
+                index, payload, error = self._out.get(timeout=1.0)
+            except queue_module.Empty:
+                if not all(p.is_alive() for p in self._processes):
+                    # A dead worker cannot report its slice; the batch is
+                    # unrecoverable here but deterministic to re-run.
+                    self.broken = True
+                    self.close()
+                    raise _PoolFallback("a pool worker died mid-batch") from None
+                continue
+            remaining -= 1
+            if error is not None:
+                kind, text = error
+                if kind == "deserialize":
+                    fallback = True
+                else:
+                    failures.append((index, text))
+            else:
+                results[index] = pickle.loads(payload)
+        if fallback:
+            raise _PoolFallback("build could not be deserialised in pool workers")
+        if failures:
+            index, text = min(failures)
+            raise SimulationError(
+                f"replication {index} failed in a worker process:\n{text}"
+            )
+        return results  # type: ignore[return-value]
+
+    def close(self) -> None:
+        """Stop the workers and release the queues; the pool is single-use."""
+        if self.closed:
+            return
+        self.closed = True
+        for tasks in self._task_queues:
+            try:
+                tasks.put(None)
+            except (ValueError, OSError):  # pragma: no cover - queue torn down
+                pass
+        for process in self._processes:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.terminate()
+                process.join()
+
+
+_shared_pool: WorkerPool | None = None
+
+
+def shared_pool(workers: int) -> WorkerPool:
+    """The process-wide worker pool, (re)sized to at least ``workers``.
+
+    Reused by every :class:`ReplicationRunner` whose build is picklable; a
+    request for more workers than the current pool has replaces it (an
+    over-sized pool serves smaller batches by leaving workers idle, so
+    shrinking is never necessary).
+    """
+    global _shared_pool
+    pool = _shared_pool
+    if pool is None or pool.closed or pool.broken or pool.workers < workers:
+        if pool is not None:
+            pool.close()
+        pool = WorkerPool(workers)
+        _shared_pool = pool
+    return pool
+
+
+@atexit.register
+def _close_shared_pool() -> None:  # pragma: no cover - interpreter shutdown
+    if _shared_pool is not None:
+        _shared_pool.close()
+
+
 @dataclass(frozen=True)
 class ReplicationRunner:
     """Runs N independent replications and aggregates their statistics.
@@ -147,6 +353,11 @@ class ReplicationRunner:
         replication indices.  ``0`` or ``None`` auto-sizes to the CPU count;
         negative values are rejected.  The aggregated summary is bit-for-bit
         identical for every value.
+    pool:
+        Optional persistent :class:`WorkerPool` to execute parallel batches
+        on.  ``None`` (default) uses the process-wide :func:`shared_pool`
+        when the build is picklable, otherwise forks per batch; either way
+        the results are identical.
 
     Error contract: an exception raised by ``build`` propagates unchanged in
     serial mode; in parallel mode it surfaces as a :class:`SimulationError`
@@ -157,6 +368,7 @@ class ReplicationRunner:
     replications: int
     base_seed: int | np.random.SeedSequence | None = 0
     workers: int | None = 1
+    pool: WorkerPool | None = None
 
     def resolved_workers(self) -> int:
         """The number of worker processes a :meth:`run` call will use."""
@@ -183,6 +395,25 @@ class ReplicationRunner:
         workers = self.resolved_workers()
         if workers <= 1 or not _fork_available():
             return [build(i, seed) for i, seed in enumerate(seeds)]
+        try:
+            payload = pickle.dumps(build)
+        except Exception:
+            payload = None  # closures et al.: per-batch fork handles them
+        if payload is not None:
+            pool = self.pool if self.pool is not None else shared_pool(workers)
+            # An explicit pool that was closed (or broke in an earlier
+            # batch) degrades to per-batch forking instead of erroring —
+            # the pool only ever changes wall-time, never availability.
+            if not (pool.closed or pool.broken):
+                try:
+                    return pool.run_batch(payload, seeds)
+                except _PoolFallback:
+                    # A deserialize fallback means the workers pre-date the
+                    # build's module; retiring the *shared* pool lets the
+                    # next batch re-fork with the module imported and regain
+                    # pooling (an explicit pool is the caller's to manage).
+                    if self.pool is None and not pool.closed:
+                        pool.close()
         return self._run_parallel(build, seeds, workers)
 
     # ------------------------------------------------------------------ #
@@ -242,6 +473,7 @@ def run_replications(
     replications: int,
     base_seed: int | np.random.SeedSequence | None = 0,
     workers: int | None = 1,
+    pool: WorkerPool | None = None,
 ) -> ReplicationSummary:
     """Run ``replications`` independent simulations and aggregate them.
 
@@ -252,7 +484,7 @@ def run_replications(
     aggregate is identical for every ``workers`` value.
     """
     return ReplicationRunner(
-        replications=replications, base_seed=base_seed, workers=workers
+        replications=replications, base_seed=base_seed, workers=workers, pool=pool
     ).run(build)
 
 

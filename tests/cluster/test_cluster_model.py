@@ -1,0 +1,234 @@
+"""Tests for ClusterServerModel composition, partitioners and bookkeeping."""
+
+import pytest
+
+from repro.cluster import (
+    AffinityPartitioner,
+    BacklogProportional,
+    ClassAffinity,
+    ClusterServerModel,
+    EqualSplit,
+    JoinShortestQueue,
+    RatePartitioner,
+    RoundRobin,
+    make_cluster,
+)
+from repro.core import PsdSpec
+from repro.errors import SimulationError
+from repro.scheduling import WeightedFairQueueing
+from repro.simulation import (
+    MeasurementConfig,
+    RateScalableServers,
+    Scenario,
+    SharedProcessorServer,
+    SimulationEngine,
+    StaticRateController,
+)
+from tests.conftest import make_classes
+
+
+class TestConstruction:
+    def test_rejects_empty_node_list(self):
+        with pytest.raises(SimulationError, match="at least one"):
+            ClusterServerModel([])
+
+    def test_rejects_non_server_model_nodes(self):
+        with pytest.raises(SimulationError, match="ServerModel"):
+            ClusterServerModel([object()])
+
+    def test_rejects_already_bound_nodes(self, moderate_bp):
+        classes = make_classes(moderate_bp, 0.5, (1.0, 2.0))
+        node = RateScalableServers()
+        node.bind(SimulationEngine(), classes, lambda request: None)
+        with pytest.raises(SimulationError, match="fresh"):
+            ClusterServerModel([node])
+
+    def test_make_cluster_validates_node_count(self):
+        with pytest.raises(SimulationError):
+            make_cluster(0)
+
+    def test_default_partitioner_follows_policy_preference(self):
+        assert isinstance(make_cluster(2, "round_robin").partitioner, EqualSplit)
+        assert isinstance(make_cluster(2, "affinity").partitioner, AffinityPartitioner)
+
+    def test_invalid_node_choice_is_rejected(self, moderate_bp):
+        class Broken(RoundRobin):
+            def select_node(self, request):
+                return 7
+
+        classes = make_classes(moderate_bp, 0.5, (1.0, 2.0))
+        cfg = MeasurementConfig(warmup=100.0, horizon=500.0, window=100.0)
+        scenario = Scenario(
+            classes,
+            cfg,
+            server=ClusterServerModel(
+                [RateScalableServers(), RateScalableServers()], dispatch=Broken()
+            ),
+            seed=1,
+        )
+        with pytest.raises(SimulationError, match="invalid.*node"):
+            scenario.run()
+
+
+class TestRateFanOut:
+    def bound(self, partitioner=None, num_nodes=2, dispatch=None, moderate_bp=None):
+        from repro.distributions import Deterministic
+
+        classes = make_classes(Deterministic(1.0), 0.5, (1.0, 2.0))
+        cluster = ClusterServerModel(
+            [RateScalableServers() for _ in range(num_nodes)],
+            dispatch=dispatch if dispatch is not None else RoundRobin(),
+            partitioner=partitioner,
+        )
+        cluster.bind(SimulationEngine(), classes, lambda request: None)
+        return cluster
+
+    def test_equal_split_conserves_rates(self):
+        cluster = self.bound(EqualSplit(), num_nodes=4)
+        cluster.apply_rates((0.6, 0.4))
+        for node in cluster.nodes:
+            assert [s.rate for s in node.servers] == pytest.approx([0.15, 0.1])
+
+    def test_backlog_proportional_tracks_pending(self):
+        cluster = self.bound(BacklogProportional(smoothing=0.0))
+        shares = cluster.partitioner.partition((0.6, 0.4), cluster)
+        # Nothing pending anywhere: falls back to the equal split.
+        assert shares[0] == pytest.approx((0.3, 0.2))
+        cluster._pending[0][0] = 3
+        cluster._pending[1][0] = 1
+        shares = cluster.partitioner.partition((0.6, 0.4), cluster)
+        assert shares[0][0] == pytest.approx(0.45)
+        assert shares[1][0] == pytest.approx(0.15)
+        assert shares[0][1] == pytest.approx(0.2)  # class 2 still equal
+
+    def test_backlog_proportional_smoothing_keeps_shares_positive(self):
+        cluster = self.bound(BacklogProportional(smoothing=1.0))
+        cluster._pending[0][0] = 8
+        shares = cluster.partitioner.partition((1.0, 1.0), cluster)
+        assert all(share[0] > 0 for share in shares)
+        assert shares[0][0] == pytest.approx(0.9)
+
+    def test_backlog_proportional_rejects_negative_smoothing(self):
+        with pytest.raises(SimulationError):
+            BacklogProportional(smoothing=-0.1)
+
+    def test_affinity_partitioner_routes_whole_rate_home(self):
+        affinity = ClassAffinity((1, 0))
+        cluster = self.bound(dispatch=affinity)
+        assert isinstance(cluster.partitioner, AffinityPartitioner)
+        cluster.apply_rates((0.7, 0.3))
+        assert [s.rate for s in cluster.nodes[0].servers] == pytest.approx([0.0, 0.3])
+        assert [s.rate for s in cluster.nodes[1].servers] == pytest.approx([0.7, 0.0])
+
+    def test_non_conserving_partitioner_is_rejected(self):
+        class Leaky(RatePartitioner):
+            def partition(self, rates, cluster):
+                return [tuple(r / 2 for r in rates)] * cluster.num_nodes
+
+        cluster = self.bound(Leaky(), num_nodes=3)
+        with pytest.raises(SimulationError, match="conserve"):
+            cluster.apply_rates((0.5, 0.5))
+
+    def test_wrong_share_count_is_rejected(self):
+        class Short(RatePartitioner):
+            def partition(self, rates, cluster):
+                return [tuple(rates)]
+
+        cluster = self.bound(Short())
+        with pytest.raises(SimulationError, match="share vectors"):
+            cluster.apply_rates((0.5, 0.5))
+
+    def test_rate_vector_length_validated(self):
+        cluster = self.bound()
+        with pytest.raises(SimulationError, match="expected 2 rates"):
+            cluster.apply_rates((0.5, 0.3, 0.2))
+
+
+class TestAggregation:
+    def test_backlogs_sum_over_nodes(self, moderate_bp):
+        from repro.distributions import Deterministic
+
+        classes = make_classes(Deterministic(1.0), 0.5, (1.0, 2.0))
+        cluster = ClusterServerModel(
+            [RateScalableServers(), RateScalableServers()],
+            dispatch=RoundRobin(),
+            record_dispatch=True,
+        )
+        cluster.bind(SimulationEngine(), classes, lambda request: None)
+        from repro.simulation import Request
+
+        # Rates stay zero, so every submitted request occupies its node.
+        # Round-robin interleaving sends the three class-0 requests to node 0
+        # and the three class-1 requests to node 1; on each node one request
+        # is (frozen) in service and two queue.
+        for i in range(6):
+            cluster.submit(
+                Request(request_id=i, class_index=i % 2, arrival_time=0.0, size=1.0)
+            )
+        assert cluster.backlogs() == (2, 2)
+        assert cluster.pending(0, 0) == 3 and cluster.pending(1, 1) == 3
+        assert cluster.dispatch_counts() == ((3, 0), (0, 3))
+        assert cluster.dispatch_log == [0, 1, 0, 1, 0, 1]
+        assert cluster.work_left(0) + cluster.work_left(1) == pytest.approx(6.0)
+
+    def test_cluster_of_shared_processors_serves_all_classes(self, moderate_bp):
+        classes = make_classes(moderate_bp, 0.6, (1.0, 2.0))
+        cfg = MeasurementConfig(warmup=300.0, horizon=2_500.0, window=300.0)
+        cluster = ClusterServerModel(
+            [
+                SharedProcessorServer(WeightedFairQueueing(2), capacity=0.5),
+                SharedProcessorServer(WeightedFairQueueing(2), capacity=0.5),
+            ],
+            dispatch=JoinShortestQueue(),
+        )
+        result = Scenario(classes, cfg, server=cluster, seed=3).run()
+        assert all(count > 0 for count in result.completed_counts)
+
+    def test_mixed_node_types_compose(self, moderate_bp):
+        classes = make_classes(moderate_bp, 0.5, (1.0, 2.0))
+        cfg = MeasurementConfig(warmup=300.0, horizon=2_000.0, window=300.0)
+        cluster = ClusterServerModel(
+            [
+                RateScalableServers(),
+                SharedProcessorServer(WeightedFairQueueing(2), capacity=0.5),
+            ],
+            dispatch=RoundRobin(),
+        )
+        result = Scenario(classes, cfg, server=cluster, seed=4).run()
+        assert sum(result.completed_counts) > 0
+
+    def test_nested_clusters_compose(self, moderate_bp):
+        classes = make_classes(moderate_bp, 0.5, (1.0, 2.0))
+        cfg = MeasurementConfig(warmup=300.0, horizon=2_000.0, window=300.0)
+        inner = lambda: ClusterServerModel(
+            [RateScalableServers(), RateScalableServers()], dispatch=RoundRobin()
+        )
+        outer = ClusterServerModel([inner(), inner()], dispatch=JoinShortestQueue())
+        result = Scenario(classes, cfg, server=outer, seed=5).run()
+        assert sum(result.completed_counts) > 0
+
+    def test_single_node_cluster_matches_bare_server(self, moderate_bp):
+        classes = make_classes(moderate_bp, 0.6, (1.0, 2.0))
+        cfg = MeasurementConfig(warmup=300.0, horizon=3_000.0, window=300.0)
+        spec = PsdSpec.of(1, 2)
+        bare = Scenario(
+            classes, cfg, server=RateScalableServers(), spec=spec, seed=11
+        ).run()
+        clustered = Scenario(
+            classes, cfg, server=make_cluster(1, "round_robin"), spec=spec, seed=11
+        ).run()
+        assert clustered.generated_counts == bare.generated_counts
+        assert clustered.per_class_mean_slowdowns() == bare.per_class_mean_slowdowns()
+        assert clustered.rate_history == bare.rate_history
+
+    def test_static_controller_drives_cluster(self, moderate_bp):
+        classes = make_classes(moderate_bp, 0.5, (1.0, 2.0))
+        cfg = MeasurementConfig(warmup=300.0, horizon=2_000.0, window=300.0)
+        result = Scenario(
+            classes,
+            cfg,
+            server=make_cluster(2, "least_work"),
+            controller=StaticRateController((0.6, 0.4)),
+            seed=6,
+        ).run()
+        assert sum(result.completed_counts) > 0

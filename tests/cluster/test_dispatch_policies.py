@@ -1,0 +1,159 @@
+"""Unit tests for the cluster dispatch policies."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    DISPATCH_POLICIES,
+    ClassAffinity,
+    ClusterServerModel,
+    JoinShortestQueue,
+    LeastWorkLeft,
+    RoundRobin,
+    WeightedRandom,
+    build_dispatch_policy,
+    make_cluster,
+)
+from repro.errors import SimulationError
+from repro.simulation import RateScalableServers, Request, SimulationEngine
+from repro.types import TrafficClass
+from tests.conftest import make_classes
+
+
+def bound_cluster(num_nodes, dispatch, num_classes=2, moderate_bp=None):
+    """A cluster bound to a throwaway engine, requests never completed."""
+    from repro.distributions import Deterministic
+
+    service = moderate_bp if moderate_bp is not None else Deterministic(1.0)
+    classes = make_classes(service, 0.5, tuple(range(1, num_classes + 1)))
+    cluster = ClusterServerModel(
+        [RateScalableServers() for _ in range(num_nodes)],
+        dispatch=dispatch,
+        record_dispatch=True,
+    )
+    cluster.bind(SimulationEngine(), classes, lambda request: None)
+    return cluster
+
+
+def request(request_id, class_index=0, size=1.0):
+    return Request(
+        request_id=request_id, class_index=class_index, arrival_time=0.0, size=size
+    )
+
+
+class TestRoundRobin:
+    def test_cycles_node_indices(self):
+        cluster = bound_cluster(3, RoundRobin())
+        chosen = [cluster.dispatch.select_node(request(i)) for i in range(7)]
+        assert chosen == [0, 1, 2, 0, 1, 2, 0]
+
+
+class TestWeightedRandom:
+    def test_same_seed_same_sequence(self):
+        first = bound_cluster(4, WeightedRandom(seed=123))
+        second = bound_cluster(4, WeightedRandom(seed=123))
+        picks_a = [first.dispatch.select_node(request(i)) for i in range(50)]
+        picks_b = [second.dispatch.select_node(request(i)) for i in range(50)]
+        assert picks_a == picks_b
+        assert set(picks_a) == {0, 1, 2, 3}
+
+    def test_weights_steer_the_draw(self):
+        cluster = bound_cluster(2, WeightedRandom([0.0, 1.0], seed=5))
+        picks = {cluster.dispatch.select_node(request(i)) for i in range(30)}
+        assert picks == {1}
+
+    def test_weight_validation(self):
+        with pytest.raises(SimulationError):
+            bound_cluster(2, WeightedRandom([0.5, 0.5, 0.5]))
+        with pytest.raises(SimulationError):
+            bound_cluster(2, WeightedRandom([-1.0, 2.0]))
+        with pytest.raises(SimulationError):
+            bound_cluster(2, WeightedRandom([0.0, 0.0]))
+
+
+class TestJoinShortestQueue:
+    def test_follows_per_class_pending(self):
+        cluster = bound_cluster(3, JoinShortestQueue())
+        # Submitted requests stay pending (nodes hold them in service/queue).
+        cluster.submit(request(0, class_index=0))  # JSQ all-zero -> node 0
+        cluster.submit(request(1, class_index=0))  # node 1 now shortest
+        cluster.submit(request(2, class_index=0))  # node 2
+        assert cluster.dispatch_log == [0, 1, 2]
+
+    def test_ties_break_to_lowest_node_index(self):
+        cluster = bound_cluster(4, JoinShortestQueue())
+        assert cluster.dispatch.select_node(request(0)) == 0
+        cluster.submit(request(1, class_index=1))  # pending only for class 1
+        # Class 0 still sees all-equal (zero) pending: node 0 again.
+        assert cluster.dispatch.select_node(request(2, class_index=0)) == 0
+
+    def test_pending_is_per_class(self):
+        cluster = bound_cluster(2, JoinShortestQueue())
+        cluster.submit(request(0, class_index=0))  # class-0 tie -> node 0
+        cluster.submit(request(1, class_index=1))  # class-1 tie -> node 0
+        # Node 0 now holds one request of each class, so the next class-0
+        # request sees per-class pending (1, 0) and goes to node 1.
+        assert cluster.pending(0, 0) == 1 and cluster.pending(0, 1) == 1
+        assert cluster.dispatch.select_node(request(2, class_index=0)) == 1
+
+
+class TestLeastWorkLeft:
+    def test_prefers_least_outstanding_work(self):
+        cluster = bound_cluster(2, LeastWorkLeft())
+        cluster.submit(request(0, class_index=0, size=5.0))  # node 0
+        assert cluster.dispatch.select_node(request(1, size=1.0)) == 1
+        cluster.submit(request(1, class_index=1, size=1.0))  # node 1 (1.0 left)
+        assert cluster.dispatch.select_node(request(2, size=1.0)) == 1
+
+    def test_ties_break_to_lowest_node_index(self):
+        cluster = bound_cluster(3, LeastWorkLeft())
+        assert cluster.dispatch.select_node(request(0)) == 0
+
+
+class TestClassAffinity:
+    def test_default_partition_is_modulo(self):
+        cluster = bound_cluster(2, ClassAffinity(), num_classes=3)
+        assert cluster.dispatch.partition == (0, 1, 0)
+        assert cluster.dispatch.select_node(request(0, class_index=2)) == 0
+
+    def test_explicit_partition_routes_classes(self):
+        cluster = bound_cluster(3, ClassAffinity((2, 0)))
+        cluster.submit(request(0, class_index=0))
+        cluster.submit(request(1, class_index=1))
+        assert cluster.dispatch_counts()[2][0] == 1
+        assert cluster.dispatch_counts()[0][1] == 1
+
+    def test_partition_length_validated(self):
+        with pytest.raises(SimulationError, match="partition maps"):
+            bound_cluster(2, ClassAffinity((0,)), num_classes=2)
+
+    def test_partition_range_validated(self):
+        with pytest.raises(SimulationError, match="out of range"):
+            bound_cluster(2, ClassAffinity((0, 2)))
+        with pytest.raises(SimulationError, match="out of range"):
+            bound_cluster(2, ClassAffinity((0, -1)))
+
+    def test_partition_type_validated(self):
+        with pytest.raises(SimulationError, match="node index"):
+            bound_cluster(2, ClassAffinity((0, 1.5)))
+
+
+class TestPolicyLifecycle:
+    def test_policies_cannot_be_rebound(self):
+        policy = RoundRobin()
+        bound_cluster(2, policy)
+        with pytest.raises(SimulationError, match="already bound"):
+            bound_cluster(2, policy)
+
+    def test_registry_builds_every_policy(self):
+        for name in DISPATCH_POLICIES:
+            policy = build_dispatch_policy(name, seed=9)
+            cluster = bound_cluster(2, policy)
+            node = cluster.dispatch.select_node(request(0))
+            assert 0 <= node < 2
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SimulationError, match="unknown dispatch policy"):
+            build_dispatch_policy("fifo")
+        with pytest.raises(SimulationError, match="unknown dispatch policy"):
+            make_cluster(2, "fifo")

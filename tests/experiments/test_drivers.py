@@ -15,6 +15,7 @@ from repro.experiments import (
     figure9,
     figure11,
     figure12,
+    run_cluster_scaling,
     run_individual_requests,
     run_ratio_percentiles,
 )
@@ -102,6 +103,44 @@ class TestControllabilityDrivers:
         for row in result.rows:
             assert row["achieved_ratio"] > 0
             assert row["rel_error"] >= 0
+
+
+class TestClusterDriver:
+    def test_cluster_scaling_structure(self, tiny_moderate_config):
+        config = tiny_moderate_config.with_cluster(
+            nodes=(1, 2), policies=("round_robin", "jsq")
+        )
+        result = run_cluster_scaling(config)
+        assert result.experiment_id == "cluster"
+        # One baseline row plus the nodes x policies sweep.
+        assert len(result.rows) == 1 + 2 * 2
+        assert result.rows[0]["nodes"] == "single"
+        assert result.parameters["load"] == max(config.load_grid)
+        for row in result.rows:
+            assert row["slowdown_1"] > 0
+            assert row["ratio_2"] > 0
+            assert row["worst_rel_error"] >= 0
+        # Single-node cells: clustering one node must not distort fidelity
+        # beyond sampling noise (same seeds, same arrivals -> tiny error).
+        single_node_rows = [row for row in result.rows if row["nodes"] == 1]
+        for row in single_node_rows:
+            assert row["worst_rel_error"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_cluster_grid_validation(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(cluster_nodes=())
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(cluster_nodes=(0,))
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(dispatch_policies=())
+        with pytest.raises(ExperimentError, match="unknown dispatch"):
+            ExperimentConfig(dispatch_policies=("jsq_typo",))
+        # The default sweep always covers every registered policy.
+        from repro.cluster import DISPATCH_POLICIES
+
+        assert ExperimentConfig().dispatch_policies == tuple(DISPATCH_POLICIES)
 
 
 class TestSensitivityDrivers:

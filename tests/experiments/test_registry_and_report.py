@@ -16,7 +16,7 @@ from repro.experiments import (
 
 
 class TestRegistry:
-    def test_all_eleven_figures_registered(self):
+    def test_all_figures_and_extensions_registered(self):
         assert available_experiments() == (
             "fig2",
             "fig3",
@@ -29,9 +29,10 @@ class TestRegistry:
             "fig10",
             "fig11",
             "fig12",
+            "cluster",
         )
 
-    def test_every_figure_has_a_paper_claim(self):
+    def test_every_experiment_has_a_paper_claim(self):
         assert set(PAPER_CLAIMS) == set(EXPERIMENTS)
 
     def test_unknown_experiment_rejected(self):

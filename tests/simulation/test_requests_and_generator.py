@@ -132,3 +132,29 @@ class TestTraceSource:
     def test_length_mismatch_rejected(self):
         with pytest.raises(ParameterError):
             TraceSource(0, interarrivals=[1.0], sizes=[0.5, 0.6])
+
+    def test_numpy_arrays_are_used_without_copy(self):
+        gaps = np.array([1.0, 2.0, 3.0])
+        sizes = np.array([0.5, 0.6, 0.7])
+        source = TraceSource(0, gaps, sizes)
+        assert source._interarrivals is gaps and source._sizes is sizes
+        assert len(source) == 3 and source.remaining == 3
+        assert source.next_interarrival() == 1.0
+        assert source.next_size() == 0.5
+        assert source.remaining == 2
+
+    def test_zero_gaps_are_accepted(self):
+        source = TraceSource(0, interarrivals=[0.0, 0.0], sizes=[1.0, 1.0])
+        assert source.next_interarrival() == 0.0
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ParameterError, match="interarrivals"):
+            TraceSource(0, interarrivals=[-1.0], sizes=[1.0])
+        with pytest.raises(ParameterError, match="interarrivals"):
+            TraceSource(0, interarrivals=[float("nan")], sizes=[1.0])
+        with pytest.raises(ParameterError, match="sizes"):
+            TraceSource(0, interarrivals=[1.0], sizes=[0.0])
+        with pytest.raises(ParameterError, match="one-dimensional"):
+            TraceSource(0, interarrivals=np.ones((2, 2)), sizes=np.ones((2, 2)))
+        with pytest.raises(ParameterError, match="class_index"):
+            TraceSource(-1, interarrivals=[1.0], sizes=[1.0])

@@ -1,0 +1,177 @@
+"""Tests for the arrival-log loader (CSV/NPZ -> per-class TraceSources)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.simulation import (
+    MeasurementConfig,
+    Scenario,
+    load_trace,
+    trace_sources_from_arrays,
+)
+from repro.types import TrafficClass
+from repro.distributions import Deterministic
+
+
+def write_csv(path, rows, header="class_index,arrival_time,size"):
+    lines = [header] + [",".join(str(v) for v in row) for row in rows]
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+SAMPLE_ROWS = [
+    (0, 1.0, 2.0),
+    (1, 1.5, 0.5),
+    (0, 3.0, 1.0),
+    (1, 4.5, 0.25),
+]
+
+
+class TestLoadTrace:
+    def test_csv_round_trip(self, tmp_path):
+        path = write_csv(tmp_path / "trace.csv", SAMPLE_ROWS)
+        sources = load_trace(path)
+        assert len(sources) == 2
+        assert len(sources[0]) == 2 and len(sources[1]) == 2
+        # Per-class gaps: first gap is the absolute arrival time.
+        assert sources[0].next_interarrival() == pytest.approx(1.0)
+        assert sources[0].next_size() == pytest.approx(2.0)
+        assert sources[0].next_interarrival() == pytest.approx(2.0)
+        assert sources[1].next_interarrival() == pytest.approx(1.5)
+
+    def test_npz_round_trip(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        np.savez(
+            path,
+            class_index=np.array([r[0] for r in SAMPLE_ROWS]),
+            arrival_time=np.array([r[1] for r in SAMPLE_ROWS]),
+            size=np.array([r[2] for r in SAMPLE_ROWS]),
+        )
+        sources = load_trace(path)
+        assert [len(s) for s in sources] == [2, 2]
+        assert sources[1].next_interarrival() == pytest.approx(1.5)
+        assert sources[1].next_size() == pytest.approx(0.5)
+
+    def test_unsupported_extension_rejected(self, tmp_path):
+        path = tmp_path / "trace.parquet"
+        path.write_text("x")
+        with pytest.raises(ParameterError, match="unsupported trace format"):
+            load_trace(path)
+
+    def test_missing_csv_column_rejected(self, tmp_path):
+        path = write_csv(
+            tmp_path / "trace.csv",
+            [(0, 1.0)],
+            header="class_index,arrival_time",
+        )
+        with pytest.raises(ParameterError, match="missing columns"):
+            load_trace(path)
+
+    def test_missing_npz_array_rejected(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        np.savez(path, class_index=np.array([0]), arrival_time=np.array([1.0]))
+        with pytest.raises(ParameterError, match="missing arrays"):
+            load_trace(path)
+
+    def test_single_row_csv(self, tmp_path):
+        path = write_csv(tmp_path / "one.csv", [(0, 2.5, 1.0)])
+        sources = load_trace(path)
+        assert len(sources) == 1
+        assert sources[0].next_interarrival() == pytest.approx(2.5)
+
+    def test_loaded_trace_drives_a_scenario(self, tmp_path):
+        path = write_csv(tmp_path / "trace.csv", SAMPLE_ROWS)
+        classes = (
+            TrafficClass("a", 1.0, Deterministic(1.0), 1.0),
+            TrafficClass("b", 1.0, Deterministic(1.0), 2.0),
+        )
+        config = MeasurementConfig(warmup=0.0, horizon=50.0, window=10.0)
+        result = Scenario(
+            classes, config, sources=load_trace(path)
+        ).run()
+        assert result.generated_counts == (2, 2)
+        assert result.completed_counts == (2, 2)
+
+
+class TestTraceSourcesFromArrays:
+    def test_pads_absent_classes(self):
+        sources = trace_sources_from_arrays(
+            np.array([2, 2]), np.array([1.0, 2.0]), np.array([1.0, 1.0])
+        )
+        assert len(sources) == 3
+        assert math.isinf(sources[0].next_interarrival())
+        assert len(sources[2]) == 2
+
+    def test_explicit_num_classes_pads(self):
+        sources = trace_sources_from_arrays(
+            np.array([0]), np.array([1.0]), np.array([1.0]), num_classes=4
+        )
+        assert len(sources) == 4
+
+    def test_num_classes_too_small_rejected(self):
+        with pytest.raises(ParameterError, match="num_classes"):
+            trace_sources_from_arrays(
+                np.array([3]), np.array([1.0]), np.array([1.0]), num_classes=2
+            )
+
+    def test_unsorted_arrivals_rejected(self):
+        with pytest.raises(ParameterError, match="not sorted"):
+            trace_sources_from_arrays(
+                np.array([0, 0]), np.array([2.0, 1.0]), np.array([1.0, 1.0])
+            )
+
+    def test_sorting_is_per_class(self):
+        # Interleaved classes may look unsorted globally; per class they are.
+        sources = trace_sources_from_arrays(
+            np.array([0, 1, 0]),
+            np.array([1.0, 0.5, 2.0]),
+            np.array([1.0, 1.0, 1.0]),
+        )
+        assert len(sources[0]) == 2 and len(sources[1]) == 1
+
+    def test_negative_class_rejected(self):
+        with pytest.raises(ParameterError, match="class_index"):
+            trace_sources_from_arrays(
+                np.array([-1]), np.array([1.0]), np.array([1.0])
+            )
+
+    def test_non_integer_class_rejected(self):
+        # Catches swapped columns instead of silently binning 1.7 -> class 1.
+        with pytest.raises(ParameterError, match="non-integer"):
+            trace_sources_from_arrays(
+                np.array([0.0, 1.7]), np.array([1.0, 2.0]), np.array([1.0, 1.0])
+            )
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ParameterError, match="same length"):
+            trace_sources_from_arrays(
+                np.array([0]), np.array([1.0, 2.0]), np.array([1.0])
+            )
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ParameterError, match="arrival_time"):
+            trace_sources_from_arrays(
+                np.array([0]), np.array([-1.0]), np.array([1.0])
+            )
+
+    def test_empty_trace_yields_one_silent_source(self):
+        sources = trace_sources_from_arrays(
+            np.array([], dtype=int), np.array([]), np.array([])
+        )
+        assert len(sources) == 1
+        assert math.isinf(sources[0].next_interarrival())
+
+
+class TestBundledSampleTrace:
+    def test_examples_sample_trace_loads(self):
+        import os
+
+        path = os.path.join(
+            os.path.dirname(__file__), "..", "..", "examples", "data", "sample_trace.csv"
+        )
+        sources = load_trace(path)
+        assert len(sources) == 2
+        assert all(len(source) > 100 for source in sources)

@@ -1,0 +1,188 @@
+"""Tests for the persistent replication worker pool."""
+
+import multiprocessing
+import sys
+import types
+
+import pytest
+
+from repro.core import PsdSpec
+from repro.errors import SimulationError
+from repro.experiments.base import ScenarioBuild
+from repro.simulation import (
+    MeasurementConfig,
+    ReplicationRunner,
+    Scenario,
+    WorkerPool,
+    shared_pool,
+)
+from tests.conftest import make_classes
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="the worker pool requires fork-start multiprocessing",
+)
+
+
+@pytest.fixture(scope="module")
+def build(request):
+    """A picklable build over a short two-class scenario."""
+    from repro.distributions import BoundedPareto
+
+    classes = make_classes(BoundedPareto(k=0.1, p=10.0, alpha=1.5), 0.5, (1.0, 2.0))
+    cfg = MeasurementConfig(warmup=200.0, horizon=1_500.0, window=200.0)
+    return ScenarioBuild(tuple(classes), cfg, PsdSpec.of(1, 2))
+
+
+class FailingBuild:
+    """Picklable build that raises on a chosen replication index."""
+
+    def __init__(self, inner, failing_index):
+        self.inner = inner
+        self.failing_index = failing_index
+
+    def __call__(self, index, seed):
+        if index == self.failing_index:
+            raise ValueError(f"boom in replication {index}")
+        return self.inner(index, seed)
+
+
+class TestWorkerPool:
+    def test_pool_matches_serial_and_survives_batches(self, build):
+        serial = [
+            ReplicationRunner(replications=3, base_seed=s, workers=1).run(build)
+            for s in (11, 12)
+        ]
+        pool = WorkerPool(workers=2)
+        try:
+            pooled = [
+                ReplicationRunner(
+                    replications=3, base_seed=s, workers=2, pool=pool
+                ).run(build)
+                for s in (11, 12)
+            ]
+            assert pool.started
+            for a, b in zip(pooled, serial):
+                assert a.per_class_slowdowns == b.per_class_slowdowns
+                assert a.system_slowdown == b.system_slowdown
+                assert [r.generated_counts for r in a.results] == [
+                    r.generated_counts for r in b.results
+                ]
+        finally:
+            pool.close()
+
+    def test_build_failure_reports_lowest_index_and_pool_survives(self, build):
+        pool = WorkerPool(workers=2)
+        try:
+            with pytest.raises(SimulationError, match="replication 1 failed"):
+                ReplicationRunner(
+                    replications=4, base_seed=1, workers=2, pool=pool
+                ).run(FailingBuild(build, 1))
+            # The pool outlives the failed batch and still computes correctly.
+            ok = ReplicationRunner(
+                replications=2, base_seed=2, workers=2, pool=pool
+            ).run(build)
+            serial = ReplicationRunner(replications=2, base_seed=2, workers=1).run(build)
+            assert ok.per_class_slowdowns == serial.per_class_slowdowns
+        finally:
+            pool.close()
+
+    def test_unpicklable_build_falls_back_to_per_batch_fork(self, build):
+        def closure_build(i, seed):  # local function: not picklable
+            return build(i, seed)
+
+        pool = WorkerPool(workers=2)
+        try:
+            summary = ReplicationRunner(
+                replications=2, base_seed=3, workers=2, pool=pool
+            ).run(closure_build)
+            assert not pool.started  # the pool was never engaged
+            serial = ReplicationRunner(replications=2, base_seed=3, workers=1).run(
+                closure_build
+            )
+            assert summary.per_class_slowdowns == serial.per_class_slowdowns
+        finally:
+            pool.close()
+
+    def test_deserialize_failure_falls_back(self, build):
+        """A build whose module the forked workers never imported still runs.
+
+        The pool forks lazily at the first batch; a module created *after*
+        that cannot be unpickled inside the workers, so the runner must
+        silently retry the batch on the per-batch fork path (whose children
+        inherit the new module).
+        """
+        pool = WorkerPool(workers=2)
+        try:
+            first = ReplicationRunner(
+                replications=2, base_seed=4, workers=2, pool=pool
+            ).run(build)
+            assert pool.started
+
+            module = types.ModuleType("repro_test_late_module")
+            exec(
+                "class LateBuild:\n"
+                "    def __init__(self, inner):\n"
+                "        self.inner = inner\n"
+                "    def __call__(self, index, seed):\n"
+                "        return self.inner(index, seed)\n",
+                module.__dict__,
+            )
+            sys.modules["repro_test_late_module"] = module
+            try:
+                late = module.LateBuild(build)
+                summary = ReplicationRunner(
+                    replications=2, base_seed=4, workers=2, pool=pool
+                ).run(late)
+            finally:
+                del sys.modules["repro_test_late_module"]
+            assert summary.per_class_slowdowns == first.per_class_slowdowns
+            assert not pool.broken  # deserialize fallback is not an error
+        finally:
+            pool.close()
+
+    def test_closed_pool_degrades_to_per_batch_fork(self, build):
+        pool = WorkerPool(workers=1)
+        pool.close()
+        pool.close()  # idempotent
+        summary = ReplicationRunner(
+            replications=2, base_seed=5, workers=2, pool=pool
+        ).run(build)
+        serial = ReplicationRunner(replications=2, base_seed=5, workers=1).run(build)
+        assert summary.per_class_slowdowns == serial.per_class_slowdowns
+        assert not pool.started  # the closed pool was never revived
+        # Driving a closed pool directly is still an error.
+        with pytest.raises(SimulationError, match="closed"):
+            pool.run_batch(b"", [])
+
+    def test_worker_count_validated(self):
+        with pytest.raises(SimulationError):
+            WorkerPool(workers=0)
+
+
+class TestSharedPool:
+    @pytest.fixture(autouse=True)
+    def fresh_shared_pool(self):
+        """Reset the process-wide pool: earlier tests may have grown it."""
+        import repro.simulation.runner as runner_module
+
+        if runner_module._shared_pool is not None:
+            runner_module._shared_pool.close()
+            runner_module._shared_pool = None
+        yield
+
+    def test_shared_pool_reused_and_grows(self):
+        first = shared_pool(1)
+        again = shared_pool(1)
+        assert again is first
+        bigger = shared_pool(2)
+        assert bigger is not first
+        assert first.closed
+        assert shared_pool(1) is bigger  # over-sized pools are kept
+
+    def test_runner_without_pool_uses_shared_pool(self, build):
+        pool = shared_pool(2)
+        serial = ReplicationRunner(replications=2, base_seed=6, workers=1).run(build)
+        parallel = ReplicationRunner(replications=2, base_seed=6, workers=2).run(build)
+        assert parallel.per_class_slowdowns == serial.per_class_slowdowns
+        assert pool.started

@@ -23,6 +23,7 @@ class TestPublicApi:
         assert round(sum(allocation.rates), 10) == 1.0
 
     def test_subpackages_importable(self):
+        import repro.cluster
         import repro.core
         import repro.distributions
         import repro.experiments
@@ -33,6 +34,7 @@ class TestPublicApi:
         import repro.workload
 
         for module in (
+            repro.cluster,
             repro.core,
             repro.distributions,
             repro.experiments,
