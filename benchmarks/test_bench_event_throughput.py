@@ -1,0 +1,208 @@
+"""Event-throughput microbench: the columnar ledger vs the seed object path.
+
+The ledger refactor replaced object-per-request bookkeeping (a ``Request``
+dataclass per arrival, a ``RequestRecord`` + monitor bucket append + trace
+append + Python window sums per completion) with struct-of-arrays columns
+addressed by integer id.  This bench quantifies that win on the
+effectiveness scenario (two classes of the paper's Bounded Pareto workload
+under the adaptive controller, the workload behind Figs. 2-4): it runs the
+same simulation through the current columnar pipeline and through a
+*retained object-path baseline* — a :class:`Scenario` subclass that
+re-enacts, request by request, every allocation and bookkeeping step the
+seed performed, using the object APIs the refactor kept (``ledger.view``,
+``RequestRecord``, streaming ``WindowedMonitor.record``, appendable
+``SimulationTrace``).
+
+Both paths simulate the identical event sequence (same seed, same ledger
+underneath), so the requests/sec ratio isolates pure bookkeeping overhead.
+The hard assertion — the ledger path sustains at least 1.5x the baseline's
+requests/sec — is checked on the best of three interleaved runs per path,
+which suppresses the CPU-contention noise of shared runners.  The absolute
+and relative numbers land in ``benchmark.extra_info`` and therefore in the
+``--benchmark-json`` artifact the CI job uploads.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.core import PsdSpec
+from repro.simulation import (
+    MeasurementConfig,
+    Scenario,
+    SimulationTrace,
+    WindowedMonitor,
+)
+from repro.workload import web_classes
+
+#: The ledger path must sustain at least this multiple of the object-path
+#: baseline's requests/sec (acceptance bar of the ledger refactor).
+MIN_SPEEDUP = 1.5
+
+#: Interleaved timing runs per path; the best of each is compared.
+ROUNDS = 3
+
+
+@dataclass
+class _SeedRequest:
+    """The seed's per-request object, retained for the baseline's arrivals."""
+
+    request_id: int
+    class_index: int
+    arrival_time: float
+    size: float
+    service_start_time: float = math.nan
+    completion_time: float = math.nan
+
+
+class ObjectPathScenario(Scenario):
+    """The seed's object-per-request bookkeeping, re-enacted step by step.
+
+    Per arrival: one request object, per-class generated/window counters.
+    Per completion: a ``Request`` view, a ``RequestRecord``, a trace append,
+    a streaming monitor record, Python window slowdown sums and completion
+    counters.  The simulated event sequence is untouched (the same ledger
+    drives the servers), so only the bookkeeping cost differs.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        n = len(self.classes)
+        self._object_trace = SimulationTrace(n)
+        self._object_monitor = WindowedMonitor(
+            n, warmup=self.config.warmup, window=self.config.window
+        )
+        self._object_window_sums = [0.0] * n
+        self._object_window_counts = [0] * n
+        self._object_window_arrivals = [0] * n
+        self._object_window_work = [0.0] * n
+        self._object_generated = [0] * n
+        self._object_completed = [0] * n
+        self._object_live: dict[int, _SeedRequest] = {}
+        self._object_counter = 0
+
+    def _make_arrival(self, class_index: int):
+        ledger, server, engine = self.ledger, self.server, self.engine
+
+        def handle() -> None:
+            source = self.sources[class_index]
+            size = source.next_size()
+            self._object_generated[class_index] += 1
+            if self._admit(class_index, size):
+                request = _SeedRequest(
+                    self._object_counter, class_index, engine.now, size
+                )
+                self._object_counter += 1
+                self._object_window_arrivals[class_index] += 1
+                self._object_window_work[class_index] += size
+                rid = ledger.append(class_index, engine.now, size)
+                self._object_live[rid] = request
+                server.submit(rid)
+            else:
+                self._rejected[class_index] += 1
+            gap = source.next_interarrival()
+            if np.isfinite(gap):
+                engine.schedule_after(gap, handle, label=f"arrival-{class_index}")
+
+        return handle
+
+    def _on_completion(self, rid: int) -> None:
+        self._object_live.pop(rid, None)
+        record = self._object_trace.add(self.ledger.view(rid))
+        self._object_monitor.record(record)
+        self._object_window_sums[record.class_index] += record.slowdown
+        self._object_window_counts[record.class_index] += 1
+        self._object_completed[record.class_index] += 1
+
+
+def _effectiveness_point():
+    classes = web_classes(2, 0.6, (1.0, 2.0))
+    config = MeasurementConfig(
+        warmup=1_000.0, horizon=15_000.0, window=1_000.0
+    ).scaled_to_time_units(classes[0].service.mean())
+    return classes, config, PsdSpec.of(1, 2)
+
+
+def _timed_run(scenario_class):
+    classes, config, spec = _effectiveness_point()
+    start = time.perf_counter()
+    result = scenario_class(classes, config, spec=spec, seed=1).run()
+    elapsed = time.perf_counter() - start
+    completed = sum(result.completed_counts)
+    return completed / elapsed, result
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_ledger_event_throughput_vs_object_path(benchmark):
+    def measure():
+        ledger_rps, object_rps = [], []
+        baseline_result = None
+        for _ in range(ROUNDS):  # interleaved: noise hits both paths alike
+            rps, ledger_result = _timed_run(Scenario)
+            ledger_rps.append(rps)
+            rps, baseline_result = _timed_run(ObjectPathScenario)
+            object_rps.append(rps)
+        return max(ledger_rps), max(object_rps), ledger_result, baseline_result
+
+    ledger_rps, object_rps, ledger_result, baseline_result = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    speedup = ledger_rps / object_rps
+    benchmark.extra_info["ledger_requests_per_sec"] = round(ledger_rps, 1)
+    benchmark.extra_info["object_path_requests_per_sec"] = round(object_rps, 1)
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+    print()
+    print(
+        f"  ledger: {ledger_rps:,.0f} req/s  object path: {object_rps:,.0f} req/s  "
+        f"speedup: {speedup:.2f}x"
+    )
+
+    # Same seed, same event sequence: the two paths must agree exactly on
+    # what was simulated before their throughput is comparable.
+    assert baseline_result.completed_counts == ledger_result.completed_counts
+    assert (
+        baseline_result.per_class_mean_slowdowns()
+        == ledger_result.per_class_mean_slowdowns()
+    )
+    # The baseline's own object bookkeeping saw every completion.
+    assert (
+        tuple(baseline_result.controller.current_rates)
+        == tuple(ledger_result.controller.current_rates)
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"ledger path reached only {speedup:.2f}x of the retained object-path "
+        f"baseline (required: {MIN_SPEEDUP}x)"
+    )
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_object_path_baseline_bookkeeping_is_faithful(benchmark):
+    """The baseline's retained object bookkeeping reproduces the ledger's
+    aggregates — evidence that the throughput comparison is apples-to-apples."""
+
+    def run():
+        classes, config, spec = _effectiveness_point()
+        scenario = ObjectPathScenario(classes, config, spec=spec, seed=1)
+        return scenario, scenario.run()
+
+    scenario, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    ledger = result.ledger
+    # Trace/monitor objects mirror the columnar truth record for record.
+    assert len(scenario._object_trace) == ledger.num_completed
+    np.testing.assert_array_equal(
+        scenario._object_trace.to_arrays()["completion_time"],
+        ledger.completion_time[ledger.completed_ids],
+    )
+    assert scenario._object_completed == list(result.completed_counts)
+    assert scenario._object_generated == list(result.generated_counts)
+    streaming = scenario._object_monitor.samples()
+    vectorised = result.monitor.samples()
+    assert len(streaming) == len(vectorised)
+    for a, b in zip(streaming, vectorised):
+        assert (a.start, a.end, a.counts) == (b.start, b.end, b.counts)
+        np.testing.assert_array_equal(a.mean_slowdowns, b.mean_slowdowns)

@@ -78,6 +78,7 @@ from .simulation import (
     PsdServerSimulation,
     RateScalableServers,
     ReplicationRunner,
+    RequestLedger,
     Scenario,
     ServerModel,
     SharedProcessorServer,
@@ -86,6 +87,7 @@ from .simulation import (
     WorkerPool,
     load_trace,
     run_replications,
+    save_trace,
 )
 from .types import TrafficClass
 
@@ -112,6 +114,7 @@ __all__ = [
     "PsdController",
     # simulation
     "MeasurementConfig",
+    "RequestLedger",
     "Scenario",
     "ServerModel",
     "RateScalableServers",
@@ -123,6 +126,7 @@ __all__ = [
     "WorkerPool",
     "run_replications",
     "load_trace",
+    "save_trace",
     # cluster
     "ClusterServerModel",
     "make_cluster",

@@ -1,11 +1,12 @@
 """Pluggable dispatch policies: which cluster node serves each request.
 
 A :class:`DispatchPolicy` is the routing brain of a
-:class:`~repro.cluster.model.ClusterServerModel`: every admitted request is
-handed to :meth:`DispatchPolicy.select_node`, which returns the index of the
-member node that will serve it.  Policies see the cluster through a small
-read-only view (node/class counts, per-node pending work) so the same policy
-works over any mix of member server models.
+:class:`~repro.cluster.model.ClusterServerModel`: every admitted request's
+ledger row id is handed to :meth:`DispatchPolicy.select_node`, which returns
+the index of the member node that will serve it.  Policies see the cluster
+through a small read-only view (node/class counts, per-node pending work,
+the shared :class:`~repro.simulation.ledger.RequestLedger` for per-request
+columns) so the same policy works over any mix of member server models.
 
 Determinism contract: given the same cluster state and, for randomised
 policies, the same seed, ``select_node`` returns the same node.  All ties are
@@ -26,7 +27,6 @@ import numpy as np
 
 from ..distributions.rng import make_generator
 from ..errors import SimulationError
-from ..simulation.requests import Request
 
 __all__ = [
     "DispatchPolicy",
@@ -46,8 +46,8 @@ class DispatchPolicy(abc.ABC):
     The cluster calls :meth:`bind` exactly once (handing over a read-only
     view of itself — see :class:`~repro.cluster.model.ClusterServerModel` for
     the accessors policies may use: ``num_nodes``, ``num_classes``,
-    ``pending``, ``work_left``) and then :meth:`select_node` once per
-    admitted request.
+    ``pending``, ``work_left``, ``ledger``) and then :meth:`select_node` once
+    per admitted request, with the request's ledger row id.
     """
 
     def __init__(self) -> None:
@@ -80,8 +80,8 @@ class DispatchPolicy(abc.ABC):
         return None
 
     @abc.abstractmethod
-    def select_node(self, request: Request) -> int:
-        """The index of the member node that will serve ``request``."""
+    def select_node(self, rid: int) -> int:
+        """The index of the member node that will serve ledger row ``rid``."""
 
 
 class RoundRobin(DispatchPolicy):
@@ -91,7 +91,7 @@ class RoundRobin(DispatchPolicy):
         super().__init__()
         self._next = 0
 
-    def select_node(self, request: Request) -> int:
+    def select_node(self, rid: int) -> int:
         node = self._next
         self._next = (self._next + 1) % self.cluster.num_nodes
         return node
@@ -129,7 +129,7 @@ class WeightedRandom(DispatchPolicy):
         self._cumulative = np.cumsum(np.asarray(weights, dtype=float))
         self._cumulative /= self._cumulative[-1]
 
-    def select_node(self, request: Request) -> int:
+    def select_node(self, rid: int) -> int:
         return int(np.searchsorted(self._cumulative, self.rng.random(), side="right"))
 
 
@@ -142,11 +142,12 @@ class JoinShortestQueue(DispatchPolicy):
     lowest node index, which keeps runs deterministic.
     """
 
-    def select_node(self, request: Request) -> int:
+    def select_node(self, rid: int) -> int:
         cluster = self.cluster
-        best, best_pending = 0, cluster.pending(0, request.class_index)
+        class_index = cluster.ledger.class_of(rid)
+        best, best_pending = 0, cluster.pending(0, class_index)
         for node in range(1, cluster.num_nodes):
-            pending = cluster.pending(node, request.class_index)
+            pending = cluster.pending(node, class_index)
             if pending < best_pending:
                 best, best_pending = node, pending
         return best
@@ -160,7 +161,7 @@ class LeastWorkLeft(DispatchPolicy):
     broken by the lowest node index.
     """
 
-    def select_node(self, request: Request) -> int:
+    def select_node(self, rid: int) -> int:
         cluster = self.cluster
         best, best_work = 0, cluster.work_left(0)
         for node in range(1, cluster.num_nodes):
@@ -210,8 +211,8 @@ class ClassAffinity(DispatchPolicy):
 
         return AffinityPartitioner(self)
 
-    def select_node(self, request: Request) -> int:
-        return self.partition[request.class_index]
+    def select_node(self, rid: int) -> int:
+        return self.partition[self.cluster.ledger.class_of(rid)]
 
 
 #: Registry of dispatch-policy factories by short name, as accepted by the

@@ -132,32 +132,44 @@ class ClusterServerModel(ServerModel):
         self._dispatch_counts = [[0] * c for _ in range(n)]
         self.dispatch_log = []
         for index, node in enumerate(self.nodes):
-            node.bind(self.engine, self.classes, self._completion_sink(index))
+            # Member nodes share the cluster's ledger, so row ids are valid
+            # cluster-wide and the dispatch/pending bookkeeping never needs
+            # a per-request object.
+            node.bind(
+                self.engine,
+                self.classes,
+                self._completion_sink(index),
+                ledger=self.ledger,
+            )
         self.dispatch.bind(self)
 
-    def _completion_sink(self, node: int) -> Callable[[Request], None]:
-        def deliver(request: Request) -> None:
-            self._pending[node][request.class_index] -= 1
+    def _completion_sink(self, node: int) -> Callable[[int], None]:
+        def deliver(rid: int) -> None:
+            self._pending[node][self.ledger.class_of(rid)] -= 1
             # Clamp: summation order can leave ~1e-16 residuals behind.
-            self._work_left[node] = max(self._work_left[node] - request.size, 0.0)
-            self.deliver(request)
+            self._work_left[node] = max(
+                self._work_left[node] - self.ledger.size_of(rid), 0.0
+            )
+            self.deliver(rid)
 
         return deliver
 
-    def submit(self, request: Request) -> None:
-        node = self.dispatch.select_node(request)
+    def submit(self, request: int | Request) -> None:
+        rid = self.resolve(request)
+        node = self.dispatch.select_node(rid)
         if not isinstance(node, (int, np.integer)) or not (0 <= node < self.num_nodes):
             raise SimulationError(
                 f"dispatch policy {type(self.dispatch).__name__} chose invalid "
                 f"node {node!r} (cluster has {self.num_nodes})"
             )
         node = int(node)
-        self._pending[node][request.class_index] += 1
-        self._work_left[node] += request.size
-        self._dispatch_counts[node][request.class_index] += 1
+        class_index = self.ledger.class_of(rid)
+        self._pending[node][class_index] += 1
+        self._work_left[node] += self.ledger.size_of(rid)
+        self._dispatch_counts[node][class_index] += 1
         if self.record_dispatch:
             self.dispatch_log.append(node)
-        self.nodes[node].submit(request)
+        self.nodes[node].submit(rid)
 
     def apply_rates(self, rates: Sequence[float]) -> None:
         if len(rates) != self.num_classes:

@@ -4,6 +4,10 @@ The package is layered as *engine -> scenario -> server model -> runner*:
 
 * :mod:`repro.simulation.engine` / :mod:`repro.simulation.events` — the DES
   core (clock, calendar, run loop).
+* :mod:`repro.simulation.ledger` — :class:`RequestLedger`, the columnar
+  (struct-of-arrays) request store: every request is one row across
+  preallocated NumPy columns, addressed by integer id; the whole lifecycle
+  (servers, cluster dispatch, monitor, trace) moves ids, never objects.
 * :mod:`repro.simulation.generator` — per-class request sources (Poisson,
   deterministic, trace replay).
 * :mod:`repro.simulation.scenario` — :class:`Scenario`, the composable
@@ -18,8 +22,9 @@ The package is layered as *engine -> scenario -> server model -> runner*:
   ``SharedProcessorSimulation``) that pre-select a server model.
 * :mod:`repro.simulation.monitor` / :mod:`repro.simulation.trace` —
   measurement.
-* :mod:`repro.simulation.trace_io` — :func:`load_trace`: CSV/NPZ arrival
-  logs parsed columnar into per-class :class:`TraceSource`s.
+* :mod:`repro.simulation.trace_io` — :func:`load_trace` / :func:`save_trace`:
+  CSV/NPZ arrival logs parsed columnar into per-class :class:`TraceSource`s,
+  and completed runs written back out as replayable logs.
 * :mod:`repro.simulation.runner` — :class:`ReplicationRunner`:
   multi-replication orchestration, serial or parallel (forked workers) with
   bit-identical aggregates for any worker count.
@@ -44,6 +49,7 @@ from .generator import (
     TraceSource,
     sources_from_classes,
 )
+from .ledger import RequestLedger
 from .monitor import MeasurementConfig, WindowSample, WindowedMonitor
 from .psd_server import PsdServerSimulation
 from .requests import Request
@@ -70,7 +76,7 @@ from .server_models import (
 from .shared_server import SharedProcessorSimulation
 from .task_server import FcfsTaskServer
 from .trace import RequestRecord, SimulationTrace
-from .trace_io import load_trace, trace_sources_from_arrays
+from .trace_io import load_trace, save_trace, trace_sources_from_arrays
 
 __all__ = [
     "SimulationEngine",
@@ -83,11 +89,13 @@ __all__ = [
     "TraceSource",
     "sources_from_classes",
     "load_trace",
+    "save_trace",
     "trace_sources_from_arrays",
     "MeasurementConfig",
     "WindowSample",
     "WindowedMonitor",
     "Request",
+    "RequestLedger",
     "FcfsTaskServer",
     "Scenario",
     "ServerModel",

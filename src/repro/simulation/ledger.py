@@ -1,0 +1,380 @@
+"""The columnar request store: a struct-of-arrays ledger of request lifecycles.
+
+The measurement protocol of the paper is aggregate by construction —
+per-window, per-class mean slowdowns over tens of thousands of time units —
+so nothing in the pipeline ever needs a per-request Python object.
+:class:`RequestLedger` therefore stores every request as one *row* across a
+set of preallocated, geometrically grown NumPy columns
+
+    ``request_id | class_index | arrival_time | size |
+    service_start_time | completion_time``
+
+and the whole simulation stack addresses requests by integer row id:
+:class:`~repro.simulation.scenario.Scenario` appends a row per admitted
+arrival, the server models queue and serve row ids, and the monitor/trace
+layer computes every statistic with vectorised NumPy over the columns.
+
+Lifecycle invariants (a request starts service exactly once, at or after its
+arrival; completes exactly once, at or after its service start) are enforced
+here, in one place, exactly as the old per-object ``Request`` methods did.
+Completions are additionally logged in completion order (`completed_ids`),
+which is what makes the vectorised window statistics bit-identical to the
+old per-completion bookkeeping: simulated time is monotone, so the logged
+completion times are already sorted.
+
+``Request`` (see :mod:`repro.simulation.requests`) remains available as a
+thin lazy *view* over a ledger row — nothing in the hot path allocates one,
+but call sites that want object ergonomics (tests, examples, the ``extra``
+escape hatch) keep working.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["RequestLedger"]
+
+#: Initial number of rows allocated by a fresh ledger; grown 2x on demand.
+DEFAULT_CAPACITY = 1024
+
+#: Tolerance absorbing float drift in lifecycle timestamps (same contract as
+#: the engine's ``schedule_at``).
+_TIME_TOL = 1e-12
+
+
+class RequestLedger:
+    """Struct-of-arrays store for every request of one simulation run.
+
+    Parameters
+    ----------
+    num_classes:
+        When given, ``append`` validates class indices against this bound
+        (the scenario always passes it; standalone ledgers may omit it).
+    capacity:
+        Initial row allocation; the columns grow geometrically (2x) when
+        exceeded, so ids stay stable across growth.
+    """
+
+    __slots__ = (
+        "num_classes",
+        "_n",
+        "_request_id",
+        "_class_index",
+        "_arrival_time",
+        "_size",
+        "_service_start",
+        "_completion",
+        "_completed",
+        "_order",
+        "_extra",
+    )
+
+    def __init__(self, num_classes: int | None = None, *, capacity: int = DEFAULT_CAPACITY) -> None:
+        if num_classes is not None and num_classes <= 0:
+            raise SimulationError("num_classes must be > 0")
+        if capacity < 1:
+            raise SimulationError("capacity must be >= 1")
+        self.num_classes = None if num_classes is None else int(num_classes)
+        self._n = 0
+        self._completed = 0
+        # The lifecycle columns are NaN-filled and the labels default-filled
+        # (label = row id) at allocation time, so the per-arrival append only
+        # touches the three columns that actually vary.
+        self._request_id = np.arange(capacity, dtype=np.int64)
+        self._class_index = np.empty(capacity, dtype=np.int64)
+        self._arrival_time = np.empty(capacity, dtype=np.float64)
+        self._size = np.empty(capacity, dtype=np.float64)
+        self._service_start = np.full(capacity, math.nan, dtype=np.float64)
+        self._completion = np.full(capacity, math.nan, dtype=np.float64)
+        self._order = np.empty(capacity, dtype=np.int64)
+        self._extra: dict[int, dict] = {}
+
+    # ------------------------------------------------------------------ #
+    # Sizes
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def capacity(self) -> int:
+        """Currently allocated rows (grows on demand; ids never move)."""
+        return self._request_id.shape[0]
+
+    @property
+    def num_completed(self) -> int:
+        return self._completed
+
+    # ------------------------------------------------------------------ #
+    # Column views (trimmed to the live rows; treat as read-only)
+    # ------------------------------------------------------------------ #
+    def _view(self, column: np.ndarray, length: int) -> np.ndarray:
+        view = column[:length]
+        view.flags.writeable = False
+        return view
+
+    @property
+    def request_id(self) -> np.ndarray:
+        """External labels, one per row (defaults to the row id itself)."""
+        return self._view(self._request_id, self._n)
+
+    @property
+    def class_index(self) -> np.ndarray:
+        return self._view(self._class_index, self._n)
+
+    @property
+    def arrival_time(self) -> np.ndarray:
+        return self._view(self._arrival_time, self._n)
+
+    @property
+    def size(self) -> np.ndarray:
+        return self._view(self._size, self._n)
+
+    @property
+    def service_start_time(self) -> np.ndarray:
+        return self._view(self._service_start, self._n)
+
+    @property
+    def completion_time(self) -> np.ndarray:
+        return self._view(self._completion, self._n)
+
+    @property
+    def completed_ids(self) -> np.ndarray:
+        """Row ids of completed requests, in completion (= time) order."""
+        return self._view(self._order, self._completed)
+
+    # ------------------------------------------------------------------ #
+    # Scalar accessors (hot path)
+    # ------------------------------------------------------------------ #
+    def class_of(self, rid: int) -> int:
+        return int(self._class_index[rid])
+
+    def size_of(self, rid: int) -> float:
+        return float(self._size[rid])
+
+    def arrival_of(self, rid: int) -> float:
+        return float(self._arrival_time[rid])
+
+    def start_of(self, rid: int) -> float:
+        return float(self._service_start[rid])
+
+    def completion_of(self, rid: int) -> float:
+        return float(self._completion[rid])
+
+    def label_of(self, rid: int) -> int:
+        return int(self._request_id[rid])
+
+    def is_complete(self, rid: int) -> bool:
+        return not math.isnan(self._completion[rid])
+
+    # ------------------------------------------------------------------ #
+    # Appending rows
+    # ------------------------------------------------------------------ #
+    def _grow(self) -> None:
+        old_capacity = self.capacity
+        new_capacity = max(old_capacity * 2, 16)
+        for name in (
+            "_request_id",
+            "_class_index",
+            "_arrival_time",
+            "_size",
+            "_service_start",
+            "_completion",
+            "_order",
+        ):
+            old = getattr(self, name)
+            grown = np.empty(new_capacity, dtype=old.dtype)
+            # Column lengths can differ after unpickling (the completion log
+            # is padded independently), so copy each column's own length.
+            grown[: old.shape[0]] = old
+            setattr(self, name, grown)
+        # Restore the allocation-time defaults on the fresh tail.
+        self._request_id[old_capacity:] = np.arange(old_capacity, new_capacity)
+        self._service_start[old_capacity:] = math.nan
+        self._completion[old_capacity:] = math.nan
+
+    def append(
+        self,
+        class_index: int,
+        arrival_time: float,
+        size: float,
+        *,
+        request_id: int | None = None,
+    ) -> int:
+        """Record one arrival; returns the new row id."""
+        class_index = int(class_index)
+        if class_index < 0 or (
+            self.num_classes is not None and class_index >= self.num_classes
+        ):
+            bound = "inf" if self.num_classes is None else self.num_classes
+            raise SimulationError(
+                f"request class {class_index} out of range [0, {bound})"
+            )
+        rid = self._n
+        if rid == self.capacity:
+            self._grow()
+        if request_id is not None:
+            self._request_id[rid] = int(request_id)
+        self._class_index[rid] = class_index
+        self._arrival_time[rid] = arrival_time
+        self._size[rid] = size
+        self._n = rid + 1
+        return rid
+
+    def resolve(self, request) -> int:
+        """Normalise a submit-style argument — row id or ``Request`` view —
+        to a row id in this ledger (views are interned).  The single home of
+        the id-or-object check every server model's ``submit`` performs."""
+        if isinstance(request, (int, np.integer)):
+            return int(request)
+        return self.intern(request)
+
+    def intern(self, request) -> int:
+        """Adopt a foreign :class:`Request` into this ledger.
+
+        The request's full lifecycle state (including any ``extra`` payload)
+        is copied into a fresh row and the request object is re-bound so it
+        becomes a live view of that row; the new row id is returned.  A
+        request already backed by this ledger is returned unchanged.
+        """
+        if request.ledger is self:
+            return request.row
+        source, old_row = request.ledger, request.row
+        rid = self.append(
+            request.class_index,
+            request.arrival_time,
+            request.size,
+            request_id=request.request_id,
+        )
+        # Copy lifecycle columns verbatim — the source row already satisfied
+        # the invariants (or was constructed with explicit values, exactly
+        # like the old mutable dataclass allowed).
+        self.adopt_lifecycle(
+            rid, source._service_start[old_row], source._completion[old_row]
+        )
+        extra = source._extra.get(old_row)
+        if extra:
+            self._extra[rid] = extra
+        request._rebind(self, rid)
+        return rid
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def adopt_lifecycle(self, rid: int, service_start: float, completion: float) -> None:
+        """Write a row's lifecycle timestamps verbatim, without invariant checks.
+
+        The single home of the "set both columns, log the completion" step
+        shared by :meth:`intern` and explicit :class:`Request` construction
+        (which mirror the old mutable dataclass, where any lifecycle state
+        could be assembled directly).  ``NaN`` means not-yet-happened; a
+        non-NaN ``completion`` is appended to the completion log.
+        """
+        self._service_start[rid] = service_start
+        self._completion[rid] = completion
+        if not math.isnan(completion):
+            self._order[self._completed] = rid
+            self._completed += 1
+
+    def start_service(self, rid: int, time: float) -> None:
+        if not math.isnan(self._service_start[rid]):
+            raise SimulationError(
+                f"request {self.label_of(rid)} started service twice"
+            )
+        if time < self._arrival_time[rid] - _TIME_TOL:
+            raise SimulationError(
+                f"request {self.label_of(rid)} started service before arriving"
+            )
+        self._service_start[rid] = time
+
+    def complete(self, rid: int, time: float) -> None:
+        if math.isnan(self._service_start[rid]):
+            raise SimulationError(
+                f"request {self.label_of(rid)} completed without starting service"
+            )
+        if not math.isnan(self._completion[rid]):
+            raise SimulationError(f"request {self.label_of(rid)} completed twice")
+        if time < self._service_start[rid] - _TIME_TOL:
+            raise SimulationError(
+                f"request {self.label_of(rid)} completed before service started"
+            )
+        self._completion[rid] = time
+        self._order[self._completed] = rid
+        self._completed += 1
+
+    # ------------------------------------------------------------------ #
+    # Escape hatch and views
+    # ------------------------------------------------------------------ #
+    def extra(self, rid: int) -> dict:
+        """Per-request side-channel dict, created lazily (rarely used)."""
+        extra = self._extra.get(rid)
+        if extra is None:
+            extra = self._extra[rid] = {}
+        return extra
+
+    def view(self, rid: int):
+        """A lazy :class:`~repro.simulation.requests.Request` over one row."""
+        from .requests import Request
+
+        if not (0 <= rid < self._n):
+            raise SimulationError(f"row {rid} out of range [0, {self._n})")
+        return Request.view(self, rid)
+
+    # ------------------------------------------------------------------ #
+    # Vectorised derived metrics
+    # ------------------------------------------------------------------ #
+    def slowdowns(self, ids: np.ndarray | None = None) -> np.ndarray:
+        """Paper slowdowns (delay over actual service duration) for ``ids``
+        (default: every completed request, in completion order)."""
+        if ids is None:
+            ids = self.completed_ids
+        start = self._service_start[ids]
+        return (start - self._arrival_time[ids]) / (self._completion[ids] - start)
+
+    def waiting_times(self, ids: np.ndarray | None = None) -> np.ndarray:
+        if ids is None:
+            ids = self.completed_ids
+        return self._service_start[ids] - self._arrival_time[ids]
+
+    # ------------------------------------------------------------------ #
+    # Compact pickling: only the live rows cross process boundaries
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        n, m = self._n, self._completed
+        return {
+            "num_classes": self.num_classes,
+            "request_id": self._request_id[:n].copy(),
+            "class_index": self._class_index[:n].copy(),
+            "arrival_time": self._arrival_time[:n].copy(),
+            "size": self._size[:n].copy(),
+            "service_start": self._service_start[:n].copy(),
+            "completion": self._completion[:n].copy(),
+            "order": self._order[:m].copy(),
+            "extra": self._extra,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.num_classes = state["num_classes"]
+        self._request_id = state["request_id"]
+        self._class_index = state["class_index"]
+        self._arrival_time = state["arrival_time"]
+        self._size = state["size"]
+        self._service_start = state["service_start"]
+        self._completion = state["completion"]
+        self._n = int(self._request_id.shape[0])
+        self._completed = int(state["order"].shape[0])
+        # Pad the completion log back to full capacity so rows that were
+        # in flight when the ledger was pickled can still complete.
+        order = np.empty(max(self._n, 1), dtype=np.int64)
+        order[: self._completed] = state["order"]
+        self._order = order
+        self._extra = state["extra"]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RequestLedger(rows={self._n}, completed={self._completed}, "
+            f"capacity={self.capacity}, num_classes={self.num_classes})"
+        )

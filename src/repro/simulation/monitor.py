@@ -20,6 +20,7 @@ import numpy as np
 
 from ..errors import ParameterError
 from ..validation import require_non_negative, require_positive
+from .ledger import RequestLedger
 from .trace import RequestRecord
 
 __all__ = ["MeasurementConfig", "WindowSample", "WindowedMonitor"]
@@ -109,14 +110,33 @@ class WindowSample:
 
 
 class WindowedMonitor:
-    """Accumulates per-class slowdowns window by window.
+    """Per-class slowdown statistics, window by window.
 
     Completed requests are attributed to the window containing their
     completion time; requests completing before ``warmup`` are discarded, as
-    in the paper.
+    in the paper.  Windows between the first and last observed completion
+    that saw no completions at all are still emitted (all-NaN means, zero
+    counts), so the per-window series of different classes stay time-aligned
+    even when a quiet class skips a window.
+
+    Two modes:
+
+    * **ledger-backed** (every scenario run): constructed with the run's
+      :class:`~repro.simulation.ledger.RequestLedger`; nothing is recorded
+      per completion, and :meth:`samples` computes all per-window per-class
+      statistics in one vectorised pass over the completion columns.
+    * **streaming**: without a ledger, feed completions one at a time
+      through :meth:`record`, exactly as before the refactor.
     """
 
-    def __init__(self, num_classes: int, *, warmup: float, window: float) -> None:
+    def __init__(
+        self,
+        num_classes: int,
+        *,
+        warmup: float,
+        window: float,
+        ledger: "RequestLedger | None" = None,
+    ) -> None:
         if num_classes <= 0:
             raise ParameterError("num_classes must be > 0")
         require_non_negative(warmup, "warmup")
@@ -124,9 +144,21 @@ class WindowedMonitor:
         self.num_classes = int(num_classes)
         self.warmup = float(warmup)
         self.window = float(window)
+        self._ledger = ledger
         self._buckets: dict[int, list[list[float]]] = {}
 
+    @property
+    def ledger(self):
+        """The backing ledger, if this monitor finalises from one."""
+        return self._ledger
+
     def record(self, record: RequestRecord) -> None:
+        """Attribute one completion to its window (streaming mode only)."""
+        if self._ledger is not None:
+            raise ParameterError(
+                "a ledger-backed monitor derives its samples from the ledger; "
+                "record() is only for streaming monitors built without one"
+            )
         if record.completion_time < self.warmup:
             return
         index = int((record.completion_time - self.warmup) // self.window)
@@ -135,20 +167,68 @@ class WindowedMonitor:
         )
         bucket[record.class_index].append(record.slowdown)
 
-    def samples(self) -> list[WindowSample]:
-        """Per-window summaries in time order."""
+    def _sample_for(self, index: int, per_class_values) -> WindowSample:
+        means = tuple(
+            float(np.mean(vals)) if len(vals) else float("nan") for vals in per_class_values
+        )
+        counts = tuple(len(vals) for vals in per_class_values)
+        start = self.warmup + index * self.window
+        return WindowSample(
+            start=start, end=start + self.window, mean_slowdowns=means, counts=counts
+        )
+
+    def _ledger_samples(self) -> list[WindowSample]:
+        """One vectorised pass over the completion columns.
+
+        The completion log is in completion order and simulated time is
+        monotone, so the per-completion window indices are already sorted:
+        ``np.searchsorted`` finds every window boundary at once, and each
+        window's per-class values are contiguous slices.
+        """
+        ledger = self._ledger
+        ids = ledger.completed_ids
+        completion = ledger.completion_time[ids]
+        keep = completion >= self.warmup
+        ids = ids[keep]
+        if ids.size == 0:
+            return []
+        indices = ((completion[keep] - self.warmup) // self.window).astype(np.int64)
+        if np.any(np.diff(indices) < 0):
+            # Engine-driven completions are logged in time order, but rows
+            # interned with pre-set completion times can break it; a stable
+            # sort restores window order while preserving the log order
+            # within each window (what the streaming path would have seen).
+            order = np.argsort(indices, kind="stable")
+            ids = ids[order]
+            indices = indices[order]
+        classes = ledger.class_index[ids]
+        slowdowns = ledger.slowdowns(ids)
+        first, last = int(indices[0]), int(indices[-1])
+        edges = np.searchsorted(indices, np.arange(first, last + 2))
         out: list[WindowSample] = []
-        for index in sorted(self._buckets):
-            per_class = self._buckets[index]
-            means = tuple(
-                float(np.mean(vals)) if vals else float("nan") for vals in per_class
-            )
-            counts = tuple(len(vals) for vals in per_class)
-            start = self.warmup + index * self.window
+        for offset, index in enumerate(range(first, last + 1)):
+            lo, hi = edges[offset], edges[offset + 1]
+            window_classes = classes[lo:hi]
+            window_slowdowns = slowdowns[lo:hi]
             out.append(
-                WindowSample(start=start, end=start + self.window, mean_slowdowns=means, counts=counts)
+                self._sample_for(
+                    index,
+                    [window_slowdowns[window_classes == c] for c in range(self.num_classes)],
+                )
             )
         return out
+
+    def samples(self) -> list[WindowSample]:
+        """Per-window summaries in time order (empty windows included)."""
+        if self._ledger is not None:
+            return self._ledger_samples()
+        if not self._buckets:
+            return []
+        empty = [[] for _ in range(self.num_classes)]
+        return [
+            self._sample_for(index, self._buckets.get(index, empty))
+            for index in range(min(self._buckets), max(self._buckets) + 1)
+        ]
 
     def ratio_series(self, numerator: int, denominator: int) -> np.ndarray:
         """Per-window slowdown ratios between two classes (NaNs dropped)."""

@@ -1,64 +1,132 @@
-"""Request records flowing through the simulated server."""
+"""Request views over the columnar ledger.
+
+Since the ledger refactor, per-request state lives in the struct-of-arrays
+:class:`~repro.simulation.ledger.RequestLedger` and the simulation hot path
+moves *integer row ids*, never objects.  :class:`Request` survives as a thin
+lazy view over one ledger row: construct one standalone (it allocates a
+private single-row ledger) or obtain one with ``ledger.view(rid)``; either
+way every attribute read and lifecycle call goes straight through to the
+ledger columns, so views and ids always agree.
+"""
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
 
-from ..errors import SimulationError
+from .ledger import RequestLedger
 
 __all__ = ["Request"]
 
 
-@dataclass
 class Request:
-    """One simulated request.
+    """One simulated request, viewed through its ledger row.
 
     ``size`` is the service demand at *full server rate* (so the actual
     service duration on a task server of rate ``r`` is ``size / r``).  The
     slowdown uses the paper's definition: queueing delay divided by the
-    request's own full-rate service time.
+    request's own actual service time.
+
+    ``request_id`` is an external label (defaults to the row id when views
+    are materialised from a scenario's ledger); the identity used by the
+    simulation is the ledger row.
     """
 
-    request_id: int
-    class_index: int
-    arrival_time: float
-    size: float
-    service_start_time: float = math.nan
-    completion_time: float = math.nan
-    extra: dict = field(default_factory=dict)
+    __slots__ = ("_ledger", "_row")
+
+    def __init__(
+        self,
+        request_id: int = 0,
+        class_index: int = 0,
+        arrival_time: float = 0.0,
+        size: float = 1.0,
+        service_start_time: float = math.nan,
+        completion_time: float = math.nan,
+        extra: dict | None = None,
+    ) -> None:
+        ledger = RequestLedger(capacity=1)
+        row = ledger.append(
+            class_index, arrival_time, size, request_id=request_id
+        )
+        # Mirror the old mutable-dataclass semantics: explicit lifecycle
+        # values are taken verbatim, without invariant re-checks.
+        ledger.adopt_lifecycle(row, service_start_time, completion_time)
+        if extra:
+            ledger.extra(row).update(extra)
+        self._ledger = ledger
+        self._row = row
 
     # ------------------------------------------------------------------ #
-    # Lifecycle
+    # View construction and rebinding
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def view(cls, ledger: RequestLedger, row: int) -> "Request":
+        """A view over an existing ledger row (no copying)."""
+        self = object.__new__(cls)
+        self._ledger = ledger
+        self._row = int(row)
+        return self
+
+    def _rebind(self, ledger: RequestLedger, row: int) -> None:
+        """Point this view at another ledger's row (used by ``intern``)."""
+        self._ledger = ledger
+        self._row = int(row)
+
+    @property
+    def ledger(self) -> RequestLedger:
+        return self._ledger
+
+    @property
+    def row(self) -> int:
+        """The ledger row id backing this view."""
+        return self._row
+
+    # ------------------------------------------------------------------ #
+    # Column attributes
+    # ------------------------------------------------------------------ #
+    @property
+    def request_id(self) -> int:
+        return self._ledger.label_of(self._row)
+
+    @property
+    def class_index(self) -> int:
+        return self._ledger.class_of(self._row)
+
+    @property
+    def arrival_time(self) -> float:
+        return self._ledger.arrival_of(self._row)
+
+    @property
+    def size(self) -> float:
+        return self._ledger.size_of(self._row)
+
+    @property
+    def service_start_time(self) -> float:
+        return self._ledger.start_of(self._row)
+
+    @property
+    def completion_time(self) -> float:
+        return self._ledger.completion_of(self._row)
+
+    @property
+    def extra(self) -> dict:
+        """Per-request side-channel dict (created lazily in the ledger)."""
+        return self._ledger.extra(self._row)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle (delegates to the ledger's single source of invariants)
     # ------------------------------------------------------------------ #
     def start_service(self, time: float) -> None:
-        if not math.isnan(self.service_start_time):
-            raise SimulationError(f"request {self.request_id} started service twice")
-        if time < self.arrival_time - 1e-12:
-            raise SimulationError(
-                f"request {self.request_id} started service before arriving"
-            )
-        self.service_start_time = time
+        self._ledger.start_service(self._row, time)
 
     def complete(self, time: float) -> None:
-        if math.isnan(self.service_start_time):
-            raise SimulationError(
-                f"request {self.request_id} completed without starting service"
-            )
-        if not math.isnan(self.completion_time):
-            raise SimulationError(f"request {self.request_id} completed twice")
-        if time < self.service_start_time - 1e-12:
-            raise SimulationError(
-                f"request {self.request_id} completed before service started"
-            )
-        self.completion_time = time
+        self._ledger.complete(self._row, time)
 
     # ------------------------------------------------------------------ #
     # Derived metrics
     # ------------------------------------------------------------------ #
     @property
     def is_complete(self) -> bool:
-        return not math.isnan(self.completion_time)
+        return self._ledger.is_complete(self._row)
 
     @property
     def waiting_time(self) -> float:
@@ -96,3 +164,39 @@ class Request:
         rates; the paper's figures use :attr:`slowdown`.
         """
         return self.waiting_time / self.size
+
+    # ------------------------------------------------------------------ #
+    # Object protocol (parity with the old dataclass)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _times_equal(a: float, b: float) -> bool:
+        """Timestamp equality where NaN == NaN (a pending field matches a
+        pending field, as the old dataclass's identity-shortcut gave)."""
+        return a == b or (math.isnan(a) and math.isnan(b))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Request):
+            return NotImplemented
+        return (
+            self.request_id == other.request_id
+            and self.class_index == other.class_index
+            and self.arrival_time == other.arrival_time
+            and self.size == other.size
+            and self._times_equal(self.service_start_time, other.service_start_time)
+            and self._times_equal(self.completion_time, other.completion_time)
+            # Side-channel payloads; an empty dict equals an untouched slot,
+            # so merely reading ``.extra`` (which creates one lazily) never
+            # flips an equality.
+            and (self._ledger._extra.get(self._row) or None)
+            == (other._ledger._extra.get(other._row) or None)
+        )
+
+    __hash__ = None  # mutable view, like the old (unfrozen) dataclass
+
+    def __repr__(self) -> str:
+        return (
+            f"Request(request_id={self.request_id}, class_index={self.class_index}, "
+            f"arrival_time={self.arrival_time}, size={self.size}, "
+            f"service_start_time={self.service_start_time}, "
+            f"completion_time={self.completion_time})"
+        )

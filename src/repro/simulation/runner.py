@@ -22,6 +22,17 @@ any mutation the build callable performs on enclosing state happens in the
 child process and is *not* visible to the parent — return everything you
 need through the :class:`SimulationResult`.
 
+Result transport: since the ledger refactor a worker's
+:class:`SimulationResult` is dominated by a handful of NumPy columns (the
+run's :class:`~repro.simulation.ledger.RequestLedger`) instead of lists of
+per-request objects.  Results are pickled with protocol 5 so those columns
+are extracted as out-of-band buffers; when the buffers of one result exceed
+:data:`SHM_MIN_BYTES` they are shipped through one
+``multiprocessing.shared_memory`` segment instead of the result queue's
+pipe, which large trace-replay runs cross far faster.  Either route (and
+any fallback when shared memory is unavailable) reassembles byte-identical
+arrays, so aggregates never depend on the transport.
+
 When the build callable *is* picklable (a module-level function or callable
 dataclass — the experiment drivers' builds are), parallel batches are routed
 through a persistent :class:`WorkerPool` of forked workers that is reused
@@ -64,6 +75,118 @@ __all__ = [
 #: A build callable: ``build(replication_index, seed_sequence)`` constructs,
 #: runs and returns one :class:`SimulationResult`.
 BuildFn = Callable[[int, np.random.SeedSequence], SimulationResult]
+
+try:  # pragma: no cover - import guard exercised via the fallback test
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - platforms without shm support
+    _shared_memory = None
+
+#: A worker result whose out-of-band buffers total at least this many bytes
+#: is routed through one ``multiprocessing.shared_memory`` segment instead
+#: of the result queue's pipe.  Below it (the common case for the paper's
+#: protocol) the pipe wins: a segment costs a file create/map/unlink.
+SHM_MIN_BYTES = 1 << 20
+
+
+def _encode_result(result: SimulationResult) -> tuple:
+    """Serialise one worker result for the trip back to the parent.
+
+    Protocol-5 pickling splits the result into a small object-graph body and
+    the raw NumPy column buffers.  Large buffer sets go to a shared-memory
+    segment (the parent unlinks it after copying out); everything else is
+    shipped inline.  Both forms reassemble byte-identical arrays.
+    """
+    buffers: list[pickle.PickleBuffer] = []
+    body = pickle.dumps(result, protocol=5, buffer_callback=buffers.append)
+    views = [memoryview(b.raw()).cast("B") for b in buffers]
+    total = sum(view.nbytes for view in views)
+    if _shared_memory is not None and total >= SHM_MIN_BYTES:
+        try:
+            segment = _shared_memory.SharedMemory(create=True, size=total)
+        except OSError:
+            segment = None  # e.g. /dev/shm missing or full: ship inline
+        if segment is not None:
+            spans = []
+            position = 0
+            for view in views:
+                segment.buf[position : position + view.nbytes] = view
+                spans.append((position, view.nbytes))
+                position += view.nbytes
+            segment.close()
+            return ("shm", body, segment.name, spans)
+    return ("inline", body, [bytes(view) for view in views])
+
+
+def _decode_result(payload: tuple) -> SimulationResult:
+    """Reassemble a worker result encoded by :func:`_encode_result`."""
+    kind = payload[0]
+    if kind == "shm":
+        _, body, name, spans = payload
+        segment = _shared_memory.SharedMemory(name=name)
+        try:
+            # bytearray copies keep the arrays writable (and independent of
+            # the segment, which is unlinked right here).
+            buffers = [bytearray(segment.buf[pos : pos + size]) for pos, size in spans]
+        finally:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reaped
+                pass
+        return pickle.loads(body, buffers=buffers)
+    _, body, buffers = payload
+    return pickle.loads(body, buffers=[bytearray(b) for b in buffers])
+
+
+def _ensure_resource_tracker() -> None:
+    """Start the multiprocessing resource tracker before forking workers.
+
+    Shared-memory segments are created in forked children and unlinked in
+    the parent.  If the tracker is first spawned lazily *inside* a child,
+    each child gets a private tracker that never sees the parent's unlink
+    and warns about "leaked" (actually long-gone) segments at shutdown;
+    spawning it up front gives every fork the same tracker, so register
+    (child) and unregister (parent) balance — and crash cleanup still works.
+    """
+    if _shared_memory is None:
+        return
+    try:  # pragma: no branch
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    except Exception:  # pragma: no cover - tracker is an optimisation only
+        pass
+
+
+def _release_payload(payload: tuple) -> None:
+    """Free transport resources of a result that will never be decoded."""
+    if payload and payload[0] == "shm":
+        try:
+            segment = _shared_memory.SharedMemory(name=payload[2])
+        except FileNotFoundError:  # pragma: no cover - already reaped
+            return
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - concurrent reap
+            pass
+
+
+def _drain_undecoded(out: "multiprocessing.Queue") -> None:
+    """Best-effort: release transport resources of results still queued.
+
+    Called on teardown paths (worker failure, pool close) after the workers
+    were stopped — possibly terminated mid-``put`` — so *any* error reading
+    the queue (empty, torn pipe, truncated pickle) just ends the drain; it
+    must never mask the failure that brought us here.
+    """
+    while True:
+        try:
+            _, undelivered, _ = out.get_nowait()
+        except Exception:
+            return
+        if undelivered is not None:
+            _release_payload(undelivered)
 
 
 @dataclass(frozen=True)
@@ -136,7 +259,7 @@ def _worker(
     """
     for index in indices:
         try:
-            payload = pickle.dumps(build(index, seeds[index]))
+            payload = _encode_result(build(index, seeds[index]))
         except Exception:
             out.put((index, None, traceback.format_exc()))
             return
@@ -180,7 +303,7 @@ def _pool_worker(tasks: "multiprocessing.Queue", out: "multiprocessing.Queue") -
             continue
         for index, seed in assignments:
             try:
-                payload = pickle.dumps(build(index, seed))
+                payload = _encode_result(build(index, seed))
             except Exception:
                 out.put((index, None, ("build", traceback.format_exc())))
                 continue
@@ -230,6 +353,7 @@ class WorkerPool:
             raise SimulationError("worker pool is closed")
         if self._processes:
             return
+        _ensure_resource_tracker()
         ctx = multiprocessing.get_context("fork")
         self._out = ctx.Queue()
         self._task_queues = [ctx.Queue() for _ in range(self.workers)]
@@ -282,7 +406,7 @@ class WorkerPool:
                 else:
                     failures.append((index, text))
             else:
-                results[index] = pickle.loads(payload)
+                results[index] = _decode_result(payload)
         if fallback:
             raise _PoolFallback("build could not be deserialised in pool workers")
         if failures:
@@ -307,6 +431,11 @@ class WorkerPool:
             if process.is_alive():
                 process.terminate()
                 process.join()
+        # Results still queued when the pool goes down (dead-worker batches,
+        # host processes closing early) are never decoded; release the
+        # shared-memory segments they may hold.
+        if self._out is not None:
+            _drain_undecoded(self._out)
 
 
 _shared_pool: WorkerPool | None = None
@@ -423,6 +552,7 @@ class ReplicationRunner:
     def _run_parallel(
         build: BuildFn, seeds: list[np.random.SeedSequence], workers: int
     ) -> list[SimulationResult]:
+        _ensure_resource_tracker()
         ctx = multiprocessing.get_context("fork")
         out: multiprocessing.Queue = ctx.Queue()
         # Strided slices balance heterogeneous replication costs and are a
@@ -452,13 +582,16 @@ class ReplicationRunner:
                 if error is not None:
                     failure = (index, error)
                 else:
-                    results[index] = pickle.loads(result)
+                    results[index] = _decode_result(result)
         finally:
             if failure is not None or remaining:
                 for process in processes:
                     process.terminate()
             for process in processes:
                 process.join()
+            # Results still queued after a failure are never decoded; free
+            # any shared-memory segments they carry.
+            _drain_undecoded(out)
         if failure is not None:
             index, error = failure
             raise SimulationError(

@@ -16,6 +16,18 @@ controller is any :class:`RateController` (the adaptive
 ``PsdServerSimulation`` and ``SharedProcessorSimulation`` are thin wrappers
 that pre-select the server model.
 
+Columnar lifecycle
+------------------
+The scenario owns the run's :class:`~repro.simulation.ledger.RequestLedger`.
+Every admitted arrival appends one row and submits the row id to the server
+model; completions write timestamps straight into the ledger's columns.  No
+per-request Python object or callback bookkeeping exists on the hot path:
+the estimation-window statistics (arrival counts, offered work, measured
+slowdowns) are computed at each window boundary by slicing the columns past
+a cursor and reducing with ``np.bincount`` — which accumulates in input
+order, so the sums are bit-identical to the old per-completion ``+=`` loop —
+and the monitor/trace expose the same ledger without copying.
+
 All durations (warm-up, horizon, window) are interpreted in the same units
 as the service-time distributions — use
 :meth:`repro.simulation.MeasurementConfig.scaled_to_time_units` to convert a
@@ -37,8 +49,8 @@ from ..errors import SimulationError
 from ..types import TrafficClass
 from .engine import SimulationEngine
 from .generator import RequestSource, sources_from_classes
+from .ledger import RequestLedger
 from .monitor import MeasurementConfig, WindowedMonitor
-from .requests import Request
 from .server_models import RateScalableServers, ServerModel
 from .trace import SimulationTrace
 
@@ -90,7 +102,13 @@ class StaticRateController(RateController):
 
 @dataclass
 class SimulationResult:
-    """Everything a single simulation run produced."""
+    """Everything a single simulation run produced.
+
+    ``ledger`` is the run's columnar request store; when present, the
+    post-warm-up summaries below are computed with vectorised NumPy over its
+    columns (bit-identical to the per-record loops they replaced, which are
+    kept as the fallback for hand-assembled results without a ledger).
+    """
 
     classes: tuple[TrafficClass, ...]
     config: MeasurementConfig
@@ -101,41 +119,76 @@ class SimulationResult:
     generated_counts: tuple[int, ...] = ()
     completed_counts: tuple[int, ...] = ()
     rejected_counts: tuple[int, ...] = ()
+    ledger: RequestLedger | None = None
 
     # ------------------------------------------------------------------ #
     # Post-warm-up summaries (the quantities the paper reports)
     # ------------------------------------------------------------------ #
     def measured_records(self):
-        """Completed requests whose completion falls after the warm-up."""
+        """Completed requests whose completion falls after the warm-up.
+
+        Materialises one :class:`~repro.simulation.trace.RequestRecord` per
+        request — use the vectorised summaries below when aggregates are all
+        that is needed.
+        """
         return self.trace.in_window(self.config.warmup, float("inf"), by="completion")
 
-    def per_class_mean_slowdowns(self) -> tuple[float, ...]:
-        records = self.measured_records()
+    def _measured_ids(self) -> np.ndarray:
+        """Ledger row ids measured by the protocol, in completion order."""
+        ids = self.ledger.completed_ids
+        completion = self.ledger.completion_time[ids]
+        return ids[completion >= self.config.warmup]
+
+    def _per_class_means(self, metric: str) -> tuple[float, ...]:
+        """Post-warm-up per-class means of ``metric`` (NaN for silent classes).
+
+        Vectorised over the ledger columns when a ledger is present; the
+        per-record fallback keeps hand-assembled results working.
+        """
+        if self.ledger is None:
+            records = self.measured_records()
+            out = []
+            for c in range(len(self.classes)):
+                vals = [getattr(r, metric) for r in records if r.class_index == c]
+                out.append(float(np.mean(vals)) if vals else float("nan"))
+            return tuple(out)
+        ids = self._measured_ids()
+        cls = self.ledger.class_index[ids]
+        values = getattr(self.ledger, metric + "s")(ids)
         out = []
         for c in range(len(self.classes)):
-            vals = [r.slowdown for r in records if r.class_index == c]
-            out.append(float(np.mean(vals)) if vals else float("nan"))
+            vals = values[cls == c]
+            out.append(float(np.mean(vals)) if vals.size else float("nan"))
         return tuple(out)
 
+    def per_class_mean_slowdowns(self) -> tuple[float, ...]:
+        return self._per_class_means("slowdown")
+
     def per_class_mean_waiting_times(self) -> tuple[float, ...]:
-        records = self.measured_records()
-        out = []
-        for c in range(len(self.classes)):
-            vals = [r.waiting_time for r in records if r.class_index == c]
-            out.append(float(np.mean(vals)) if vals else float("nan"))
-        return tuple(out)
+        return self._per_class_means("waiting_time")
 
     def per_class_completed_work(self) -> tuple[float, ...]:
         """Total full-rate service demand completed per class after warm-up."""
-        records = self.measured_records()
-        work = [0.0] * len(self.classes)
-        for r in records:
-            work[r.class_index] += r.size
-        return tuple(work)
+        if self.ledger is None:
+            records = self.measured_records()
+            work = [0.0] * len(self.classes)
+            for r in records:
+                work[r.class_index] += r.size
+            return tuple(work)
+        ids = self._measured_ids()
+        work = np.bincount(
+            self.ledger.class_index[ids],
+            weights=self.ledger.size[ids],
+            minlength=len(self.classes),
+        )
+        return tuple(float(w) for w in work)
 
     def system_mean_slowdown(self) -> float:
-        vals = [r.slowdown for r in self.measured_records()]
-        return float(np.mean(vals)) if vals else float("nan")
+        if self.ledger is None:
+            vals = [r.slowdown for r in self.measured_records()]
+            return float(np.mean(vals)) if vals else float("nan")
+        vals = self.ledger.slowdowns(self._measured_ids())
+        return float(np.mean(vals)) if vals.size else float("nan")
 
     def slowdown_ratios_to_first(self) -> tuple[float, ...]:
         means = self.per_class_mean_slowdowns()
@@ -165,7 +218,7 @@ class Scenario:
         sources are built from the classes) or explicit request sources.
     admission:
         Optional :class:`repro.core.AdmissionPolicy`; rejected requests are
-        counted but never enter the server model.
+        counted but never enter the server model (nor the ledger).
     """
 
     def __init__(
@@ -198,26 +251,27 @@ class Scenario:
             raise SimulationError("one request source per class is required")
         self.sources = list(sources)
 
-        self.trace = SimulationTrace(len(self.classes))
+        self.ledger = RequestLedger(len(self.classes))
+        self.trace = SimulationTrace(len(self.classes), ledger=self.ledger)
         self.monitor = WindowedMonitor(
-            len(self.classes), warmup=config.warmup, window=config.window
+            len(self.classes),
+            warmup=config.warmup,
+            window=config.window,
+            ledger=self.ledger,
         )
         self.rate_history: list[tuple[float, tuple[float, ...]]] = []
 
-        self._request_counter = 0
-        self._window_arrivals = [0] * len(self.classes)
-        self._window_work = [0.0] * len(self.classes)
-        self._window_slowdown_sums = [0.0] * len(self.classes)
-        self._window_slowdown_counts = [0] * len(self.classes)
-        self._generated = [0] * len(self.classes)
-        self._completed = [0] * len(self.classes)
+        # Window cursors into the ledger: rows (arrival order) and the
+        # completion log consumed so far by the estimation-window stats.
+        self._row_cursor = 0
+        self._done_cursor = 0
         self._rejected = [0] * len(self.classes)
 
         initial_rates = self.controller.current_rates
         if len(initial_rates) != len(self.classes):
             raise SimulationError("controller rate vector length does not match classes")
         self.server = server if server is not None else RateScalableServers()
-        self.server.bind(self.engine, self.classes, self._on_completion)
+        self.server.bind(self.engine, self.classes, self._on_completion, ledger=self.ledger)
         self.server.apply_rates(initial_rates)
         self.rate_history.append((0.0, tuple(initial_rates)))
 
@@ -231,26 +285,20 @@ class Scenario:
                 self.engine.schedule_after(gap, self._make_arrival(index), label=f"arrival-{index}")
 
     def _make_arrival(self, class_index: int):
+        ledger = self.ledger
+        server = self.server
+        engine = self.engine
+
         def handle() -> None:
             source = self.sources[class_index]
             size = source.next_size()
-            self._generated[class_index] += 1
             if self._admit(class_index, size):
-                request = Request(
-                    request_id=self._request_counter,
-                    class_index=class_index,
-                    arrival_time=self.engine.now,
-                    size=size,
-                )
-                self._request_counter += 1
-                self._window_arrivals[class_index] += 1
-                self._window_work[class_index] += size
-                self.server.submit(request)
+                server.submit(ledger.append(class_index, engine.now, size))
             else:
                 self._rejected[class_index] += 1
             gap = source.next_interarrival()
             if np.isfinite(gap):
-                self.engine.schedule_after(gap, handle, label=f"arrival-{class_index}")
+                engine.schedule_after(gap, handle, label=f"arrival-{class_index}")
 
         return handle
 
@@ -272,24 +320,52 @@ class Scenario:
         )
         return self.admission.admit(class_index, size, snapshot)
 
-    def _on_completion(self, request: Request) -> None:
-        self._completed[request.class_index] += 1
-        record = self.trace.add(request)
-        self.monitor.record(record)
-        self._window_slowdown_sums[request.class_index] += record.slowdown
-        self._window_slowdown_counts[request.class_index] += 1
+    def _on_completion(self, rid: int) -> None:
+        """Per-completion hook: a no-op on the columnar pipeline.
+
+        All completion accounting (window slowdowns, monitor samples,
+        per-class counts) is derived from the ledger columns in bulk, so the
+        default scenario needs no per-request work here.  Subclasses may
+        override to stream completions elsewhere (the event-throughput bench
+        uses this to retain the seed's object-per-request path as a
+        baseline).
+        """
+
+    def _window_stats(self) -> tuple[tuple[int, ...], tuple[float, ...], tuple[float, ...]]:
+        """Arrivals, offered work and mean slowdowns since the last boundary.
+
+        Slices the ledger columns past the window cursors and reduces with
+        ``np.bincount``, which accumulates in input order — the sums are
+        bit-identical to the per-event ``+=`` bookkeeping they replaced.
+        """
+        num_classes = len(self.classes)
+        row_end = len(self.ledger)
+        arrived = self.ledger.class_index[self._row_cursor : row_end]
+        sizes = self.ledger.size[self._row_cursor : row_end]
+        self._row_cursor = row_end
+        arrivals = np.bincount(arrived, minlength=num_classes)
+        work = np.bincount(arrived, weights=sizes, minlength=num_classes)
+
+        done_end = self.ledger.num_completed
+        done = self.ledger.completed_ids[self._done_cursor : done_end]
+        self._done_cursor = done_end
+        completed = self.ledger.class_index[done]
+        slowdown_sums = np.bincount(
+            completed, weights=self.ledger.slowdowns(done), minlength=num_classes
+        )
+        slowdown_counts = np.bincount(completed, minlength=num_classes)
+        slowdowns = tuple(
+            (float(s) / int(c)) if c else float("nan")
+            for s, c in zip(slowdown_sums, slowdown_counts)
+        )
+        return (
+            tuple(int(a) for a in arrivals),
+            tuple(float(w) for w in work),
+            slowdowns,
+        )
 
     def _window_boundary(self) -> None:
-        arrivals = tuple(self._window_arrivals)
-        work = tuple(self._window_work)
-        slowdowns = tuple(
-            (s / c) if c else float("nan")
-            for s, c in zip(self._window_slowdown_sums, self._window_slowdown_counts)
-        )
-        self._window_arrivals = [0] * len(self.classes)
-        self._window_work = [0.0] * len(self.classes)
-        self._window_slowdown_sums = [0.0] * len(self.classes)
-        self._window_slowdown_counts = [0] * len(self.classes)
+        arrivals, work, slowdowns = self._window_stats()
         if getattr(self.controller, "wants_slowdown_feedback", False):
             self.controller.observe_window(
                 self.engine.now, self.config.window, arrivals, work, slowdowns=slowdowns
@@ -311,6 +387,11 @@ class Scenario:
         self._schedule_first_arrivals()
         self.engine.schedule_at(self.config.window, self._window_boundary, label="window")
         self.engine.run_until(self.config.horizon)
+        num_classes = len(self.classes)
+        admitted = np.bincount(self.ledger.class_index, minlength=num_classes)
+        completed = np.bincount(
+            self.ledger.class_index[self.ledger.completed_ids], minlength=num_classes
+        )
         return SimulationResult(
             classes=self.classes,
             config=self.config,
@@ -318,7 +399,10 @@ class Scenario:
             monitor=self.monitor,
             controller=self.controller,
             rate_history=self.rate_history,
-            generated_counts=tuple(self._generated),
-            completed_counts=tuple(self._completed),
+            generated_counts=tuple(
+                int(a) + r for a, r in zip(admitted, self._rejected)
+            ),
+            completed_counts=tuple(int(c) for c in completed),
             rejected_counts=tuple(self._rejected),
+            ledger=self.ledger,
         )

@@ -8,6 +8,15 @@ one thing that differs between the paper's idealised analysis and a real
 deployment: *how* requests are served once the controller has decided the
 per-class processing rates.
 
+Since the ledger refactor the request lifecycle is columnar: the scenario
+owns a :class:`~repro.simulation.ledger.RequestLedger`, hands it to the
+model at :meth:`ServerModel.bind`, and then submits *integer row ids*.  The
+model serves ids (reading sizes/classes from the ledger, writing lifecycle
+timestamps into it) and hands each completed id back through
+:meth:`ServerModel.deliver`.  Standalone :class:`Request` views are still
+accepted by :meth:`submit` — they are interned into the model's ledger — so
+object-style call sites (tests, notebooks) keep working.
+
 Two implementations are provided:
 
 * :class:`RateScalableServers` — the paper's Fig. 1 model: one rate-scalable
@@ -33,6 +42,7 @@ from ..errors import SimulationError
 from ..scheduling.base import Scheduler, WeightedScheduler
 from ..types import TrafficClass
 from .engine import SimulationEngine
+from .ledger import RequestLedger
 from .requests import Request
 from .task_server import FcfsTaskServer
 
@@ -48,19 +58,20 @@ class ServerModel(abc.ABC):
     """Protocol for the serving substrate of a scenario.
 
     Lifecycle: the scenario constructs the model, calls :meth:`bind` exactly
-    once (handing over the engine, the traffic classes and a completion
-    callback), then immediately pushes the controller's initial rate vector
-    via :meth:`apply_rates`.  During the run the scenario calls
-    :meth:`submit` for every admitted request and :meth:`apply_rates` after
-    every estimation window; the model must invoke the ``deliver`` callback
-    with each request once it has been completed (``request.complete`` must
-    already have been called).
+    once (handing over the engine, the traffic classes, a completion callback
+    and the run's request ledger), then immediately pushes the controller's
+    initial rate vector via :meth:`apply_rates`.  During the run the scenario
+    calls :meth:`submit` with the ledger row id of every admitted request and
+    :meth:`apply_rates` after every estimation window; the model must invoke
+    the ``deliver`` callback with each id once the request has been completed
+    (``ledger.complete`` must already have been called for it).
     """
 
     def __init__(self) -> None:
         self.engine: SimulationEngine | None = None
         self.classes: tuple[TrafficClass, ...] = ()
-        self._deliver: Callable[[Request], None] | None = None
+        self.ledger: RequestLedger | None = None
+        self._deliver: Callable[[int], None] | None = None
 
     @property
     def num_classes(self) -> int:
@@ -70,9 +81,16 @@ class ServerModel(abc.ABC):
         self,
         engine: SimulationEngine,
         classes: Sequence[TrafficClass],
-        deliver: Callable[[Request], None],
+        deliver: Callable[[int], None],
+        *,
+        ledger: RequestLedger | None = None,
     ) -> None:
-        """Attach the model to a scenario's engine and completion sink."""
+        """Attach the model to a scenario's engine, ledger and completion sink.
+
+        ``ledger`` is the scenario's columnar request store; a model bound
+        without one (standalone use in tests) allocates a private ledger so
+        interned :class:`Request` submissions still work.
+        """
         if self.engine is not None:
             raise SimulationError(
                 "server model is already bound to a scenario; build a fresh "
@@ -82,14 +100,24 @@ class ServerModel(abc.ABC):
             raise SimulationError("classes must be non-empty")
         self.engine = engine
         self.classes = tuple(classes)
+        self.ledger = ledger if ledger is not None else RequestLedger(len(self.classes))
         self._deliver = deliver
         self._on_bind()
 
-    def deliver(self, request: Request) -> None:
-        """Hand a completed request back to the scenario."""
+    def resolve(self, request: int | Request) -> int:
+        """Normalise a :meth:`submit` argument to a ledger row id.
+
+        Integer ids pass through; a standalone :class:`Request` view is
+        interned into the model's ledger (copying its lifecycle columns and
+        rebinding the view, so object and id stay in sync).
+        """
+        return self.ledger.resolve(request)
+
+    def deliver(self, rid: int) -> None:
+        """Hand a completed request's row id back to the scenario."""
         if self._deliver is None:
             raise SimulationError("server model delivered a request before bind()")
-        self._deliver(request)
+        self._deliver(rid)
 
     # ------------------------------------------------------------------ #
     # Model interface
@@ -99,7 +127,7 @@ class ServerModel(abc.ABC):
         """Build per-run state (task servers, dispatch bookkeeping, ...)."""
 
     @abc.abstractmethod
-    def submit(self, request: Request) -> None:
+    def submit(self, request: int | Request) -> None:
         """An admitted request arrived and must eventually be served."""
 
     @abc.abstractmethod
@@ -117,7 +145,8 @@ class RateScalableServers(ServerModel):
     Each class owns a :class:`~repro.simulation.task_server.FcfsTaskServer`
     whose processing rate is set to the class's allocated rate; a rate change
     mid-service rescales the in-service request's remaining work, exactly as
-    the fluid analysis of Eq. 17 assumes.
+    the fluid analysis of Eq. 17 assumes.  All task servers share the
+    scenario's ledger, so queue entries are plain row ids.
     """
 
     def __init__(self) -> None:
@@ -126,12 +155,15 @@ class RateScalableServers(ServerModel):
 
     def _on_bind(self) -> None:
         self.servers = [
-            FcfsTaskServer(self.engine, i, 0.0, on_completion=self.deliver)
+            FcfsTaskServer(
+                self.engine, i, 0.0, ledger=self.ledger, on_completion=self.deliver
+            )
             for i in range(self.num_classes)
         ]
 
-    def submit(self, request: Request) -> None:
-        self.servers[request.class_index].submit(request)
+    def submit(self, request: int | Request) -> None:
+        rid = self.resolve(request)
+        self.servers[self.ledger.class_of(rid)].submit(rid)
 
     def apply_rates(self, rates: Sequence[float]) -> None:
         if len(rates) != len(self.servers):
@@ -156,7 +188,8 @@ class SharedProcessorServer(ServerModel):
     packet-by-packet fair queueing.  Any :class:`repro.scheduling.Scheduler`
     plugs in; for :class:`~repro.scheduling.base.WeightedScheduler` policies
     the weights are updated to the allocated rates after every estimation
-    window (floored at ``WEIGHT_FLOOR``).
+    window (floored at ``WEIGHT_FLOOR``).  Scheduler job payloads are ledger
+    row ids.
     """
 
     def __init__(self, scheduler: Scheduler, *, capacity: float = 1.0) -> None:
@@ -165,7 +198,7 @@ class SharedProcessorServer(ServerModel):
             raise SimulationError("capacity must be > 0")
         self.scheduler = scheduler
         self.capacity = float(capacity)
-        self._in_service: Request | None = None
+        self._in_service: int | None = None
 
     def _on_bind(self) -> None:
         if self.scheduler.num_classes != self.num_classes:
@@ -175,13 +208,17 @@ class SharedProcessorServer(ServerModel):
         self._in_service = None
 
     @property
-    def in_service(self) -> Request | None:
-        """The request currently occupying the processor, if any."""
+    def in_service(self) -> int | None:
+        """The ledger row id currently occupying the processor, if any."""
         return self._in_service
 
-    def submit(self, request: Request) -> None:
+    def submit(self, request: int | Request) -> None:
+        rid = self.resolve(request)
         self.scheduler.enqueue(
-            request.class_index, request.size, self.engine.now, payload=request
+            self.ledger.class_of(rid),
+            self.ledger.size_of(rid),
+            self.engine.now,
+            payload=rid,
         )
         self._dispatch_if_idle()
 
@@ -201,21 +238,21 @@ class SharedProcessorServer(ServerModel):
         job = self.scheduler.select(self.engine.now)
         if job is None:
             return
-        request = job.payload
-        if not isinstance(request, Request):
-            raise SimulationError("scheduler returned a job without its request payload")
-        request.start_service(self.engine.now)
-        self._in_service = request
-        service_duration = request.size / self.capacity
+        rid = job.payload
+        if not isinstance(rid, int):
+            raise SimulationError("scheduler returned a job without its row-id payload")
+        self.ledger.start_service(rid, self.engine.now)
+        self._in_service = rid
+        service_duration = self.ledger.size_of(rid) / self.capacity
         self.engine.schedule_after(
             service_duration, self._complete_current, label="completion"
         )
 
     def _complete_current(self) -> None:
-        request = self._in_service
-        if request is None:
+        rid = self._in_service
+        if rid is None:
             raise SimulationError("completion fired while the processor was idle")
-        request.complete(self.engine.now)
+        self.ledger.complete(rid, self.engine.now)
         self._in_service = None
-        self.deliver(request)
+        self.deliver(rid)
         self._dispatch_if_idle()

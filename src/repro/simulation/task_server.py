@@ -7,6 +7,13 @@ can change while a request is in service (the rate allocator runs every
 estimation window); the server therefore tracks the *remaining work* of the
 in-service request and reschedules its completion whenever the rate changes,
 exactly as a proportional-share CPU scheduler would.
+
+Since the ledger refactor the server is columnar: its queue holds integer
+ledger row ids, lifecycle timestamps are written straight into the
+:class:`~repro.simulation.ledger.RequestLedger` columns, and the completion
+callback hands back the id.  Standalone :class:`Request` objects are still
+accepted by :meth:`submit` (they are interned into the server's ledger), so
+object-style call sites keep working.
 """
 
 from __future__ import annotations
@@ -17,7 +24,7 @@ from collections.abc import Callable
 from ..errors import SimulationError
 from ..validation import require_non_negative
 from .engine import SimulationEngine
-from .events import Event
+from .ledger import RequestLedger
 from .requests import Request
 
 __all__ = ["FcfsTaskServer"]
@@ -32,18 +39,20 @@ class FcfsTaskServer:
         class_index: int,
         rate: float,
         *,
-        on_completion: Callable[[Request], None] | None = None,
+        ledger: RequestLedger | None = None,
+        on_completion: Callable[[int], None] | None = None,
     ) -> None:
         require_non_negative(rate, "rate")
         self.engine = engine
         self.class_index = int(class_index)
+        self.ledger = ledger if ledger is not None else RequestLedger()
         self._rate = float(rate)
         self._on_completion = on_completion
-        self.queue: deque[Request] = deque()
-        self.in_service: Request | None = None
+        self.queue: deque[int] = deque()
+        self.in_service: int | None = None
         self._remaining_work = 0.0
         self._last_progress_time = 0.0
-        self._completion_event: Event | None = None
+        self._completion_event = None
         self.busy_time = 0.0
         self.completed_count = 0
 
@@ -64,14 +73,20 @@ class FcfsTaskServer:
     def is_busy(self) -> bool:
         return self.in_service is not None
 
-    def submit(self, request: Request) -> None:
-        """A request of this class arrived: queue it (and serve it if idle)."""
-        if request.class_index != self.class_index:
+    def submit(self, request: int | Request) -> None:
+        """A request of this class arrived: queue it (and serve it if idle).
+
+        ``request`` is a ledger row id on the hot path; a standalone
+        :class:`Request` view is interned into the server's ledger first.
+        """
+        rid = self.ledger.resolve(request)
+        class_index = self.ledger.class_of(rid)
+        if class_index != self.class_index:
             raise SimulationError(
-                f"request of class {request.class_index} submitted to task "
+                f"request of class {class_index} submitted to task "
                 f"server {self.class_index}"
             )
-        self.queue.append(request)
+        self.queue.append(rid)
         if self.in_service is None:
             self._start_next()
 
@@ -105,10 +120,10 @@ class FcfsTaskServer:
             raise SimulationError("task server started a request while busy")
         if not self.queue:
             return
-        request = self.queue.popleft()
-        request.start_service(self.engine.now)
-        self.in_service = request
-        self._remaining_work = request.size
+        rid = self.queue.popleft()
+        self.ledger.start_service(rid, self.engine.now)
+        self.in_service = rid
+        self._remaining_work = self.ledger.size_of(rid)
         self._last_progress_time = self.engine.now
         self._reschedule_completion()
 
@@ -135,12 +150,12 @@ class FcfsTaskServer:
             # reschedule instead of completing early.
             self._reschedule_completion()
             return
-        request = self.in_service
-        request.complete(self.engine.now)
+        rid = self.in_service
+        self.ledger.complete(rid, self.engine.now)
         self.in_service = None
         self._completion_event = None
         self._remaining_work = 0.0
         self.completed_count += 1
         if self._on_completion is not None:
-            self._on_completion(request)
+            self._on_completion(rid)
         self._start_next()

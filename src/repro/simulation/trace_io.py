@@ -1,4 +1,4 @@
-"""Loading recorded arrival logs into per-class trace sources.
+"""Arrival logs: loading recorded traffic, and capturing simulated runs.
 
 Real serving platforms evaluate provisioning policies against *recorded*
 traffic.  :func:`load_trace` reads an arrival log — CSV or NPZ, one row per
@@ -7,6 +7,13 @@ service demand — and turns it into one
 :class:`~repro.simulation.generator.TraceSource` per class, ready to drive a
 :class:`~repro.simulation.Scenario` (``Scenario(classes, config,
 sources=load_trace(path))``).
+
+:func:`save_trace` is the inverse: it writes a completed run's
+:class:`~repro.simulation.ledger.RequestLedger` (or a
+:class:`~repro.simulation.SimulationResult` / scenario holding one) back out
+as the same arrival-log format, so simulated traffic feeds straight back
+into replay pipelines — ``load_trace(save_trace(path, result))`` reproduces
+the run's arrival sequence exactly.
 
 The whole pipeline is columnar: the log is parsed into NumPy arrays, split
 per class with boolean masks, and the per-class inter-arrival gaps are
@@ -34,9 +41,13 @@ import numpy as np
 from ..errors import ParameterError
 from .generator import TraceSource
 
-__all__ = ["load_trace", "trace_sources_from_arrays"]
+__all__ = ["load_trace", "save_trace", "trace_sources_from_arrays"]
 
 _REQUIRED_COLUMNS = ("class_index", "arrival_time", "size")
+
+#: ``%.17g`` prints the shortest decimal that round-trips an IEEE double, so
+#: a CSV written by :func:`save_trace` reloads bit-identically.
+_CSV_FORMATS = ("%d", "%.17g", "%.17g")
 
 
 def load_trace(path: str | os.PathLike, *, num_classes: int | None = None) -> list[TraceSource]:
@@ -112,6 +123,61 @@ def trace_sources_from_arrays(
         gaps = np.diff(class_arrivals, prepend=0.0)
         sources.append(TraceSource(c, gaps, sizes[mask]))
     return sources
+
+
+def _arrival_columns(source) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Extract (class_index, arrival_time, size) from any run artefact.
+
+    Accepts a :class:`~repro.simulation.ledger.RequestLedger` directly, or
+    anything carrying one under a ``ledger`` attribute (a
+    :class:`~repro.simulation.Scenario`, a
+    :class:`~repro.simulation.SimulationResult`, a ledger-backed trace).
+    Every ledger row is an arrival, already in arrival-time order — exactly
+    what :func:`load_trace` expects back.
+    """
+    ledger = getattr(source, "ledger", source)
+    columns = (
+        getattr(ledger, "class_index", None),
+        getattr(ledger, "arrival_time", None),
+        getattr(ledger, "size", None),
+    )
+    if any(column is None for column in columns):
+        raise ParameterError(
+            f"cannot extract arrival columns from {type(source).__name__}; pass "
+            "a RequestLedger or an object exposing one via `.ledger`"
+        )
+    return tuple(np.asarray(column) for column in columns)
+
+
+def save_trace(path: str | os.PathLike, source) -> str:
+    """Write a run's arrivals out as a CSV or NPZ log; returns the path.
+
+    ``source`` is a :class:`~repro.simulation.ledger.RequestLedger` or any
+    object exposing one as ``.ledger`` (a completed
+    :class:`~repro.simulation.SimulationResult`, a scenario, a ledger-backed
+    trace).  The format follows the extension, exactly as in
+    :func:`load_trace`; both formats round-trip bit-identically
+    (the CSV uses ``%.17g``, the shortest exact rendering of a double).
+    """
+    path = os.fspath(path)
+    classes, arrivals, sizes = _arrival_columns(source)
+    extension = os.path.splitext(path)[1].lower()
+    if extension == ".npz":
+        np.savez(path, class_index=classes, arrival_time=arrivals, size=sizes)
+    elif extension in (".csv", ".txt"):
+        np.savetxt(
+            path,
+            np.column_stack((classes, arrivals, sizes)),
+            fmt=list(_CSV_FORMATS),
+            delimiter=",",
+            header=",".join(_REQUIRED_COLUMNS),
+            comments="",
+        )
+    else:
+        raise ParameterError(
+            f"unsupported trace format {extension!r} for {path!r}; use .csv or .npz"
+        )
+    return path
 
 
 def _read_npz(path: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

@@ -36,15 +36,21 @@ def bound_cluster(num_nodes, dispatch, num_classes=2, moderate_bp=None):
 
 
 def request(request_id, class_index=0, size=1.0):
+    """A standalone Request view; cluster.submit interns it into the ledger."""
     return Request(
         request_id=request_id, class_index=class_index, arrival_time=0.0, size=size
     )
 
 
+def rid_for(cluster, class_index=0, size=1.0):
+    """A bare ledger row id, for driving select_node directly."""
+    return cluster.ledger.append(class_index, 0.0, size)
+
+
 class TestRoundRobin:
     def test_cycles_node_indices(self):
         cluster = bound_cluster(3, RoundRobin())
-        chosen = [cluster.dispatch.select_node(request(i)) for i in range(7)]
+        chosen = [cluster.dispatch.select_node(rid_for(cluster)) for i in range(7)]
         assert chosen == [0, 1, 2, 0, 1, 2, 0]
 
 
@@ -52,14 +58,14 @@ class TestWeightedRandom:
     def test_same_seed_same_sequence(self):
         first = bound_cluster(4, WeightedRandom(seed=123))
         second = bound_cluster(4, WeightedRandom(seed=123))
-        picks_a = [first.dispatch.select_node(request(i)) for i in range(50)]
-        picks_b = [second.dispatch.select_node(request(i)) for i in range(50)]
+        picks_a = [first.dispatch.select_node(rid_for(first)) for i in range(50)]
+        picks_b = [second.dispatch.select_node(rid_for(second)) for i in range(50)]
         assert picks_a == picks_b
         assert set(picks_a) == {0, 1, 2, 3}
 
     def test_weights_steer_the_draw(self):
         cluster = bound_cluster(2, WeightedRandom([0.0, 1.0], seed=5))
-        picks = {cluster.dispatch.select_node(request(i)) for i in range(30)}
+        picks = {cluster.dispatch.select_node(rid_for(cluster)) for i in range(30)}
         assert picks == {1}
 
     def test_weight_validation(self):
@@ -82,10 +88,10 @@ class TestJoinShortestQueue:
 
     def test_ties_break_to_lowest_node_index(self):
         cluster = bound_cluster(4, JoinShortestQueue())
-        assert cluster.dispatch.select_node(request(0)) == 0
+        assert cluster.dispatch.select_node(rid_for(cluster)) == 0
         cluster.submit(request(1, class_index=1))  # pending only for class 1
         # Class 0 still sees all-equal (zero) pending: node 0 again.
-        assert cluster.dispatch.select_node(request(2, class_index=0)) == 0
+        assert cluster.dispatch.select_node(rid_for(cluster, class_index=0)) == 0
 
     def test_pending_is_per_class(self):
         cluster = bound_cluster(2, JoinShortestQueue())
@@ -94,27 +100,27 @@ class TestJoinShortestQueue:
         # Node 0 now holds one request of each class, so the next class-0
         # request sees per-class pending (1, 0) and goes to node 1.
         assert cluster.pending(0, 0) == 1 and cluster.pending(0, 1) == 1
-        assert cluster.dispatch.select_node(request(2, class_index=0)) == 1
+        assert cluster.dispatch.select_node(rid_for(cluster, class_index=0)) == 1
 
 
 class TestLeastWorkLeft:
     def test_prefers_least_outstanding_work(self):
         cluster = bound_cluster(2, LeastWorkLeft())
         cluster.submit(request(0, class_index=0, size=5.0))  # node 0
-        assert cluster.dispatch.select_node(request(1, size=1.0)) == 1
+        assert cluster.dispatch.select_node(rid_for(cluster, size=1.0)) == 1
         cluster.submit(request(1, class_index=1, size=1.0))  # node 1 (1.0 left)
-        assert cluster.dispatch.select_node(request(2, size=1.0)) == 1
+        assert cluster.dispatch.select_node(rid_for(cluster, size=1.0)) == 1
 
     def test_ties_break_to_lowest_node_index(self):
         cluster = bound_cluster(3, LeastWorkLeft())
-        assert cluster.dispatch.select_node(request(0)) == 0
+        assert cluster.dispatch.select_node(rid_for(cluster)) == 0
 
 
 class TestClassAffinity:
     def test_default_partition_is_modulo(self):
         cluster = bound_cluster(2, ClassAffinity(), num_classes=3)
         assert cluster.dispatch.partition == (0, 1, 0)
-        assert cluster.dispatch.select_node(request(0, class_index=2)) == 0
+        assert cluster.dispatch.select_node(rid_for(cluster, class_index=2)) == 0
 
     def test_explicit_partition_routes_classes(self):
         cluster = bound_cluster(3, ClassAffinity((2, 0)))
@@ -149,7 +155,7 @@ class TestPolicyLifecycle:
         for name in DISPATCH_POLICIES:
             policy = build_dispatch_policy(name, seed=9)
             cluster = bound_cluster(2, policy)
-            node = cluster.dispatch.select_node(request(0))
+            node = cluster.dispatch.select_node(rid_for(cluster))
             assert 0 <= node < 2
 
     def test_unknown_policy_rejected(self):

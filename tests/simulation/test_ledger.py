@@ -1,0 +1,308 @@
+"""Edge-case tests for the columnar RequestLedger and its Request views."""
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import (
+    FcfsTaskServer,
+    MeasurementConfig,
+    Request,
+    RequestLedger,
+    Scenario,
+    SimulationEngine,
+    WindowedMonitor,
+)
+from repro.simulation.generator import TraceSource
+from tests.conftest import make_classes
+
+
+class TestLedgerBasics:
+    def test_append_assigns_sequential_ids(self):
+        ledger = RequestLedger(2)
+        assert [ledger.append(i % 2, float(i), 1.0) for i in range(5)] == list(range(5))
+        assert len(ledger) == 5
+        np.testing.assert_array_equal(ledger.class_index, [0, 1, 0, 1, 0])
+        np.testing.assert_array_equal(ledger.arrival_time, [0.0, 1.0, 2.0, 3.0, 4.0])
+
+    def test_class_bounds_enforced(self):
+        ledger = RequestLedger(2)
+        with pytest.raises(SimulationError, match="out of range"):
+            ledger.append(2, 0.0, 1.0)
+        with pytest.raises(SimulationError, match="out of range"):
+            ledger.append(-1, 0.0, 1.0)
+
+    def test_column_views_are_read_only(self):
+        ledger = RequestLedger(1)
+        ledger.append(0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            ledger.arrival_time[0] = 99.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(SimulationError):
+            RequestLedger(0)
+        with pytest.raises(SimulationError):
+            RequestLedger(capacity=0)
+
+
+class TestLedgerGrowth:
+    def test_growth_past_initial_capacity_keeps_ids_and_columns(self):
+        ledger = RequestLedger(3, capacity=2)
+        rows = 100
+        for i in range(rows):
+            rid = ledger.append(i % 3, float(i), float(i) + 0.5)
+            assert rid == i
+        assert len(ledger) == rows
+        assert ledger.capacity >= rows
+        np.testing.assert_array_equal(ledger.class_index, np.arange(rows) % 3)
+        np.testing.assert_array_equal(ledger.size, np.arange(rows) + 0.5)
+        # Lifecycle written before growth survives it.
+        ledger2 = RequestLedger(1, capacity=1)
+        first = ledger2.append(0, 0.0, 1.0)
+        ledger2.start_service(first, 0.0)
+        ledger2.complete(first, 1.0)
+        for i in range(10):
+            ledger2.append(0, float(i + 1), 1.0)
+        assert ledger2.completion_of(first) == 1.0
+        np.testing.assert_array_equal(ledger2.completed_ids, [first])
+
+    def test_completion_log_grows_with_rows(self):
+        ledger = RequestLedger(1, capacity=1)
+        for i in range(20):
+            rid = ledger.append(0, float(i), 1.0)
+            ledger.start_service(rid, float(i))
+            ledger.complete(rid, float(i) + 0.5)
+        assert ledger.num_completed == 20
+        np.testing.assert_array_equal(ledger.completed_ids, np.arange(20))
+
+
+class TestLifecycleInvariants:
+    def test_double_start_raises_via_ledger_and_view(self):
+        ledger = RequestLedger(1)
+        rid = ledger.append(0, 0.0, 1.0)
+        ledger.start_service(rid, 1.0)
+        with pytest.raises(SimulationError, match="twice"):
+            ledger.start_service(rid, 2.0)
+        with pytest.raises(SimulationError, match="twice"):
+            ledger.view(rid).start_service(2.0)
+
+    def test_double_complete_raises_via_ledger_and_view(self):
+        ledger = RequestLedger(1)
+        rid = ledger.append(0, 0.0, 1.0)
+        ledger.start_service(rid, 0.0)
+        ledger.complete(rid, 1.0)
+        with pytest.raises(SimulationError, match="twice"):
+            ledger.complete(rid, 2.0)
+        with pytest.raises(SimulationError, match="twice"):
+            ledger.view(rid).complete(2.0)
+
+    def test_complete_before_start_raises(self):
+        ledger = RequestLedger(1)
+        rid = ledger.append(0, 0.0, 1.0)
+        with pytest.raises(SimulationError, match="without starting"):
+            ledger.complete(rid, 1.0)
+
+    def test_start_before_arrival_raises(self):
+        ledger = RequestLedger(1)
+        rid = ledger.append(0, 5.0, 1.0)
+        with pytest.raises(SimulationError, match="before arriving"):
+            ledger.start_service(rid, 4.0)
+
+    def test_view_round_trips_every_lifecycle_field(self):
+        ledger = RequestLedger(2)
+        rid = ledger.append(1, 3.0, 2.0, request_id=77)
+        view = ledger.view(rid)
+        assert (view.request_id, view.class_index) == (77, 1)
+        assert (view.arrival_time, view.size) == (3.0, 2.0)
+        assert math.isnan(view.service_start_time) and not view.is_complete
+        view.start_service(5.0)
+        assert ledger.start_of(rid) == 5.0
+        view.complete(9.0)
+        assert ledger.completion_of(rid) == 9.0 and ledger.is_complete(rid)
+        assert view.waiting_time == 2.0
+        assert view.service_duration == 4.0
+        assert view.slowdown == pytest.approx(0.5)
+        # Mutations through the ledger are visible through the view and
+        # vice versa: both address the same row.
+        assert ledger.view(rid) == view
+
+    def test_out_of_range_view_rejected(self):
+        ledger = RequestLedger(1)
+        with pytest.raises(SimulationError, match="out of range"):
+            ledger.view(0)
+
+    def test_intern_copies_lifecycle_and_extra_then_rebinds(self):
+        request = Request(request_id=5, class_index=0, arrival_time=1.0, size=2.0)
+        request.start_service(2.0)
+        request.complete(4.0)
+        request.extra["tenant"] = "gold"
+        ledger = RequestLedger(1)
+        rid = ledger.intern(request)
+        assert request.ledger is ledger and request.row == rid
+        assert ledger.label_of(rid) == 5
+        assert ledger.start_of(rid) == 2.0 and ledger.completion_of(rid) == 4.0
+        assert ledger.extra(rid) == {"tenant": "gold"}
+        np.testing.assert_array_equal(ledger.completed_ids, [rid])
+        # Interning a request already backed by this ledger is the identity.
+        assert ledger.intern(request) == rid
+        # The completed invariant still holds through the new home.
+        with pytest.raises(SimulationError, match="twice"):
+            request.complete(9.0)
+
+
+class TestZeroRateFreeze:
+    def test_zero_rate_freeze_and_resume_accounting(self):
+        """A frozen task server holds remaining work; the ledger row stays
+        in service and completes with the post-resume timestamps."""
+        engine = SimulationEngine()
+        ledger = RequestLedger(1)
+        done = []
+        server = FcfsTaskServer(
+            engine, 0, 1.0, ledger=ledger, on_completion=done.append
+        )
+        rid = ledger.append(0, 0.0, 2.0)
+        server.submit(rid)
+        engine.schedule_at(1.0, lambda: server.set_rate(0.0))
+        engine.schedule_at(5.0, lambda: server.set_rate(0.5))
+        engine.run_until(50.0)
+        # 1 unit of work done before the freeze; the second unit runs at
+        # rate 0.5 from t=5, finishing at t=7.
+        assert done == [rid]
+        assert ledger.start_of(rid) == 0.0
+        assert ledger.completion_of(rid) == pytest.approx(7.0)
+        # Busy time excludes the frozen span.
+        assert server.busy_time == pytest.approx(3.0)
+        assert ledger.slowdowns()[0] == pytest.approx(0.0)
+
+    def test_work_queued_behind_frozen_request_waits(self):
+        engine = SimulationEngine()
+        ledger = RequestLedger(1)
+        server = FcfsTaskServer(engine, 0, 1.0, ledger=ledger)
+        first = ledger.append(0, 0.0, 1.0)
+        second = ledger.append(0, 0.0, 1.0)
+        server.submit(first)
+        server.submit(second)
+        engine.schedule_at(0.5, lambda: server.set_rate(0.0))
+        engine.run_until(10.0)
+        # Still frozen at the horizon: nothing completed, backlog intact.
+        assert ledger.num_completed == 0
+        assert server.backlog == 1 and server.in_service == first
+        server.set_rate(1.0)
+        engine.run_until(20.0)
+        np.testing.assert_array_equal(ledger.completed_ids, [first, second])
+
+
+class TestWarmupBoundary:
+    def test_completion_exactly_at_warmup_is_measured(self):
+        """``completion == warmup`` lands in the first window (the paper
+        discards only completions strictly before the warm-up)."""
+        ledger = RequestLedger(1)
+        monitor = WindowedMonitor(1, warmup=10.0, window=5.0, ledger=ledger)
+        before = ledger.append(0, 0.0, 1.0)
+        ledger.start_service(before, 1.0)
+        ledger.complete(before, 10.0 - 1e-9)  # strictly before warm-up
+        boundary = ledger.append(0, 8.0, 1.0)
+        ledger.start_service(boundary, 9.0)
+        ledger.complete(boundary, 10.0)  # exactly at warm-up
+        samples = monitor.samples()
+        assert len(samples) == 1
+        assert samples[0].start == 10.0
+        assert samples[0].counts == (1,)
+        assert samples[0].mean_slowdowns[0] == pytest.approx(1.0)
+
+    def test_scenario_measures_completion_at_warmup(self):
+        """End-to-end: a deterministic request completing exactly at the
+        warm-up boundary is included in the measured aggregates."""
+        from repro.distributions import Deterministic
+
+        classes = make_classes(Deterministic(1.0), 0.5, (1.0,))
+        # One request arrives at t=9 and completes at t=10 == warmup.
+        sources = [TraceSource(0, interarrivals=[9.0], sizes=[1.0])]
+        cfg = MeasurementConfig(warmup=10.0, horizon=20.0, window=5.0)
+        result = Scenario(classes, cfg, sources=sources, seed=0).run()
+        assert result.completed_counts == (1,)
+        rid = result.ledger.completed_ids[0]
+        assert result.ledger.completion_of(rid) == pytest.approx(10.0)
+        assert result.per_class_mean_slowdowns() == (pytest.approx(0.0),)
+        assert len(result.measured_records()) == 1
+
+
+class TestRequestEqualityParity:
+    def test_identical_incomplete_requests_compare_equal(self):
+        """NaN lifecycle fields match NaN lifecycle fields, as the old
+        dataclass's identity-based tuple comparison gave."""
+        assert Request(1, 0, 0.0, 1.0) == Request(1, 0, 0.0, 1.0)
+
+    def test_lifecycle_progress_breaks_equality(self):
+        a, b = Request(1, 0, 0.0, 1.0), Request(1, 0, 0.0, 1.0)
+        b.start_service(1.0)
+        assert a != b
+        a.start_service(1.0)
+        assert a == b
+
+    def test_extra_payload_participates_in_equality(self):
+        a, b = Request(1, 0, 0.0, 1.0), Request(1, 0, 0.0, 1.0)
+        a.extra["tenant"] = "gold"
+        assert a != b
+        b.extra["tenant"] = "gold"
+        assert a == b
+
+    def test_reading_extra_does_not_break_equality(self):
+        """The lazily-created empty dict equals an untouched slot."""
+        a, b = Request(1, 0, 0.0, 1.0), Request(1, 0, 0.0, 1.0)
+        assert a.extra == {}  # the read creates the empty dict
+        assert a == b and b == a
+
+
+class TestOutOfOrderCompletions:
+    def test_monitor_samples_survive_interned_completions(self):
+        """Interning an already-completed request appends to the completion
+        log out of time order; the vectorised finalize must still bucket
+        every completion correctly."""
+        ledger = RequestLedger(1)
+        monitor = WindowedMonitor(1, warmup=0.0, window=10.0, ledger=ledger)
+        late = ledger.append(0, 30.0, 1.0)
+        ledger.start_service(late, 34.0)
+        ledger.complete(late, 35.0)  # window 3, logged first
+        early = Request(0, 0, 0.0, 1.0, service_start_time=1.0, completion_time=5.0)
+        ledger.intern(early)  # window 0, logged second
+        samples = monitor.samples()
+        assert [s.start for s in samples] == [0.0, 10.0, 20.0, 30.0]
+        assert samples[0].counts == (1,) and samples[3].counts == (1,)
+        assert samples[0].mean_slowdowns[0] == pytest.approx(0.25)
+        assert samples[3].mean_slowdowns[0] == pytest.approx(4.0)
+
+
+class TestLedgerPickling:
+    def test_pickle_round_trip_is_compact_and_complete(self):
+        ledger = RequestLedger(2, capacity=256)
+        for i in range(10):
+            rid = ledger.append(i % 2, float(i), 1.0)
+            if i < 7:
+                ledger.start_service(rid, float(i))
+                ledger.complete(rid, float(i) + 1.0)
+        clone = pickle.loads(pickle.dumps(ledger))
+        assert len(clone) == 10 and clone.num_completed == 7
+        np.testing.assert_array_equal(clone.completed_ids, ledger.completed_ids)
+        np.testing.assert_array_equal(clone.arrival_time, ledger.arrival_time)
+        # Only live rows cross the boundary, not the preallocated tail.
+        assert clone.capacity == 10
+        # Rows in flight when pickled can still complete afterwards.
+        clone.start_service(8, 8.0)
+        clone.complete(8, 9.0)
+        assert clone.num_completed == 8
+
+    def test_slowdowns_and_waiting_times_follow_completion_order(self):
+        ledger = RequestLedger(1)
+        a = ledger.append(0, 0.0, 1.0)
+        b = ledger.append(0, 1.0, 1.0)
+        ledger.start_service(b, 2.0)
+        ledger.complete(b, 3.0)
+        ledger.start_service(a, 3.0)
+        ledger.complete(a, 7.0)
+        np.testing.assert_array_equal(ledger.completed_ids, [b, a])
+        np.testing.assert_allclose(ledger.slowdowns(), [1.0, 0.75])
+        np.testing.assert_allclose(ledger.waiting_times(), [1.0, 3.0])

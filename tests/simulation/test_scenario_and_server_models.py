@@ -142,13 +142,14 @@ class TestScenarioComposition:
                 pass
 
             def submit(self, request):
-                request.start_service(self.engine.now)
+                rid = self.resolve(request)
+                self.ledger.start_service(rid, self.engine.now)
 
                 def finish():
-                    request.complete(self.engine.now)
-                    self.deliver(request)
+                    self.ledger.complete(rid, self.engine.now)
+                    self.deliver(rid)
 
-                self.engine.schedule_after(request.size, finish)
+                self.engine.schedule_after(self.ledger.size_of(rid), finish)
 
             def apply_rates(self, rates):
                 pass

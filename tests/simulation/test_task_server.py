@@ -3,18 +3,35 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.simulation import FcfsTaskServer, Request, SimulationEngine
+from repro.simulation import FcfsTaskServer, Request, RequestLedger, SimulationEngine
 
 
 def make_request(request_id, arrival, size, class_index=0):
     return Request(request_id=request_id, class_index=class_index, arrival_time=arrival, size=size)
 
 
+def tracked_server(engine, class_index, rate):
+    """A task server plus the list of completed-request views, in order.
+
+    The completion callback hands back ledger row ids; the tests want
+    object ergonomics, so the tracker materialises a view per completion.
+    """
+    ledger = RequestLedger()
+    done = []
+    server = FcfsTaskServer(
+        engine,
+        class_index,
+        rate,
+        ledger=ledger,
+        on_completion=lambda rid: done.append(ledger.view(rid)),
+    )
+    return server, done
+
+
 class TestFcfsService:
     def test_single_request_full_rate(self):
         engine = SimulationEngine()
-        done = []
-        server = FcfsTaskServer(engine, 0, 1.0, on_completion=done.append)
+        server, done = tracked_server(engine, 0, 1.0)
         server.submit(make_request(1, 0.0, 2.0))
         engine.run_until(10.0)
         assert len(done) == 1
@@ -23,8 +40,7 @@ class TestFcfsService:
 
     def test_half_rate_doubles_service_time(self):
         engine = SimulationEngine()
-        done = []
-        server = FcfsTaskServer(engine, 0, 0.5, on_completion=done.append)
+        server, done = tracked_server(engine, 0, 0.5)
         server.submit(make_request(1, 0.0, 2.0))
         engine.run_until(10.0)
         assert done[0].completion_time == pytest.approx(4.0)
@@ -34,8 +50,7 @@ class TestFcfsService:
 
     def test_fcfs_order_and_waiting(self):
         engine = SimulationEngine()
-        done = []
-        server = FcfsTaskServer(engine, 0, 1.0, on_completion=done.append)
+        server, done = tracked_server(engine, 0, 1.0)
         server.submit(make_request(1, 0.0, 2.0))
         server.submit(make_request(2, 0.0, 1.0))
         engine.run_until(10.0)
@@ -66,8 +81,7 @@ class TestFcfsService:
 class TestRateChanges:
     def test_rate_change_mid_service_adjusts_completion(self):
         engine = SimulationEngine()
-        done = []
-        server = FcfsTaskServer(engine, 0, 1.0, on_completion=done.append)
+        server, done = tracked_server(engine, 0, 1.0)
         server.submit(make_request(1, 0.0, 2.0))
         # After 1 time unit (half the work done) the rate drops to 0.5, so the
         # remaining 1 unit of work takes 2 more time units.
@@ -77,8 +91,7 @@ class TestRateChanges:
 
     def test_rate_increase_mid_service(self):
         engine = SimulationEngine()
-        done = []
-        server = FcfsTaskServer(engine, 0, 0.5, on_completion=done.append)
+        server, done = tracked_server(engine, 0, 0.5)
         server.submit(make_request(1, 0.0, 2.0))
         # After 2 time units, 1 unit of work remains; at rate 2 it takes 0.5.
         engine.schedule_at(2.0, lambda: server.set_rate(2.0))
@@ -87,8 +100,7 @@ class TestRateChanges:
 
     def test_zero_rate_freezes_service(self):
         engine = SimulationEngine()
-        done = []
-        server = FcfsTaskServer(engine, 0, 1.0, on_completion=done.append)
+        server, done = tracked_server(engine, 0, 1.0)
         server.submit(make_request(1, 0.0, 2.0))
         engine.schedule_at(1.0, lambda: server.set_rate(0.0))
         engine.schedule_at(5.0, lambda: server.set_rate(1.0))
@@ -98,8 +110,7 @@ class TestRateChanges:
 
     def test_multiple_rate_changes_conserve_work(self):
         engine = SimulationEngine()
-        done = []
-        server = FcfsTaskServer(engine, 0, 0.8, on_completion=done.append)
+        server, done = tracked_server(engine, 0, 0.8)
         server.submit(make_request(1, 0.0, 4.0))
         for t, rate in ((1.0, 0.4), (2.0, 1.0), (3.0, 0.6)):
             engine.schedule_at(t, lambda rate=rate: server.set_rate(rate))
@@ -112,8 +123,7 @@ class TestRateChanges:
         server = FcfsTaskServer(engine, 0, 1.0)
         server.set_rate(0.3)
         assert server.rate == pytest.approx(0.3)
-        done = []
-        server2 = FcfsTaskServer(engine, 0, 1.0, on_completion=done.append)
+        server2, done = tracked_server(engine, 0, 1.0)
         server2.set_rate(0.5)
         server2.submit(make_request(1, 0.0, 1.0))
         engine.run_until(10.0)

@@ -166,3 +166,72 @@ class TestWindowedMonitor:
             WindowedMonitor(0, warmup=0.0, window=1.0)
         with pytest.raises(ParameterError):
             WindowedMonitor(1, warmup=0.0, window=0.0)
+
+    def test_gap_windows_are_emitted_empty(self):
+        """A window skipped by every class still appears (all-NaN, zero
+        counts), keeping the per-class series time-aligned."""
+        monitor = WindowedMonitor(2, warmup=0.0, window=10.0)
+        # Window 0: both classes; windows 1-2: silence; window 3: class 0.
+        monitor.record(RequestRecord.from_request(completed_request(1, 0, 0.0, 1.0, 1.0)))
+        monitor.record(RequestRecord.from_request(completed_request(2, 1, 0.0, 4.0, 2.0)))
+        monitor.record(RequestRecord.from_request(completed_request(3, 0, 31.0, 2.0, 1.0)))
+        samples = monitor.samples()
+        assert [s.start for s in samples] == [0.0, 10.0, 20.0, 30.0]
+        assert samples[1].counts == (0, 0) and samples[2].counts == (0, 0)
+        assert all(math.isnan(m) for m in samples[1].mean_slowdowns)
+        # Aligned per-class series cover the gap with NaN for both classes.
+        aligned = monitor.per_class_window_means()
+        assert len(aligned[0]) == len(aligned[1]) == 4
+        assert math.isnan(aligned[0][1]) and math.isnan(aligned[1][3])
+        # ratio_series drops the undefined windows, as before.
+        np.testing.assert_allclose(monitor.ratio_series(1, 0), [2.0])
+
+
+class TestLedgerBackedMonitor:
+    def make_ledger_monitor(self):
+        from repro.simulation import RequestLedger
+
+        ledger = RequestLedger(2)
+        monitor = WindowedMonitor(2, warmup=10.0, window=5.0, ledger=ledger)
+        return ledger, monitor
+
+    def complete(self, ledger, class_index, arrival, wait, service):
+        rid = ledger.append(class_index, arrival, 1.0)
+        ledger.start_service(rid, arrival + wait)
+        ledger.complete(rid, arrival + wait + service)
+        return rid
+
+    def test_matches_streaming_monitor(self):
+        """The vectorised finalize and the per-completion path agree exactly."""
+        ledger, monitor = self.make_ledger_monitor()
+        streaming = WindowedMonitor(2, warmup=10.0, window=5.0)
+        jobs = [
+            (0, 9.0, 2.0, 1.0),    # completes 12
+            (1, 10.0, 3.0, 1.0),   # completes 14
+            (0, 15.0, 1.0, 1.0),   # completes 17
+            (1, 20.0, 5.0, 2.0),   # completes 27 (window 3; window 2 empty)
+        ]
+        for class_index, arrival, wait, service in jobs:
+            self.complete(ledger, class_index, arrival, wait, service)
+            streaming.record(
+                RequestRecord.from_request(
+                    completed_request(0, class_index, arrival, wait, service)
+                )
+            )
+        vectorised, recorded = monitor.samples(), streaming.samples()
+        assert len(vectorised) == len(recorded) == 4  # gap window included
+        for a, b in zip(vectorised, recorded):
+            assert (a.start, a.end, a.counts) == (b.start, b.end, b.counts)
+            np.testing.assert_array_equal(a.mean_slowdowns, b.mean_slowdowns)
+
+    def test_warmup_completions_dropped(self):
+        ledger, monitor = self.make_ledger_monitor()
+        self.complete(ledger, 0, 0.0, 1.0, 1.0)
+        assert monitor.samples() == []
+
+    def test_record_rejected_on_ledger_backed_monitor(self):
+        ledger, monitor = self.make_ledger_monitor()
+        with pytest.raises(ParameterError, match="ledger-backed"):
+            monitor.record(
+                RequestRecord.from_request(completed_request(1, 0, 11.0, 1.0, 1.0))
+            )

@@ -160,6 +160,96 @@ class TestWorkerPool:
             WorkerPool(workers=0)
 
 
+class TestSharedMemoryTransport:
+    """Result transport: shared-memory routing must never change results."""
+
+    def serial_summary(self, build):
+        return ReplicationRunner(replications=4, base_seed=77, workers=1).run(build)
+
+    def test_forced_shm_path_is_bit_identical(self, build, monkeypatch):
+        """With the threshold at zero every result rides shared memory; the
+        aggregates must match serial execution bit-for-bit."""
+        from repro.simulation import runner as runner_module
+
+        if runner_module._shared_memory is None:
+            pytest.skip("multiprocessing.shared_memory unavailable")
+        monkeypatch.setattr(runner_module, "SHM_MIN_BYTES", 0)
+        pool = WorkerPool(workers=2)
+        try:
+            shm = ReplicationRunner(
+                replications=4, base_seed=77, workers=2, pool=pool
+            ).run(build)
+        finally:
+            pool.close()
+        serial = self.serial_summary(build)
+        assert shm.per_class_slowdowns == serial.per_class_slowdowns
+        assert shm.system_slowdown == serial.system_slowdown
+        assert shm.ratios_to_first == serial.ratios_to_first
+        for a, b in zip(shm.results, serial.results):
+            assert a.per_class_mean_slowdowns() == b.per_class_mean_slowdowns()
+            import numpy as np
+
+            np.testing.assert_array_equal(
+                a.ledger.completion_time, b.ledger.completion_time
+            )
+            # Transported columns stay writable (bytearray-backed copies).
+            assert a.ledger.arrival_time.base.flags.writeable
+
+    def test_forced_shm_path_per_batch_fork(self, build, monkeypatch):
+        """The per-batch fork path (unpicklable build) also routes via shm."""
+        from repro.simulation import runner as runner_module
+
+        if runner_module._shared_memory is None:
+            pytest.skip("multiprocessing.shared_memory unavailable")
+        monkeypatch.setattr(runner_module, "SHM_MIN_BYTES", 0)
+
+        def closure_build(index, seed):  # closures cannot use the pool
+            return build(index, seed)
+
+        shm = ReplicationRunner(replications=3, base_seed=5, workers=2).run(
+            closure_build
+        )
+        serial = ReplicationRunner(replications=3, base_seed=5, workers=1).run(build)
+        assert shm.per_class_slowdowns == serial.per_class_slowdowns
+        assert shm.system_slowdown == serial.system_slowdown
+
+    def test_unavailable_shm_falls_back_inline(self, build, monkeypatch):
+        """Without shared memory the inline route produces the same results."""
+        from repro.simulation import runner as runner_module
+
+        monkeypatch.setattr(runner_module, "_shared_memory", None)
+        monkeypatch.setattr(runner_module, "SHM_MIN_BYTES", 0)
+        pool = WorkerPool(workers=2)
+        try:
+            inline = ReplicationRunner(
+                replications=4, base_seed=77, workers=2, pool=pool
+            ).run(build)
+        finally:
+            pool.close()
+        serial = self.serial_summary(build)
+        assert inline.per_class_slowdowns == serial.per_class_slowdowns
+        assert inline.system_slowdown == serial.system_slowdown
+
+    def test_encode_decode_round_trip_in_process(self, build, monkeypatch):
+        """encode/decode is the identity on a result, on both routes."""
+        import numpy as np
+
+        from repro.distributions.rng import spawn_seed_sequences
+        from repro.simulation import runner as runner_module
+
+        result = build(0, spawn_seed_sequences(123, 1)[0])
+        for threshold in (0, 1 << 60):
+            monkeypatch.setattr(runner_module, "SHM_MIN_BYTES", threshold)
+            clone = runner_module._decode_result(runner_module._encode_result(result))
+            assert clone.per_class_mean_slowdowns() == result.per_class_mean_slowdowns()
+            np.testing.assert_array_equal(
+                clone.ledger.completed_ids, result.ledger.completed_ids
+            )
+            np.testing.assert_array_equal(
+                clone.ledger.size, result.ledger.size
+            )
+
+
 class TestSharedPool:
     @pytest.fixture(autouse=True)
     def fresh_shared_pool(self):
