@@ -1,0 +1,241 @@
+#!/usr/bin/env python
+"""Bench-trajectory tracking: diff a bench JSON against the committed baseline.
+
+CI uploads the fail-fast bench JSON as an artifact, which makes every run a
+point-in-time snapshot nobody compares.  This script turns the snapshots
+into a *trajectory*: it diffs the current ``pytest-benchmark`` JSON against
+the committed ``benchmarks/BENCH_BASELINE.json``, prints a markdown delta
+table (piped into the GitHub step summary by CI), and fails when a
+throughput metric (``*requests_per_sec`` / ``*_rps``) regresses by more than
+the threshold (25% by default — wide enough for runner-to-runner noise,
+tight enough to catch a real hot-path regression).
+
+Timing means and the remaining ``extra_info`` metrics (speedups, slowdown
+ratios, p95s) are reported in the table but never gate: they are either
+hardware-dependent or statistical, and the benches' own assertions already
+bound them qualitatively.
+
+Usage::
+
+    python benchmarks/compare_bench.py bench.json                # compare
+    python benchmarks/compare_bench.py bench.json --update       # refresh
+    python benchmarks/compare_bench.py bench.json --summary "$GITHUB_STEP_SUMMARY"
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_BASELINE.json"
+
+#: ``extra_info`` metrics matching one of these suffixes gate the build:
+#: they are throughputs, where lower means a regression.
+THROUGHPUT_SUFFIXES = ("requests_per_sec", "_rps")
+
+
+def machine_fingerprint(bench_json: dict) -> str | None:
+    """A coarse identity for the hardware the benches ran on.
+
+    Absolute throughputs are only comparable between runs on similar
+    machines; the fingerprint (hostname + CPU) lets :func:`compare` demote
+    throughput-gate failures to warnings when the baseline came from a
+    different box (e.g. a developer laptop vs the CI runner) — the table is
+    still printed, and refreshing the baseline from a CI artifact restores
+    the hard gate.
+    """
+    info = bench_json.get("machine_info")
+    if not isinstance(info, dict):
+        return None
+    cpu = info.get("cpu")
+    brand = cpu.get("brand_raw") if isinstance(cpu, dict) else None
+    parts = [str(info.get(key)) for key in ("node", "machine") if info.get(key)]
+    if brand:
+        parts.append(str(brand))
+    return "|".join(parts) if parts else None
+
+
+def condense(bench_json: dict) -> dict:
+    """Reduce a pytest-benchmark JSON to the committed baseline schema."""
+    benchmarks = {}
+    for bench in bench_json.get("benchmarks", []):
+        benchmarks[bench["name"]] = {
+            "mean_s": round(float(bench["stats"]["mean"]), 6),
+            "extra_info": {
+                key: value
+                for key, value in sorted(bench.get("extra_info", {}).items())
+                if isinstance(value, (int, float)) and not isinstance(value, bool)
+            },
+        }
+    condensed = {
+        "_comment": (
+            "Condensed fail-fast bench baseline; refresh with "
+            "`python benchmarks/compare_bench.py <bench.json> --update` "
+            "whenever a PR intentionally moves the numbers."
+        ),
+        "benchmarks": benchmarks,
+    }
+    fingerprint = machine_fingerprint(bench_json)
+    if fingerprint:
+        condensed["machine"] = fingerprint
+    return condensed
+
+
+def is_throughput_metric(name: str) -> bool:
+    return name.endswith(THROUGHPUT_SUFFIXES)
+
+
+def _delta(current: float, baseline: float) -> float | None:
+    """Relative change vs the baseline (None when undefined)."""
+    if baseline == 0:
+        return None
+    return (current - baseline) / abs(baseline)
+
+
+def _format_delta(delta: float | None) -> str:
+    if delta is None:
+        return "n/a"
+    return f"{delta:+.1%}"
+
+
+def compare(current: dict, baseline: dict, *, threshold: float) -> tuple[list[str], list[str]]:
+    """Diff two condensed bench dicts.
+
+    Returns ``(table_lines, failures)`` where ``table_lines`` is a markdown
+    table of every tracked metric and ``failures`` lists the throughput
+    metrics that regressed past ``threshold``.  When both sides carry a
+    machine fingerprint and they differ, throughput regressions are reported
+    in the table but demoted from ``failures`` — absolute requests/sec on
+    different hardware is variance, not a code regression.
+    """
+    rows: list[tuple[str, str, str, str, str, str]] = []
+    failures: list[str] = []
+    current_benches = current["benchmarks"]
+    baseline_benches = baseline["benchmarks"]
+    current_machine = current.get("machine")
+    baseline_machine = baseline.get("machine")
+    cross_machine = bool(
+        current_machine and baseline_machine and current_machine != baseline_machine
+    )
+
+    for name, bench in sorted(current_benches.items()):
+        base = baseline_benches.get(name)
+        if base is None:
+            rows.append((name, "mean time", f"{bench['mean_s']:.3f}s", "-", "new", ""))
+            continue
+        delta = _delta(bench["mean_s"], base["mean_s"])
+        rows.append(
+            (
+                name,
+                "mean time",
+                f"{bench['mean_s']:.3f}s",
+                f"{base['mean_s']:.3f}s",
+                _format_delta(delta),
+                "",
+            )
+        )
+        base_info = base.get("extra_info", {})
+        for metric, value in bench.get("extra_info", {}).items():
+            base_value = base_info.get(metric)
+            if base_value is None:
+                rows.append((name, metric, f"{value:g}", "-", "new", ""))
+                continue
+            delta = _delta(float(value), float(base_value))
+            note = ""
+            if is_throughput_metric(metric):
+                if delta is not None and delta < -threshold:
+                    if cross_machine:
+                        note = "WARN (different machine; refresh baseline from CI)"
+                    else:
+                        note = f"FAIL (> {threshold:.0%} regression)"
+                        failures.append(
+                            f"{name}: {metric} fell {-delta:.1%} "
+                            f"({base_value:g} -> {value:g})"
+                        )
+                else:
+                    note = "gates"
+            rows.append((name, metric, f"{value:g}", f"{base_value:g}", _format_delta(delta), note))
+
+    for name in sorted(set(baseline_benches) - set(current_benches)):
+        rows.append(
+            (name, "mean time", "-", f"{baseline_benches[name]['mean_s']:.3f}s", "missing", "")
+        )
+
+    lines = [
+        "### Bench trajectory vs committed baseline",
+        "",
+        "| benchmark | metric | current | baseline | delta | |",
+        "| --- | --- | --- | --- | --- | --- |",
+    ]
+    lines.extend("| " + " | ".join(row) + " |" for row in rows)
+    if cross_machine:
+        lines.append("")
+        lines.append(
+            "_Baseline was recorded on different hardware; throughput deltas "
+            "are reported but not gated. Refresh the baseline from a CI bench "
+            "artifact to restore the hard gate._"
+        )
+    if failures:
+        lines.append("")
+        lines.append(f"**{len(failures)} throughput regression(s) past the threshold.**")
+    return lines, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff a pytest-benchmark JSON against the committed baseline."
+    )
+    parser.add_argument("bench_json", type=Path, help="pytest-benchmark JSON to check")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"condensed baseline path (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="max tolerated relative throughput drop (default: 0.25)",
+    )
+    parser.add_argument(
+        "--summary",
+        type=Path,
+        default=None,
+        help="append the markdown table to this file (e.g. $GITHUB_STEP_SUMMARY)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the bench JSON instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    current = condense(json.loads(args.bench_json.read_text()))
+    if args.update:
+        args.baseline.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.baseline} ({len(current['benchmarks'])} benchmarks)")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; run with --update to create one")
+        return 1
+    baseline = json.loads(args.baseline.read_text())
+    lines, failures = compare(current, baseline, threshold=args.threshold)
+    table = "\n".join(lines)
+    print(table)
+    if args.summary is not None:
+        with args.summary.open("a") as handle:
+            handle.write(table + "\n")
+    if failures:
+        print(f"\n{len(failures)} throughput regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,6 @@ estimator's, which is the paper's implicit claim.
 
 import dataclasses
 
-import numpy as np
 import pytest
 
 from repro.core import (
@@ -75,9 +74,7 @@ def run_variant(bench_config, kind, *, window_multiplier=1.0, seed=101):
     factory = make_controller_factory(kind, classes, spec)
 
     def build(_, seed_seq):
-        return PsdServerSimulation(
-            classes, measurement, controller=factory(), seed=seed_seq
-        ).run()
+        return PsdServerSimulation(classes, measurement, controller=factory(), seed=seed_seq).run()
 
     summary = run_replications(
         build, replications=bench_config.measurement.replications, base_seed=seed

@@ -54,9 +54,7 @@ def run_variant(bench_config, name, deltas, *, seed=313):
         if variant == "sfq":
             return SharedProcessorServer(StartTimeFairQueueing(2))
         if variant == "lottery":
-            return SharedProcessorServer(
-                LotteryScheduler(2, rng=np.random.default_rng(seed))
-            )
+            return SharedProcessorServer(LotteryScheduler(2, rng=np.random.default_rng(seed)))
         if variant == "drr":
             return SharedProcessorServer(
                 DeficitWeightedRoundRobin(2, quantum=classes[0].service.mean())
@@ -130,7 +128,9 @@ def test_ablation_scheduler_realisation(benchmark, bench_config):
     # the classes, and serving always happens at full speed.  Individual
     # schedulers can dip close to 1 at bench scale, so the assertion is on
     # the group mean and a loose per-scheduler band.
-    packetised = [row_for(name, (1.0, 2.0))["achieved_ratio"] for name in ("wfq", "sfq", "lottery", "drr")]
+    packetised = [
+        row_for(name, (1.0, 2.0))["achieved_ratio"] for name in ("wfq", "sfq", "lottery", "drr")
+    ]
     assert all(0.6 < r < 6.0 for r in packetised)
     assert sum(packetised) / len(packetised) > 0.95
     assert row_for("task-servers", (1.0, 2.0))["achieved_ratio"] > min(packetised)

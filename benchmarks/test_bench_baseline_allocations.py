@@ -112,9 +112,7 @@ def test_baseline_allocations(benchmark, bench_config):
     # than demand-proportional's structural failure to differentiate at all
     # (ratio pinned near 1 regardless of the target).
     psd_error = abs(math.log(by_name["psd (eq. 17)"]["simulated_ratio"] / target))
-    demand_error = abs(
-        math.log(by_name["demand-proportional"]["simulated_ratio"] / target)
-    )
+    demand_error = abs(math.log(by_name["demand-proportional"]["simulated_ratio"] / target))
     assert psd_error < demand_error
 
     # The equal split leaves both task servers stable here (load 0.35 < 0.5

@@ -94,9 +94,7 @@ class ObjectPathScenario(Scenario):
             size = source.next_size()
             self._object_generated[class_index] += 1
             if self._admit(class_index, size):
-                request = _SeedRequest(
-                    self._object_counter, class_index, engine.now, size
-                )
+                request = _SeedRequest(self._object_counter, class_index, engine.now, size)
                 self._object_counter += 1
                 self._object_window_arrivals[class_index] += 1
                 self._object_window_work[class_index] += size
@@ -165,10 +163,7 @@ def test_ledger_event_throughput_vs_object_path(benchmark):
     # Same seed, same event sequence: the two paths must agree exactly on
     # what was simulated before their throughput is comparable.
     assert baseline_result.completed_counts == ledger_result.completed_counts
-    assert (
-        baseline_result.per_class_mean_slowdowns()
-        == ledger_result.per_class_mean_slowdowns()
-    )
+    assert baseline_result.per_class_mean_slowdowns() == ledger_result.per_class_mean_slowdowns()
     # The baseline's own object bookkeeping saw every completion.
     assert (
         tuple(baseline_result.controller.current_rates)

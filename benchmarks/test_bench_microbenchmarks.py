@@ -108,9 +108,7 @@ def test_replication_runner_serial_vs_parallel(benchmark):
 
     def timed(workers):
         start = time.perf_counter()
-        summary = ReplicationRunner(
-            replications=4, base_seed=1729, workers=workers
-        ).run(build)
+        summary = ReplicationRunner(replications=4, base_seed=1729, workers=workers).run(build)
         return time.perf_counter() - start, summary
 
     def run_both():
@@ -157,9 +155,7 @@ def test_worker_pool_reuse_across_batches(benchmark):
     def run_batches(pool):
         summaries = []
         for batch in range(batches):
-            runner = ReplicationRunner(
-                replications=4, base_seed=900 + batch, workers=2, pool=pool
-            )
+            runner = ReplicationRunner(replications=4, base_seed=900 + batch, workers=2, pool=pool)
             summaries.append(runner.run(build))
         return summaries
 
@@ -187,9 +183,7 @@ def test_worker_pool_reuse_across_batches(benchmark):
         forked_time = time.perf_counter() - start
         return pooled, pooled_time, forked, forked_time
 
-    pooled, pooled_time, forked, forked_time = benchmark.pedantic(
-        timed, rounds=1, iterations=1
-    )
+    pooled, pooled_time, forked, forked_time = benchmark.pedantic(timed, rounds=1, iterations=1)
     print()
     print(
         f"  persistent pool: {pooled_time:.2f}s  fork-per-batch: {forked_time:.2f}s  "

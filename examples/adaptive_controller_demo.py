@@ -64,11 +64,15 @@ def main() -> None:
     )
     rngs = spawn_generators(99, 2)
     sources = [
-        RequestSource(0, PiecewiseRatePoisson(base_rate, base_rate, switch_time), service, rngs[0]),
+        RequestSource(
+            0, PiecewiseRatePoisson(base_rate, base_rate, switch_time), service, rngs[0]
+        ),
         # The batch class's traffic grows 2.2x halfway through the run,
         # raising the total system load from 50% to 80%; the controller must
         # shift capacity toward it to keep the slowdown ratio at the target.
-        RequestSource(1, PiecewiseRatePoisson(base_rate, 2.2 * base_rate, switch_time), service, rngs[1]),
+        RequestSource(
+            1, PiecewiseRatePoisson(base_rate, 2.2 * base_rate, switch_time), service, rngs[1]
+        ),
     ]
 
     # Explicit sources plug straight into the Scenario assembly; the server

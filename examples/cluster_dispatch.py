@@ -12,6 +12,11 @@ policy at moderate (0.5) and high (0.9) system load:
 * backlog-aware dispatch (join-shortest-queue, least-work-left) pools the
   nodes' queues and crushes the absolute slowdowns at high load.
 
+A second act makes the fleet heterogeneous (a 2:1 capacity mix at the same
+total speed) and contrasts capacity-blind dispatch+partitioning — which
+overloads the slow nodes — with the capacity-aware pairing that restores
+the single-server behaviour.
+
 Run with::
 
     python examples/cluster_dispatch.py
@@ -22,12 +27,19 @@ from __future__ import annotations
 import numpy as np
 
 from repro import MeasurementConfig, PsdSpec, Scenario, make_cluster
-from repro.cluster import DISPATCH_POLICIES
+from repro.cluster import DISPATCH_POLICIES, build_partitioner, resolve_capacities
 from repro.distributions import BoundedPareto
 from repro.queueing import arrival_rate_for_load
 from repro.types import TrafficClass
 
 NUM_NODES = 4
+
+#: Capacity-blind -> capacity-aware pairings for the heterogeneous act.
+HETERO_PAIRINGS = (
+    ("round_robin", "equal"),
+    ("weighted_jsq", "capacity"),
+    ("fastest_available", "capacity"),
+)
 
 
 def main() -> None:
@@ -47,9 +59,7 @@ def main() -> None:
         print(f"  {'policy':<16} {'gold':>8} {'silver':>8} {'ratio':>7} {'p95':>8}")
         for name in sorted(DISPATCH_POLICIES):
             cluster = make_cluster(NUM_NODES, name, seed=2004)
-            result = Scenario(
-                classes, config, server=cluster, spec=spec, seed=7
-            ).run()
+            result = Scenario(classes, config, server=cluster, spec=spec, seed=7).run()
             gold, silver = result.per_class_mean_slowdowns()
             slowdowns = [r.slowdown for r in result.measured_records()]
             p95 = float(np.percentile(slowdowns, 95)) if slowdowns else float("nan")
@@ -58,6 +68,35 @@ def main() -> None:
                 f"{silver / gold:7.2f} {p95:8.2f}"
             )
         print()
+
+    capacities = resolve_capacities("2:1", NUM_NODES)
+    load = 0.9
+    per_class = arrival_rate_for_load(load, service) / 2
+    classes = [
+        TrafficClass("gold", per_class, service, delta=1.0),
+        TrafficClass("silver", per_class, service, delta=2.0),
+    ]
+    print(
+        f"heterogeneous 2:1 fleet ({NUM_NODES} nodes, same total capacity), "
+        f"load {load:.0%}"
+    )
+    print(f"  {'policy + partitioner':<30} {'gold':>8} {'silver':>8} {'ratio':>7} {'p95':>8}")
+    for name, partitioner in HETERO_PAIRINGS:
+        cluster = make_cluster(
+            NUM_NODES,
+            name,
+            capacities=capacities,
+            partitioner=build_partitioner(partitioner),
+            seed=2004,
+        )
+        result = Scenario(classes, config, server=cluster, spec=spec, seed=7).run()
+        gold, silver = result.per_class_mean_slowdowns()
+        slowdowns = [r.slowdown for r in result.measured_records()]
+        p95 = float(np.percentile(slowdowns, 95)) if slowdowns else float("nan")
+        print(
+            f"  {name + ' + ' + partitioner:<30} {gold:8.2f} {silver:8.2f} "
+            f"{silver / gold:7.2f} {p95:8.2f}"
+        )
 
 
 if __name__ == "__main__":

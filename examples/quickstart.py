@@ -67,9 +67,7 @@ def main() -> None:
     config = MeasurementConfig(
         warmup=2_000.0, horizon=20_000.0, window=1_000.0
     ).scaled_to_time_units(service.mean())
-    result = Scenario(
-        classes, config, server=RateScalableServers(), spec=spec, seed=2004
-    ).run()
+    result = Scenario(classes, config, server=RateScalableServers(), spec=spec, seed=2004).run()
 
     measured = result.per_class_mean_slowdowns()
     print("Simulated slowdowns (one run, 20k time units)")

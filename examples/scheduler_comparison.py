@@ -55,9 +55,7 @@ def run_realisation(name, classes, spec, config, seed):
         if name == "wfq":
             return SharedProcessorServer(WeightedFairQueueing(2))
         if name == "lottery":
-            return SharedProcessorServer(
-                LotteryScheduler(2, rng=np.random.default_rng(seed))
-            )
+            return SharedProcessorServer(LotteryScheduler(2, rng=np.random.default_rng(seed)))
         if name == "drr":
             return SharedProcessorServer(
                 DeficitWeightedRoundRobin(2, quantum=classes[0].service.mean())
@@ -67,9 +65,7 @@ def run_realisation(name, classes, spec, config, seed):
         raise ValueError(name)
 
     def build(_, seed_seq):
-        return Scenario(
-            classes, config, server=make_server(), spec=spec, seed=seed_seq
-        ).run()
+        return Scenario(classes, config, server=make_server(), spec=spec, seed=seed_seq).run()
 
     runner = ReplicationRunner(replications=REPLICATIONS, base_seed=seed, workers=0)
     return runner.run(build)

@@ -55,9 +55,7 @@ def main(path: str = SAMPLE_TRACE) -> None:
     ]
 
     config = MeasurementConfig(warmup=30.0, horizon=300.0, window=15.0)
-    result = Scenario(
-        classes, config, spec=PsdSpec.of(1, 2), sources=sources
-    ).run()
+    result = Scenario(classes, config, spec=PsdSpec.of(1, 2), sources=sources).run()
 
     measured = result.per_class_mean_slowdowns()
     print("\nReplayed through the adaptive PSD server (target ratio 2.0):")

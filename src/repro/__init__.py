@@ -44,7 +44,9 @@ from .cluster import (
     DispatchPolicy,
     RatePartitioner,
     build_dispatch_policy,
+    build_partitioner,
     make_cluster,
+    resolve_capacities,
 )
 from .core import (
     PsdController,
@@ -130,9 +132,11 @@ __all__ = [
     # cluster
     "ClusterServerModel",
     "make_cluster",
+    "resolve_capacities",
     "DispatchPolicy",
     "RatePartitioner",
     "build_dispatch_policy",
+    "build_partitioner",
     # shared types and errors
     "TrafficClass",
     "ReproError",

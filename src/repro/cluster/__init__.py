@@ -9,22 +9,30 @@ another :class:`~repro.simulation.ServerModel`:
   models (idealised task servers, scheduler-driven shared processors, or
   nested clusters) behind one dispatch point.
 * :mod:`repro.cluster.dispatch` — pluggable :class:`DispatchPolicy` routing:
-  round-robin, seeded weighted-random, join-shortest-queue, least-work-left
-  and class-affinity partitioning.
+  round-robin, seeded weighted-random (capacity-weighted by default),
+  join-shortest-queue (raw and capacity-normalised), fastest-available,
+  least-work-left and class-affinity partitioning.
 * :mod:`repro.cluster.partition` — :class:`RatePartitioner` strategies that
   fan the controller's per-class rate allocation out to the nodes (equal
-  split, backlog-proportional, affinity-aware), keeping the feedback loop
-  closed over the whole cluster.
+  split, backlog-proportional, capacity-proportional, affinity-aware),
+  keeping the feedback loop closed over the whole cluster.
+* :mod:`repro.cluster.capacity` — heterogeneous fleet descriptions: named
+  capacity mixes (``"2:1"``, ``"pow2"``) and relative weights resolved to
+  per-node capacities.
 
 ``Scenario(classes, config, server=make_cluster(4, "jsq"))`` is all it takes
 to rerun any experiment on a 4-node cluster; the monitor, estimator and
-controller stacks are unchanged.
+controller stacks are unchanged.  Heterogeneous fleets add one argument:
+``make_cluster(2, "weighted_jsq", capacities=resolve_capacities("2:1", 2))``.
 """
 
+from .capacity import CAPACITY_MIXES, mix_label, resolve_capacities
 from .dispatch import (
     DISPATCH_POLICIES,
+    CapacityWeightedJsq,
     ClassAffinity,
     DispatchPolicy,
+    FastestAvailable,
     JoinShortestQueue,
     LeastWorkLeft,
     RoundRobin,
@@ -33,10 +41,13 @@ from .dispatch import (
 )
 from .model import ClusterServerModel, make_cluster
 from .partition import (
+    PARTITIONERS,
     AffinityPartitioner,
     BacklogProportional,
+    CapacityProportional,
     EqualSplit,
     RatePartitioner,
+    build_partitioner,
 )
 
 __all__ = [
@@ -46,6 +57,8 @@ __all__ = [
     "RoundRobin",
     "WeightedRandom",
     "JoinShortestQueue",
+    "CapacityWeightedJsq",
+    "FastestAvailable",
     "LeastWorkLeft",
     "ClassAffinity",
     "DISPATCH_POLICIES",
@@ -53,5 +66,11 @@ __all__ = [
     "RatePartitioner",
     "EqualSplit",
     "BacklogProportional",
+    "CapacityProportional",
     "AffinityPartitioner",
+    "PARTITIONERS",
+    "build_partitioner",
+    "CAPACITY_MIXES",
+    "resolve_capacities",
+    "mix_label",
 ]

@@ -33,6 +33,8 @@ __all__ = [
     "RoundRobin",
     "WeightedRandom",
     "JoinShortestQueue",
+    "CapacityWeightedJsq",
+    "FastestAvailable",
     "LeastWorkLeft",
     "ClassAffinity",
     "DISPATCH_POLICIES",
@@ -98,7 +100,13 @@ class RoundRobin(DispatchPolicy):
 
 
 class WeightedRandom(DispatchPolicy):
-    """Pick a node at random with the given (or uniform) weights.
+    """Pick a node at random with the given (or capacity) weights.
+
+    Without explicit weights the draw is weighted by the cluster's per-node
+    capacities — uniform over a fleet with no declared capacities (every
+    node weighs exactly 1.0, so homogeneous clusters are bit-identical to
+    the pre-capacity behaviour), proportional to node speed over a
+    heterogeneous one.
 
     The stream is an explicit :class:`numpy.random.Generator` seeded by the
     caller — scenario builders spawn it from the scenario's master seed so a
@@ -119,7 +127,7 @@ class WeightedRandom(DispatchPolicy):
     def _on_bind(self) -> None:
         weights = self.weights
         if weights is None:
-            weights = (1.0,) * self.cluster.num_nodes
+            weights = self.cluster.capacities
         if len(weights) != self.cluster.num_nodes:
             raise SimulationError(
                 f"expected {self.cluster.num_nodes} node weights, got {len(weights)}"
@@ -151,6 +159,82 @@ class JoinShortestQueue(DispatchPolicy):
             if pending < best_pending:
                 best, best_pending = node, pending
         return best
+
+
+class CapacityWeightedJsq(DispatchPolicy):
+    """Join-shortest-queue on capacity-normalised per-class pending counts.
+
+    A fast node drains its queue proportionally faster, so the quantity that
+    predicts a new request's delay is ``pending / capacity``, not the raw
+    count — the policy sends the request to the node minimising it.  On a
+    fleet with no declared capacities every node weighs 1.0 and the policy
+    selects exactly the nodes plain :class:`JoinShortestQueue` would.  Ties
+    are broken by the lowest node index, keeping runs deterministic.
+
+    Pairs naturally with the
+    :class:`~repro.cluster.partition.CapacityProportional` partitioner (its
+    :meth:`preferred_partitioner`): requests and rates then both arrive in
+    proportion to capacity, making each node a capacity-scaled replica of
+    the single server.
+    """
+
+    def _on_bind(self) -> None:
+        self._inverse_capacity = tuple(
+            1.0 / self.cluster.node_capacity(node)
+            for node in range(self.cluster.num_nodes)
+        )
+
+    def preferred_partitioner(self):
+        from .partition import CapacityProportional
+
+        return CapacityProportional()
+
+    def select_node(self, rid: int) -> int:
+        cluster = self.cluster
+        class_index = cluster.ledger.class_of(rid)
+        best = 0
+        best_load = cluster.pending(0, class_index) * self._inverse_capacity[0]
+        for node in range(1, cluster.num_nodes):
+            load = cluster.pending(node, class_index) * self._inverse_capacity[node]
+            if load < best_load:
+                best, best_load = node, load
+        return best
+
+
+class FastestAvailable(DispatchPolicy):
+    """Send the request to the fastest idle node, else the least loaded.
+
+    An idle node (no outstanding work) serves the request immediately, so
+    among idle nodes the fastest wins.  When every node is busy the policy
+    falls back to the node with the least outstanding work *per unit of
+    capacity* — the one expected to become available first.  All ties are
+    broken by the lowest node index.
+    """
+
+    def _on_bind(self) -> None:
+        self._inverse_capacity = tuple(
+            1.0 / self.cluster.node_capacity(node)
+            for node in range(self.cluster.num_nodes)
+        )
+
+    def preferred_partitioner(self):
+        from .partition import CapacityProportional
+
+        return CapacityProportional()
+
+    def select_node(self, rid: int) -> int:
+        cluster = self.cluster
+        fastest, fastest_capacity = -1, 0.0
+        best, best_eta = 0, cluster.work_left(0) * self._inverse_capacity[0]
+        for node in range(cluster.num_nodes):
+            if cluster.work_left(node) == 0.0:
+                capacity = cluster.node_capacity(node)
+                if capacity > fastest_capacity:
+                    fastest, fastest_capacity = node, capacity
+            eta = cluster.work_left(node) * self._inverse_capacity[node]
+            if eta < best_eta:
+                best, best_eta = node, eta
+        return fastest if fastest >= 0 else best
 
 
 class LeastWorkLeft(DispatchPolicy):
@@ -223,6 +307,8 @@ DISPATCH_POLICIES: dict[str, Callable[..., DispatchPolicy]] = {
     "round_robin": lambda *, seed=0: RoundRobin(),
     "weighted_random": lambda *, seed=0: WeightedRandom(seed=seed),
     "jsq": lambda *, seed=0: JoinShortestQueue(),
+    "weighted_jsq": lambda *, seed=0: CapacityWeightedJsq(),
+    "fastest_available": lambda *, seed=0: FastestAvailable(),
     "least_work": lambda *, seed=0: LeastWorkLeft(),
     "affinity": lambda *, seed=0: ClassAffinity(),
 }

@@ -16,6 +16,13 @@ equal-split cluster of N such nodes has the same total capacity as the
 single server) and *relative weights* for shared-processor nodes (whose
 capacity is fixed at construction) — size shared-processor nodes at
 ``capacity = 1 / N`` for a cluster comparable to one unit-capacity server.
+Heterogeneous fleets declare per-node capacities (the maximum total rate a
+node can sustain; assignments past it are served at the node's physical
+speed): build them with ``make_cluster(..., capacities=...)``, read them via
+:attr:`ClusterServerModel.capacities`, and pair capacity-aware dispatch
+(``weighted_jsq``, ``fastest_available``, capacity-weighted random) with a
+capacity-aware partitioner (``CapacityProportional``) so each node receives
+rates and requests in proportion to what it can actually absorb.
 
 The cluster additionally tracks, per node, the pending request count per
 class (queued plus in service) and the outstanding full-rate work, which is
@@ -81,10 +88,14 @@ class ClusterServerModel(ServerModel):
                     f"{type(node).__name__}"
                 )
             if node.engine is not None:
-                raise SimulationError(
-                    "cluster nodes must be fresh, unbound server models"
-                )
+                raise SimulationError("cluster nodes must be fresh, unbound server models")
         self.nodes = tuple(nodes)
+        declared = [node.capacity for node in self.nodes]
+        if all(cap is not None for cap in declared):
+            # A cluster is itself a ServerModel; when every member declares a
+            # capacity the cluster's own is their sum, so nested clusters
+            # participate in capacity-aware dispatch at the outer level too.
+            self.capacity = float(sum(declared))
         self.dispatch = dispatch if dispatch is not None else RoundRobin()
         if partitioner is None:
             partitioner = self.dispatch.preferred_partitioner() or EqualSplit()
@@ -118,6 +129,21 @@ class ClusterServerModel(ServerModel):
         """Total requests dispatched per node per class over the whole run."""
         return tuple(tuple(row) for row in self._dispatch_counts)
 
+    def node_capacity(self, node: int) -> float:
+        """The member node's relative capacity (1.0 when undeclared).
+
+        Capacity-aware policies and partitioners weight by this value; a
+        fleet with no declared capacities therefore weights every node at
+        exactly 1.0, reproducing the capacity-blind behaviour bit-for-bit.
+        """
+        capacity = self.nodes[node].capacity
+        return 1.0 if capacity is None else capacity
+
+    @property
+    def capacities(self) -> tuple[float, ...]:
+        """Per-node relative capacities (1.0 for undeclared nodes)."""
+        return tuple(self.node_capacity(node) for node in range(self.num_nodes))
+
     def node_backlogs(self, node: int) -> tuple[int, ...]:
         """The member node's own per-class queued counts."""
         return self.nodes[node].backlogs()
@@ -147,9 +173,7 @@ class ClusterServerModel(ServerModel):
         def deliver(rid: int) -> None:
             self._pending[node][self.ledger.class_of(rid)] -= 1
             # Clamp: summation order can leave ~1e-16 residuals behind.
-            self._work_left[node] = max(
-                self._work_left[node] - self.ledger.size_of(rid), 0.0
-            )
+            self._work_left[node] = max(self._work_left[node] - self.ledger.size_of(rid), 0.0)
             self.deliver(rid)
 
         return deliver
@@ -157,7 +181,11 @@ class ClusterServerModel(ServerModel):
     def submit(self, request: int | Request) -> None:
         rid = self.resolve(request)
         node = self.dispatch.select_node(rid)
-        if not isinstance(node, (int, np.integer)) or not (0 <= node < self.num_nodes):
+        if (
+            isinstance(node, bool)
+            or not isinstance(node, (int, np.integer))
+            or not (0 <= node < self.num_nodes)
+        ):
             raise SimulationError(
                 f"dispatch policy {type(self.dispatch).__name__} chose invalid "
                 f"node {node!r} (cluster has {self.num_nodes})"
@@ -173,9 +201,7 @@ class ClusterServerModel(ServerModel):
 
     def apply_rates(self, rates: Sequence[float]) -> None:
         if len(rates) != self.num_classes:
-            raise SimulationError(
-                f"expected {self.num_classes} rates, got {len(rates)}"
-            )
+            raise SimulationError(f"expected {self.num_classes} rates, got {len(rates)}")
         shares = self.partitioner.partition(tuple(float(r) for r in rates), self)
         if len(shares) != self.num_nodes:
             raise SimulationError(
@@ -204,16 +230,24 @@ def make_cluster(
     num_nodes: int,
     policy: str | DispatchPolicy = "round_robin",
     *,
-    node_factory: Callable[[], ServerModel] = RateScalableServers,
+    node_factory: Callable[..., ServerModel] = RateScalableServers,
+    capacities: Sequence[float] | None = None,
     partitioner: RatePartitioner | None = None,
     seed: int | np.random.SeedSequence | np.random.Generator | None = 0,
     record_dispatch: bool = False,
 ) -> ClusterServerModel:
-    """Build a homogeneous cluster of ``num_nodes`` fresh member models.
+    """Build a cluster of ``num_nodes`` fresh member models.
 
     ``policy`` is a :data:`~repro.cluster.dispatch.DISPATCH_POLICIES` name
     (``seed`` feeds randomised policies — spawn it from the scenario's master
     seed for reproducible runs) or an already-built policy instance.
+
+    ``capacities`` builds a heterogeneous fleet: one strictly positive
+    capacity per node, passed to ``node_factory(capacity=...)`` verbatim
+    (use :func:`~repro.cluster.capacity.resolve_capacities` to turn a named
+    mix or relative weights into absolute capacities first).  Without it the
+    factory is called with no arguments — the unconstrained homogeneous
+    cluster, unchanged.
     """
     if num_nodes <= 0:
         raise SimulationError(f"num_nodes must be > 0, got {num_nodes}")
@@ -221,8 +255,20 @@ def make_cluster(
         dispatch = policy
     else:
         dispatch = build_dispatch_policy(policy, seed=seed)
+    if capacities is None:
+        nodes = [node_factory() for _ in range(num_nodes)]
+    else:
+        capacities = tuple(float(c) for c in capacities)
+        if len(capacities) != num_nodes:
+            raise SimulationError(
+                f"expected {num_nodes} per-node capacities, got {len(capacities)}"
+            )
+        for node, cap in enumerate(capacities):
+            if not cap > 0.0:  # also rejects NaN
+                raise SimulationError(f"node {node} has non-positive capacity {cap}")
+        nodes = [node_factory(capacity=cap) for cap in capacities]
     return ClusterServerModel(
-        [node_factory() for _ in range(num_nodes)],
+        nodes,
         dispatch=dispatch,
         partitioner=partitioner,
         record_dispatch=record_dispatch,

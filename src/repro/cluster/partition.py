@@ -10,12 +10,21 @@ Conservation contract: for every class, the per-node shares must sum to the
 class's cluster-level rate (the cluster validates this, with a small float
 tolerance), so the feedback loop closes over exactly the capacity the
 controller allocated.
+
+Heterogeneous fleets: partitioners read the per-node capacities through the
+cluster view (``node_capacity``).  :class:`CapacityProportional` splits each
+class's rate in proportion to node capacity — the share a node can actually
+absorb — and :class:`BacklogProportional` weighs each node's pending count
+by its capacity, so a fast node with the same backlog (which it will drain
+sooner) receives proportionally more rate.  With no declared capacities
+every node weighs exactly 1.0 and both reduce bit-identically to their
+capacity-blind behaviour.
 """
 
 from __future__ import annotations
 
 import abc
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 
 from ..errors import SimulationError
 
@@ -23,7 +32,10 @@ __all__ = [
     "RatePartitioner",
     "EqualSplit",
     "BacklogProportional",
+    "CapacityProportional",
     "AffinityPartitioner",
+    "PARTITIONERS",
+    "build_partitioner",
 ]
 
 
@@ -31,9 +43,7 @@ class RatePartitioner(abc.ABC):
     """Protocol for splitting per-class rates across cluster nodes."""
 
     @abc.abstractmethod
-    def partition(
-        self, rates: Sequence[float], cluster
-    ) -> list[tuple[float, ...]]:
+    def partition(self, rates: Sequence[float], cluster) -> list[tuple[float, ...]]:
         """One per-class rate vector per node, conserving each class's rate.
 
         ``cluster`` is the read-only view also given to dispatch policies
@@ -58,12 +68,20 @@ class EqualSplit(RatePartitioner):
 class BacklogProportional(RatePartitioner):
     """Split each class's rate in proportion to the nodes' pending requests.
 
-    For class ``c`` node ``n`` receives weight ``pending(n, c) + smoothing``;
-    the default ``smoothing=1`` keeps every node's share strictly positive,
-    so a request dispatched to a momentarily empty node is never frozen until
-    the next estimation window.  ``smoothing=0`` gives the pure proportional
-    split (falling back to an equal split when no requests of the class are
-    pending anywhere).
+    For class ``c`` node ``n`` receives weight
+    ``(pending(n, c) + smoothing) * capacity(n)``; the default
+    ``smoothing=1`` keeps every node's share strictly positive, so a request
+    dispatched to a momentarily empty node is never frozen until the next
+    estimation window.  ``smoothing=0`` gives the pure proportional split
+    (falling back to a capacity-proportional split when no requests of the
+    class are pending anywhere).
+
+    The capacity factor makes the split heterogeneity-aware: of two nodes
+    with equal backlogs the faster one can absorb more rate, and a slow node
+    is never handed a share past what it can physically serve just because
+    its queue (which its own slowness grew) is long.  Undeclared capacities
+    weigh 1.0, so homogeneous clusters split bit-identically to the
+    capacity-blind behaviour.
     """
 
     def __init__(self, smoothing: float = 1.0) -> None:
@@ -73,18 +91,44 @@ class BacklogProportional(RatePartitioner):
 
     def partition(self, rates: Sequence[float], cluster) -> list[tuple[float, ...]]:
         nodes, shares = cluster.num_nodes, []
+        capacities = [cluster.node_capacity(node) for node in range(nodes)]
         for node in range(nodes):
             shares.append([0.0] * len(rates))
         for c, rate in enumerate(rates):
-            weights = [cluster.pending(node, c) + self.smoothing for node in range(nodes)]
+            weights = [
+                (cluster.pending(node, c) + self.smoothing) * capacities[node]
+                for node in range(nodes)
+            ]
             total = sum(weights)
             if total <= 0.0:
+                capacity_total = sum(capacities)
                 for node in range(nodes):
-                    shares[node][c] = rate / nodes
+                    shares[node][c] = rate * capacities[node] / capacity_total
             else:
                 for node in range(nodes):
                     shares[node][c] = rate * weights[node] / total
         return [tuple(share) for share in shares]
+
+
+class CapacityProportional(RatePartitioner):
+    """Split each class's rate in proportion to the nodes' capacities.
+
+    Node ``n`` receives ``rate * capacity(n) / sum(capacities)`` of every
+    class's rate — exactly the share of the fleet's total speed it
+    contributes, i.e. what it can actually absorb.  Paired with
+    capacity-aware dispatch (``weighted_jsq``, capacity-weighted random)
+    every node becomes a capacity-scaled replica of the single server, which
+    is what keeps the slowdown metric (and hence the PSD ratios) invariant
+    over a heterogeneous fleet.  Over undeclared (all-1.0) capacities this
+    is bit-identical to :class:`EqualSplit`.
+    """
+
+    def partition(self, rates: Sequence[float], cluster) -> list[tuple[float, ...]]:
+        capacities = [cluster.node_capacity(node) for node in range(cluster.num_nodes)]
+        total = sum(capacities)
+        if not total > 0.0:
+            raise SimulationError(f"cluster capacities sum to {total}; cannot split rates")
+        return [tuple(rate * capacity / total for rate in rates) for capacity in capacities]
 
 
 class AffinityPartitioner(RatePartitioner):
@@ -111,3 +155,25 @@ class AffinityPartitioner(RatePartitioner):
         for c, rate in enumerate(rates):
             shares[partition[c]][c] = rate
         return [tuple(share) for share in shares]
+
+
+#: Registry of rate-partitioner factories by short name, as accepted by the
+#: experiments CLI and picklable experiment builds.  The affinity-aware
+#: partitioner is absent on purpose: it needs its dispatch policy, so it is
+#: only ever built through :meth:`ClassAffinity.preferred_partitioner`.
+PARTITIONERS: dict[str, Callable[[], RatePartitioner]] = {
+    "equal": EqualSplit,
+    "backlog": BacklogProportional,
+    "capacity": CapacityProportional,
+}
+
+
+def build_partitioner(name: str) -> RatePartitioner:
+    """Build a fresh rate partitioner by registry name."""
+    try:
+        factory = PARTITIONERS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown rate partitioner {name!r}; available: {sorted(PARTITIONERS)}"
+        ) from None
+    return factory()

@@ -27,12 +27,6 @@ from .allocation import PsdRateAllocator, RateAllocation, allocate_rates
 from .baselines import demand_proportional_split, equal_split, weighted_demand_split
 from .controller import ControllerDecision, PsdController
 from .feedback import FeedbackPsdController
-from .planning import (
-    PlanningResult,
-    max_load_for_slowdown_target,
-    required_capacity,
-    slowdown_at_load,
-)
 from .load_estimator import (
     ExponentialSmoothingEstimator,
     LoadEstimate,
@@ -41,6 +35,12 @@ from .load_estimator import (
     WindowedLoadEstimator,
 )
 from .pdd import PddAllocation, allocate_pdd_rates
+from .planning import (
+    PlanningResult,
+    max_load_for_slowdown_target,
+    required_capacity,
+    slowdown_at_load,
+)
 from .properties import (
     PropertyCheck,
     check_all_properties,

@@ -21,7 +21,6 @@ return ``True`` to admit.
 from __future__ import annotations
 
 import abc
-from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from ..errors import ParameterError
@@ -92,9 +91,7 @@ class LoadThresholdAdmission(AdmissionPolicy):
 
     def admit(self, class_index: int, size: float, snapshot: SystemSnapshot) -> bool:
         if class_index >= len(self.thresholds):
-            raise ParameterError(
-                f"class {class_index} has no admission threshold configured"
-            )
+            raise ParameterError(f"class {class_index} has no admission threshold configured")
         if snapshot.total_estimated_load > self.thresholds[class_index]:
             self.rejected[class_index] += 1
             return False
@@ -116,7 +113,7 @@ class QueueLengthAdmission(AdmissionPolicy):
             raise ParameterError("limits must be non-empty")
         for i, limit in enumerate(self.limits):
             require_positive(limit, f"limits[{i}]")
-        object.__setattr__(self, "limits", tuple(int(l) for l in self.limits))
+        object.__setattr__(self, "limits", tuple(int(limit) for limit in self.limits))
         self.rejected = [0] * len(self.limits)
 
     def admit(self, class_index: int, size: float, snapshot: SystemSnapshot) -> bool:

@@ -22,9 +22,9 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from ..errors import AllocationError, StabilityError
-from ..queueing.mgb1 import theorem1_task_server_slowdown
 from ..queueing.mg1 import expected_slowdown as _generic_slowdown
-from ..types import TrafficClass, total_offered_load
+from ..queueing.mgb1 import theorem1_task_server_slowdown
+from ..types import TrafficClass
 from ..validation import require_in_range, require_positive
 from .psd import PsdSpec, expected_slowdowns
 
@@ -135,9 +135,7 @@ def allocate_rates(
         rates = tuple(r * scale for r in rates)
         return RateAllocation(rates, loads, rho, tuple(0.0 for _ in classes))
 
-    rates = [
-        load + residual * weight / weight_sum for load, weight in zip(loads, weights)
-    ]
+    rates = [load + residual * weight / weight_sum for load, weight in zip(loads, weights)]
 
     if min_rate > 0.0:
         rates = _apply_floor(rates, loads, min_rate, capacity)
@@ -159,9 +157,7 @@ def _apply_floor(
     excess = sum(floored) - capacity
     if excess <= 1e-15:
         return floored
-    adjustable = [
-        i for i, (r, f) in enumerate(zip(rates, floored)) if f == r and r > loads[i]
-    ]
+    adjustable = [i for i, (r, f) in enumerate(zip(rates, floored)) if f == r and r > loads[i]]
     surplus = sum(floored[i] - loads[i] for i in adjustable)
     if surplus <= excess:
         raise AllocationError(
@@ -181,9 +177,7 @@ def _predict_slowdowns(
         # Re-normalise to unit capacity: a server pool of capacity c serving
         # load rho behaves (for these closed forms) like a unit server with
         # load rho / c and arrival rates divided by c.
-        scaled = [
-            cls.with_arrival_rate(cls.arrival_rate / capacity) for cls in classes
-        ]
+        scaled = [cls.with_arrival_rate(cls.arrival_rate / capacity) for cls in classes]
         return expected_slowdowns(scaled, spec)
     return expected_slowdowns(classes, spec)
 
@@ -218,11 +212,11 @@ class PsdRateAllocator:
 
     def allocate(self, classes: Sequence[TrafficClass]) -> RateAllocation:
         """Allocate rates for the given (estimated) traffic classes."""
-        return allocate_rates(
-            classes, self.spec, capacity=self.capacity, min_rate=self.min_rate
-        )
+        return allocate_rates(classes, self.spec, capacity=self.capacity, min_rate=self.min_rate)
 
-    def verify(self, classes: Sequence[TrafficClass], allocation: RateAllocation) -> tuple[float, ...]:
+    def verify(
+        self, classes: Sequence[TrafficClass], allocation: RateAllocation
+    ) -> tuple[float, ...]:
         """Plug the allocation back into Theorem 1 and return the slowdowns.
 
         Useful as an internal consistency check: the returned values must be
@@ -233,9 +227,7 @@ class PsdRateAllocator:
             from ..distributions.bounded_pareto import BoundedPareto
 
             if isinstance(cls.service, BoundedPareto):
-                out.append(
-                    theorem1_task_server_slowdown(cls.arrival_rate, cls.service, rate)
-                )
+                out.append(theorem1_task_server_slowdown(cls.arrival_rate, cls.service, rate))
             else:
                 out.append(_generic_slowdown(cls.arrival_rate, cls.service, rate=rate))
         return tuple(out)

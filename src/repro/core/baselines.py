@@ -36,9 +36,7 @@ def _check(classes: Sequence[TrafficClass], capacity: float) -> float:
         raise AllocationError("classes must be non-empty")
     total = sum(cls.offered_load for cls in classes)
     if total >= capacity:
-        raise StabilityError(
-            f"total offered load {total:.6g} exceeds capacity {capacity}"
-        )
+        raise StabilityError(f"total offered load {total:.6g} exceeds capacity {capacity}")
     return total
 
 
@@ -78,13 +76,8 @@ def weighted_demand_split(
         raise AllocationError("classes and spec must have the same number of classes")
     total = _check(classes, capacity)
     residual = capacity - total
-    weights = [
-        cls.arrival_rate / delta for cls, delta in zip(classes, spec.deltas)
-    ]
+    weights = [cls.arrival_rate / delta for cls, delta in zip(classes, spec.deltas)]
     weight_sum = sum(weights)
     if weight_sum == 0.0:
         return equal_split(classes, capacity=capacity)
-    return tuple(
-        cls.offered_load + residual * w / weight_sum
-        for cls, w in zip(classes, weights)
-    )
+    return tuple(cls.offered_load + residual * w / weight_sum for cls, w in zip(classes, weights))

@@ -11,7 +11,7 @@ server) pushes window observations in and pulls fresh rate vectors out.
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import ParameterError, StabilityError
 from ..types import TrafficClass
@@ -160,9 +160,7 @@ class PsdController:
         feasible = total < self.capacity
         if not feasible:
             if self.overload_policy == "raise":
-                raise StabilityError(
-                    f"estimated load {total:.6g} exceeds capacity {self.capacity}"
-                )
+                raise StabilityError(f"estimated load {total:.6g} exceeds capacity {self.capacity}")
             if self.overload_policy == "hold" and hasattr(self, "_current"):
                 return self._current.rates, False
             # "scale": shrink the estimate to capacity * (1 - headroom).
@@ -176,7 +174,7 @@ class PsdController:
         else:
             self._current = RateAllocation(
                 rates=allocation.rates,
-                offered_loads=tuple(float(l) for l in offered_loads),
+                offered_loads=tuple(float(load) for load in offered_loads),
                 total_load=total,
                 predicted_slowdowns=allocation.predicted_slowdowns,
             )

@@ -156,9 +156,7 @@ class ExponentialSmoothingEstimator(LoadEstimator):
     estimator ablation bench.
     """
 
-    def __init__(
-        self, num_classes: int, *, smoothing: float = 0.3
-    ) -> None:
+    def __init__(self, num_classes: int, *, smoothing: float = 0.3) -> None:
         super().__init__(num_classes)
         require_in_range(smoothing, "smoothing", 0.0, 1.0, inclusive_low=False)
         self.smoothing = float(smoothing)
@@ -206,7 +204,7 @@ class OracleLoadEstimator(LoadEstimator):
             raise ParameterError("rate and load vectors must have the same length")
         super().__init__(len(true_arrival_rates))
         self.true_arrival_rates = tuple(float(r) for r in true_arrival_rates)
-        self.true_offered_loads = tuple(float(l) for l in true_offered_loads)
+        self.true_offered_loads = tuple(float(load) for load in true_offered_loads)
         self._observed = 0
 
     def observe_window(

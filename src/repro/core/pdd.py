@@ -88,17 +88,12 @@ def allocate_pdd_rates(
         raise AllocationError("classes and spec must have the same number of classes")
     total_load = sum(cls.offered_load for cls in classes)
     if total_load >= capacity:
-        raise StabilityError(
-            f"total offered load {total_load:.6g} exceeds capacity {capacity}"
-        )
+        raise StabilityError(f"total offered load {total_load:.6g} exceeds capacity {capacity}")
     if all(cls.arrival_rate == 0.0 for cls in classes):
         raise AllocationError("at least one class must have a positive arrival rate")
 
     def total_rate(c: float) -> float:
-        return sum(
-            _rate_for_constant(cls, delta, c)
-            for cls, delta in zip(classes, spec.deltas)
-        )
+        return sum(_rate_for_constant(cls, delta, c) for cls, delta in zip(classes, spec.deltas))
 
     # total_rate(c) decreases from +inf (c -> 0) to total_load (c -> inf),
     # so a solution with total_rate(c) == capacity exists and is unique.
@@ -122,9 +117,7 @@ def allocate_pdd_rates(
             break
     c = math.sqrt(lo * hi)
 
-    raw = [
-        _rate_for_constant(cls, delta, c) for cls, delta in zip(classes, spec.deltas)
-    ]
+    raw = [_rate_for_constant(cls, delta, c) for cls, delta in zip(classes, spec.deltas)]
     # Give any zero-arrival class the residual dust and renormalise exactly.
     scale = capacity / sum(raw) if sum(raw) > 0 else 1.0
     rates = tuple(r * scale for r in raw)

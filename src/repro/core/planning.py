@@ -49,9 +49,7 @@ def _scaled_to_load(classes: Sequence[TrafficClass], load: float) -> tuple[Traff
     return scale_arrival_rates(classes, load / current)
 
 
-def slowdown_at_load(
-    classes: Sequence[TrafficClass], spec: PsdSpec, load: float
-) -> PlanningResult:
+def slowdown_at_load(classes: Sequence[TrafficClass], spec: PsdSpec, load: float) -> PlanningResult:
     """Per-class Eq. 18 slowdowns when the mix is scaled to a total ``load``."""
     require_in_range(load, "load", 0.0, 1.0, inclusive_low=False, inclusive_high=False)
     scaled = _scaled_to_load(classes, load)
@@ -119,9 +117,7 @@ def required_capacity(
         raise ParameterError("classes must carry some traffic to plan against")
 
     def slowdown_with_capacity(capacity: float) -> tuple[float, ...]:
-        scaled = tuple(
-            cls.with_arrival_rate(cls.arrival_rate / capacity) for cls in classes
-        )
+        scaled = tuple(cls.with_arrival_rate(cls.arrival_rate / capacity) for cls in classes)
         return expected_slowdowns(scaled, spec)
 
     lo = load + 1e-9  # any smaller capacity is unstable

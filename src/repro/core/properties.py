@@ -100,9 +100,7 @@ def check_delta_increase_effect(
         bumped[original_index] = sorted_slowdowns[pos]
 
     own_up = bumped[class_index] > base[class_index]
-    others_down = all(
-        bumped[j] < base[j] for j in range(len(classes)) if j != class_index
-    )
+    others_down = all(bumped[j] < base[j] for j in range(len(classes)) if j != class_index)
     return PropertyCheck(
         name="delta_increase_effect",
         holds=own_up and others_down,
@@ -164,9 +162,7 @@ def check_higher_class_impact(
     )
 
 
-def check_all_properties(
-    classes: Sequence[TrafficClass], spec: PsdSpec
-) -> list[PropertyCheck]:
+def check_all_properties(classes: Sequence[TrafficClass], spec: PsdSpec) -> list[PropertyCheck]:
     """Evaluate all three Sec. 3 properties for a workload; all should hold."""
     checks = [check_monotone_in_own_arrival_rate(classes, spec)]
     if spec.num_classes >= 2:

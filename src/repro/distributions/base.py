@@ -98,7 +98,7 @@ class Distribution(abc.ABC):
 
         ``upper`` may be ``math.inf``.  The default support is ``(0, inf)``.
         """
-        return (0.0, math.inf)
+        return 0.0, math.inf
 
     # ------------------------------------------------------------------ #
     # Rate scaling (Lemma 2)
@@ -147,9 +147,7 @@ class RateScaledDistribution(Distribution):
     def __post_init__(self) -> None:
         require_positive(self.rate, "rate")
         if not isinstance(self.base, Distribution):
-            raise DistributionError(
-                f"base must be a Distribution, got {type(self.base).__name__}"
-            )
+            raise DistributionError(f"base must be a Distribution, got {type(self.base).__name__}")
 
     def mean(self) -> float:
         return self.base.mean() / self.rate
@@ -177,7 +175,7 @@ class RateScaledDistribution(Distribution):
     @property
     def support(self) -> tuple[float, float]:
         lo, hi = self.base.support
-        return (lo / self.rate, hi / self.rate)
+        return lo / self.rate, hi / self.rate
 
     def scaled(self, rate: float) -> Distribution:
         # Collapse nested scalings so repeated re-allocation in the adaptive

@@ -142,7 +142,7 @@ class BoundedPareto(Distribution):
 
     @property
     def support(self) -> tuple[float, float]:
-        return (self.k, self.p)
+        return self.k, self.p
 
     # ------------------------------------------------------------------ #
     # Rate scaling (Lemma 2): the scaled family is again Bounded Pareto.
@@ -167,7 +167,9 @@ class BoundedPareto(Distribution):
         return cls(k=0.1, p=100.0, alpha=1.5)
 
     @classmethod
-    def with_mean(cls, mean: float, p: float, alpha: float, *, tol: float = 1e-12) -> "BoundedPareto":
+    def with_mean(
+        cls, mean: float, p: float, alpha: float, *, tol: float = 1e-12
+    ) -> "BoundedPareto":
         """Construct a ``BP(k, p, alpha)`` whose mean equals ``mean``.
 
         The lower bound ``k`` is found by bisection on the strictly

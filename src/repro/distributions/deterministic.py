@@ -60,7 +60,7 @@ class Deterministic(Distribution):
 
     @property
     def support(self) -> tuple[float, float]:
-        return (self.value, self.value)
+        return self.value, self.value
 
     def scaled(self, rate: float) -> "Deterministic":
         require_positive(rate, "rate")

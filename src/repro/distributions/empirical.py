@@ -67,7 +67,7 @@ class Empirical(Distribution):
 
     @property
     def support(self) -> tuple[float, float]:
-        return (float(self._sorted[0]), float(self._sorted[-1]))
+        return float(self._sorted[0]), float(self._sorted[-1])
 
     def scaled(self, rate: float) -> "Empirical":
         require_positive(rate, "rate")

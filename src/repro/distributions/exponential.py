@@ -129,9 +129,7 @@ class BoundedExponential(Distribution):
         require_positive(self.low, "low")
         require_positive(self.high, "high")
         if self.high <= self.low:
-            raise DistributionError(
-                f"high={self.high!r} must exceed low={self.low!r}"
-            )
+            raise DistributionError(f"high={self.high!r} must exceed low={self.low!r}")
 
     @property
     def rate_parameter(self) -> float:
@@ -188,7 +186,7 @@ class BoundedExponential(Distribution):
 
     @property
     def support(self) -> tuple[float, float]:
-        return (self.low, self.high)
+        return self.low, self.high
 
     def scaled(self, rate: float) -> "BoundedExponential":
         require_positive(rate, "rate")

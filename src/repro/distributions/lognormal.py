@@ -44,8 +44,7 @@ def _ndtr_inv(q):
          6.680131188771972e01, -1.328068155288572e01]
     c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
          -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00]
-    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
-         3.754408661907416e00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00, 3.754408661907416e00]
     plow, phigh = 0.02425, 1.0 - 0.02425
     out = np.empty_like(q)
 

@@ -64,7 +64,7 @@ class Pareto(Distribution):
 
     @property
     def support(self) -> tuple[float, float]:
-        return (self.k, math.inf)
+        return self.k, math.inf
 
     def scaled(self, rate: float) -> "Pareto":
         require_positive(rate, "rate")

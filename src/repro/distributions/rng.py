@@ -25,7 +25,9 @@ __all__ = [
 ]
 
 
-def make_generator(seed: int | np.random.SeedSequence | np.random.Generator | None) -> np.random.Generator:
+def make_generator(
+    seed: int | np.random.SeedSequence | np.random.Generator | None,
+) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
 
     ``seed`` may be ``None`` (fresh OS entropy), an integer, a
@@ -41,7 +43,9 @@ def make_generator(seed: int | np.random.SeedSequence | np.random.Generator | No
     raise ParameterError(f"unsupported seed specification: {seed!r}")
 
 
-def spawn_seed_sequences(seed: int | np.random.SeedSequence | None, count: int) -> list[np.random.SeedSequence]:
+def spawn_seed_sequences(
+    seed: int | np.random.SeedSequence | None, count: int
+) -> list[np.random.SeedSequence]:
     """Spawn ``count`` independent child seed sequences from ``seed``."""
     if count <= 0:
         raise ParameterError(f"count must be > 0, got {count}")
@@ -52,7 +56,9 @@ def spawn_seed_sequences(seed: int | np.random.SeedSequence | None, count: int) 
     return root.spawn(count)
 
 
-def spawn_generators(seed: int | np.random.SeedSequence | None, count: int) -> list[np.random.Generator]:
+def spawn_generators(
+    seed: int | np.random.SeedSequence | None, count: int
+) -> list[np.random.Generator]:
     """Spawn ``count`` independent generators from a single ``seed``."""
     return [np.random.default_rng(ss) for ss in spawn_seed_sequences(seed, count)]
 

@@ -65,7 +65,7 @@ class Uniform(Distribution):
 
     @property
     def support(self) -> tuple[float, float]:
-        return (self.low, self.high)
+        return self.low, self.high
 
     def scaled(self, rate: float) -> "Uniform":
         require_positive(rate, "rate")

@@ -15,6 +15,13 @@ Sweep the cluster extension over a custom grid::
 
     python -m repro.experiments --preset quick --only cluster \
         --cluster-nodes 2 8 --dispatch jsq weighted_random
+
+Heterogeneous fleet: relative node speeds (or named mixes) for the
+capacity-aware section of the cluster experiment::
+
+    python -m repro.experiments --preset quick --only cluster --capacities 2 1
+    python -m repro.experiments --preset default --only cluster \
+        --capacities 2:1 pow2
 """
 
 from __future__ import annotations
@@ -23,11 +30,11 @@ import argparse
 import sys
 import time
 
-from ..cluster import DISPATCH_POLICIES
+from ..cluster import CAPACITY_MIXES, DISPATCH_POLICIES
 from ..errors import ExperimentError
 from .config import get_preset
 from .registry import available_experiments, run_all
-from .report import build_report, write_report
+from .report import write_report
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -78,11 +85,52 @@ def main(argv: list[str] | None = None) -> int:
         help="dispatch policies swept by the 'cluster' experiment "
         f"(choices: {', '.join(sorted(DISPATCH_POLICIES))})",
     )
+    parser.add_argument(
+        "--capacities",
+        nargs="+",
+        default=None,
+        metavar="SPEED|MIX",
+        help="heterogeneous section of the 'cluster' experiment: either one "
+        "relative speed per node (e.g. '--capacities 2 1' for a two-node "
+        "2:1 fleet) or named capacity mixes "
+        f"(choices: {', '.join(sorted(CAPACITY_MIXES))})",
+    )
     args = parser.parse_args(argv)
+    capacity_mixes = None
+    if args.capacities is not None:
+        try:
+            capacity_mixes = (tuple(float(token) for token in args.capacities),)
+        except ValueError:
+            capacity_mixes = tuple(args.capacities)
+        else:
+            from ..cluster import resolve_capacities
+            from ..errors import SimulationError
+
+            # Fail loudly instead of silently skipping the heterogeneous
+            # section: all-equal speeds resolve to the uniform fleet, which
+            # the homogeneous sweep already covers.
+            try:
+                resolved = resolve_capacities(capacity_mixes[0], len(capacity_mixes[0]))
+            except SimulationError as error:
+                parser.error(str(error))
+            if resolved is None:
+                parser.error(
+                    "--capacities resolved to a uniform fleet (all node speeds "
+                    "equal); the heterogeneous section needs at least two "
+                    "distinct speeds, e.g. --capacities 2 1"
+                )
     try:
         config = get_preset(args.preset).with_workers(args.workers)
-        if args.cluster_nodes is not None or args.dispatch is not None:
-            config = config.with_cluster(nodes=args.cluster_nodes, policies=args.dispatch)
+        if (
+            args.cluster_nodes is not None
+            or args.dispatch is not None
+            or capacity_mixes is not None
+        ):
+            config = config.with_cluster(
+                nodes=args.cluster_nodes,
+                policies=args.dispatch,
+                capacity_mixes=capacity_mixes,
+            )
     except ExperimentError as error:
         parser.error(str(error))
 

@@ -57,9 +57,7 @@ class ExperimentResult:
         if self.columns:
             missing = [c for c in self.columns if c not in values]
             if missing:
-                raise ExperimentError(
-                    f"{self.experiment_id}: row is missing columns {missing}"
-                )
+                raise ExperimentError(f"{self.experiment_id}: row is missing columns {missing}")
         self.rows.append(values)
 
     def column(self, name: str) -> list[object]:
@@ -93,9 +91,7 @@ class ExperimentResult:
             sep = "| " + " | ".join("---" for _ in columns) + " |"
             lines.extend([header, sep])
             for row in self.rows:
-                lines.append(
-                    "| " + " | ".join(_format_cell(row.get(c)) for c in columns) + " |"
-                )
+                lines.append("| " + " | ".join(_format_cell(row.get(c)) for c in columns) + " |")
             lines.append("")
         for note in self.notes:
             lines.append(f"- {note}")
@@ -169,9 +165,7 @@ def pooled_window_ratios(
     summary: ReplicationSummary, numerator: int, denominator: int = 0
 ) -> np.ndarray:
     """Per-window slowdown ratios pooled across all replications of a summary."""
-    series = [
-        r.monitor.ratio_series(numerator, denominator) for r in summary.results
-    ]
+    series = [r.monitor.ratio_series(numerator, denominator) for r in summary.results]
     series = [s for s in series if s.size]
     if not series:
         return np.empty(0)

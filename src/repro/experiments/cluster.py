@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..cluster import make_cluster
+from ..cluster import build_partitioner, make_cluster, mix_label, resolve_capacities
 from ..core.feedback import FeedbackPsdController
 from ..core.psd import PsdSpec
 from ..simulation.monitor import MeasurementConfig
@@ -55,6 +55,13 @@ class ClusterScalingBuild:
     num_nodes: int | None = None
     policy: str = "round_robin"
     dispatch_entropy: int = 0
+    #: Absolute per-node capacities for a heterogeneous fleet (resolve a mix
+    #: with :func:`repro.cluster.resolve_capacities` first); ``None`` keeps
+    #: the homogeneous unconstrained nodes.
+    capacities: tuple[float, ...] | None = None
+    #: :data:`repro.cluster.PARTITIONERS` name; ``None`` uses the dispatch
+    #: policy's preferred partitioner (equal split unless capacity-aware).
+    partitioner: str | None = None
 
     def __call__(self, index: int, seed: np.random.SeedSequence) -> SimulationResult:
         if self.num_nodes is None:
@@ -63,7 +70,15 @@ class ClusterScalingBuild:
             dispatch_seed = np.random.SeedSequence(
                 entropy=(abs(int(self.dispatch_entropy)), int(index))
             )
-            server = make_cluster(self.num_nodes, self.policy, seed=dispatch_seed)
+            server = make_cluster(
+                self.num_nodes,
+                self.policy,
+                capacities=self.capacities,
+                partitioner=None
+                if self.partitioner is None
+                else build_partitioner(self.partitioner),
+                seed=dispatch_seed,
+            )
         controller = FeedbackPsdController(self.classes, self.spec)
         return Scenario(
             self.classes,
@@ -85,6 +100,16 @@ def _replicate(build: ClusterScalingBuild, config: ExperimentConfig) -> Replicat
     return runner.run(build)
 
 
+#: Dispatch policy x rate partitioner pairings run for every heterogeneous
+#: capacity mix, from capacity-blind to fully capacity-aware.
+HETERO_CELLS: tuple[tuple[str, str], ...] = (
+    ("round_robin", "equal"),
+    ("weighted_random", "backlog"),
+    ("weighted_jsq", "capacity"),
+    ("fastest_available", "capacity"),
+)
+
+
 def run_cluster_scaling(
     config: ExperimentConfig,
     *,
@@ -93,14 +118,21 @@ def run_cluster_scaling(
     experiment_id: str = "cluster",
     title: str = "Cluster scaling: slowdown-ratio fidelity vs the single server",
 ) -> ExperimentResult:
-    """Sweep node count x dispatch policy against the single-server baseline."""
+    """Sweep node count x dispatch policy against the single-server baseline.
+
+    Two sections share one table: the homogeneous sweep (node grid x dispatch
+    policy, uniform unconstrained nodes) and the heterogeneous sweep (every
+    non-uniform capacity mix of ``config.capacity_mixes``, each run under the
+    :data:`HETERO_CELLS` dispatch/partitioner pairings so capacity-blind and
+    capacity-aware configurations face the same fleet).
+    """
     spec = PsdSpec(tuple(float(d) for d in deltas))
     n = spec.num_classes
     load = max(config.load_grid) if load is None else float(load)
     classes = config.classes_for_load(load, spec.deltas)
     scaled = config.scaled_measurement()
 
-    columns = ["nodes", "policy"]
+    columns = ["nodes", "policy", "partitioner", "mix"]
     columns.extend(f"slowdown_{i}" for i in range(1, n + 1))
     columns.extend(f"ratio_{i}" for i in range(2, n + 1))
     columns.extend(["worst_rel_error", "system_slowdown"])
@@ -113,15 +145,31 @@ def run_cluster_scaling(
             "load": load,
             "node_grid": tuple(config.cluster_nodes),
             "policies": tuple(config.dispatch_policies),
+            "capacity_mixes": tuple(
+                mix_label(mix) for mix in config.capacity_mixes
+            ),
             "replications": config.measurement.replications,
             "preset": config.name,
         },
         columns=tuple(columns),
     )
 
-    def add_row(nodes: object, policy: str, summary: ReplicationSummary, baseline_ratios):
+    def add_row(
+        nodes: object,
+        policy: str,
+        summary: ReplicationSummary,
+        baseline_ratios,
+        *,
+        partitioner: str = "-",
+        mix: str = "uniform",
+    ):
         ratios = summary.ratio_of_mean_slowdowns
-        row: dict[str, object] = {"nodes": nodes, "policy": policy}
+        row: dict[str, object] = {
+            "nodes": nodes,
+            "policy": policy,
+            "partitioner": partitioner,
+            "mix": mix,
+        }
         for i, slowdown in enumerate(summary.mean_slowdowns, start=1):
             row[f"slowdown_{i}"] = slowdown
         worst = 0.0
@@ -134,9 +182,7 @@ def run_cluster_scaling(
         result.add_row(**row)
         return ratios
 
-    baseline_build = ClusterScalingBuild(
-        classes, scaled, spec, dispatch_entropy=config.base_seed
-    )
+    baseline_build = ClusterScalingBuild(classes, scaled, spec, dispatch_entropy=config.base_seed)
     baseline = _replicate(baseline_build, config)
     baseline_ratios = add_row("single", "-", baseline, None)
 
@@ -152,6 +198,32 @@ def run_cluster_scaling(
             )
             add_row(nodes, policy, _replicate(build, config), baseline_ratios)
 
+    hetero_nodes = max(config.cluster_nodes)
+    for mix in config.capacity_mixes:
+        nodes = len(mix) if not isinstance(mix, str) else hetero_nodes
+        capacities = resolve_capacities(mix, nodes)
+        if capacities is None:
+            continue  # uniform: already covered by the homogeneous sweep
+        for policy, partitioner in HETERO_CELLS:
+            build = ClusterScalingBuild(
+                classes,
+                scaled,
+                spec,
+                num_nodes=nodes,
+                policy=policy,
+                dispatch_entropy=config.base_seed,
+                capacities=capacities,
+                partitioner=partitioner,
+            )
+            add_row(
+                nodes,
+                policy,
+                _replicate(build, config),
+                baseline_ratios,
+                partitioner=partitioner,
+                mix=mix_label(mix),
+            )
+
     result.notes.append(
         "Expected shape: with homogeneous nodes every dispatch policy keeps the "
         "achieved slowdown ratios close to the single-server baseline (the "
@@ -163,6 +235,16 @@ def run_cluster_scaling(
         "worst_rel_error is the largest relative deviation of any achieved "
         "class ratio from the single-server baseline ratio under common "
         "random numbers."
+    )
+    result.notes.append(
+        "Heterogeneous rows (mix != uniform) fix the fleet's total capacity at "
+        "the single server's and vary how it is spread across nodes (2:1 = "
+        "first half of the fleet twice as fast; pow2 = each node twice as fast "
+        "as the next).  Capacity-blind dispatch+partitioning (round_robin + "
+        "equal split) overloads the slow nodes and visibly degrades both the "
+        "absolute slowdowns and the achieved ratios; the capacity-aware cells "
+        "(weighted_jsq / fastest_available + capacity-proportional rates) "
+        "restore the single-server fidelity."
     )
     return result
 

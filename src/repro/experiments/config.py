@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
 
+from ..cluster.capacity import CAPACITY_MIXES
 from ..cluster.dispatch import DISPATCH_POLICIES
 from ..distributions.bounded_pareto import BoundedPareto
 from ..errors import ExperimentError
@@ -52,9 +53,14 @@ class ExperimentConfig:
     cluster_nodes: tuple[int, ...] = (1, 2, 4)
     #: Dispatch policies swept by the cluster-scaling experiment; defaults to
     #: every registered :data:`repro.cluster.DISPATCH_POLICIES` name.
-    dispatch_policies: tuple[str, ...] = field(
-        default_factory=lambda: tuple(DISPATCH_POLICIES)
-    )
+    dispatch_policies: tuple[str, ...] = field(default_factory=lambda: tuple(DISPATCH_POLICIES))
+    #: Capacity mixes swept by the heterogeneous section of the cluster
+    #: experiment: named mixes (:data:`repro.cluster.CAPACITY_MIXES`) run on
+    #: the largest node count of :attr:`cluster_nodes`; an explicit tuple of
+    #: relative node speeds (e.g. from the CLI's ``--capacities 2 1``) fixes
+    #: its own fleet size.  ``"uniform"`` entries are covered by the
+    #: homogeneous sweep and skipped here.
+    capacity_mixes: tuple[str | tuple[float, ...], ...] = ("uniform", "2:1", "pow2")
 
     def __post_init__(self) -> None:
         if not self.load_grid:
@@ -74,6 +80,18 @@ class ExperimentConfig:
                 f"unknown dispatch policies {unknown}; "
                 f"available: {sorted(DISPATCH_POLICIES)}"
             )
+        for mix in self.capacity_mixes:
+            if isinstance(mix, str):
+                if mix not in CAPACITY_MIXES:
+                    raise ExperimentError(
+                        f"unknown capacity mix {mix!r}; "
+                        f"available: {sorted(CAPACITY_MIXES)}"
+                    )
+            elif not mix or any(not float(c) > 0.0 for c in mix):
+                raise ExperimentError(
+                    f"explicit capacity mixes need strictly positive node "
+                    f"speeds, got {mix!r}"
+                )
 
     # ------------------------------------------------------------------ #
     # Workload helpers
@@ -92,7 +110,9 @@ class ExperimentConfig:
     # ------------------------------------------------------------------ #
     # Variations
     # ------------------------------------------------------------------ #
-    def with_bounds(self, *, shape: float | None = None, upper_bound: float | None = None) -> "ExperimentConfig":
+    def with_bounds(
+        self, *, shape: float | None = None, upper_bound: float | None = None
+    ) -> "ExperimentConfig":
         """Copy with a different Bounded Pareto shape and/or upper bound."""
         return replace(
             self,
@@ -101,7 +121,7 @@ class ExperimentConfig:
         )
 
     def with_loads(self, loads: Sequence[float]) -> "ExperimentConfig":
-        return replace(self, load_grid=tuple(float(l) for l in loads))
+        return replace(self, load_grid=tuple(float(load) for load in loads))
 
     def with_measurement(self, measurement: MeasurementConfig) -> "ExperimentConfig":
         return replace(self, measurement=measurement)
@@ -115,6 +135,7 @@ class ExperimentConfig:
         *,
         nodes: Sequence[int] | None = None,
         policies: Sequence[str] | None = None,
+        capacity_mixes: "Sequence[str | tuple[float, ...]] | None" = None,
     ) -> "ExperimentConfig":
         """Copy with a different cluster-scaling sweep grid."""
         return replace(
@@ -125,6 +146,12 @@ class ExperimentConfig:
             dispatch_policies=self.dispatch_policies
             if policies is None
             else tuple(str(p) for p in policies),
+            capacity_mixes=self.capacity_mixes
+            if capacity_mixes is None
+            else tuple(
+                mix if isinstance(mix, str) else tuple(float(c) for c in mix)
+                for mix in capacity_mixes
+            ),
         )
 
 
@@ -147,6 +174,7 @@ PRESETS: dict[str, ExperimentConfig] = {
         name="quick",
         cluster_nodes=(1, 2),
         dispatch_policies=("round_robin", "jsq"),
+        capacity_mixes=("uniform", "2:1"),
     ),
 }
 
@@ -156,6 +184,4 @@ def get_preset(name: str) -> ExperimentConfig:
     try:
         return PRESETS[name]
     except KeyError:
-        raise ExperimentError(
-            f"unknown preset {name!r}; available: {sorted(PRESETS)}"
-        ) from None
+        raise ExperimentError(f"unknown preset {name!r}; available: {sorted(PRESETS)}") from None

@@ -202,9 +202,7 @@ def run_individual_requests(
         higher = per_class_slowdowns[0]
         lower = per_class_slowdowns[-1]
         inversions = float(np.mean(higher[:, None] > lower[None, :]))
-        window_ratio = (
-            float(lower.mean() / higher.mean()) if higher.mean() > 0 else float("nan")
-        )
+        window_ratio = (float(lower.mean() / higher.mean()) if higher.mean() > 0 else float("nan"))
         result.notes.append(
             f"fraction of (class1, class{spec.num_classes}) request pairs in the span "
             f"where class 1's slowdown exceeds class {spec.num_classes}'s: {inversions:.3f}"

@@ -72,9 +72,7 @@ def run_shape_sensitivity(
         )
         simulated = summary.mean_slowdowns
         expected = expected_slowdowns(classes, spec)
-        worst = max(
-            abs(s - e) / e for s, e in zip(simulated, expected) if e > 0
-        )
+        worst = max(abs(s - e) / e for s, e in zip(simulated, expected) if e > 0)
         result.add_row(
             alpha=float(alpha),
             simulated_1=simulated[0],
@@ -130,9 +128,7 @@ def run_upper_bound_sensitivity(
         )
         simulated = summary.mean_slowdowns
         expected = expected_slowdowns(classes, spec)
-        worst = max(
-            abs(s - e) / e for s, e in zip(simulated, expected) if e > 0
-        )
+        worst = max(abs(s - e) / e for s, e in zip(simulated, expected) if e > 0)
         result.add_row(
             upper_bound=float(upper),
             simulated_1=simulated[0],

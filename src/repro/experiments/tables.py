@@ -39,10 +39,7 @@ def render_table(
     if not columns:
         return ""
     header = [str(c) for c in columns]
-    body = [
-        [format_value(row.get(c, ""), precision=precision) for c in columns]
-        for row in rows
-    ]
+    body = [[format_value(row.get(c, ""), precision=precision) for c in columns] for row in rows]
     widths = [
         max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
         for i in range(len(columns))

@@ -29,9 +29,7 @@ class SimulatedVsExpected:
 
     @property
     def relative_errors(self) -> tuple[float, ...]:
-        return tuple(
-            relative_error(s, e) for s, e in zip(self.simulated, self.expected)
-        )
+        return tuple(relative_error(s, e) for s, e in zip(self.simulated, self.expected))
 
     @property
     def worst_relative_error(self) -> float:

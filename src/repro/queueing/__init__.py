@@ -10,6 +10,7 @@
 * :mod:`repro.queueing.sensitivity` — analytic parameter sweeps for Figs. 11-12.
 """
 
+from .md1 import MD1Queue, md1_expected_slowdown, md1_expected_waiting_time
 from .mg1 import MG1Queue, expected_response_time, expected_slowdown, expected_waiting_time
 from .mgb1 import (
     MGB1Queue,
@@ -18,7 +19,6 @@ from .mgb1 import (
     slowdown_constant,
     theorem1_task_server_slowdown,
 )
-from .md1 import MD1Queue, md1_expected_slowdown, md1_expected_waiting_time
 from .mm1 import MM1Queue
 from .scaling import (
     check_rate_vector,

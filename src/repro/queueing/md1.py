@@ -21,7 +21,9 @@ from .stability import check_stability
 __all__ = ["MD1Queue", "md1_expected_slowdown", "md1_expected_waiting_time"]
 
 
-def md1_expected_waiting_time(arrival_rate: float, service_time: float, *, rate: float = 1.0) -> float:
+def md1_expected_waiting_time(
+    arrival_rate: float, service_time: float, *, rate: float = 1.0
+) -> float:
     """Mean queueing delay of an M/D/1 queue: ``rho d / (2 r (1 - rho))``."""
     require_non_negative(arrival_rate, "arrival_rate")
     require_positive(service_time, "service_time")

@@ -26,7 +26,9 @@ from .stability import check_stability
 __all__ = ["MG1Queue", "expected_waiting_time", "expected_response_time", "expected_slowdown"]
 
 
-def expected_waiting_time(arrival_rate: float, service: Distribution, *, rate: float = 1.0) -> float:
+def expected_waiting_time(
+    arrival_rate: float, service: Distribution, *, rate: float = 1.0
+) -> float:
     """Pollaczek–Khinchin mean queueing delay ``E[W]``.
 
     ``rate`` scales the server speed: a server running at rate ``r`` serves a
@@ -42,7 +44,9 @@ def expected_waiting_time(arrival_rate: float, service: Distribution, *, rate: f
     return arrival_rate * scaled.second_moment() / (2.0 * (1.0 - rho))
 
 
-def expected_response_time(arrival_rate: float, service: Distribution, *, rate: float = 1.0) -> float:
+def expected_response_time(
+    arrival_rate: float, service: Distribution, *, rate: float = 1.0
+) -> float:
     """Mean response (sojourn) time ``E[T] = E[W] + E[X]``."""
     scaled = service.scaled(rate)
     return expected_waiting_time(arrival_rate, service, rate=rate) + scaled.mean()
@@ -96,9 +100,7 @@ class MG1Queue:
 
     def require_stable(self) -> None:
         if not self.is_stable:
-            raise StabilityError(
-                f"M/G/1 queue unstable: rho={self.utilisation:.6g} >= 1"
-            )
+            raise StabilityError(f"M/G/1 queue unstable: rho={self.utilisation:.6g} >= 1")
 
     def waiting_time(self) -> float:
         """Mean queueing delay ``E[W]``."""

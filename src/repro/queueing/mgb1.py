@@ -50,12 +50,7 @@ def lemma1_expected_slowdown(arrival_rate: float, service: BoundedPareto) -> flo
         return 0.0
     check_stability(arrival_rate, service, context="M/G_B/1 queue")
     rho = arrival_rate * service.mean()
-    return (
-        arrival_rate
-        * service.second_moment()
-        * service.mean_inverse()
-        / (2.0 * (1.0 - rho))
-    )
+    return arrival_rate * service.second_moment() * service.mean_inverse() / (2.0 * (1.0 - rho))
 
 
 def lemma2_scaled_moments(service: BoundedPareto, rate: float) -> dict[str, float]:

@@ -32,9 +32,7 @@ def check_rate_vector(rates: Sequence[float], *, total: float = 1.0) -> tuple[fl
     """
     out = require_positive_sequence(rates, "rates")
     if abs(sum(out) - total) > _RATE_SUM_TOL * max(1.0, abs(total)):
-        raise AllocationError(
-            f"processing rates must sum to {total}, got {sum(out)!r}"
-        )
+        raise AllocationError(f"processing rates must sum to {total}, got {sum(out)!r}")
     return out
 
 

@@ -34,15 +34,11 @@ def utilisation(arrival_rate: float, service: Distribution, *, rate: float = 1.0
     return arrival_rate * service.mean() / rate
 
 
-def total_utilisation(
-    arrival_rates: Sequence[float], services: Sequence[Distribution]
-) -> float:
+def total_utilisation(arrival_rates: Sequence[float], services: Sequence[Distribution]) -> float:
     """System utilisation ``rho = sum_i lambda_i E[X_i]`` against unit capacity."""
     if len(arrival_rates) != len(services):
         raise StabilityError("arrival_rates and services must have the same length")
-    return sum(
-        utilisation(lam, dist) for lam, dist in zip(arrival_rates, services)
-    )
+    return sum(utilisation(lam, dist) for lam, dist in zip(arrival_rates, services))
 
 
 def is_stable(arrival_rate: float, service: Distribution, *, rate: float = 1.0) -> bool:

@@ -71,7 +71,9 @@ class Scheduler(abc.ABC):
         require_non_negative(now, "now")
         if size <= 0.0:
             raise SchedulingError(f"job size must be > 0, got {size}")
-        job = QueuedJob(class_index=class_index, size=float(size), arrival_time=float(now), payload=payload)
+        job = QueuedJob(
+            class_index=class_index, size=float(size), arrival_time=float(now), payload=payload
+        )
         self._queues[class_index].append(job)
         self._on_enqueue(job, now)
         return job
@@ -124,9 +126,7 @@ class Scheduler(abc.ABC):
     # ------------------------------------------------------------------ #
     def _check_class(self, class_index: int) -> None:
         if not (0 <= class_index < self.num_classes):
-            raise SchedulingError(
-                f"class index {class_index} out of range [0, {self.num_classes})"
-            )
+            raise SchedulingError(f"class index {class_index} out of range [0, {self.num_classes})")
 
 
 class WeightedScheduler(Scheduler):
@@ -152,9 +152,7 @@ class WeightedScheduler(Scheduler):
     def set_weights(self, weights: Sequence[float]) -> None:
         checked = require_positive_sequence(weights, "weights")
         if len(checked) != self.num_classes:
-            raise SchedulingError(
-                f"expected {self.num_classes} weights, got {len(checked)}"
-            )
+            raise SchedulingError(f"expected {self.num_classes} weights, got {len(checked)}")
         self._weights = checked
         self._on_weights_changed()
 

@@ -42,9 +42,7 @@ class StrictPriorityScheduler(Scheduler):
         if priorities is None:
             priorities = list(range(num_classes))
         if sorted(priorities) != list(range(num_classes)):
-            raise SchedulingError(
-                "priorities must be a permutation of 0..N-1 (0 = highest)"
-            )
+            raise SchedulingError("priorities must be a permutation of 0..N-1 (0 = highest)")
         self._priorities = tuple(int(p) for p in priorities)
 
     def _select_class(self, now: float) -> int:

@@ -54,9 +54,7 @@ class WeightedFairQueueing(WeightedScheduler):
     # Virtual-time bookkeeping
     # ----------------------------------------------------------------- #
     def _active_weight(self) -> float:
-        return sum(
-            self.weights[c] for c in range(self.num_classes) if self._gps_backlog[c]
-        )
+        return sum(self.weights[c] for c in range(self.num_classes) if self._gps_backlog[c])
 
     def _advance_virtual_time(self, now: float) -> None:
         """Advance V from the last update instant to ``now``.
@@ -73,9 +71,7 @@ class WeightedFairQueueing(WeightedScheduler):
             if active == 0.0:
                 break
             # The next virtual departure happens after this much real time:
-            next_tag = min(
-                tags[0] for tags in self._gps_backlog if tags
-            )
+            next_tag = min(tags[0] for tags in self._gps_backlog if tags)
             dt_to_departure = (next_tag - self._virtual_time) * active
             if dt_to_departure > remaining:
                 self._virtual_time += remaining / active

@@ -57,7 +57,9 @@ class SimulationEngine:
             )
         return self._queue.push(max(time, self._now), callback, label=label)
 
-    def schedule_after(self, delay: float, callback: Callable[[], None], *, label: str = "") -> Event:
+    def schedule_after(
+        self, delay: float, callback: Callable[[], None], *, label: str = ""
+    ) -> Event:
         """Schedule ``callback`` after ``delay`` time units."""
         require_non_negative(delay, "delay")
         return self._queue.push(self._now + delay, callback, label=label)
@@ -70,9 +72,7 @@ class SimulationEngine:
         next event lies beyond ``horizon`` (the clock is then left at
         ``horizon``)."""
         if horizon < self._now:
-            raise SimulationError(
-                f"horizon {horizon} lies before the current time {self._now}"
-            )
+            raise SimulationError(f"horizon {horizon} lies before the current time {self._now}")
         if self._running:
             raise SimulationError("run_until called re-entrantly")
         self._running = True

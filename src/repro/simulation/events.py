@@ -51,7 +51,9 @@ class EventQueue:
         """Schedule ``callback`` at simulated ``time`` and return the event handle."""
         if not (time == time):  # NaN check without importing math
             raise SimulationError("cannot schedule an event at NaN time")
-        event = Event(time=float(time), sequence=next(self._counter), callback=callback, label=label)
+        event = Event(
+            time=float(time), sequence=next(self._counter), callback=callback, label=label
+        )
         heapq.heappush(self._heap, event)
         return event
 

@@ -84,9 +84,7 @@ class RequestSource:
     def next_size(self) -> float:
         size = float(self.sizes.sample(self.rng))
         if size <= 0.0:
-            raise ParameterError(
-                f"size distribution produced a non-positive sample {size!r}"
-            )
+            raise ParameterError(f"size distribution produced a non-positive sample {size!r}")
         return size
 
 

@@ -206,13 +206,9 @@ class RequestLedger:
     ) -> int:
         """Record one arrival; returns the new row id."""
         class_index = int(class_index)
-        if class_index < 0 or (
-            self.num_classes is not None and class_index >= self.num_classes
-        ):
+        if class_index < 0 or (self.num_classes is not None and class_index >= self.num_classes):
             bound = "inf" if self.num_classes is None else self.num_classes
-            raise SimulationError(
-                f"request class {class_index} out of range [0, {bound})"
-            )
+            raise SimulationError(f"request class {class_index} out of range [0, {bound})")
         rid = self._n
         if rid == self.capacity:
             self._grow()
@@ -252,9 +248,7 @@ class RequestLedger:
         # Copy lifecycle columns verbatim — the source row already satisfied
         # the invariants (or was constructed with explicit values, exactly
         # like the old mutable dataclass allowed).
-        self.adopt_lifecycle(
-            rid, source._service_start[old_row], source._completion[old_row]
-        )
+        self.adopt_lifecycle(rid, source._service_start[old_row], source._completion[old_row])
         extra = source._extra.get(old_row)
         if extra:
             self._extra[rid] = extra
@@ -281,13 +275,9 @@ class RequestLedger:
 
     def start_service(self, rid: int, time: float) -> None:
         if not math.isnan(self._service_start[rid]):
-            raise SimulationError(
-                f"request {self.label_of(rid)} started service twice"
-            )
+            raise SimulationError(f"request {self.label_of(rid)} started service twice")
         if time < self._arrival_time[rid] - _TIME_TOL:
-            raise SimulationError(
-                f"request {self.label_of(rid)} started service before arriving"
-            )
+            raise SimulationError(f"request {self.label_of(rid)} started service before arriving")
         self._service_start[rid] = time
 
     def complete(self, rid: int, time: float) -> None:
@@ -298,9 +288,7 @@ class RequestLedger:
         if not math.isnan(self._completion[rid]):
             raise SimulationError(f"request {self.label_of(rid)} completed twice")
         if time < self._service_start[rid] - _TIME_TOL:
-            raise SimulationError(
-                f"request {self.label_of(rid)} completed before service started"
-            )
+            raise SimulationError(f"request {self.label_of(rid)} completed before service started")
         self._completion[rid] = time
         self._order[self._completed] = rid
         self._completed += 1

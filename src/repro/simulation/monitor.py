@@ -13,7 +13,6 @@ collects per-window, per-class slowdown statistics as requests complete.
 from __future__ import annotations
 
 import math
-from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -162,9 +161,7 @@ class WindowedMonitor:
         if record.completion_time < self.warmup:
             return
         index = int((record.completion_time - self.warmup) // self.window)
-        bucket = self._buckets.setdefault(
-            index, [[] for _ in range(self.num_classes)]
-        )
+        bucket = self._buckets.setdefault(index, [[] for _ in range(self.num_classes)])
         bucket[record.class_index].append(record.slowdown)
 
     def _sample_for(self, index: int, per_class_values) -> WindowSample:

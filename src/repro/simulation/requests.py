@@ -44,9 +44,7 @@ class Request:
         extra: dict | None = None,
     ) -> None:
         ledger = RequestLedger(capacity=1)
-        row = ledger.append(
-            class_index, arrival_time, size, request_id=request_id
-        )
+        row = ledger.append(class_index, arrival_time, size, request_id=request_id)
         # Mirror the old mutable-dataclass semantics: explicit lifecycle
         # values are taken verbatim, without invariant re-checks.
         ledger.adopt_lifecycle(row, service_start_time, completion_time)

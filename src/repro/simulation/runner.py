@@ -113,8 +113,8 @@ def _encode_result(result: SimulationResult) -> tuple:
                 spans.append((position, view.nbytes))
                 position += view.nbytes
             segment.close()
-            return ("shm", body, segment.name, spans)
-    return ("inline", body, [bytes(view) for view in views])
+            return "shm", body, segment.name, spans
+    return "inline", body, [bytes(view) for view in views]
 
 
 def _decode_result(payload: tuple) -> SimulationResult:
@@ -411,9 +411,7 @@ class WorkerPool:
             raise _PoolFallback("build could not be deserialised in pool workers")
         if failures:
             index, text = min(failures)
-            raise SimulationError(
-                f"replication {index} failed in a worker process:\n{text}"
-            )
+            raise SimulationError(f"replication {index} failed in a worker process:\n{text}")
         return results  # type: ignore[return-value]
 
     def close(self) -> None:
@@ -594,9 +592,7 @@ class ReplicationRunner:
             _drain_undecoded(out)
         if failure is not None:
             index, error = failure
-            raise SimulationError(
-                f"replication {index} failed in a worker process:\n{error}"
-            )
+            raise SimulationError(f"replication {index} failed in a worker process:\n{error}")
         return results  # type: ignore[return-value]
 
 
@@ -640,7 +636,9 @@ def summarise_replications(results: Sequence[SimulationResult]) -> ReplicationSu
             slowdown_samples[c].append(value)
         first = means[0]
         for c, value in enumerate(means):
-            ratio_samples[c].append(value / first if first and not math.isnan(first) else float("nan"))
+            ratio_samples[c].append(
+                value / first if first and not math.isnan(first) else float("nan")
+            )
 
     return ReplicationSummary(
         per_class_slowdowns=tuple(

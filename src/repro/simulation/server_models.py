@@ -65,7 +65,18 @@ class ServerModel(abc.ABC):
     :meth:`apply_rates` after every estimation window; the model must invoke
     the ``deliver`` callback with each id once the request has been completed
     (``ledger.complete`` must already have been called for it).
+
+    Capacity: every model advertises :attr:`capacity` — the maximum total
+    processing rate the underlying hardware can sustain, in the same
+    normalised units as the controller's rate allocation (the single unit
+    server of the paper has capacity 1).  ``None`` means *unconstrained* (the
+    idealised fluid model of the paper, which realises any allocation
+    exactly).  Heterogeneous clusters read the member capacities to make
+    capacity-aware dispatch and rate-partitioning decisions.
     """
+
+    #: Maximum sustainable total processing rate (``None`` = unconstrained).
+    capacity: float | None = None
 
     def __init__(self) -> None:
         self.engine: SimulationEngine | None = None
@@ -147,10 +158,22 @@ class RateScalableServers(ServerModel):
     mid-service rescales the in-service request's remaining work, exactly as
     the fluid analysis of Eq. 17 assumes.  All task servers share the
     scenario's ledger, so queue entries are plain row ids.
+
+    ``capacity`` bounds the total rate the node can actually deliver: when
+    the assigned rates sum past it, every class's effective rate is scaled
+    down by ``capacity / sum(rates)`` — the node serves at its physical
+    speed, proportionally shared, exactly as an over-subscribed processor
+    would.  Rates within capacity are realised verbatim (bit-identical to an
+    unconstrained node), so ``capacity=None`` (the default) reproduces the
+    paper's idealised server and a homogeneous cluster of adequately sized
+    nodes behaves identically with and without declared capacities.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, capacity: float | None = None) -> None:
         super().__init__()
+        if capacity is not None and capacity <= 0.0:
+            raise SimulationError(f"capacity must be > 0, got {capacity}")
+        self.capacity = None if capacity is None else float(capacity)
         self.servers: list[FcfsTaskServer] = []
 
     def _on_bind(self) -> None:
@@ -167,9 +190,16 @@ class RateScalableServers(ServerModel):
 
     def apply_rates(self, rates: Sequence[float]) -> None:
         if len(rates) != len(self.servers):
-            raise SimulationError(
-                f"expected {len(self.servers)} rates, got {len(rates)}"
-            )
+            raise SimulationError(f"expected {len(self.servers)} rates, got {len(rates)}")
+        if self.capacity is not None:
+            total = sum(rates)
+            if total > self.capacity:
+                # Over-subscribed: the node serves at its physical speed,
+                # shared in proportion to the assigned rates.  Rates within
+                # capacity take the untouched fast path below, so adequately
+                # provisioned nodes stay bit-identical to unconstrained ones.
+                scale = self.capacity / total
+                rates = [rate * scale for rate in rates]
         for server, rate in zip(self.servers, rates):
             server.set_rate(rate)
 
@@ -190,6 +220,10 @@ class SharedProcessorServer(ServerModel):
     the weights are updated to the allocated rates after every estimation
     window (floored at ``WEIGHT_FLOOR``).  Scheduler job payloads are ledger
     row ids.
+
+    ``capacity`` here is the processor's physical speed — the same "maximum
+    sustainable total rate" every :class:`ServerModel` advertises, just
+    always binding because a real processor cannot scale with the allocation.
     """
 
     def __init__(self, scheduler: Scheduler, *, capacity: float = 1.0) -> None:
@@ -202,9 +236,7 @@ class SharedProcessorServer(ServerModel):
 
     def _on_bind(self) -> None:
         if self.scheduler.num_classes != self.num_classes:
-            raise SimulationError(
-                "scheduler and classes disagree on the number of classes"
-            )
+            raise SimulationError("scheduler and classes disagree on the number of classes")
         self._in_service = None
 
     @property
@@ -244,9 +276,7 @@ class SharedProcessorServer(ServerModel):
         self.ledger.start_service(rid, self.engine.now)
         self._in_service = rid
         service_duration = self.ledger.size_of(rid) / self.capacity
-        self.engine.schedule_after(
-            service_duration, self._complete_current, label="completion"
-        )
+        self.engine.schedule_after(service_duration, self._complete_current, label="completion")
 
     def _complete_current(self) -> None:
         rid = self._in_service

@@ -73,9 +73,7 @@ class RequestRecord:
     @classmethod
     def from_request(cls, request: Request) -> "RequestRecord":
         if not request.is_complete:
-            raise SimulationError(
-                f"cannot record incomplete request {request.request_id}"
-            )
+            raise SimulationError(f"cannot record incomplete request {request.request_id}")
         return cls(
             request_id=request.request_id,
             class_index=request.class_index,

@@ -94,9 +94,7 @@ def trace_sources_from_arrays(
     if classes.size and not np.all(np.isfinite(classes)):
         raise ParameterError("class_index contains non-finite values")
     if classes.size and np.any(classes != np.floor(classes)):
-        raise ParameterError(
-            "class_index contains non-integer values (columns swapped?)"
-        )
+        raise ParameterError("class_index contains non-integer values (columns swapped?)")
     classes = classes.astype(np.int64)
     if classes.size and classes.min() < 0:
         raise ParameterError("class_index must be >= 0")
@@ -107,9 +105,7 @@ def trace_sources_from_arrays(
     if num_classes is None:
         num_classes = max(highest, 1)
     elif num_classes < highest:
-        raise ParameterError(
-            f"trace references class {highest - 1} but num_classes={num_classes}"
-        )
+        raise ParameterError(f"trace references class {highest - 1} but num_classes={num_classes}")
 
     sources = []
     for c in range(num_classes):

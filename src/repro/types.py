@@ -9,8 +9,8 @@ analytic predictions of Sec. 2-3 and the simulation of Sec. 4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
 from collections.abc import Sequence
+from dataclasses import dataclass, field, replace
 
 from .distributions.base import Distribution
 from .errors import ParameterError

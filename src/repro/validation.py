@@ -65,9 +65,7 @@ def require_in_range(
     if not (low_ok and high_ok):
         lo_br = "[" if inclusive_low else "("
         hi_br = "]" if inclusive_high else ")"
-        raise ParameterError(
-            f"{name} must lie in {lo_br}{low}, {high}{hi_br}, got {value!r}"
-        )
+        raise ParameterError(f"{name} must lie in {lo_br}{low}, {high}{hi_br}, got {value!r}")
     return out
 
 

@@ -15,9 +15,9 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from ..distributions.base import Distribution
 from ..distributions.deterministic import Deterministic
 from ..distributions.hyperexponential import Hyperexponential
-from ..distributions.base import Distribution
 from ..errors import ParameterError
 from ..queueing.md1 import md1_expected_slowdown
 from ..types import TrafficClass
@@ -101,7 +101,9 @@ def ecommerce_classes(
     All classes share the profile's service-time distribution; the target
     ``system_load`` is split evenly.
     """
-    require_in_range(system_load, "system_load", 0.0, 1.0, inclusive_low=False, inclusive_high=False)
+    require_in_range(
+        system_load, "system_load", 0.0, 1.0, inclusive_low=False, inclusive_high=False
+    )
     if not deltas:
         raise ParameterError("deltas must be non-empty")
     if profile is None:

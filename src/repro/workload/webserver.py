@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from ..distributions.bounded_pareto import BoundedPareto
 from ..distributions.base import Distribution
+from ..distributions.bounded_pareto import BoundedPareto
 from ..errors import ParameterError
 from ..queueing.stability import arrival_rate_for_load
 from ..types import TrafficClass
@@ -56,7 +56,9 @@ def web_classes_with_shares(
     service: Distribution | None = None,
 ) -> tuple[TrafficClass, ...]:
     """Traffic classes whose loads split ``system_load`` according to ``load_shares``."""
-    require_in_range(system_load, "system_load", 0.0, 1.0, inclusive_low=False, inclusive_high=False)
+    require_in_range(
+        system_load, "system_load", 0.0, 1.0, inclusive_low=False, inclusive_high=False
+    )
     shares = require_positive_sequence(load_shares, "load_shares")
     if abs(sum(shares) - 1.0) > 1e-9:
         raise ParameterError(f"load_shares must sum to 1, got {sum(shares)!r}")

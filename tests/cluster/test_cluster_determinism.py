@@ -35,9 +35,7 @@ class TestSerialDeterminism:
 
         def run():
             server = make_cluster(3, policy, seed=77, record_dispatch=True)
-            result = Scenario(
-                det_classes, CFG, server=server, spec=spec, seed=42
-            ).run()
+            result = Scenario(det_classes, CFG, server=server, spec=spec, seed=42).run()
             return server, result
 
         server_a, result_a = run()

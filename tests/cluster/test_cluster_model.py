@@ -162,9 +162,7 @@ class TestAggregation:
         # and the three class-1 requests to node 1; on each node one request
         # is (frozen) in service and two queue.
         for i in range(6):
-            cluster.submit(
-                Request(request_id=i, class_index=i % 2, arrival_time=0.0, size=1.0)
-            )
+            cluster.submit(Request(request_id=i, class_index=i % 2, arrival_time=0.0, size=1.0))
         assert cluster.backlogs() == (2, 2)
         assert cluster.pending(0, 0) == 3 and cluster.pending(1, 1) == 3
         assert cluster.dispatch_counts() == ((3, 0), (0, 3))
@@ -200,9 +198,11 @@ class TestAggregation:
     def test_nested_clusters_compose(self, moderate_bp):
         classes = make_classes(moderate_bp, 0.5, (1.0, 2.0))
         cfg = MeasurementConfig(warmup=300.0, horizon=2_000.0, window=300.0)
-        inner = lambda: ClusterServerModel(
-            [RateScalableServers(), RateScalableServers()], dispatch=RoundRobin()
-        )
+        def inner():
+            return ClusterServerModel(
+                [RateScalableServers(), RateScalableServers()], dispatch=RoundRobin()
+            )
+
         outer = ClusterServerModel([inner(), inner()], dispatch=JoinShortestQueue())
         result = Scenario(classes, cfg, server=outer, seed=5).run()
         assert sum(result.completed_counts) > 0
@@ -211,15 +211,76 @@ class TestAggregation:
         classes = make_classes(moderate_bp, 0.6, (1.0, 2.0))
         cfg = MeasurementConfig(warmup=300.0, horizon=3_000.0, window=300.0)
         spec = PsdSpec.of(1, 2)
-        bare = Scenario(
-            classes, cfg, server=RateScalableServers(), spec=spec, seed=11
-        ).run()
+        bare = Scenario(classes, cfg, server=RateScalableServers(), spec=spec, seed=11).run()
         clustered = Scenario(
             classes, cfg, server=make_cluster(1, "round_robin"), spec=spec, seed=11
         ).run()
         assert clustered.generated_counts == bare.generated_counts
         assert clustered.per_class_mean_slowdowns() == bare.per_class_mean_slowdowns()
         assert clustered.rate_history == bare.rate_history
+
+    def test_empty_node_bookkeeping_stays_consistent(self, moderate_bp):
+        """Nodes that never receive a request keep every view well defined.
+
+        Regression test for the empty-node edge case: an affinity cluster
+        with more nodes than classes leaves the spare node permanently idle,
+        and every aggregate the policies, partitioners and monitor stack
+        read — ``backlogs``, ``pending``, ``work_left``, ``dispatch_counts``,
+        the dispatch log — must stay consistent (and the spare node's rate
+        share must not break conservation).
+        """
+        classes = make_classes(moderate_bp, 0.6, (1.0, 2.0))
+        cfg = MeasurementConfig(warmup=300.0, horizon=2_500.0, window=300.0)
+        cluster = make_cluster(3, "affinity", record_dispatch=True)
+        result = Scenario(classes, cfg, server=cluster, spec=PsdSpec.of(1, 2), seed=8).run()
+        assert sum(result.completed_counts) > 0
+        counts = cluster.dispatch_counts()
+        # Classes 0/1 live on nodes 0/1; node 2 never sees a request.
+        assert counts[2] == (0, 0)
+        assert 2 not in cluster.dispatch_log
+        assert len(cluster.dispatch_log) == sum(sum(row) for row in counts)
+        assert cluster.pending(2, 0) == 0 and cluster.pending(2, 1) == 0
+        assert cluster.work_left(2) == 0.0
+        assert cluster.node_backlogs(2) == (0, 0)
+        # Cluster-level backlogs aggregate cleanly over the idle node.
+        assert len(cluster.backlogs()) == 2
+
+    def test_more_nodes_than_requests(self, moderate_bp):
+        """A fresh cluster dispatching fewer requests than it has nodes."""
+        from repro.distributions import Deterministic
+        from repro.simulation import Request
+
+        classes = make_classes(Deterministic(1.0), 0.5, (1.0, 2.0))
+        for policy in ("round_robin", "jsq", "least_work", "weighted_jsq"):
+            cluster = make_cluster(5, policy, record_dispatch=True)
+            cluster.bind(SimulationEngine(), classes, lambda request: None)
+            cluster.submit(Request(request_id=0, class_index=0, arrival_time=0.0, size=1.0))
+            assert cluster.dispatch_log == [0]
+            assert cluster.backlogs() == (0, 0)  # in service, not queued
+            for node in range(1, 5):
+                assert cluster.work_left(node) == 0.0
+                assert cluster.dispatch_counts()[node] == (0, 0)
+            # Rates still fan out over the idle nodes without violating
+            # conservation.
+            cluster.apply_rates((0.6, 0.4))
+
+    def test_boolean_node_choice_is_rejected(self, moderate_bp):
+        """select_node returning True must not silently dispatch to node 1."""
+
+        class Sneaky(RoundRobin):
+            def select_node(self, request):
+                return True
+
+        from repro.distributions import Deterministic
+        from repro.simulation import Request
+
+        classes = make_classes(Deterministic(1.0), 0.5, (1.0, 2.0))
+        cluster = ClusterServerModel(
+            [RateScalableServers(), RateScalableServers()], dispatch=Sneaky()
+        )
+        cluster.bind(SimulationEngine(), classes, lambda request: None)
+        with pytest.raises(SimulationError, match="invalid.*node"):
+            cluster.submit(Request(request_id=0, class_index=0, arrival_time=0.0, size=1.0))
 
     def test_static_controller_drives_cluster(self, moderate_bp):
         classes = make_classes(moderate_bp, 0.5, (1.0, 2.0))

@@ -1,6 +1,5 @@
 """Unit tests for the cluster dispatch policies."""
 
-import numpy as np
 import pytest
 
 from repro.cluster import (
@@ -16,7 +15,6 @@ from repro.cluster import (
 )
 from repro.errors import SimulationError
 from repro.simulation import RateScalableServers, Request, SimulationEngine
-from repro.types import TrafficClass
 from tests.conftest import make_classes
 
 
@@ -37,9 +35,7 @@ def bound_cluster(num_nodes, dispatch, num_classes=2, moderate_bp=None):
 
 def request(request_id, class_index=0, size=1.0):
     """A standalone Request view; cluster.submit interns it into the ledger."""
-    return Request(
-        request_id=request_id, class_index=class_index, arrival_time=0.0, size=size
-    )
+    return Request(request_id=request_id, class_index=class_index, arrival_time=0.0, size=size)
 
 
 def rid_for(cluster, class_index=0, size=1.0):

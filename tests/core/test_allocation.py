@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import PsdRateAllocator, PsdSpec, allocate_rates, expected_slowdowns
-from repro.distributions import BoundedPareto
 from repro.errors import AllocationError, ParameterError, StabilityError
 from repro.types import TrafficClass
 from tests.conftest import make_classes
@@ -35,9 +34,7 @@ class TestAllocateRates:
     def test_higher_class_gets_larger_residual_share(self, paper_bp):
         classes = make_classes(paper_bp, 0.6, (1.0, 4.0))
         allocation = allocate_rates(classes, PsdSpec.of(1, 4))
-        surplus = [
-            rate - load for rate, load in zip(allocation.rates, allocation.offered_loads)
-        ]
+        surplus = [rate - load for rate, load in zip(allocation.rates, allocation.offered_loads)]
         # Equal arrival rates: the class with the smaller delta gets 4x the surplus.
         assert surplus[0] / surplus[1] == pytest.approx(4.0)
 
@@ -109,9 +106,7 @@ class TestAllocateRates:
 
     def test_allocation_result_accessors(self, two_classes, two_class_spec):
         allocation = allocate_rates(two_classes, two_class_spec)
-        assert allocation.residual_capacity == pytest.approx(
-            1.0 - allocation.total_load
-        )
+        assert allocation.residual_capacity == pytest.approx(1.0 - allocation.total_load)
         for util in allocation.per_class_utilisations:
             assert 0.0 < util < 1.0
         as_dict = allocation.as_dict()

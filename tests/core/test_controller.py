@@ -86,9 +86,7 @@ class TestAdaptation:
         controller = PsdController(classes, spec, estimator=oracle)
         arrivals, work = window_observation(classes, 1000.0)
         controller.observe_window(1000.0, 1000.0, arrivals, work)
-        assert controller.current_rates == pytest.approx(
-            allocate_rates(classes, spec).rates
-        )
+        assert controller.current_rates == pytest.approx(allocate_rates(classes, spec).rates)
 
 
 class TestOverloadPolicies:

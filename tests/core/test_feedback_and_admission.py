@@ -58,9 +58,7 @@ class TestFeedbackController:
         open_loop_rates = allocate_rates(classes, spec).rates
         # Class 2 measured far worse than its target (ratio 4 instead of 2):
         # its effective delta must fall, granting it a larger rate share.
-        decision = controller.observe_window(
-            1000.0, 1000.0, arrivals, work, slowdowns=(5.0, 20.0)
-        )
+        decision = controller.observe_window(1000.0, 1000.0, arrivals, work, slowdowns=(5.0, 20.0))
         assert controller.effective_deltas[1] < spec.deltas[1]
         assert decision.rates[1] > open_loop_rates[1]
 
@@ -69,9 +67,7 @@ class TestFeedbackController:
         arrivals, work = observation(classes)
         open_loop_rates = allocate_rates(classes, spec).rates
         # Class 2 doing much better than its target: it can cede capacity.
-        decision = controller.observe_window(
-            1000.0, 1000.0, arrivals, work, slowdowns=(5.0, 5.0)
-        )
+        decision = controller.observe_window(1000.0, 1000.0, arrivals, work, slowdowns=(5.0, 5.0))
         assert controller.effective_deltas[1] > spec.deltas[1]
         assert decision.rates[1] < open_loop_rates[1]
 
@@ -103,9 +99,7 @@ class TestFeedbackController:
     def test_missing_class_measurement_is_ignored(self, classes, spec):
         controller = FeedbackPsdController(classes, spec, gain=0.5, leak=0.0)
         arrivals, work = observation(classes)
-        controller.observe_window(
-            1000.0, 1000.0, arrivals, work, slowdowns=(float("nan"), 10.0)
-        )
+        controller.observe_window(1000.0, 1000.0, arrivals, work, slowdowns=(float("nan"), 10.0))
         # Only one usable measurement: no correction can be formed.
         assert controller.effective_deltas == pytest.approx(spec.deltas)
 

@@ -8,7 +8,6 @@ from repro.core import (
     allocate_rates,
     demand_proportional_split,
     equal_split,
-    expected_slowdowns,
     weighted_demand_split,
 )
 from repro.distributions import BoundedPareto

@@ -12,12 +12,8 @@ from repro.types import TrafficClass
 
 # Workload strategy: 2-4 classes, positive loads summing to < 0.97, deltas
 # drawn non-decreasing, a shared Bounded Pareto service distribution.
-loads_strategy = st.lists(
-    st.floats(min_value=0.01, max_value=0.4), min_size=2, max_size=4
-)
-delta_steps_strategy = st.lists(
-    st.floats(min_value=0.0, max_value=4.0), min_size=2, max_size=4
-)
+loads_strategy = st.lists(st.floats(min_value=0.01, max_value=0.4), min_size=2, max_size=4)
+delta_steps_strategy = st.lists(st.floats(min_value=0.0, max_value=4.0), min_size=2, max_size=4)
 bp_strategy = st.builds(
     lambda k, ratio, alpha: BoundedPareto(k=k, p=k * ratio, alpha=alpha),
     st.floats(min_value=0.05, max_value=1.0),
@@ -79,7 +75,9 @@ class TestAllocationProperties:
         for a, b in zip(via_eq18, via_theorem):
             assert math.isclose(a, b, rel_tol=1e-8)
 
-    @given(bp_strategy, loads_strategy, delta_steps_strategy, st.floats(min_value=1.05, max_value=2.0))
+    @given(
+        bp_strategy, loads_strategy, delta_steps_strategy, st.floats(min_value=1.05, max_value=2.0)
+    )
     @settings(max_examples=60, deadline=None)
     def test_property1_monotone_in_own_load(self, bp, loads, delta_steps, factor):
         classes, spec = build_workload(bp, loads, delta_steps)

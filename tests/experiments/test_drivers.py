@@ -107,15 +107,21 @@ class TestControllabilityDrivers:
 
 class TestClusterDriver:
     def test_cluster_scaling_structure(self, tiny_moderate_config):
+        from repro.experiments.cluster import HETERO_CELLS
+
         config = tiny_moderate_config.with_cluster(
-            nodes=(1, 2), policies=("round_robin", "jsq")
+            nodes=(1, 2),
+            policies=("round_robin", "jsq"),
+            capacity_mixes=("uniform", "2:1"),
         )
         result = run_cluster_scaling(config)
         assert result.experiment_id == "cluster"
-        # One baseline row plus the nodes x policies sweep.
-        assert len(result.rows) == 1 + 2 * 2
+        # One baseline row, the nodes x policies sweep, and one block of
+        # dispatch/partitioner pairings per non-uniform capacity mix.
+        assert len(result.rows) == 1 + 2 * 2 + len(HETERO_CELLS)
         assert result.rows[0]["nodes"] == "single"
         assert result.parameters["load"] == max(config.load_grid)
+        assert result.parameters["capacity_mixes"] == ("uniform", "2:1")
         for row in result.rows:
             assert row["slowdown_1"] > 0
             assert row["ratio_2"] > 0
@@ -125,6 +131,25 @@ class TestClusterDriver:
         single_node_rows = [row for row in result.rows if row["nodes"] == 1]
         for row in single_node_rows:
             assert row["worst_rel_error"] == pytest.approx(0.0, abs=1e-9)
+        # Heterogeneous rows carry their mix and partitioner labels; the
+        # homogeneous sweep stays labelled uniform.
+        hetero_rows = [row for row in result.rows if row["mix"] != "uniform"]
+        assert [(r["policy"], r["partitioner"]) for r in hetero_rows] == list(HETERO_CELLS)
+        assert all(row["mix"] == "2:1" and row["nodes"] == 2 for row in hetero_rows)
+
+    def test_cluster_explicit_capacities_fix_fleet_size(self, tiny_moderate_config):
+        from repro.experiments.cluster import HETERO_CELLS
+
+        config = tiny_moderate_config.with_cluster(
+            nodes=(1,),
+            policies=("round_robin",),
+            capacity_mixes=((3.0, 1.0, 1.0),),
+        )
+        result = run_cluster_scaling(config)
+        hetero_rows = [row for row in result.rows if row["mix"] != "uniform"]
+        assert len(hetero_rows) == len(HETERO_CELLS)
+        assert all(row["nodes"] == 3 for row in hetero_rows)
+        assert all(row["mix"] == "3:1:1" for row in hetero_rows)
 
     def test_cluster_grid_validation(self):
         from repro.errors import ExperimentError
@@ -137,6 +162,12 @@ class TestClusterDriver:
             ExperimentConfig(dispatch_policies=())
         with pytest.raises(ExperimentError, match="unknown dispatch"):
             ExperimentConfig(dispatch_policies=("jsq_typo",))
+        with pytest.raises(ExperimentError, match="unknown capacity mix"):
+            ExperimentConfig(capacity_mixes=("3:2:1",))
+        with pytest.raises(ExperimentError, match="strictly positive"):
+            ExperimentConfig(capacity_mixes=((2.0, 0.0),))
+        with pytest.raises(ExperimentError, match="strictly positive"):
+            ExperimentConfig(capacity_mixes=((),))
         # The default sweep always covers every registered policy.
         from repro.cluster import DISPATCH_POLICIES
 

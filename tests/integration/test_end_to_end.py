@@ -77,9 +77,7 @@ class TestPredictabilityPipeline:
         spec = PsdSpec.of(1, 2)
         classes = web_classes(2, 0.6, spec.deltas, service=SERVICE)
         summary = run_summary(classes, spec, seed=3)
-        ratios = np.concatenate(
-            [r.monitor.ratio_series(1, 0) for r in summary.results]
-        )
+        ratios = np.concatenate([r.monitor.ratio_series(1, 0) for r in summary.results])
         band = percentile_band(ratios)
         assert band.p5 < 2.0 < band.p95
         assert band.median == pytest.approx(2.0, rel=0.4)
@@ -88,9 +86,7 @@ class TestPredictabilityPipeline:
         spec = PsdSpec.of(1, 4)
         classes = web_classes(2, 0.5, spec.deltas, service=SERVICE)
         summary = run_summary(classes, spec, seed=4)
-        ratios = np.concatenate(
-            [r.monitor.ratio_series(1, 0) for r in summary.results]
-        )
+        ratios = np.concatenate([r.monitor.ratio_series(1, 0) for r in summary.results])
         band = percentile_band(ratios)
         # The paper observes the band is asymmetric around the median: the
         # upper tail extends further than the lower one.

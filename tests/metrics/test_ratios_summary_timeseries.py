@@ -50,9 +50,7 @@ class TestRatioComparison:
         assert comparison.targets == (1.0, 2.0, 4.0)
         assert comparison.achieved[1] == pytest.approx(2.1)
         assert comparison.relative_errors[1] == pytest.approx(0.05)
-        assert comparison.worst_relative_error == pytest.approx(
-            abs(11.0 / 3.0 / 4.0 - 1.0)
-        )
+        assert comparison.worst_relative_error == pytest.approx(abs(11.0 / 3.0 / 4.0 - 1.0))
         assert comparison.predictable
 
     def test_predictability_detects_inversion(self):
@@ -125,9 +123,7 @@ class TestTimeSeries:
 
     def test_class_filter(self):
         records = [record(0, 0.0, 1.0, 1.0), record(1, 0.0, 4.0, 1.0)]
-        series = windowed_mean_slowdowns(
-            records, start=0.0, end=10.0, window=10.0, class_index=1
-        )
+        series = windowed_mean_slowdowns(records, start=0.0, end=10.0, window=10.0, class_index=1)
         assert series.values[0] == pytest.approx(4.0)
 
     def test_invalid_window(self):

@@ -47,9 +47,7 @@ class TestMD1:
         q = MD1Queue(0.5, 1.0)
         assert q.utilisation == pytest.approx(0.5)
         assert q.expected_slowdown() == pytest.approx(0.5 / (2 * 0.5))
-        assert q.expected_response_time() == pytest.approx(
-            q.expected_waiting_time() + 1.0
-        )
+        assert q.expected_response_time() == pytest.approx(q.expected_waiting_time() + 1.0)
         assert q.as_mg1().slowdown() == pytest.approx(q.expected_slowdown())
 
 

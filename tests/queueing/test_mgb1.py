@@ -22,9 +22,7 @@ def bp() -> BoundedPareto:
 class TestLemma1:
     def test_matches_generic_mg1(self, bp):
         lam = 1.0
-        assert lemma1_expected_slowdown(lam, bp) == pytest.approx(
-            MG1Queue(lam, bp).slowdown()
-        )
+        assert lemma1_expected_slowdown(lam, bp) == pytest.approx(MG1Queue(lam, bp).slowdown())
 
     def test_explicit_formula(self, bp):
         lam = 1.5
@@ -74,12 +72,7 @@ class TestTheorem1:
 
     def test_explicit_formula(self, bp):
         lam, rate = 0.6, 0.5
-        explicit = (
-            lam
-            * bp.second_moment()
-            * bp.mean_inverse()
-            / (2.0 * (rate - lam * bp.mean()))
-        )
+        explicit = (lam * bp.second_moment() * bp.mean_inverse() / (2.0 * (rate - lam * bp.mean())))
         assert theorem1_task_server_slowdown(lam, bp, rate) == pytest.approx(explicit)
 
     def test_slowdown_decreases_with_rate(self, bp):
@@ -99,9 +92,7 @@ class TestTheorem1:
 
 class TestSlowdownConstant:
     def test_value(self, bp):
-        assert slowdown_constant(bp) == pytest.approx(
-            bp.second_moment() * bp.mean_inverse() / 2.0
-        )
+        assert slowdown_constant(bp) == pytest.approx(bp.second_moment() * bp.mean_inverse() / 2.0)
 
     def test_theorem1_in_terms_of_constant(self, bp):
         lam, rate = 0.7, 0.6

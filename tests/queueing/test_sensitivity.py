@@ -13,9 +13,7 @@ from repro.queueing import (
 
 class TestShapeParameterSweep:
     def test_slowdown_decreases_with_alpha(self):
-        points = shape_parameter_sweep(
-            [1.1, 1.3, 1.5, 1.7, 1.9], k=0.1, p=100.0, load=0.8
-        )
+        points = shape_parameter_sweep([1.1, 1.3, 1.5, 1.7, 1.9], k=0.1, p=100.0, load=0.8)
         slowdowns = [p.expected_slowdown for p in points]
         assert slowdowns == sorted(slowdowns, reverse=True)
 

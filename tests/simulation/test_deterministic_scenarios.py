@@ -12,7 +12,6 @@ import math
 
 import pytest
 
-from repro.core import PsdSpec
 from repro.distributions import Deterministic
 from repro.simulation import (
     MeasurementConfig,
@@ -80,9 +79,7 @@ class TestTwoClassTraces:
         source_b = TraceSource(1, interarrivals=[0.0, 0.5], sizes=[1.0, 1.0])
         result = run_scenario([source_a, source_b], rates=[0.5, 0.5])
         for class_index, rate in ((0, 0.5), (1, 0.5)):
-            records = sorted(
-                result.trace.for_class(class_index), key=lambda r: r.arrival_time
-            )
+            records = sorted(result.trace.for_class(class_index), key=lambda r: r.arrival_time)
             assert records[0].service_duration == pytest.approx(1.0 / rate)
             # Second request arrives at 0.5, first finishes at 2.0.
             assert records[1].waiting_time == pytest.approx(1.5)

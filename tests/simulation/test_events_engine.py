@@ -157,7 +157,9 @@ class TestSimulationEngine:
     def test_event_scheduling_from_callback(self):
         engine = SimulationEngine()
         fired = []
-        engine.schedule_at(1.0, lambda: engine.schedule_after(0.5, lambda: fired.append(engine.now)))
+        engine.schedule_at(
+            1.0, lambda: engine.schedule_after(0.5, lambda: fired.append(engine.now))
+        )
         engine.run_until(2.0)
         assert fired == [1.5]
 

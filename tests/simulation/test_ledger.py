@@ -160,9 +160,7 @@ class TestZeroRateFreeze:
         engine = SimulationEngine()
         ledger = RequestLedger(1)
         done = []
-        server = FcfsTaskServer(
-            engine, 0, 1.0, ledger=ledger, on_completion=done.append
-        )
+        server = FcfsTaskServer(engine, 0, 1.0, ledger=ledger, on_completion=done.append)
         rid = ledger.append(0, 0.0, 2.0)
         server.submit(rid)
         engine.schedule_at(1.0, lambda: server.set_rate(0.0))

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import PsdSpec, allocate_rates, expected_slowdowns
+from repro.distributions import Deterministic
 from repro.errors import SimulationError
 from repro.queueing import md1_expected_slowdown
 from repro.simulation import (
@@ -10,7 +11,6 @@ from repro.simulation import (
     PsdServerSimulation,
     StaticRateController,
 )
-from repro.distributions import Deterministic
 from repro.types import TrafficClass
 from tests.conftest import make_classes
 
@@ -59,9 +59,7 @@ class TestBasicRuns:
     def test_controller_class_mismatch_rejected(self, moderate_bp, short_measurement):
         classes = make_classes(moderate_bp, 0.5, (1.0, 2.0))
         with pytest.raises(SimulationError):
-            PsdServerSimulation(
-                classes, short_measurement, controller=StaticRateController([1.0])
-            )
+            PsdServerSimulation(classes, short_measurement, controller=StaticRateController([1.0]))
 
 
 class TestAgainstClosedForms:

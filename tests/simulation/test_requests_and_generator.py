@@ -98,7 +98,9 @@ class TestRequestSource:
             TrafficClass("a", 1.0, bp, 1.0),
             TrafficClass("b", 2.0, Deterministic(1.0), 2.0),
         )
-        sources = sources_from_classes(classes, [np.random.default_rng(1), np.random.default_rng(2)])
+        sources = sources_from_classes(
+            classes, [np.random.default_rng(1), np.random.default_rng(2)]
+        )
         assert len(sources) == 2
         assert sources[0].class_index == 0
         assert sources[1].next_size() == 1.0

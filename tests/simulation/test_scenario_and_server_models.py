@@ -99,9 +99,7 @@ class TestScenarioComposition:
         cfg = MeasurementConfig(warmup=200.0, horizon=2_000.0, window=200.0)
         spec = PsdSpec.of(1, 2)
         wrapper = PsdServerSimulation(classes, cfg, spec=spec, seed=7).run()
-        scenario = Scenario(
-            classes, cfg, server=RateScalableServers(), spec=spec, seed=7
-        ).run()
+        scenario = Scenario(classes, cfg, server=RateScalableServers(), spec=spec, seed=7).run()
         assert wrapper.generated_counts == scenario.generated_counts
         assert wrapper.completed_counts == scenario.completed_counts
         assert wrapper.per_class_mean_slowdowns() == scenario.per_class_mean_slowdowns()

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import PsdSpec
+from repro.distributions import Deterministic
 from repro.errors import SimulationError
 from repro.queueing import md1_expected_slowdown
 from repro.scheduling import (
@@ -18,7 +19,6 @@ from repro.simulation import (
     run_replications,
     summarise_replications,
 )
-from repro.distributions import Deterministic
 from repro.types import TrafficClass
 from tests.conftest import make_classes
 
@@ -40,9 +40,7 @@ class TestSharedProcessorSimulation:
         cfg = MeasurementConfig(
             warmup=1_000.0, horizon=12_000.0, window=1_000.0
         ).scaled_to_time_units(moderate_bp.mean())
-        sim = SharedProcessorSimulation(
-            classes, cfg, WeightedFairQueueing(2), spec=spec, seed=17
-        )
+        sim = SharedProcessorSimulation(classes, cfg, WeightedFairQueueing(2), spec=spec, seed=17)
         result = sim.run()
         slowdowns = result.per_class_mean_slowdowns()
         assert slowdowns[0] < slowdowns[1]
@@ -57,9 +55,7 @@ class TestSharedProcessorSimulation:
     def test_strict_priority_starves_low_class_under_high_load(self, moderate_bp):
         classes = make_classes(moderate_bp, 0.9, (1.0, 2.0))
         cfg = MeasurementConfig(warmup=500.0, horizon=6_000.0, window=500.0)
-        result = SharedProcessorSimulation(
-            classes, cfg, StrictPriorityScheduler(2), seed=6
-        ).run()
+        result = SharedProcessorSimulation(classes, cfg, StrictPriorityScheduler(2), seed=6).run()
         slowdowns = result.per_class_mean_slowdowns()
         # Strict priority gives the high class near-zero queueing but cannot
         # control the spacing: the ratio is far larger than any target.
@@ -126,7 +122,10 @@ class TestReplicationRunner:
         cfg = MeasurementConfig(warmup=200.0, horizon=2_000.0, window=200.0)
         few = run_replications(self.build(classes, cfg), replications=3, base_seed=2)
         many = run_replications(self.build(classes, cfg), replications=10, base_seed=2)
-        assert many.per_class_slowdowns[0].half_width_95 < few.per_class_slowdowns[0].half_width_95 * 1.5
+        assert (
+            many.per_class_slowdowns[0].half_width_95
+            < few.per_class_slowdowns[0].half_width_95 * 1.5
+        )
 
     def test_invalid_replication_count(self, moderate_bp):
         classes = make_classes(moderate_bp, 0.5, (1.0,))

@@ -5,6 +5,7 @@ import math
 import numpy as np
 import pytest
 
+from repro.distributions import Deterministic
 from repro.errors import ParameterError
 from repro.simulation import (
     MeasurementConfig,
@@ -15,7 +16,6 @@ from repro.simulation import (
     trace_sources_from_arrays,
 )
 from repro.types import TrafficClass
-from repro.distributions import Deterministic
 
 
 def write_csv(path, rows, header="class_index,arrival_time,size"):
@@ -91,9 +91,7 @@ class TestLoadTrace:
             TrafficClass("b", 1.0, Deterministic(1.0), 2.0),
         )
         config = MeasurementConfig(warmup=0.0, horizon=50.0, window=10.0)
-        result = Scenario(
-            classes, config, sources=load_trace(path)
-        ).run()
+        result = Scenario(classes, config, sources=load_trace(path)).run()
         assert result.generated_counts == (2, 2)
         assert result.completed_counts == (2, 2)
 
@@ -121,9 +119,7 @@ class TestTraceSourcesFromArrays:
 
     def test_unsorted_arrivals_rejected(self):
         with pytest.raises(ParameterError, match="not sorted"):
-            trace_sources_from_arrays(
-                np.array([0, 0]), np.array([2.0, 1.0]), np.array([1.0, 1.0])
-            )
+            trace_sources_from_arrays(np.array([0, 0]), np.array([2.0, 1.0]), np.array([1.0, 1.0]))
 
     def test_sorting_is_per_class(self):
         # Interleaved classes may look unsorted globally; per class they are.
@@ -136,9 +132,7 @@ class TestTraceSourcesFromArrays:
 
     def test_negative_class_rejected(self):
         with pytest.raises(ParameterError, match="class_index"):
-            trace_sources_from_arrays(
-                np.array([-1]), np.array([1.0]), np.array([1.0])
-            )
+            trace_sources_from_arrays(np.array([-1]), np.array([1.0]), np.array([1.0]))
 
     def test_non_integer_class_rejected(self):
         # Catches swapped columns instead of silently binning 1.7 -> class 1.
@@ -149,20 +143,14 @@ class TestTraceSourcesFromArrays:
 
     def test_mismatched_lengths_rejected(self):
         with pytest.raises(ParameterError, match="same length"):
-            trace_sources_from_arrays(
-                np.array([0]), np.array([1.0, 2.0]), np.array([1.0])
-            )
+            trace_sources_from_arrays(np.array([0]), np.array([1.0, 2.0]), np.array([1.0]))
 
     def test_negative_arrival_rejected(self):
         with pytest.raises(ParameterError, match="arrival_time"):
-            trace_sources_from_arrays(
-                np.array([0]), np.array([-1.0]), np.array([1.0])
-            )
+            trace_sources_from_arrays(np.array([0]), np.array([-1.0]), np.array([1.0]))
 
     def test_empty_trace_yields_one_silent_source(self):
-        sources = trace_sources_from_arrays(
-            np.array([], dtype=int), np.array([]), np.array([])
-        )
+        sources = trace_sources_from_arrays(np.array([], dtype=int), np.array([]), np.array([]))
         assert len(sources) == 1
         assert math.isinf(sources[0].next_interarrival())
 
@@ -190,9 +178,7 @@ class TestSaveTrace:
             arrivals = ledger.arrival_time[mask]
             sizes = ledger.size[mask]
             assert len(source) == arrivals.size
-            np.testing.assert_array_equal(
-                source._interarrivals, np.diff(arrivals, prepend=0.0)
-            )
+            np.testing.assert_array_equal(source._interarrivals, np.diff(arrivals, prepend=0.0))
             np.testing.assert_array_equal(source._sizes, sizes)
 
     def test_replaying_a_capture_reproduces_the_run(self, tmp_path):
@@ -206,9 +192,7 @@ class TestSaveTrace:
             sources=load_trace(path, num_classes=len(result.classes)),
         ).run()
         assert replay.completed_counts == result.completed_counts
-        np.testing.assert_array_equal(
-            replay.ledger.arrival_time, result.ledger.arrival_time
-        )
+        np.testing.assert_array_equal(replay.ledger.arrival_time, result.ledger.arrival_time)
         assert replay.per_class_mean_slowdowns() == result.per_class_mean_slowdowns()
 
     def test_accepts_ledger_scenario_and_trace(self, tmp_path):

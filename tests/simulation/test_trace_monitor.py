@@ -121,9 +121,10 @@ class TestMeasurementConfig:
 class TestWindowedMonitor:
     def test_requests_bucketed_by_completion_window(self):
         monitor = WindowedMonitor(2, warmup=10.0, window=5.0)
-        monitor.record(RequestRecord.from_request(completed_request(1, 0, 9.0, 2.0, 1.0)))   # completes 12
-        monitor.record(RequestRecord.from_request(completed_request(2, 1, 10.0, 3.0, 1.0)))  # completes 14
-        monitor.record(RequestRecord.from_request(completed_request(3, 0, 15.0, 1.0, 1.0)))  # completes 17
+        # Completion times: 12, 14 and 17.
+        monitor.record(RequestRecord.from_request(completed_request(1, 0, 9.0, 2.0, 1.0)))
+        monitor.record(RequestRecord.from_request(completed_request(2, 1, 10.0, 3.0, 1.0)))
+        monitor.record(RequestRecord.from_request(completed_request(3, 0, 15.0, 1.0, 1.0)))
         samples = monitor.samples()
         assert len(samples) == 2
         assert samples[0].start == 10.0
@@ -232,6 +233,4 @@ class TestLedgerBackedMonitor:
     def test_record_rejected_on_ledger_backed_monitor(self):
         ledger, monitor = self.make_ledger_monitor()
         with pytest.raises(ParameterError, match="ledger-backed"):
-            monitor.record(
-                RequestRecord.from_request(completed_request(1, 0, 11.0, 1.0, 1.0))
-            )
+            monitor.record(RequestRecord.from_request(completed_request(1, 0, 11.0, 1.0, 1.0)))

@@ -12,7 +12,6 @@ from repro.experiments.base import ScenarioBuild
 from repro.simulation import (
     MeasurementConfig,
     ReplicationRunner,
-    Scenario,
     WorkerPool,
     shared_pool,
 )
@@ -79,9 +78,7 @@ class TestWorkerPool:
                     replications=4, base_seed=1, workers=2, pool=pool
                 ).run(FailingBuild(build, 1))
             # The pool outlives the failed batch and still computes correctly.
-            ok = ReplicationRunner(
-                replications=2, base_seed=2, workers=2, pool=pool
-            ).run(build)
+            ok = ReplicationRunner(replications=2, base_seed=2, workers=2, pool=pool).run(build)
             serial = ReplicationRunner(replications=2, base_seed=2, workers=1).run(build)
             assert ok.per_class_slowdowns == serial.per_class_slowdowns
         finally:
@@ -97,9 +94,7 @@ class TestWorkerPool:
                 replications=2, base_seed=3, workers=2, pool=pool
             ).run(closure_build)
             assert not pool.started  # the pool was never engaged
-            serial = ReplicationRunner(replications=2, base_seed=3, workers=1).run(
-                closure_build
-            )
+            serial = ReplicationRunner(replications=2, base_seed=3, workers=1).run(closure_build)
             assert summary.per_class_slowdowns == serial.per_class_slowdowns
         finally:
             pool.close()
@@ -114,9 +109,7 @@ class TestWorkerPool:
         """
         pool = WorkerPool(workers=2)
         try:
-            first = ReplicationRunner(
-                replications=2, base_seed=4, workers=2, pool=pool
-            ).run(build)
+            first = ReplicationRunner(replications=2, base_seed=4, workers=2, pool=pool).run(build)
             assert pool.started
 
             module = types.ModuleType("repro_test_late_module")
@@ -145,9 +138,7 @@ class TestWorkerPool:
         pool = WorkerPool(workers=1)
         pool.close()
         pool.close()  # idempotent
-        summary = ReplicationRunner(
-            replications=2, base_seed=5, workers=2, pool=pool
-        ).run(build)
+        summary = ReplicationRunner(replications=2, base_seed=5, workers=2, pool=pool).run(build)
         serial = ReplicationRunner(replications=2, base_seed=5, workers=1).run(build)
         assert summary.per_class_slowdowns == serial.per_class_slowdowns
         assert not pool.started  # the closed pool was never revived
@@ -176,9 +167,7 @@ class TestSharedMemoryTransport:
         monkeypatch.setattr(runner_module, "SHM_MIN_BYTES", 0)
         pool = WorkerPool(workers=2)
         try:
-            shm = ReplicationRunner(
-                replications=4, base_seed=77, workers=2, pool=pool
-            ).run(build)
+            shm = ReplicationRunner(replications=4, base_seed=77, workers=2, pool=pool).run(build)
         finally:
             pool.close()
         serial = self.serial_summary(build)
@@ -189,9 +178,7 @@ class TestSharedMemoryTransport:
             assert a.per_class_mean_slowdowns() == b.per_class_mean_slowdowns()
             import numpy as np
 
-            np.testing.assert_array_equal(
-                a.ledger.completion_time, b.ledger.completion_time
-            )
+            np.testing.assert_array_equal(a.ledger.completion_time, b.ledger.completion_time)
             # Transported columns stay writable (bytearray-backed copies).
             assert a.ledger.arrival_time.base.flags.writeable
 
@@ -206,9 +193,7 @@ class TestSharedMemoryTransport:
         def closure_build(index, seed):  # closures cannot use the pool
             return build(index, seed)
 
-        shm = ReplicationRunner(replications=3, base_seed=5, workers=2).run(
-            closure_build
-        )
+        shm = ReplicationRunner(replications=3, base_seed=5, workers=2).run(closure_build)
         serial = ReplicationRunner(replications=3, base_seed=5, workers=1).run(build)
         assert shm.per_class_slowdowns == serial.per_class_slowdowns
         assert shm.system_slowdown == serial.system_slowdown
@@ -242,12 +227,8 @@ class TestSharedMemoryTransport:
             monkeypatch.setattr(runner_module, "SHM_MIN_BYTES", threshold)
             clone = runner_module._decode_result(runner_module._encode_result(result))
             assert clone.per_class_mean_slowdowns() == result.per_class_mean_slowdowns()
-            np.testing.assert_array_equal(
-                clone.ledger.completed_ids, result.ledger.completed_ids
-            )
-            np.testing.assert_array_equal(
-                clone.ledger.size, result.ledger.size
-            )
+            np.testing.assert_array_equal(clone.ledger.completed_ids, result.ledger.completed_ids)
+            np.testing.assert_array_equal(clone.ledger.size, result.ledger.size)
 
 
 class TestSharedPool:

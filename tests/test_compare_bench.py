@@ -1,0 +1,199 @@
+"""Unit tests for the bench-trajectory comparison script.
+
+``benchmarks/compare_bench.py`` is a script, not a package module; it is
+loaded by file path.  The tests drive both the library functions and the
+CLI entry point, including the acceptance case: an injected >25% drop in a
+requests-per-second metric must fail the comparison.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "compare_bench",
+    Path(__file__).resolve().parents[1] / "benchmarks" / "compare_bench.py",
+)
+compare_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(compare_bench)
+
+
+def pytest_benchmark_json(rps=1000.0, speedup=1.9, mean=2.5, name="test_bench_event"):
+    """A minimal pytest-benchmark JSON document."""
+    return {
+        "benchmarks": [
+            {
+                "name": name,
+                "stats": {"mean": mean},
+                "extra_info": {
+                    "ledger_requests_per_sec": rps,
+                    "speedup": speedup,
+                    "skip_me": "not-a-number",
+                },
+            }
+        ]
+    }
+
+
+class TestCondense:
+    def test_keeps_numeric_extra_info_only(self):
+        condensed = compare_bench.condense(pytest_benchmark_json())
+        bench = condensed["benchmarks"]["test_bench_event"]
+        assert bench["mean_s"] == 2.5
+        assert bench["extra_info"] == {
+            "ledger_requests_per_sec": 1000.0,
+            "speedup": 1.9,
+        }
+
+    def test_metric_classification(self):
+        assert compare_bench.is_throughput_metric("ledger_requests_per_sec")
+        assert compare_bench.is_throughput_metric("replay_rps")
+        assert not compare_bench.is_throughput_metric("speedup")
+        assert not compare_bench.is_throughput_metric("hetero_blind_p95")
+
+
+class TestCompare:
+    def _diff(self, current_rps, baseline_rps, threshold=0.25):
+        current = compare_bench.condense(pytest_benchmark_json(rps=current_rps))
+        baseline = compare_bench.condense(pytest_benchmark_json(rps=baseline_rps))
+        return compare_bench.compare(current, baseline, threshold=threshold)
+
+    def test_injected_regression_past_threshold_fails(self):
+        # 30% rps drop vs a 25% threshold: the acceptance case.
+        lines, failures = self._diff(700.0, 1000.0)
+        assert len(failures) == 1
+        assert "ledger_requests_per_sec" in failures[0]
+        assert any("FAIL" in line for line in lines)
+
+    def test_regression_within_threshold_passes(self):
+        _, failures = self._diff(800.0, 1000.0)  # exactly -20%
+        assert failures == []
+
+    def test_improvement_never_fails(self):
+        _, failures = self._diff(2000.0, 1000.0)
+        assert failures == []
+
+    def test_non_throughput_metrics_do_not_gate(self):
+        current = compare_bench.condense(pytest_benchmark_json(rps=1000.0, speedup=0.1, mean=50.0))
+        baseline = compare_bench.condense(pytest_benchmark_json())
+        _, failures = compare_bench.compare(current, baseline, threshold=0.25)
+        assert failures == []
+
+    def test_new_and_missing_benchmarks_are_reported_not_failed(self):
+        current = compare_bench.condense(pytest_benchmark_json(name="added"))
+        baseline = compare_bench.condense(pytest_benchmark_json(name="removed"))
+        lines, failures = compare_bench.compare(current, baseline, threshold=0.25)
+        assert failures == []
+        text = "\n".join(lines)
+        assert "new" in text and "missing" in text
+
+    def test_table_is_markdown(self):
+        lines, _ = self._diff(900.0, 1000.0)
+        assert lines[0].startswith("### ")
+        assert lines[2].startswith("| benchmark | metric |")
+        assert all(line.startswith("|") for line in lines[4:])
+
+    def test_cross_machine_regressions_warn_instead_of_failing(self):
+        # Absolute rps on different hardware is variance, not a regression:
+        # the delta is still reported, but the gate does not fire.
+        current = compare_bench.condense(pytest_benchmark_json(rps=500.0))
+        baseline = compare_bench.condense(pytest_benchmark_json(rps=1000.0))
+        current["machine"] = "ci-runner|x86_64|EPYC"
+        baseline["machine"] = "dev-laptop|arm64|M3"
+        lines, failures = compare_bench.compare(current, baseline, threshold=0.25)
+        assert failures == []
+        text = "\n".join(lines)
+        assert "WARN (different machine" in text
+        assert "different hardware" in text
+
+    def test_same_machine_fingerprint_still_gates(self):
+        current = compare_bench.condense(pytest_benchmark_json(rps=500.0))
+        baseline = compare_bench.condense(pytest_benchmark_json(rps=1000.0))
+        current["machine"] = baseline["machine"] = "ci-runner|x86_64|EPYC"
+        _, failures = compare_bench.compare(current, baseline, threshold=0.25)
+        assert len(failures) == 1
+
+    def test_missing_fingerprint_keeps_the_gate(self):
+        # Synthetic/older JSONs without machine_info must not lose the gate
+        # (this is also what the injected-regression acceptance test relies on).
+        _, failures = self._diff(500.0, 1000.0)
+        assert len(failures) == 1
+
+    def test_machine_fingerprint_extraction(self):
+        doc = pytest_benchmark_json()
+        assert compare_bench.machine_fingerprint(doc) is None
+        doc["machine_info"] = {
+            "node": "runner-1",
+            "machine": "x86_64",
+            "cpu": {"brand_raw": "AMD EPYC 7763"},
+        }
+        fingerprint = compare_bench.machine_fingerprint(doc)
+        assert "runner-1" in fingerprint and "EPYC" in fingerprint
+        assert compare_bench.condense(doc)["machine"] == fingerprint
+
+
+class TestCli:
+    def test_update_then_compare_roundtrip(self, tmp_path):
+        bench = tmp_path / "bench.json"
+        baseline = tmp_path / "BENCH_BASELINE.json"
+        bench.write_text(json.dumps(pytest_benchmark_json()))
+        exit_code = compare_bench.main([str(bench), "--baseline", str(baseline), "--update"])
+        assert exit_code == 0
+        assert json.loads(baseline.read_text())["benchmarks"]
+        # Same numbers: zero deltas, exit 0.
+        assert compare_bench.main([str(bench), "--baseline", str(baseline)]) == 0
+
+    def test_cli_fails_on_injected_regression(self, tmp_path, capsys):
+        bench = tmp_path / "bench.json"
+        baseline = tmp_path / "BENCH_BASELINE.json"
+        bench.write_text(json.dumps(pytest_benchmark_json(rps=1000.0)))
+        compare_bench.main([str(bench), "--baseline", str(baseline), "--update"])
+        bench.write_text(json.dumps(pytest_benchmark_json(rps=600.0)))
+        exit_code = compare_bench.main([str(bench), "--baseline", str(baseline)])
+        assert exit_code == 1
+        captured = capsys.readouterr()
+        assert "regression" in captured.err
+
+    def test_cli_summary_file_receives_the_table(self, tmp_path):
+        bench = tmp_path / "bench.json"
+        baseline = tmp_path / "BENCH_BASELINE.json"
+        summary = tmp_path / "summary.md"
+        bench.write_text(json.dumps(pytest_benchmark_json()))
+        compare_bench.main([str(bench), "--baseline", str(baseline), "--update"])
+        compare_bench.main([str(bench), "--baseline", str(baseline), "--summary", str(summary)])
+        assert "Bench trajectory" in summary.read_text()
+
+    def test_cli_missing_baseline_is_an_error(self, tmp_path):
+        bench = tmp_path / "bench.json"
+        bench.write_text(json.dumps(pytest_benchmark_json()))
+        missing = tmp_path / "nope.json"
+        assert compare_bench.main([str(bench), "--baseline", str(missing)]) == 1
+
+    def test_custom_threshold(self, tmp_path):
+        bench = tmp_path / "bench.json"
+        baseline = tmp_path / "BENCH_BASELINE.json"
+        bench.write_text(json.dumps(pytest_benchmark_json(rps=1000.0)))
+        compare_bench.main([str(bench), "--baseline", str(baseline), "--update"])
+        bench.write_text(json.dumps(pytest_benchmark_json(rps=850.0)))
+        assert (
+            compare_bench.main(
+                [str(bench), "--baseline", str(baseline), "--threshold", "0.10"]
+            )
+            == 1
+        )
+
+
+def test_committed_baseline_matches_schema():
+    """The committed baseline parses and covers the fail-fast benches."""
+    baseline_path = compare_bench.DEFAULT_BASELINE
+    baseline = json.loads(baseline_path.read_text())
+    assert baseline["benchmarks"], "committed baseline must not be empty"
+    for bench in baseline["benchmarks"].values():
+        assert bench["mean_s"] > 0
+        assert isinstance(bench["extra_info"], dict)
+    # The event-throughput bench (the primary gated metric) must be tracked.
+    assert any(
+        compare_bench.is_throughput_metric(metric)
+        for bench in baseline["benchmarks"].values()
+        for metric in bench["extra_info"]
+    )

@@ -81,9 +81,7 @@ class TestSessionWorkload:
 
     def test_md1_slowdown_helper(self):
         profile = SessionProfile()
-        assert profile.expected_md1_slowdown(0.6) == pytest.approx(
-            md1_expected_slowdown(0.6, 1.0)
-        )
+        assert profile.expected_md1_slowdown(0.6) == pytest.approx(md1_expected_slowdown(0.6, 1.0))
 
     def test_ecommerce_classes(self):
         classes = ecommerce_classes(0.6, (1.0, 2.0, 4.0))
