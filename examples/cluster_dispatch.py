@@ -17,6 +17,12 @@ total speed) and contrasts capacity-blind dispatch+partitioning — which
 overloads the slow nodes — with the capacity-aware pairing that restores
 the single-server behaviour.
 
+A third act makes the fleet *dynamic*: the fast node is killed mid-run
+(draining its queue before going down) and restored later.  The dispatch
+policy and rate partitioner re-normalise over the live nodes at each event,
+and the per-window availability/ratio table shows the controller absorbing
+the outage and re-converging after the restore.
+
 Run with::
 
     python examples/cluster_dispatch.py
@@ -27,7 +33,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro import MeasurementConfig, PsdSpec, Scenario, make_cluster
-from repro.cluster import DISPATCH_POLICIES, build_partitioner, resolve_capacities
+from repro.cluster import (
+    DISPATCH_POLICIES,
+    build_partitioner,
+    parse_fleet_events,
+    resolve_capacities,
+)
 from repro.distributions import BoundedPareto
 from repro.queueing import arrival_rate_for_load
 from repro.types import TrafficClass
@@ -96,6 +107,38 @@ def main() -> None:
         print(
             f"  {name + ' + ' + partitioner:<30} {gold:8.2f} {silver:8.2f} "
             f"{silver / gold:7.2f} {p95:8.2f}"
+        )
+
+    # --- Act 3: dynamic fleet — kill the fast node, drain, restore. ------ #
+    time_unit = service.mean()
+    fleet = parse_fleet_events("kill:0@7000 restore:0@7400").scaled_to_time_units(time_unit)
+    cluster = make_cluster(
+        NUM_NODES,
+        "weighted_jsq",
+        capacities=capacities,
+        partitioner=build_partitioner("capacity"),
+        fleet=fleet,
+        seed=2004,
+    )
+    result = Scenario(classes, config, server=cluster, spec=spec, seed=7).run()
+    monitor = result.monitor
+    availability = result.per_node_availability()
+    print()
+    print(
+        "dynamic 2:1 fleet (weighted_jsq + capacity): kill fastest node at "
+        "t=7000 tu, restore at t=7400 tu"
+    )
+    print(f"  {'window (tu)':<16} {'live frac':>10} {'ratio':>7}")
+    for sample in monitor.samples():
+        index = round((sample.start - monitor.warmup) / monitor.window)
+        if index >= len(availability):
+            break
+        live_fraction = float(availability[index].mean())
+        start_tu = sample.start / time_unit
+        end_tu = sample.end / time_unit
+        print(
+            f"  [{start_tu:6.0f},{end_tu:6.0f}) {live_fraction:10.2f} "
+            f"{sample.ratio(1, 0):7.2f}"
         )
 
 

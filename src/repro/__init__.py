@@ -42,10 +42,13 @@ from ._version import __version__
 from .cluster import (
     ClusterServerModel,
     DispatchPolicy,
+    FleetEvent,
+    FleetSchedule,
     RatePartitioner,
     build_dispatch_policy,
     build_partitioner,
     make_cluster,
+    parse_fleet_events,
     resolve_capacities,
 )
 from .core import (
@@ -59,6 +62,7 @@ from .core import (
 from .distributions import BoundedPareto, Deterministic, Distribution, Exponential
 from .errors import (
     AllocationError,
+    ClusterDrainedError,
     DistributionError,
     ExperimentError,
     ParameterError,
@@ -137,6 +141,9 @@ __all__ = [
     "RatePartitioner",
     "build_dispatch_policy",
     "build_partitioner",
+    "FleetEvent",
+    "FleetSchedule",
+    "parse_fleet_events",
     # shared types and errors
     "TrafficClass",
     "ReproError",
@@ -146,5 +153,6 @@ __all__ = [
     "AllocationError",
     "SchedulingError",
     "SimulationError",
+    "ClusterDrainedError",
     "ExperimentError",
 ]

@@ -19,11 +19,17 @@ another :class:`~repro.simulation.ServerModel`:
 * :mod:`repro.cluster.capacity` — heterogeneous fleet descriptions: named
   capacity mixes (``"2:1"``, ``"pow2"``) and relative weights resolved to
   per-node capacities.
+* :mod:`repro.cluster.fleet` — dynamic fleets: :class:`FleetSchedule`
+  timelines of node ``join`` / ``leave`` (drain-before-removal) /
+  ``set_capacity`` events, applied mid-run with deterministic
+  re-normalisation of dispatch and rate partitioning over the live nodes.
 
 ``Scenario(classes, config, server=make_cluster(4, "jsq"))`` is all it takes
 to rerun any experiment on a 4-node cluster; the monitor, estimator and
 controller stacks are unchanged.  Heterogeneous fleets add one argument:
-``make_cluster(2, "weighted_jsq", capacities=resolve_capacities("2:1", 2))``.
+``make_cluster(2, "weighted_jsq", capacities=resolve_capacities("2:1", 2))``;
+dynamic fleets another:
+``make_cluster(2, "weighted_jsq", fleet=parse_fleet_events("kill:0@200 restore:0@400"))``.
 """
 
 from .capacity import CAPACITY_MIXES, mix_label, resolve_capacities
@@ -38,6 +44,14 @@ from .dispatch import (
     RoundRobin,
     WeightedRandom,
     build_dispatch_policy,
+)
+from .fleet import (
+    NODE_DOWN,
+    NODE_DRAINING,
+    NODE_LIVE,
+    FleetEvent,
+    FleetSchedule,
+    parse_fleet_events,
 )
 from .model import ClusterServerModel, make_cluster
 from .partition import (
@@ -73,4 +87,10 @@ __all__ = [
     "CAPACITY_MIXES",
     "resolve_capacities",
     "mix_label",
+    "FleetEvent",
+    "FleetSchedule",
+    "parse_fleet_events",
+    "NODE_LIVE",
+    "NODE_DRAINING",
+    "NODE_DOWN",
 ]

@@ -13,6 +13,14 @@ policies, the same seed, ``select_node`` returns the same node.  All ties are
 broken by the lowest node index, so a whole simulation run is reproducible
 from the scenario's master seed alone.
 
+Dynamic fleets: every policy selects only from the cluster's *live* nodes
+(:func:`~repro.cluster.fleet.live_nodes_of`) — draining and down nodes are
+skipped deterministically, and the cluster calls :meth:`DispatchPolicy.
+fleet_changed` at every fleet event so policies can refresh cached per-node
+state (capacity inverses, weighted-random cumulative weights).  On a fully
+live fleet the live set is every node, so static clusters behave
+bit-identically to the pre-fleet policies.
+
 Policies hold per-run state (round-robin cursors, RNG streams) and are bound
 to exactly one cluster — build a fresh policy per scenario, exactly like
 server models.
@@ -26,7 +34,8 @@ from collections.abc import Callable, Sequence
 import numpy as np
 
 from ..distributions.rng import make_generator
-from ..errors import SimulationError
+from ..errors import ClusterDrainedError, SimulationError
+from .fleet import live_nodes_of
 
 __all__ = [
     "DispatchPolicy",
@@ -70,6 +79,18 @@ class DispatchPolicy(abc.ABC):
     def _on_bind(self) -> None:
         """Validate parameters against the bound cluster (optional hook)."""
 
+    def fleet_changed(self) -> None:
+        """The cluster's live set or capacity vector changed mid-run.
+
+        Called by :class:`~repro.cluster.model.ClusterServerModel` at every
+        fleet event, before the rates are re-partitioned.  Policies caching
+        per-node state refresh it in :meth:`_on_fleet_change`.
+        """
+        self._on_fleet_change()
+
+    def _on_fleet_change(self) -> None:
+        """Refresh cached per-node state (optional hook)."""
+
     def preferred_partitioner(self):
         """The rate partitioner this policy works best with, or ``None``.
 
@@ -87,16 +108,28 @@ class DispatchPolicy(abc.ABC):
 
 
 class RoundRobin(DispatchPolicy):
-    """Cycle through the nodes in index order, one request per node."""
+    """Cycle through the live nodes in index order, one request per node.
+
+    The cursor walks every node index; non-live nodes are skipped in place,
+    so a node that rejoins resumes its old slot in the cycle and a fully
+    live fleet cycles exactly as the pre-fleet policy did.
+    """
 
     def __init__(self) -> None:
         super().__init__()
         self._next = 0
 
     def select_node(self, rid: int) -> int:
+        cluster = self.cluster
+        n = cluster.num_nodes
+        is_live = getattr(cluster, "is_live", None)
         node = self._next
-        self._next = (self._next + 1) % self.cluster.num_nodes
-        return node
+        for _ in range(n):
+            if is_live is None or is_live(node):
+                self._next = (node + 1) % n
+                return node
+            node = (node + 1) % n
+        raise ClusterDrainedError("round-robin found no live node to dispatch to")
 
 
 class WeightedRandom(DispatchPolicy):
@@ -134,10 +167,35 @@ class WeightedRandom(DispatchPolicy):
             )
         if any(w < 0.0 for w in weights) or sum(weights) <= 0.0:
             raise SimulationError("node weights must be non-negative with a positive sum")
-        self._cumulative = np.cumsum(np.asarray(weights, dtype=float))
+        self._rebuild_cumulative()
+
+    def _on_fleet_change(self) -> None:
+        # Live set or capacities changed: re-normalise the draw over the
+        # live weights (capacity defaults re-read the current vector).
+        self._rebuild_cumulative()
+
+    def _rebuild_cumulative(self) -> None:
+        cluster = self.cluster
+        weights = np.asarray(
+            self.weights if self.weights is not None else cluster.capacities,
+            dtype=float,
+        )
+        is_live = getattr(cluster, "is_live", None)
+        if is_live is not None:
+            live = np.asarray([is_live(node) for node in range(cluster.num_nodes)], dtype=bool)
+            weights = np.where(live, weights, 0.0)
+        total = weights.sum()
+        if total <= 0.0:
+            # No live weight anywhere (full outage): selection is impossible
+            # until a node joins, which rebuilds the cumulative again.
+            self._cumulative = None
+            return
+        self._cumulative = np.cumsum(weights)
         self._cumulative /= self._cumulative[-1]
 
     def select_node(self, rid: int) -> int:
+        if self._cumulative is None:
+            raise ClusterDrainedError("weighted-random draw has no live node weight")
         return int(np.searchsorted(self._cumulative, self.rng.random(), side="right"))
 
 
@@ -153,8 +211,9 @@ class JoinShortestQueue(DispatchPolicy):
     def select_node(self, rid: int) -> int:
         cluster = self.cluster
         class_index = cluster.ledger.class_of(rid)
-        best, best_pending = 0, cluster.pending(0, class_index)
-        for node in range(1, cluster.num_nodes):
+        live = live_nodes_of(cluster)
+        best, best_pending = live[0], cluster.pending(live[0], class_index)
+        for node in live[1:]:
             pending = cluster.pending(node, class_index)
             if pending < best_pending:
                 best, best_pending = node, pending
@@ -179,6 +238,13 @@ class CapacityWeightedJsq(DispatchPolicy):
     """
 
     def _on_bind(self) -> None:
+        self._refresh_inverse_capacities()
+
+    def _on_fleet_change(self) -> None:
+        # set_capacity events change the vector in place; re-read it.
+        self._refresh_inverse_capacities()
+
+    def _refresh_inverse_capacities(self) -> None:
         self._inverse_capacity = tuple(
             1.0 / self.cluster.node_capacity(node)
             for node in range(self.cluster.num_nodes)
@@ -192,9 +258,10 @@ class CapacityWeightedJsq(DispatchPolicy):
     def select_node(self, rid: int) -> int:
         cluster = self.cluster
         class_index = cluster.ledger.class_of(rid)
-        best = 0
-        best_load = cluster.pending(0, class_index) * self._inverse_capacity[0]
-        for node in range(1, cluster.num_nodes):
+        live = live_nodes_of(cluster)
+        best = live[0]
+        best_load = cluster.pending(best, class_index) * self._inverse_capacity[best]
+        for node in live[1:]:
             load = cluster.pending(node, class_index) * self._inverse_capacity[node]
             if load < best_load:
                 best, best_load = node, load
@@ -212,6 +279,12 @@ class FastestAvailable(DispatchPolicy):
     """
 
     def _on_bind(self) -> None:
+        self._refresh_inverse_capacities()
+
+    def _on_fleet_change(self) -> None:
+        self._refresh_inverse_capacities()
+
+    def _refresh_inverse_capacities(self) -> None:
         self._inverse_capacity = tuple(
             1.0 / self.cluster.node_capacity(node)
             for node in range(self.cluster.num_nodes)
@@ -224,9 +297,11 @@ class FastestAvailable(DispatchPolicy):
 
     def select_node(self, rid: int) -> int:
         cluster = self.cluster
+        live = live_nodes_of(cluster)
         fastest, fastest_capacity = -1, 0.0
-        best, best_eta = 0, cluster.work_left(0) * self._inverse_capacity[0]
-        for node in range(cluster.num_nodes):
+        first = live[0]
+        best, best_eta = first, cluster.work_left(first) * self._inverse_capacity[first]
+        for node in live:
             if cluster.work_left(node) == 0.0:
                 capacity = cluster.node_capacity(node)
                 if capacity > fastest_capacity:
@@ -247,8 +322,9 @@ class LeastWorkLeft(DispatchPolicy):
 
     def select_node(self, rid: int) -> int:
         cluster = self.cluster
-        best, best_work = 0, cluster.work_left(0)
-        for node in range(1, cluster.num_nodes):
+        live = live_nodes_of(cluster)
+        best, best_work = live[0], cluster.work_left(live[0])
+        for node in live[1:]:
             work = cluster.work_left(node)
             if work < best_work:
                 best, best_work = node, work
@@ -263,6 +339,12 @@ class ClassAffinity(DispatchPolicy):
     ``c % num_nodes``.  Pairs with an affinity-aware rate partitioner (its
     :meth:`preferred_partitioner`) so each class's allocated rate lands on
     the node that actually serves it.
+
+    When a home node is draining or down, the class fails over to the next
+    live node scanning upwards from the home index (wrapping around) — a
+    deterministic rule shared with :class:`~repro.cluster.partition.
+    AffinityPartitioner`, so requests and rates fail over together and fall
+    back the moment the home node rejoins.
     """
 
     def __init__(self, partition: Sequence[int] | None = None) -> None:
@@ -295,8 +377,31 @@ class ClassAffinity(DispatchPolicy):
 
         return AffinityPartitioner(self)
 
+    def effective_home(self, class_index: int) -> int:
+        """The class's home node, or its deterministic live fallback.
+
+        The fallback scans upwards from the home index (wrapping) for the
+        first live node; :class:`~repro.cluster.partition.AffinityPartitioner`
+        uses the same rule, keeping the class's requests and rate on one
+        node through any outage.
+        """
+        home = self.partition[class_index]
+        cluster = self.cluster
+        is_live = getattr(cluster, "is_live", None)
+        if is_live is None or is_live(home):
+            return home
+        n = cluster.num_nodes
+        for offset in range(1, n):
+            node = (home + offset) % n
+            if is_live(node):
+                return node
+        raise ClusterDrainedError(
+            f"class {class_index}'s home node {home} and every fallback are "
+            f"draining or down"
+        )
+
     def select_node(self, rid: int) -> int:
-        return self.partition[self.cluster.ledger.class_of(rid)]
+        return self.effective_home(self.cluster.ledger.class_of(rid))
 
 
 #: Registry of dispatch-policy factories by short name, as accepted by the

@@ -29,18 +29,30 @@ class (queued plus in service) and the outstanding full-rate work, which is
 what the backlog-aware policies and partitioners consume — the bookkeeping
 is model-agnostic, so any member substrate participates in JSQ and
 least-work dispatch without exposing internals.
+
+Dynamic fleets: a :class:`~repro.cluster.fleet.FleetSchedule` makes the
+member set time-varying.  At every event the cluster updates its per-node
+states (live / draining / down), notifies the dispatch policy to refresh any
+cached per-node state, and immediately re-partitions the controller's
+current rates over the live capacity vector — a leaving node keeps its
+last-applied rates so its queued work still drains, and is fully down once
+its pending queue empties.  The whole history lands in
+:attr:`ClusterServerModel.fleet_timeline` for the monitor's availability
+series.  An empty schedule is bit-identical to a cluster built without one.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
+from functools import partial
 
 import numpy as np
 
-from ..errors import SimulationError
+from ..errors import ClusterDrainedError, SimulationError
 from ..simulation.requests import Request
 from ..simulation.server_models import RateScalableServers, ServerModel
 from .dispatch import DispatchPolicy, RoundRobin, build_dispatch_policy
+from .fleet import NODE_DOWN, NODE_DRAINING, NODE_LIVE, FleetEvent, FleetSchedule
 from .partition import EqualSplit, RatePartitioner
 
 __all__ = ["ClusterServerModel", "make_cluster"]
@@ -68,6 +80,11 @@ class ClusterServerModel(ServerModel):
         determinism tests diff these logs).  Off by default so large
         trace-replay runs do not grow an unbounded list nobody reads;
         :meth:`dispatch_counts` is always maintained.
+    fleet:
+        Optional :class:`~repro.cluster.fleet.FleetSchedule` of node
+        join/leave/degradation events applied at their simulation times.
+        ``None`` (and the empty schedule) keeps the fleet static and
+        bit-identical to the pre-fleet cluster.
     """
 
     def __init__(
@@ -77,6 +94,7 @@ class ClusterServerModel(ServerModel):
         dispatch: DispatchPolicy | None = None,
         partitioner: RatePartitioner | None = None,
         record_dispatch: bool = False,
+        fleet: FleetSchedule | None = None,
     ) -> None:
         super().__init__()
         if not nodes:
@@ -101,13 +119,25 @@ class ClusterServerModel(ServerModel):
             partitioner = self.dispatch.preferred_partitioner() or EqualSplit()
         self.partitioner = partitioner
         self.record_dispatch = bool(record_dispatch)
+        self.fleet = fleet if fleet is not None else FleetSchedule()
+        self.fleet.validate_for(len(self.nodes))
         self._pending: list[list[int]] = []
         self._work_left: list[float] = []
         self._dispatch_counts: list[list[int]] = []
+        self._node_state: list[str] = []
+        self._live: tuple[int, ...] = ()
+        self._last_rates: tuple[float, ...] | None = None
         #: Node index chosen for every submitted request, in submission order
         #: (only populated with ``record_dispatch=True``; the determinism
         #: tests compare this log between runs).
         self.dispatch_log: list[int] = []
+        #: Fleet history: one ``(time, node_states, capacities)`` entry per
+        #: state or capacity change, starting with the bind-time snapshot.
+        #: States are the :data:`~repro.cluster.fleet.NODE_LIVE` /
+        #: ``NODE_DRAINING`` / ``NODE_DOWN`` strings; feed the timeline to
+        #: :meth:`repro.simulation.WindowedMonitor.availability_series` for a
+        #: per-window per-node availability matrix.
+        self.fleet_timeline: list[tuple[float, tuple[str, ...], tuple[float | None, ...]]] = []
 
     @property
     def num_nodes(self) -> int:
@@ -148,6 +178,19 @@ class ClusterServerModel(ServerModel):
         """The member node's own per-class queued counts."""
         return self.nodes[node].backlogs()
 
+    def node_state(self, node: int) -> str:
+        """The member node's fleet state (``live`` / ``draining`` / ``down``)."""
+        return self._node_state[node]
+
+    def is_live(self, node: int) -> bool:
+        """Whether the member node currently accepts dispatches and rates."""
+        return self._node_state[node] == NODE_LIVE
+
+    @property
+    def live_nodes(self) -> tuple[int, ...]:
+        """Indices of the nodes currently accepting work, ascending."""
+        return self._live
+
     # ------------------------------------------------------------------ #
     # ServerModel interface
     # ------------------------------------------------------------------ #
@@ -157,6 +200,11 @@ class ClusterServerModel(ServerModel):
         self._work_left = [0.0] * n
         self._dispatch_counts = [[0] * c for _ in range(n)]
         self.dispatch_log = []
+        down = set(self.fleet.initial_down)
+        self._node_state = [NODE_DOWN if i in down else NODE_LIVE for i in range(n)]
+        self._live = tuple(i for i in range(n) if self._node_state[i] == NODE_LIVE)
+        self._last_rates = None
+        self.fleet_timeline = []
         for index, node in enumerate(self.nodes):
             # Member nodes share the cluster's ledger, so row ids are valid
             # cluster-wide and the dispatch/pending bookkeeping never needs
@@ -168,18 +216,88 @@ class ClusterServerModel(ServerModel):
                 ledger=self.ledger,
             )
         self.dispatch.bind(self)
+        self._record_fleet_state()
+        for event in self.fleet.events:
+            self.engine.schedule_at(
+                event.time, partial(self._apply_fleet_event, event), label="fleet"
+            )
 
     def _completion_sink(self, node: int) -> Callable[[int], None]:
         def deliver(rid: int) -> None:
-            self._pending[node][self.ledger.class_of(rid)] -= 1
+            pending = self._pending[node]
+            pending[self.ledger.class_of(rid)] -= 1
             # Clamp: summation order can leave ~1e-16 residuals behind.
             self._work_left[node] = max(self._work_left[node] - self.ledger.size_of(rid), 0.0)
+            if self._node_state[node] == NODE_DRAINING and not any(pending):
+                # Drain complete: the leaving node served its last queued
+                # request and is now fully down (recorded for the timeline;
+                # dispatch and partitioning already excluded it).
+                self._node_state[node] = NODE_DOWN
+                self._record_fleet_state()
             self.deliver(rid)
 
         return deliver
 
+    # ------------------------------------------------------------------ #
+    # Fleet events
+    # ------------------------------------------------------------------ #
+    def _record_fleet_state(self) -> None:
+        self.fleet_timeline.append(
+            (
+                self.engine.now,
+                tuple(self._node_state),
+                tuple(node.capacity for node in self.nodes),
+            )
+        )
+
+    def _apply_fleet_event(self, event: FleetEvent) -> None:
+        state = self._node_state[event.node]
+        if event.action == "leave":
+            if state != NODE_LIVE:
+                raise SimulationError(
+                    f"fleet event {event.spec()!r}: node {event.node} is "
+                    f"{state}, only a live node can leave"
+                )
+            self._node_state[event.node] = (
+                NODE_DRAINING if any(self._pending[event.node]) else NODE_DOWN
+            )
+        elif event.action == "join":
+            if state == NODE_LIVE:
+                raise SimulationError(
+                    f"fleet event {event.spec()!r}: node {event.node} is already live"
+                )
+            # Rejoining a draining node cancels the drain; its leftover
+            # queue simply counts as pending work again.
+            self._node_state[event.node] = NODE_LIVE
+        else:  # set_capacity: degradation or recovery, applied in place
+            node = self.nodes[event.node]
+            if event.capacity is None and not node.supports_unconstrained:
+                raise SimulationError(
+                    f"fleet event {event.spec()!r}: {type(node).__name__} cannot "
+                    f"run unconstrained (capacity=None); give it a positive capacity"
+                )
+            node.capacity = event.capacity
+        self._refresh_fleet()
+
+    def _refresh_fleet(self) -> None:
+        """Re-normalise after a fleet event: live set, policy caches, rates."""
+        self._live = tuple(i for i in range(self.num_nodes) if self._node_state[i] == NODE_LIVE)
+        self._record_fleet_state()
+        self.dispatch.fleet_changed()
+        if self._last_rates is not None:
+            # Re-partition the controller's current allocation immediately —
+            # shares re-normalise over the live capacity vector at the event
+            # time, not at the next estimation-window boundary.
+            self.apply_rates(self._last_rates)
+
     def submit(self, request: int | Request) -> None:
         rid = self.resolve(request)
+        if not self._live:
+            raise ClusterDrainedError(
+                f"request arrived while every node of the {self.num_nodes}-node "
+                f"cluster is draining or down; keep at least one node live "
+                f"while traffic flows"
+            )
         node = self.dispatch.select_node(rid)
         if (
             isinstance(node, bool)
@@ -191,6 +309,11 @@ class ClusterServerModel(ServerModel):
                 f"node {node!r} (cluster has {self.num_nodes})"
             )
         node = int(node)
+        if self._node_state[node] != NODE_LIVE:
+            raise SimulationError(
+                f"dispatch policy {type(self.dispatch).__name__} chose "
+                f"{self._node_state[node]} node {node}; only live nodes accept work"
+            )
         class_index = self.ledger.class_of(rid)
         self._pending[node][class_index] += 1
         self._work_left[node] += self.ledger.size_of(rid)
@@ -202,7 +325,14 @@ class ClusterServerModel(ServerModel):
     def apply_rates(self, rates: Sequence[float]) -> None:
         if len(rates) != self.num_classes:
             raise SimulationError(f"expected {self.num_classes} rates, got {len(rates)}")
-        shares = self.partitioner.partition(tuple(float(r) for r in rates), self)
+        rates = tuple(float(r) for r in rates)
+        self._last_rates = rates
+        if not self._live:
+            # Full outage: no live node to partition over.  Draining nodes
+            # keep their last-applied rates so queued work still flushes;
+            # the allocation is re-applied the moment a node joins.
+            return
+        shares = self.partitioner.partition(rates, self)
         if len(shares) != self.num_nodes:
             raise SimulationError(
                 f"partitioner returned {len(shares)} share vectors for "
@@ -215,8 +345,11 @@ class ClusterServerModel(ServerModel):
                     f"partitioner does not conserve class {c}'s rate: allocated "
                     f"{rate}, distributed {assigned}"
                 )
-        for node, share in zip(self.nodes, shares):
-            node.apply_rates(share)
+        for index, (node, share) in enumerate(zip(self.nodes, shares)):
+            # Non-live nodes keep their last rates: a draining node must
+            # finish its queued work, and a down node holds none.
+            if self._node_state[index] == NODE_LIVE:
+                node.apply_rates(share)
 
     def backlogs(self) -> tuple[int, ...]:
         totals = [0] * self.num_classes
@@ -235,6 +368,7 @@ def make_cluster(
     partitioner: RatePartitioner | None = None,
     seed: int | np.random.SeedSequence | np.random.Generator | None = 0,
     record_dispatch: bool = False,
+    fleet: FleetSchedule | None = None,
 ) -> ClusterServerModel:
     """Build a cluster of ``num_nodes`` fresh member models.
 
@@ -248,6 +382,11 @@ def make_cluster(
     mix or relative weights into absolute capacities first).  Without it the
     factory is called with no arguments — the unconstrained homogeneous
     cluster, unchanged.
+
+    ``fleet`` attaches a :class:`~repro.cluster.fleet.FleetSchedule` of node
+    join/leave/degradation events (build one with
+    :func:`~repro.cluster.fleet.parse_fleet_events`); ``None`` keeps the
+    fleet static.
     """
     if num_nodes <= 0:
         raise SimulationError(f"num_nodes must be > 0, got {num_nodes}")
@@ -272,4 +411,5 @@ def make_cluster(
         dispatch=dispatch,
         partitioner=partitioner,
         record_dispatch=record_dispatch,
+        fleet=fleet,
     )

@@ -19,6 +19,15 @@ by its capacity, so a fast node with the same backlog (which it will drain
 sooner) receives proportionally more rate.  With no declared capacities
 every node weighs exactly 1.0 and both reduce bit-identically to their
 capacity-blind behaviour.
+
+Dynamic fleets: every partitioner re-normalises over the cluster's *live*
+nodes (:func:`~repro.cluster.fleet.live_nodes_of`) — draining and down
+nodes receive a zero share (a draining node keeps serving its queue at its
+last-applied rates; the cluster never pushes new rates into it), and each
+class's full rate is conserved over the live set alone.  On a fully live
+fleet the live set is every node and the arithmetic is bit-identical to the
+pre-fleet partitioners.  An empty live set raises
+:class:`~repro.errors.ClusterDrainedError`.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ import abc
 from collections.abc import Callable, Sequence
 
 from ..errors import SimulationError
+from .fleet import live_nodes_of
 
 __all__ = [
     "RatePartitioner",
@@ -61,8 +71,13 @@ class EqualSplit(RatePartitioner):
     """
 
     def partition(self, rates: Sequence[float], cluster) -> list[tuple[float, ...]]:
-        share = tuple(rate / cluster.num_nodes for rate in rates)
-        return [share for _ in range(cluster.num_nodes)]
+        live = live_nodes_of(cluster)
+        share = tuple(rate / len(live) for rate in rates)
+        zero = tuple(0.0 for _ in rates)
+        shares = [zero] * cluster.num_nodes
+        for node in live:
+            shares[node] = share
+        return shares
 
 
 class BacklogProportional(RatePartitioner):
@@ -91,21 +106,21 @@ class BacklogProportional(RatePartitioner):
 
     def partition(self, rates: Sequence[float], cluster) -> list[tuple[float, ...]]:
         nodes, shares = cluster.num_nodes, []
+        live = live_nodes_of(cluster)
         capacities = [cluster.node_capacity(node) for node in range(nodes)]
         for node in range(nodes):
             shares.append([0.0] * len(rates))
         for c, rate in enumerate(rates):
-            weights = [
-                (cluster.pending(node, c) + self.smoothing) * capacities[node]
-                for node in range(nodes)
-            ]
+            weights = [0.0] * nodes
+            for node in live:
+                weights[node] = (cluster.pending(node, c) + self.smoothing) * capacities[node]
             total = sum(weights)
             if total <= 0.0:
-                capacity_total = sum(capacities)
-                for node in range(nodes):
+                capacity_total = sum(capacities[node] for node in live)
+                for node in live:
                     shares[node][c] = rate * capacities[node] / capacity_total
             else:
-                for node in range(nodes):
+                for node in live:
                     shares[node][c] = rate * weights[node] / total
         return [tuple(share) for share in shares]
 
@@ -124,11 +139,16 @@ class CapacityProportional(RatePartitioner):
     """
 
     def partition(self, rates: Sequence[float], cluster) -> list[tuple[float, ...]]:
-        capacities = [cluster.node_capacity(node) for node in range(cluster.num_nodes)]
+        live = live_nodes_of(cluster)
+        capacities = [cluster.node_capacity(node) for node in live]
         total = sum(capacities)
         if not total > 0.0:
             raise SimulationError(f"cluster capacities sum to {total}; cannot split rates")
-        return [tuple(rate * capacity / total for rate in rates) for capacity in capacities]
+        zero = tuple(0.0 for _ in rates)
+        shares = [zero] * cluster.num_nodes
+        for node, capacity in zip(live, capacities):
+            shares[node] = tuple(rate * capacity / total for rate in rates)
+        return shares
 
 
 class AffinityPartitioner(RatePartitioner):
@@ -138,7 +158,10 @@ class AffinityPartitioner(RatePartitioner):
     ``c`` goes to ``partition[c]``, so that node must also receive the full
     per-class rate — an equal split would serve the class at ``rate / N``
     while the other nodes' shares idle, destabilising the queue at loads an
-    undivided server would sustain.
+    undivided server would sustain.  When a home node is draining or down
+    the rate follows :meth:`~repro.cluster.dispatch.ClassAffinity.
+    effective_home` — the same deterministic fallback the dispatch side
+    uses, so requests and rates stay together through fleet churn.
     """
 
     def __init__(self, affinity) -> None:
@@ -151,9 +174,11 @@ class AffinityPartitioner(RatePartitioner):
                 "AffinityPartitioner requires a bound ClassAffinity policy with "
                 "one home node per class"
             )
+        follow_fleet = self.affinity.cluster is not None
         shares = [[0.0] * len(rates) for _ in range(cluster.num_nodes)]
         for c, rate in enumerate(rates):
-            shares[partition[c]][c] = rate
+            home = self.affinity.effective_home(c) if follow_fleet else partition[c]
+            shares[home][c] = rate
         return [tuple(share) for share in shares]
 
 

@@ -14,6 +14,7 @@ __all__ = [
     "StabilityError",
     "AllocationError",
     "SimulationError",
+    "ClusterDrainedError",
     "ExperimentError",
     "SchedulingError",
 ]
@@ -55,6 +56,17 @@ class SchedulingError(ReproError, ValueError):
 
 class SimulationError(ReproError, RuntimeError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+class ClusterDrainedError(SimulationError):
+    """Every cluster node is draining or down; no live node can accept work.
+
+    Raised by :meth:`repro.cluster.ClusterServerModel.submit` when a request
+    arrives while the fleet schedule has taken the whole fleet out of
+    service, and by the rate partitioners when asked to split rates over an
+    empty live set.  A fleet that still receives traffic must keep at least
+    one live node at all times.
+    """
 
 
 class ExperimentError(ReproError, RuntimeError):

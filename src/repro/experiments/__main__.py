@@ -22,6 +22,13 @@ capacity-aware section of the cluster experiment::
     python -m repro.experiments --preset quick --only cluster --capacities 2 1
     python -m repro.experiments --preset default --only cluster \
         --capacities 2:1 pow2
+
+Dynamic fleet: kill the fast node mid-run and restore it (times in the
+paper's abstract time units; grammar of
+:func:`repro.cluster.parse_fleet_events`)::
+
+    python -m repro.experiments --preset default --only cluster \
+        --fleet-events kill:0@8000 restore:0@8200
 """
 
 from __future__ import annotations
@@ -95,6 +102,15 @@ def main(argv: list[str] | None = None) -> int:
         "2:1 fleet) or named capacity mixes "
         f"(choices: {', '.join(sorted(CAPACITY_MIXES))})",
     )
+    parser.add_argument(
+        "--fleet-events",
+        nargs="+",
+        default=None,
+        metavar="EVENT",
+        help="churn section of the 'cluster' experiment: fleet events in "
+        "'action:node@time' form (times in abstract time units), e.g. "
+        "'kill:0@8000 restore:0@8200' or 'set_capacity:1=0.25@5000'",
+    )
     args = parser.parse_args(argv)
     capacity_mixes = None
     if args.capacities is not None:
@@ -125,11 +141,13 @@ def main(argv: list[str] | None = None) -> int:
             args.cluster_nodes is not None
             or args.dispatch is not None
             or capacity_mixes is not None
+            or args.fleet_events is not None
         ):
             config = config.with_cluster(
                 nodes=args.cluster_nodes,
                 policies=args.dispatch,
                 capacity_mixes=capacity_mixes,
+                fleet_events=args.fleet_events,
             )
     except ExperimentError as error:
         parser.error(str(error))

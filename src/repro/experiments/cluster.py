@@ -24,7 +24,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..cluster import build_partitioner, make_cluster, mix_label, resolve_capacities
+from ..cluster import (
+    FleetSchedule,
+    build_partitioner,
+    make_cluster,
+    mix_label,
+    resolve_capacities,
+)
 from ..core.feedback import FeedbackPsdController
 from ..core.psd import PsdSpec
 from ..simulation.monitor import MeasurementConfig
@@ -62,6 +68,12 @@ class ClusterScalingBuild:
     #: :data:`repro.cluster.PARTITIONERS` name; ``None`` uses the dispatch
     #: policy's preferred partitioner (equal split unless capacity-aware).
     partitioner: str | None = None
+    #: Churn: a :class:`repro.cluster.FleetSchedule` already scaled to the
+    #: measurement's raw time units; ``None`` keeps the fleet static.
+    fleet: FleetSchedule | None = None
+    #: Record every dispatch decision into the result's ``dispatch_log``
+    #: (the determinism matrix diffs these across worker counts).
+    record_dispatch: bool = False
 
     def __call__(self, index: int, seed: np.random.SeedSequence) -> SimulationResult:
         if self.num_nodes is None:
@@ -78,6 +90,8 @@ class ClusterScalingBuild:
                 if self.partitioner is None
                 else build_partitioner(self.partitioner),
                 seed=dispatch_seed,
+                fleet=self.fleet,
+                record_dispatch=self.record_dispatch,
             )
         controller = FeedbackPsdController(self.classes, self.spec)
         return Scenario(
@@ -109,6 +123,15 @@ HETERO_CELLS: tuple[tuple[str, str], ...] = (
     ("fastest_available", "capacity"),
 )
 
+#: Dispatch x partitioner pairings run through the churn section when the
+#: config carries ``fleet_events`` — the fully re-normalising pairing, a
+#: backlog-driven one, and the static-minded baseline.
+CHURN_CELLS: tuple[tuple[str, str], ...] = (
+    ("weighted_jsq", "capacity"),
+    ("jsq", "backlog"),
+    ("round_robin", "equal"),
+)
+
 
 def run_cluster_scaling(
     config: ExperimentConfig,
@@ -132,7 +155,7 @@ def run_cluster_scaling(
     classes = config.classes_for_load(load, spec.deltas)
     scaled = config.scaled_measurement()
 
-    columns = ["nodes", "policy", "partitioner", "mix"]
+    columns = ["nodes", "policy", "partitioner", "mix", "fleet"]
     columns.extend(f"slowdown_{i}" for i in range(1, n + 1))
     columns.extend(f"ratio_{i}" for i in range(2, n + 1))
     columns.extend(["worst_rel_error", "system_slowdown"])
@@ -148,6 +171,7 @@ def run_cluster_scaling(
             "capacity_mixes": tuple(
                 mix_label(mix) for mix in config.capacity_mixes
             ),
+            "fleet_events": tuple(config.fleet_events),
             "replications": config.measurement.replications,
             "preset": config.name,
         },
@@ -162,6 +186,7 @@ def run_cluster_scaling(
         *,
         partitioner: str = "-",
         mix: str = "uniform",
+        fleet: str = "static",
     ):
         ratios = summary.ratio_of_mean_slowdowns
         row: dict[str, object] = {
@@ -169,6 +194,7 @@ def run_cluster_scaling(
             "policy": policy,
             "partitioner": partitioner,
             "mix": mix,
+            "fleet": fleet,
         }
         for i, slowdown in enumerate(summary.mean_slowdowns, start=1):
             row[f"slowdown_{i}"] = slowdown
@@ -181,6 +207,24 @@ def run_cluster_scaling(
         row["system_slowdown"] = summary.system_slowdown.mean
         result.add_row(**row)
         return ratios
+
+    # Resolve the churn section's fleet geometry up front — the same fleet
+    # as the heterogeneous sweep's first non-uniform mix (churn over unequal
+    # nodes is the harder re-normalisation problem), or the uniform fleet
+    # when the config sweeps none — and validate the schedule against it
+    # *before* any replication runs, so a bad --fleet-events node index
+    # fails in seconds instead of after the whole static sweep.
+    hetero_nodes = max(config.cluster_nodes)
+    schedule = config.fleet_schedule()
+    churn_nodes, churn_capacities, churn_mix = hetero_nodes, None, "uniform"
+    for mix in config.capacity_mixes:
+        size = len(mix) if not isinstance(mix, str) else hetero_nodes
+        capacities = resolve_capacities(mix, size)
+        if capacities is not None:
+            churn_nodes, churn_capacities, churn_mix = size, capacities, mix_label(mix)
+            break
+    if schedule is not None:
+        schedule.validate_for(churn_nodes)
 
     baseline_build = ClusterScalingBuild(classes, scaled, spec, dispatch_entropy=config.base_seed)
     baseline = _replicate(baseline_build, config)
@@ -198,7 +242,6 @@ def run_cluster_scaling(
             )
             add_row(nodes, policy, _replicate(build, config), baseline_ratios)
 
-    hetero_nodes = max(config.cluster_nodes)
     for mix in config.capacity_mixes:
         nodes = len(mix) if not isinstance(mix, str) else hetero_nodes
         capacities = resolve_capacities(mix, nodes)
@@ -223,6 +266,45 @@ def run_cluster_scaling(
                 partitioner=partitioner,
                 mix=mix_label(mix),
             )
+
+    if schedule is not None:
+        # Churn section, on the fleet geometry resolved (and validated
+        # against the schedule) before the sweeps above.
+        scaled_schedule = schedule.scaled_to_time_units(
+            config.service_distribution().mean()
+        )
+        for policy, partitioner in CHURN_CELLS:
+            build = ClusterScalingBuild(
+                classes,
+                scaled,
+                spec,
+                num_nodes=churn_nodes,
+                policy=policy,
+                dispatch_entropy=config.base_seed,
+                capacities=churn_capacities,
+                partitioner=partitioner,
+                fleet=scaled_schedule,
+            )
+            add_row(
+                churn_nodes,
+                policy,
+                _replicate(build, config),
+                baseline_ratios,
+                partitioner=partitioner,
+                mix=churn_mix,
+                fleet=schedule.spec(),
+            )
+        result.notes.append(
+            f"Churn rows (fleet != static) apply the event timeline "
+            f"'{schedule.spec()}' (times in abstract time units) mid-run: "
+            "leaving nodes drain their queues before going down, joining "
+            "nodes re-enter dispatch and rate partitioning at the event "
+            "time, and set_capacity degrades/recovers a node in place.  The "
+            "re-normalising pairings (weighted_jsq + capacity, jsq + "
+            "backlog) re-converge to the static ratio bands after each "
+            "event; the static-minded round_robin + equal split keeps "
+            "feeding the degraded/overloaded nodes and drifts."
+        )
 
     result.notes.append(
         "Expected shape: with homogeneous nodes every dispatch policy keeps the "

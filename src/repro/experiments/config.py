@@ -26,8 +26,9 @@ from dataclasses import dataclass, field, replace
 
 from ..cluster.capacity import CAPACITY_MIXES
 from ..cluster.dispatch import DISPATCH_POLICIES
+from ..cluster.fleet import FleetSchedule, parse_fleet_events
 from ..distributions.bounded_pareto import BoundedPareto
-from ..errors import ExperimentError
+from ..errors import ExperimentError, SimulationError
 from ..simulation.monitor import MeasurementConfig
 from ..types import TrafficClass
 from ..workload.webserver import web_classes
@@ -61,6 +62,11 @@ class ExperimentConfig:
     #: its own fleet size.  ``"uniform"`` entries are covered by the
     #: homogeneous sweep and skipped here.
     capacity_mixes: tuple[str | tuple[float, ...], ...] = ("uniform", "2:1", "pow2")
+    #: Fleet-event tokens (``leave:0@200 join:0@400`` — the grammar of
+    #: :func:`repro.cluster.parse_fleet_events`, times in the paper's
+    #: abstract time units) driving the churn section of the cluster
+    #: experiment; empty keeps every fleet static.
+    fleet_events: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.load_grid:
@@ -92,6 +98,11 @@ class ExperimentConfig:
                     f"explicit capacity mixes need strictly positive node "
                     f"speeds, got {mix!r}"
                 )
+        if self.fleet_events:
+            try:
+                parse_fleet_events(self.fleet_events)
+            except SimulationError as error:
+                raise ExperimentError(f"bad fleet_events: {error}") from None
 
     # ------------------------------------------------------------------ #
     # Workload helpers
@@ -106,6 +117,18 @@ class ExperimentConfig:
     def scaled_measurement(self) -> MeasurementConfig:
         """The measurement protocol converted from "time units" to raw time."""
         return self.measurement.scaled_to_time_units(self.service_distribution().mean())
+
+    def fleet_schedule(self) -> FleetSchedule | None:
+        """The parsed churn schedule, still in abstract time units.
+
+        Scale it alongside the measurement protocol
+        (``schedule.scaled_to_time_units(config.service_distribution().mean())``)
+        before handing it to a cluster; ``None`` when no events are
+        configured.
+        """
+        if not self.fleet_events:
+            return None
+        return parse_fleet_events(self.fleet_events)
 
     # ------------------------------------------------------------------ #
     # Variations
@@ -136,6 +159,7 @@ class ExperimentConfig:
         nodes: Sequence[int] | None = None,
         policies: Sequence[str] | None = None,
         capacity_mixes: "Sequence[str | tuple[float, ...]] | None" = None,
+        fleet_events: Sequence[str] | None = None,
     ) -> "ExperimentConfig":
         """Copy with a different cluster-scaling sweep grid."""
         return replace(
@@ -152,6 +176,9 @@ class ExperimentConfig:
                 mix if isinstance(mix, str) else tuple(float(c) for c in mix)
                 for mix in capacity_mixes
             ),
+            fleet_events=self.fleet_events
+            if fleet_events is None
+            else tuple(str(token) for token in fleet_events),
         )
 
 

@@ -50,7 +50,12 @@ from .generator import (
     sources_from_classes,
 )
 from .ledger import RequestLedger
-from .monitor import MeasurementConfig, WindowSample, WindowedMonitor
+from .monitor import (
+    MeasurementConfig,
+    WindowSample,
+    WindowedMonitor,
+    fleet_availability,
+)
 from .psd_server import PsdServerSimulation
 from .requests import Request
 from .runner import (
@@ -94,6 +99,7 @@ __all__ = [
     "MeasurementConfig",
     "WindowSample",
     "WindowedMonitor",
+    "fleet_availability",
     "Request",
     "RequestLedger",
     "FcfsTaskServer",

@@ -22,7 +22,12 @@ from ..validation import require_non_negative, require_positive
 from .ledger import RequestLedger
 from .trace import RequestRecord
 
-__all__ = ["MeasurementConfig", "WindowSample", "WindowedMonitor"]
+__all__ = [
+    "MeasurementConfig",
+    "WindowSample",
+    "WindowedMonitor",
+    "fleet_availability",
+]
 
 
 @dataclass(frozen=True)
@@ -233,6 +238,23 @@ class WindowedMonitor:
         arr = np.asarray(ratios, dtype=float)
         return arr[~np.isnan(arr)]
 
+    def availability_series(self, timeline, num_windows: int) -> np.ndarray:
+        """Per-window, per-node live fractions aligned with this monitor's windows.
+
+        ``timeline`` is a cluster's
+        :attr:`~repro.cluster.ClusterServerModel.fleet_timeline`; window
+        index 0 spans ``[warmup, warmup + window)``, exactly like
+        :meth:`samples` (map a :class:`WindowSample` to its index via
+        ``round((sample.start - warmup) / window)`` — ``round``, not floor:
+        window starts are ``warmup + k * window`` up to float jitter, and a
+        hair-below start must not land in the previous window).  Reading the slowdown
+        ratio series against this matrix shows when differentiation error is
+        the controller's fault and when the fleet simply had fewer nodes.
+        """
+        return fleet_availability(
+            timeline, warmup=self.warmup, window=self.window, num_windows=num_windows
+        )
+
     def per_class_window_means(self, *, drop_nan: bool = False) -> list[np.ndarray]:
         """For each class, the vector of its per-window mean slowdowns.
 
@@ -247,3 +269,41 @@ class WindowedMonitor:
             vals = np.asarray([s.mean_slowdowns[c] for s in samples], dtype=float)
             out.append(vals[~np.isnan(vals)] if drop_nan else vals)
         return out
+
+
+def fleet_availability(timeline, *, warmup: float, window: float, num_windows: int) -> np.ndarray:
+    """Fraction of each measurement window each node spent *live*.
+
+    ``timeline`` is a piecewise-constant fleet history — a sequence of
+    ``(time, node_states, capacities)`` entries as recorded by
+    :attr:`repro.cluster.ClusterServerModel.fleet_timeline`, where each
+    entry holds from its time until the next entry's.  States equal to
+    ``"live"`` count as available; draining and down nodes do not (a
+    draining node still serves its old queue but accepts nothing new, so it
+    adds no dispatchable capacity).
+
+    Returns a ``(num_windows, num_nodes)`` float matrix; window index ``i``
+    spans ``[warmup + i * window, warmup + (i + 1) * window)``.
+    """
+    require_non_negative(warmup, "warmup")
+    require_positive(window, "window")
+    if num_windows < 0:
+        raise ParameterError(f"num_windows must be >= 0, got {num_windows}")
+    entries = sorted(timeline, key=lambda entry: entry[0])
+    if not entries:
+        raise ParameterError("fleet timeline must have at least one entry")
+    num_nodes = len(entries[0][1])
+    out = np.zeros((num_windows, num_nodes), dtype=float)
+    for index, (start, states, _capacities) in enumerate(entries):
+        if len(states) != num_nodes:
+            raise ParameterError("fleet timeline entries disagree on the node count")
+        end = entries[index + 1][0] if index + 1 < len(entries) else float("inf")
+        live = np.asarray([state == "live" for state in states], dtype=float)
+        if not live.any():
+            continue
+        for w in range(num_windows):
+            window_start = warmup + w * window
+            overlap = min(end, window_start + window) - max(start, window_start)
+            if overlap > 0.0:
+                out[w] += live * (overlap / window)
+    return out

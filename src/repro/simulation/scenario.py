@@ -120,6 +120,14 @@ class SimulationResult:
     completed_counts: tuple[int, ...] = ()
     rejected_counts: tuple[int, ...] = ()
     ledger: RequestLedger | None = None
+    #: Fleet history of a clustered run — ``(time, node_states, capacities)``
+    #: entries copied from :attr:`repro.cluster.ClusterServerModel.
+    #: fleet_timeline`; ``None`` for non-cluster servers.
+    fleet_timeline: list[tuple[float, tuple[str, ...], tuple[float | None, ...]]] | None = None
+    #: Per-request node choices of a clustered run built with
+    #: ``record_dispatch=True`` (``None`` otherwise); rides replication
+    #: results so determinism tests can diff dispatch across worker counts.
+    dispatch_log: list[int] | None = None
 
     # ------------------------------------------------------------------ #
     # Post-warm-up summaries (the quantities the paper reports)
@@ -193,6 +201,24 @@ class SimulationResult:
     def slowdown_ratios_to_first(self) -> tuple[float, ...]:
         means = self.per_class_mean_slowdowns()
         return tuple(m / means[0] for m in means)
+
+    def per_node_availability(self, num_windows: int | None = None):
+        """Per-window per-node live fractions, or ``None`` without fleet data.
+
+        ``num_windows`` defaults to every full measurement window between
+        warm-up and the horizon; the matrix is aligned with the monitor's
+        window indexing (see :meth:`WindowedMonitor.availability_series`).
+        """
+        if self.fleet_timeline is None:
+            return None
+        if num_windows is None:
+            # Floor with a jitter epsilon: scaled (horizon - warmup) / window
+            # lands a hair below the exact count for many service-time means,
+            # and a bare floor would silently drop the last full window.
+            num_windows = int(
+                (self.config.horizon - self.config.warmup) / self.config.window + 1e-9
+            )
+        return self.monitor.availability_series(self.fleet_timeline, num_windows)
 
 
 class Scenario:
@@ -405,4 +431,8 @@ class Scenario:
             completed_counts=tuple(int(c) for c in completed),
             rejected_counts=tuple(self._rejected),
             ledger=self.ledger,
+            fleet_timeline=getattr(self.server, "fleet_timeline", None),
+            dispatch_log=getattr(self.server, "dispatch_log", None)
+            if getattr(self.server, "record_dispatch", False)
+            else None,
         )

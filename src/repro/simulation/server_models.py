@@ -78,6 +78,12 @@ class ServerModel(abc.ABC):
     #: Maximum sustainable total processing rate (``None`` = unconstrained).
     capacity: float | None = None
 
+    #: Whether the model can run with ``capacity=None`` (the paper's
+    #: unconstrained idealisation).  Models whose service arithmetic divides
+    #: by the capacity — a real processor — set this ``False`` so a fleet
+    #: ``set_capacity`` event cannot silently hand them ``None``.
+    supports_unconstrained: bool = True
+
     def __init__(self) -> None:
         self.engine: SimulationEngine | None = None
         self.classes: tuple[TrafficClass, ...] = ()
@@ -225,6 +231,8 @@ class SharedProcessorServer(ServerModel):
     sustainable total rate" every :class:`ServerModel` advertises, just
     always binding because a real processor cannot scale with the allocation.
     """
+
+    supports_unconstrained = False
 
     def __init__(self, scheduler: Scheduler, *, capacity: float = 1.0) -> None:
         super().__init__()
