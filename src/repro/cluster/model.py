@@ -322,6 +322,21 @@ class ClusterServerModel(ServerModel):
             self.dispatch_log.append(node)
         self.nodes[node].submit(rid)
 
+    def submit_batch(self, rids: np.ndarray) -> None:
+        """Per-request dispatch over a pre-drawn block.
+
+        The cluster cannot take the batched hot path
+        (``supports_batched=False``): dispatch policies such as
+        join-shortest-queue and least-work read the *live* pending counts,
+        so completions must interleave with arrivals in engine time.  A
+        block submitted by a batched-agnostic call site is therefore
+        dispatched request by request, with only the per-call ``resolve``
+        indirection hoisted out.
+        """
+        submit = self.submit
+        for rid in rids:
+            submit(int(rid))
+
     def apply_rates(self, rates: Sequence[float]) -> None:
         if len(rates) != self.num_classes:
             raise SimulationError(f"expected {self.num_classes} rates, got {len(rates)}")

@@ -29,6 +29,11 @@ paper's abstract time units; grammar of
 
     python -m repro.experiments --preset default --only cluster \
         --fleet-events kill:0@8000 restore:0@8200
+
+Profile a run (top 25 functions by cumulative time, raw stats optional)::
+
+    python -m repro.experiments --preset quick --only fig2 \
+        --profile --profile-out fig2.pstats
 """
 
 from __future__ import annotations
@@ -111,7 +116,29 @@ def main(argv: list[str] | None = None) -> int:
         "'action:node@time' form (times in abstract time units), e.g. "
         "'kill:0@8000 restore:0@8200' or 'set_capacity:1=0.25@5000'",
     )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        type=int,
+        const=25,
+        default=None,
+        metavar="N",
+        help="profile the run with cProfile and print the top N functions "
+        "by cumulative time (default N=25); use --workers 1 so the work "
+        "stays in the profiled process",
+    )
+    parser.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="with --profile, also dump raw cProfile stats to PATH "
+        "(inspect with 'python -m pstats PATH')",
+    )
     args = parser.parse_args(argv)
+    if args.profile is not None and args.profile <= 0:
+        parser.error("--profile expects a positive number of rows")
+    if args.profile_out is not None and args.profile is None:
+        parser.error("--profile-out requires --profile")
     capacity_mixes = None
     if args.capacities is not None:
         try:
@@ -153,7 +180,22 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(str(error))
 
     started = time.time()
-    results = run_all(preset=args.preset, config=config, only=args.only)
+    if args.profile is not None:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            results = run_all(preset=args.preset, config=config, only=args.only)
+        finally:
+            profiler.disable()
+            if args.profile_out:
+                profiler.dump_stats(args.profile_out)
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(args.profile)
+    else:
+        results = run_all(preset=args.preset, config=config, only=args.only)
     elapsed = time.time() - started
 
     if args.output:

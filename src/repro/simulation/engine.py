@@ -84,23 +84,38 @@ class SimulationEngine:
                 event = self._queue.pop()
                 if event is None:
                     break
-                if event.time < self._now - 1e-9:
-                    raise SimulationError(
-                        f"event calendar produced a past event ({event.time} < {self._now})"
-                    )
-                self._now = max(self._now, event.time)
-                event.callback()
-                self._processed += 1
+                self._dispatch(event)
             self._now = max(self._now, horizon)
         finally:
             self._running = False
 
     def step(self) -> bool:
-        """Dispatch a single event; returns ``False`` when the calendar is empty."""
+        """Dispatch a single event; returns ``False`` when the calendar is empty.
+
+        Shares :meth:`run_until`'s dispatch body, so the same guards apply:
+        stepping from inside a running callback raises (re-entrant dispatch
+        would corrupt the clock), and a calendar that produces an event in
+        the past raises instead of silently clamping time forward.
+        """
+        if self._running:
+            raise SimulationError("step called re-entrantly")
         event = self._queue.pop()
         if event is None:
             return False
+        self._running = True
+        try:
+            self._dispatch(event)
+        finally:
+            self._running = False
+        return True
+
+    def _dispatch(self, event: Event) -> None:
+        """Advance the clock to ``event`` and run its callback (shared by
+        :meth:`run_until` and :meth:`step`)."""
+        if event.time < self._now - 1e-9:
+            raise SimulationError(
+                f"event calendar produced a past event ({event.time} < {self._now})"
+            )
         self._now = max(self._now, event.time)
         event.callback()
         self._processed += 1
-        return True

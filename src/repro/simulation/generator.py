@@ -10,6 +10,7 @@ provided for tests and for replaying recorded workloads.
 from __future__ import annotations
 
 import abc
+import math
 from collections.abc import Sequence
 
 import numpy as np
@@ -77,6 +78,10 @@ class RequestSource:
         self.arrivals = arrivals
         self.sizes = sizes
         self.rng = rng
+        # Carried arrival of the batched path: the next arrival's absolute
+        # time has been drawn but its size has not (mirroring the per-event
+        # protocol, where the gap is drawn one event ahead of the size).
+        self._block_next_time: float | None = None
 
     def next_interarrival(self) -> float:
         return self.arrivals.next_interarrival(self.rng)
@@ -86,6 +91,35 @@ class RequestSource:
         if size <= 0.0:
             raise ParameterError(f"size distribution produced a non-positive sample {size!r}")
         return size
+
+    def draw_block(self, bound: float, *, inclusive: bool = False) -> tuple[np.ndarray, np.ndarray]:
+        """Pre-draw every arrival strictly before ``bound`` (``<=`` if
+        ``inclusive``); returns ``(times, sizes)`` as float64 arrays.
+
+        Draw order matches the per-event protocol exactly — gap first, then
+        alternating size/gap — so the generator's RNG state after a sequence
+        of blocks is bit-identical to the per-event stream at the same
+        arrival count.  The one gap drawn past the bound is carried into the
+        next block (its size is not drawn until the arrival is released),
+        so successive calls with increasing bounds tile the timeline without
+        consuming extra randomness.
+        """
+        times: list[float] = []
+        sizes: list[float] = []
+        t = self._block_next_time
+        if t is None:
+            gap = self.next_interarrival()
+            t = 0.0 + gap if math.isfinite(gap) else math.inf
+        while t < bound or (inclusive and t == bound):
+            sizes.append(self.next_size())
+            times.append(t)
+            gap = self.next_interarrival()
+            t = t + gap if math.isfinite(gap) else math.inf
+        self._block_next_time = t
+        return (
+            np.asarray(times, dtype=np.float64),
+            np.asarray(sizes, dtype=np.float64),
+        )
 
 
 class TraceSource(RequestSource):
@@ -124,6 +158,7 @@ class TraceSource(RequestSource):
         self._sizes = demand
         self._position = 0
         self._pending_size: float | None = None
+        self._absolute_times: np.ndarray | None = None
 
     def __len__(self) -> int:
         return int(self._interarrivals.size)
@@ -148,6 +183,26 @@ class TraceSource(RequestSource):
         size = self._pending_size
         self._pending_size = None
         return size
+
+    def draw_block(self, bound: float, *, inclusive: bool = False) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised block replay: one ``searchsorted`` instead of a cursor
+        loop.  The absolute arrival times are the running sum of the gaps —
+        ``np.cumsum`` is the same left-to-right fold the per-event replay
+        performs, so the times are bit-identical.
+        """
+        if self._pending_size is not None:
+            raise ParameterError(
+                "cannot mix per-event and block replay of the same trace source"
+            )
+        if self._absolute_times is None:
+            self._absolute_times = np.cumsum(self._interarrivals)
+        side = "right" if inclusive else "left"
+        end = int(np.searchsorted(self._absolute_times, bound, side=side))
+        start = self._position
+        if end <= start:
+            return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.float64)
+        self._position = end
+        return self._absolute_times[start:end], self._sizes[start:end]
 
 
 def sources_from_classes(

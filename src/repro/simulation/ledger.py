@@ -71,6 +71,7 @@ class RequestLedger:
         "_completed",
         "_order",
         "_extra",
+        "_buffer_owner",
     )
 
     def __init__(self, num_classes: int | None = None, *, capacity: int = DEFAULT_CAPACITY) -> None:
@@ -92,6 +93,10 @@ class RequestLedger:
         self._completion = np.full(capacity, math.nan, dtype=np.float64)
         self._order = np.empty(capacity, dtype=np.int64)
         self._extra: dict[int, dict] = {}
+        # Opaque keep-alive for zero-copy transports: when the columns are
+        # views into a shared-memory segment, the decoder parks the segment's
+        # owner here so the mapping outlives the ledger.  Never pickled.
+        self._buffer_owner = None
 
     # ------------------------------------------------------------------ #
     # Sizes
@@ -196,6 +201,65 @@ class RequestLedger:
         self._service_start[old_capacity:] = math.nan
         self._completion[old_capacity:] = math.nan
 
+    def append_batch(
+        self,
+        classes: np.ndarray,
+        arrivals: np.ndarray,
+        sizes: np.ndarray,
+        *,
+        request_ids: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Record a block of arrivals in one call; returns the new row ids.
+
+        The batched equivalent of :meth:`append`: one bounds check for the
+        whole block, growth amortised across it (the columns may grow
+        mid-batch, ids stay stable), and one slice write per column.  The
+        class bound is validated *before* any column is touched, so an
+        out-of-range class index rejects the whole block — no partial
+        append.  Row ids are assigned contiguously, so ``append`` and
+        ``append_batch`` interleave freely.
+        """
+        classes = np.asarray(classes, dtype=np.int64)
+        arrivals = np.asarray(arrivals, dtype=np.float64)
+        sizes = np.asarray(sizes, dtype=np.float64)
+        if classes.ndim != 1 or arrivals.shape != classes.shape or sizes.shape != classes.shape:
+            raise SimulationError(
+                "append_batch needs one-dimensional classes/arrivals/sizes of equal length"
+            )
+        k = classes.shape[0]
+        rid0 = self._n
+        if k == 0:
+            return np.empty(0, dtype=np.int64)
+        if classes.min() < 0 or (
+            self.num_classes is not None and classes.max() >= self.num_classes
+        ):
+            bound = "inf" if self.num_classes is None else self.num_classes
+            raise SimulationError(
+                f"append_batch: request class out of range [0, {bound}); "
+                f"no rows were appended"
+            )
+        while rid0 + k > self.capacity:
+            self._grow()
+        self._class_index[rid0 : rid0 + k] = classes
+        self._arrival_time[rid0 : rid0 + k] = arrivals
+        self._size[rid0 : rid0 + k] = sizes
+        if request_ids is not None:
+            self._request_id[rid0 : rid0 + k] = np.asarray(request_ids, dtype=np.int64)
+        self._n = rid0 + k
+        return np.arange(rid0, rid0 + k, dtype=np.int64)
+
+    def arrivals_of(self, rids: np.ndarray) -> np.ndarray:
+        """Arrival times of a block of row ids (vectorised gather)."""
+        return self._arrival_time[rids]
+
+    def sizes_of(self, rids: np.ndarray) -> np.ndarray:
+        """Sizes of a block of row ids (vectorised gather)."""
+        return self._size[rids]
+
+    def classes_of(self, rids: np.ndarray) -> np.ndarray:
+        """Class indices of a block of row ids (vectorised gather)."""
+        return self._class_index[rids]
+
     def append(
         self,
         class_index: int,
@@ -293,6 +357,85 @@ class RequestLedger:
         self._order[self._completed] = rid
         self._completed += 1
 
+    def complete_unlogged(self, rid: int, time: float) -> None:
+        """:meth:`complete` without the completion-order log entry.
+
+        Batched server drains use this (and :meth:`complete_batch`) so the
+        scenario can merge several servers' runs by time before recording
+        the global order via :meth:`log_completions`.
+        """
+        if math.isnan(self._service_start[rid]):
+            raise SimulationError(
+                f"request {self.label_of(rid)} completed without starting service"
+            )
+        if not math.isnan(self._completion[rid]):
+            raise SimulationError(f"request {self.label_of(rid)} completed twice")
+        if time < self._service_start[rid] - _TIME_TOL:
+            raise SimulationError(f"request {self.label_of(rid)} completed before service started")
+        self._completion[rid] = time
+
+    def start_service_batch(self, rids: np.ndarray, times: np.ndarray) -> None:
+        """Vectorised :meth:`start_service` for a block of rows.
+
+        The same invariants are enforced (once per block): no row may start
+        twice, and no start may precede its arrival beyond the time
+        tolerance.  On violation nothing is written.
+        """
+        rids = np.asarray(rids, dtype=np.int64)
+        times = np.asarray(times, dtype=np.float64)
+        if rids.size == 0:
+            return
+        if not np.all(np.isnan(self._service_start[rids])):
+            raise SimulationError("start_service_batch: a request started service twice")
+        if np.any(times < self._arrival_time[rids] - _TIME_TOL):
+            raise SimulationError("start_service_batch: a request started before arriving")
+        self._service_start[rids] = times
+
+    def complete_batch(self, rids: np.ndarray, times: np.ndarray) -> None:
+        """Vectorised :meth:`complete` *without* the completion-order log.
+
+        Batched server drains complete whole runs per server; the global
+        completion log must stay time-sorted across servers, so the caller
+        merges the per-server runs by time and records the merged order via
+        :meth:`log_completions` — always pair the two calls.
+        """
+        rids = np.asarray(rids, dtype=np.int64)
+        times = np.asarray(times, dtype=np.float64)
+        if rids.size == 0:
+            return
+        starts = self._service_start[rids]
+        if np.any(np.isnan(starts)):
+            raise SimulationError("complete_batch: a request completed without starting service")
+        if not np.all(np.isnan(self._completion[rids])):
+            raise SimulationError("complete_batch: a request completed twice")
+        if np.any(times < starts - _TIME_TOL):
+            raise SimulationError("complete_batch: a request completed before service started")
+        self._completion[rids] = times
+
+    def log_completions(self, rids: np.ndarray) -> None:
+        """Append a time-sorted block of completed rows to the completion log.
+
+        The companion of :meth:`complete_batch`.  The log is the backbone of
+        every vectorised window statistic, which assumes (and here verifies)
+        that logged completion times never decrease.
+        """
+        rids = np.asarray(rids, dtype=np.int64)
+        k = rids.shape[0]
+        if k == 0:
+            return
+        times = self._completion[rids]
+        if np.any(np.isnan(times)):
+            raise SimulationError("log_completions: a row has no completion time")
+        previous = (
+            -math.inf
+            if self._completed == 0
+            else float(self._completion[self._order[self._completed - 1]])
+        )
+        if times[0] < previous or np.any(np.diff(times) < 0.0):
+            raise SimulationError("log_completions: completion times out of order")
+        self._order[self._completed : self._completed + k] = rids
+        self._completed += k
+
     # ------------------------------------------------------------------ #
     # Escape hatch and views
     # ------------------------------------------------------------------ #
@@ -360,6 +503,7 @@ class RequestLedger:
         order[: self._completed] = state["order"]
         self._order = order
         self._extra = state["extra"]
+        self._buffer_owner = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -88,54 +88,117 @@ except ImportError:  # pragma: no cover - platforms without shm support
 SHM_MIN_BYTES = 1 << 20
 
 
+class _SegmentOwner:
+    """Keeps a decoded result's shared-memory mapping alive (zero-copy).
+
+    The decoder maps a worker's column buffers straight out of the shared
+    segment and unlinks the file immediately — POSIX keeps the mapping valid
+    until the last close — so this object's only job is to delay that close
+    until the result (which parks the owner on itself and its ledger) is
+    garbage collected.
+    """
+
+    __slots__ = ("_segment",)
+
+    def __init__(self, segment) -> None:
+        self._segment = segment
+
+    def __del__(self) -> None:  # pragma: no cover - GC-timing dependent
+        try:
+            self._segment.close()
+        except BufferError:
+            # Some column view still references the mapping (the caller kept
+            # a raw array past the result).  Detach our handles instead of
+            # closing: the mmap is freed when the last view goes, and the
+            # segment's own finaliser now has nothing left to close.
+            self._segment._buf = None
+            self._segment._mmap = None
+        except Exception:
+            pass
+
+
 def _encode_result(result: SimulationResult) -> tuple:
     """Serialise one worker result for the trip back to the parent.
 
     Protocol-5 pickling splits the result into a small object-graph body and
     the raw NumPy column buffers.  Large buffer sets go to a shared-memory
-    segment (the parent unlinks it after copying out); everything else is
-    shipped inline.  Both forms reassemble byte-identical arrays.
+    segment, each span aligned to 64 bytes so the parent can map the columns
+    in place; everything else is shipped inline.  Both forms reassemble
+    byte-identical arrays.
     """
     buffers: list[pickle.PickleBuffer] = []
     body = pickle.dumps(result, protocol=5, buffer_callback=buffers.append)
     views = [memoryview(b.raw()).cast("B") for b in buffers]
     total = sum(view.nbytes for view in views)
     if _shared_memory is not None and total >= SHM_MIN_BYTES:
+        spans = []
+        position = 0
+        for view in views:
+            position = (position + 63) & ~63
+            spans.append((position, view.nbytes))
+            position += view.nbytes
         try:
-            segment = _shared_memory.SharedMemory(create=True, size=total)
+            segment = _shared_memory.SharedMemory(create=True, size=max(position, 1))
         except OSError:
             segment = None  # e.g. /dev/shm missing or full: ship inline
         if segment is not None:
-            spans = []
-            position = 0
-            for view in views:
-                segment.buf[position : position + view.nbytes] = view
-                spans.append((position, view.nbytes))
-                position += view.nbytes
+            for view, (start, nbytes) in zip(views, spans):
+                segment.buf[start : start + nbytes] = view
             segment.close()
             return "shm", body, segment.name, spans
     return "inline", body, [bytes(view) for view in views]
 
 
 def _decode_result(payload: tuple) -> SimulationResult:
-    """Reassemble a worker result encoded by :func:`_encode_result`."""
+    """Reassemble a worker result encoded by :func:`_encode_result`.
+
+    Shared-memory results are decoded zero-copy: the pickle buffers are
+    memoryview slices of the mapped segment, so the parent's ledger columns
+    *are* the worker's bytes — no copy, no allocation.  The parent takes
+    ownership of the segment (unlinked immediately, mapping kept alive by a
+    :class:`_SegmentOwner` parked on the result and its ledger) and the old
+    copy-out path remains as the fallback if in-place reassembly fails.
+    """
     kind = payload[0]
     if kind == "shm":
         _, body, name, spans = payload
         segment = _shared_memory.SharedMemory(name=name)
         try:
-            # bytearray copies keep the arrays writable (and independent of
-            # the segment, which is unlinked right here).
+            result = pickle.loads(
+                body, buffers=[segment.buf[pos : pos + size] for pos, size in spans]
+            )
+        except Exception:
+            # Fall back to independent copies; then drop the mapping (any
+            # half-built views die with the exception's object graph).
             buffers = [bytearray(segment.buf[pos : pos + size]) for pos, size in spans]
-        finally:
-            segment.close()
-            try:
-                segment.unlink()
-            except FileNotFoundError:  # pragma: no cover - already reaped
-                pass
-        return pickle.loads(body, buffers=buffers)
+            _close_segment(segment, unlink=True)
+            return pickle.loads(body, buffers=buffers)
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reaped
+            pass
+        owner = _SegmentOwner(segment)
+        ledger = getattr(result, "ledger", None)
+        if ledger is not None:
+            ledger._buffer_owner = owner
+        result._buffer_owner = owner
+        return result
     _, body, buffers = payload
     return pickle.loads(body, buffers=[bytearray(b) for b in buffers])
+
+
+def _close_segment(segment, *, unlink: bool) -> None:
+    """Close (and optionally unlink) a segment, tolerating exported views."""
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - exported views still alive
+        segment._buf = None
+        segment._mmap = None
+    if unlink:
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reaped
+            pass
 
 
 def _ensure_resource_tracker() -> None:

@@ -129,6 +129,14 @@ class SimulationResult:
     #: results so determinism tests can diff dispatch across worker counts.
     dispatch_log: list[int] | None = None
 
+    def __getstate__(self):
+        # A zero-copy-decoded result carries a shared-memory keeper in
+        # ``_buffer_owner`` (see ``runner._decode_result``); it is
+        # process-local and must not ride a re-pickle.
+        state = self.__dict__.copy()
+        state.pop("_buffer_owner", None)
+        return state
+
     # ------------------------------------------------------------------ #
     # Post-warm-up summaries (the quantities the paper reports)
     # ------------------------------------------------------------------ #
@@ -245,6 +253,15 @@ class Scenario:
     admission:
         Optional :class:`repro.core.AdmissionPolicy`; rejected requests are
         counted but never enter the server model (nor the ledger).
+    batched:
+        Selects the hot path.  ``True`` runs the batched pipeline (arrival
+        blocks pre-drawn per estimation window, completions drained in bulk
+        at window boundaries — bit-identical aggregates, one engine event
+        per window instead of several per request); ``False`` forces the
+        per-event path (the escape hatch differential tests diff against,
+        and what admission policies and per-event server models require).
+        The default ``None`` picks batched automatically whenever the
+        server model supports it and no admission policy is installed.
     """
 
     def __init__(
@@ -258,6 +275,7 @@ class Scenario:
         seed: int | np.random.SeedSequence | None = 0,
         sources: Sequence[RequestSource] | None = None,
         admission: "AdmissionPolicy | None" = None,
+        batched: bool | None = None,
     ) -> None:
         if not classes:
             raise SimulationError("classes must be non-empty")
@@ -297,7 +315,29 @@ class Scenario:
         if len(initial_rates) != len(self.classes):
             raise SimulationError("controller rate vector length does not match classes")
         self.server = server if server is not None else RateScalableServers()
-        self.server.bind(self.engine, self.classes, self._on_completion, ledger=self.ledger)
+        supports_batched = getattr(self.server, "supports_batched", False)
+        if batched is None:
+            batched = supports_batched and admission is None
+        elif batched:
+            if admission is not None:
+                raise SimulationError(
+                    "the batched hot path cannot evaluate per-arrival admission "
+                    "decisions; pass batched=False to combine an admission "
+                    "policy with this scenario"
+                )
+            if not supports_batched:
+                raise SimulationError(
+                    f"{type(self.server).__name__} does not support the batched "
+                    "hot path; pass batched=False"
+                )
+        self.batched = bool(batched)
+        self.server.bind(
+            self.engine,
+            self.classes,
+            self._on_completion,
+            ledger=self.ledger,
+            batched=self.batched,
+        )
         self.server.apply_rates(initial_rates)
         self.rate_history.append((0.0, tuple(initial_rates)))
 
@@ -309,6 +349,36 @@ class Scenario:
             gap = source.next_interarrival()
             if np.isfinite(gap):
                 self.engine.schedule_after(gap, self._make_arrival(index), label=f"arrival-{index}")
+
+    def _queue_block(self, bound: float, *, inclusive: bool = False) -> None:
+        """Pre-draw and submit every arrival before ``bound`` (batched path).
+
+        One ``append_batch`` + ``submit_batch`` per estimation window
+        replaces one engine event per arrival.  Per-class blocks are merged
+        with a stable argsort on arrival time, so rows keep global time
+        order and same-time arrivals keep class order — the order the
+        per-event path produces for simultaneous first arrivals (scheduled
+        class by class); later cross-class ties are ordered by class here
+        versus by scheduling sequence there, a measure-zero distinction for
+        continuous workloads.
+        """
+        per_class = [source.draw_block(bound, inclusive=inclusive) for source in self.sources]
+        sizes_per_class = [block[0].shape[0] for block in per_class]
+        total = sum(sizes_per_class)
+        if total == 0:
+            return
+        times = np.concatenate([block[0] for block in per_class])
+        sizes = np.concatenate([block[1] for block in per_class])
+        classes = np.repeat(np.arange(len(self.sources), dtype=np.int64), sizes_per_class)
+        order = np.argsort(times, kind="stable")
+        rids = self.ledger.append_batch(classes[order], times[order], sizes[order])
+        self.server.submit_batch(rids)
+
+    def _sync_completions(self, now: float) -> None:
+        """Drain the server model to ``now`` and log the merged completions."""
+        rids = self.server.drain(now)
+        if rids.size:
+            self.ledger.log_completions(rids)
 
     def _make_arrival(self, class_index: int):
         ledger = self.ledger
@@ -391,6 +461,12 @@ class Scenario:
         )
 
     def _window_boundary(self) -> None:
+        if self.batched:
+            # Completions first: everything the servers finished up to this
+            # boundary must be in the ledger before the window statistics
+            # are cut.  Then, after the controller has spoken, pre-draw the
+            # next window's arrival block.
+            self._sync_completions(self.engine.now)
         arrivals, work, slowdowns = self._window_stats()
         if getattr(self.controller, "wants_slowdown_feedback", False):
             self.controller.observe_window(
@@ -402,6 +478,10 @@ class Scenario:
         self.server.apply_rates(rates)
         self.rate_history.append((self.engine.now, rates))
         next_boundary = self.engine.now + self.config.window
+        if self.batched:
+            bound = min(next_boundary, self.config.horizon)
+            if bound > self.engine.now:
+                self._queue_block(bound)
         if next_boundary <= self.config.horizon:
             self.engine.schedule_at(next_boundary, self._window_boundary, label="window")
 
@@ -410,9 +490,18 @@ class Scenario:
     # ------------------------------------------------------------------ #
     def run(self) -> SimulationResult:
         """Execute the simulation and return the collected results."""
-        self._schedule_first_arrivals()
+        if self.batched:
+            self._queue_block(min(self.config.window, self.config.horizon))
+        else:
+            self._schedule_first_arrivals()
         self.engine.schedule_at(self.config.window, self._window_boundary, label="window")
         self.engine.run_until(self.config.horizon)
+        if self.batched:
+            # Arrivals landing exactly on the horizon fire after the final
+            # window boundary on the per-event path; release them now, then
+            # flush the servers' last partial window of completions.
+            self._queue_block(self.config.horizon, inclusive=True)
+            self._sync_completions(self.config.horizon)
         num_classes = len(self.classes)
         admitted = np.bincount(self.ledger.class_index, minlength=num_classes)
         completed = np.bincount(

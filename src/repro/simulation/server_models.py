@@ -38,6 +38,8 @@ from __future__ import annotations
 import abc
 from collections.abc import Callable, Sequence
 
+import numpy as np
+
 from ..errors import SimulationError
 from ..scheduling.base import Scheduler, WeightedScheduler
 from ..types import TrafficClass
@@ -84,11 +86,19 @@ class ServerModel(abc.ABC):
     #: ``set_capacity`` event cannot silently hand them ``None``.
     supports_unconstrained: bool = True
 
+    #: Whether the model implements the batched hot path (block submission
+    #: via :meth:`submit_batch` plus bulk completion via :meth:`drain`).
+    #: Models whose behaviour depends on the engine-time interleaving of
+    #: completions with other events — e.g. a cluster whose dispatch policy
+    #: reads pending counts — keep this ``False`` and stay per-event.
+    supports_batched: bool = False
+
     def __init__(self) -> None:
         self.engine: SimulationEngine | None = None
         self.classes: tuple[TrafficClass, ...] = ()
         self.ledger: RequestLedger | None = None
         self._deliver: Callable[[int], None] | None = None
+        self.batched = False
 
     @property
     def num_classes(self) -> int:
@@ -101,12 +111,16 @@ class ServerModel(abc.ABC):
         deliver: Callable[[int], None],
         *,
         ledger: RequestLedger | None = None,
+        batched: bool = False,
     ) -> None:
         """Attach the model to a scenario's engine, ledger and completion sink.
 
         ``ledger`` is the scenario's columnar request store; a model bound
         without one (standalone use in tests) allocates a private ledger so
-        interned :class:`Request` submissions still work.
+        interned :class:`Request` submissions still work.  ``batched=True``
+        switches the model to the block hot path (:meth:`submit_batch` +
+        :meth:`drain`); only models advertising :attr:`supports_batched`
+        accept it.
         """
         if self.engine is not None:
             raise SimulationError(
@@ -115,10 +129,15 @@ class ServerModel(abc.ABC):
             )
         if not classes:
             raise SimulationError("classes must be non-empty")
+        if batched and not self.supports_batched:
+            raise SimulationError(
+                f"{type(self).__name__} does not support the batched hot path"
+            )
         self.engine = engine
         self.classes = tuple(classes)
         self.ledger = ledger if ledger is not None else RequestLedger(len(self.classes))
         self._deliver = deliver
+        self.batched = bool(batched)
         self._on_bind()
 
     def resolve(self, request: int | Request) -> int:
@@ -155,6 +174,25 @@ class ServerModel(abc.ABC):
     def backlogs(self) -> tuple[int, ...]:
         """Per-class queued request counts (excluding any in service)."""
 
+    def submit_batch(self, rids: np.ndarray) -> None:
+        """Submit a time-ordered block of ledger row ids.
+
+        Batched models override this with a vectorised route; the default
+        loops over :meth:`submit` so per-event models (including the
+        cluster) accept blocks from batched-agnostic call sites.
+        """
+        for rid in rids:
+            self.submit(int(rid))
+
+    def drain(self, now: float) -> np.ndarray:
+        """Advance a batched model to ``now``; returns the completed row ids
+        in global completion-time order (the caller logs them via
+        ``ledger.log_completions``).  Only meaningful with ``batched=True``.
+        """
+        raise SimulationError(
+            f"{type(self).__name__} was not bound with batched=True; nothing to drain"
+        )
+
 
 class RateScalableServers(ServerModel):
     """The paper's idealised model: one rate-scalable task server per class.
@@ -175,6 +213,8 @@ class RateScalableServers(ServerModel):
     nodes behaves identically with and without declared capacities.
     """
 
+    supports_batched = True
+
     def __init__(self, *, capacity: float | None = None) -> None:
         super().__init__()
         if capacity is not None and capacity <= 0.0:
@@ -185,7 +225,12 @@ class RateScalableServers(ServerModel):
     def _on_bind(self) -> None:
         self.servers = [
             FcfsTaskServer(
-                self.engine, i, 0.0, ledger=self.ledger, on_completion=self.deliver
+                self.engine,
+                i,
+                0.0,
+                ledger=self.ledger,
+                on_completion=self.deliver,
+                batched=self.batched,
             )
             for i in range(self.num_classes)
         ]
@@ -193,6 +238,33 @@ class RateScalableServers(ServerModel):
     def submit(self, request: int | Request) -> None:
         rid = self.resolve(request)
         self.servers[self.ledger.class_of(rid)].submit(rid)
+
+    def submit_batch(self, rids: np.ndarray) -> None:
+        if not self.batched:
+            super().submit_batch(rids)
+            return
+        classes = self.ledger.classes_of(rids)
+        for index, server in enumerate(self.servers):
+            block = rids[classes == index]
+            if block.size:
+                server.submit_batch(block)
+
+    def drain(self, now: float) -> np.ndarray:
+        """Drain every class's task server and merge the runs by time.
+
+        The merge is a stable argsort, so completions with equal timestamps
+        keep class order — the same order the per-event path produces when
+        the tied completion events were scheduled in class order (true for
+        every workload whose classes are started in class order, e.g. the
+        deterministic trace scenarios; for continuous workloads exact ties
+        have probability zero).
+        """
+        runs = [server.drain(now) for server in self.servers]
+        rids = np.concatenate([r for r, _ in runs])
+        if rids.size == 0:
+            return rids
+        times = np.concatenate([t for _, t in runs])
+        return rids[np.argsort(times, kind="stable")]
 
     def apply_rates(self, rates: Sequence[float]) -> None:
         if len(rates) != len(self.servers):
@@ -233,6 +305,7 @@ class SharedProcessorServer(ServerModel):
     """
 
     supports_unconstrained = False
+    supports_batched = True
 
     def __init__(self, scheduler: Scheduler, *, capacity: float = 1.0) -> None:
         super().__init__()
@@ -241,6 +314,14 @@ class SharedProcessorServer(ServerModel):
         self.scheduler = scheduler
         self.capacity = float(capacity)
         self._in_service: int | None = None
+        self._completion_time = 0.0
+        # Batched mode: arrivals not yet handed to the scheduler, consumed
+        # from ``_pending_pos`` as the drain's virtual clock advances.
+        self._pending_rids = np.empty(0, dtype=np.int64)
+        self._pending_times = np.empty(0, dtype=np.float64)
+        self._pending_classes = np.empty(0, dtype=np.int64)
+        self._pending_sizes = np.empty(0, dtype=np.float64)
+        self._pending_pos = 0
 
     def _on_bind(self) -> None:
         if self.scheduler.num_classes != self.num_classes:
@@ -253,6 +334,10 @@ class SharedProcessorServer(ServerModel):
         return self._in_service
 
     def submit(self, request: int | Request) -> None:
+        if self.batched:
+            raise SimulationError(
+                "per-request submit on a batched shared-processor server; use submit_batch"
+            )
         rid = self.resolve(request)
         self.scheduler.enqueue(
             self.ledger.class_of(rid),
@@ -261,6 +346,97 @@ class SharedProcessorServer(ServerModel):
             payload=rid,
         )
         self._dispatch_if_idle()
+
+    def submit_batch(self, rids: np.ndarray) -> None:
+        if not self.batched:
+            super().submit_batch(rids)
+            return
+        rids = np.asarray(rids, dtype=np.int64)
+        if rids.size == 0:
+            return
+        pos = self._pending_pos
+        if pos < self._pending_rids.shape[0]:
+            self._pending_rids = np.concatenate((self._pending_rids[pos:], rids))
+            self._pending_times = np.concatenate(
+                (self._pending_times[pos:], self.ledger.arrivals_of(rids))
+            )
+            self._pending_classes = np.concatenate(
+                (self._pending_classes[pos:], self.ledger.classes_of(rids))
+            )
+            self._pending_sizes = np.concatenate(
+                (self._pending_sizes[pos:], self.ledger.sizes_of(rids))
+            )
+        else:
+            self._pending_rids = rids
+            self._pending_times = self.ledger.arrivals_of(rids)
+            self._pending_classes = self.ledger.classes_of(rids)
+            self._pending_sizes = self.ledger.sizes_of(rids)
+        self._pending_pos = 0
+
+    def drain(self, now: float) -> np.ndarray:
+        """Replay the processor's event loop to ``now`` in virtual time.
+
+        The scheduler sees exactly the per-event call sequence — arrivals
+        enqueued at their timestamps, one ``select`` whenever the processor
+        frees up — but without engine dispatch: the drain walks the pending
+        block and the in-service completion with a plain loop.  Arrivals
+        tied with a completion enqueue *after* the ``select`` (the
+        completion-first convention; exact ties have probability zero for
+        continuous workloads).
+        """
+        if not self.batched:
+            return super().drain(now)
+        ledger = self.ledger
+        scheduler = self.scheduler
+        rids = self._pending_rids
+        times = self._pending_times
+        classes = self._pending_classes
+        sizes = self._pending_sizes
+        n = rids.shape[0]
+        pos = self._pending_pos
+        done: list[int] = []
+        inf = float("inf")
+        while True:
+            completion = self._completion_time if self._in_service is not None else inf
+            arrival = times[pos] if pos < n else inf
+            if completion <= arrival:
+                if completion > now:
+                    break
+                rid = self._in_service
+                ledger.complete_unlogged(rid, completion)
+                self._in_service = None
+                done.append(rid)
+                self._start_selected(completion)
+            else:
+                if arrival > now:
+                    break
+                # Enqueue at the arrival instant even while the processor is
+                # busy: fair-queueing tags depend on the virtual time and
+                # weights in force *when the job arrives*.
+                idle = self._in_service is None
+                scheduler.enqueue(
+                    int(classes[pos]), float(sizes[pos]), float(arrival), payload=int(rids[pos])
+                )
+                pos += 1
+                if idle:
+                    self._start_selected(float(arrival))
+        self._pending_pos = pos
+        if not done:
+            return np.empty(0, dtype=np.int64)
+        return np.asarray(done, dtype=np.int64)
+
+    def _start_selected(self, time: float) -> bool:
+        """Ask the scheduler for the next job at ``time``; start it if any."""
+        job = self.scheduler.select(time)
+        if job is None:
+            return False
+        rid = job.payload
+        if not isinstance(rid, int):
+            raise SimulationError("scheduler returned a job without its row-id payload")
+        self.ledger.start_service(rid, time)
+        self._in_service = rid
+        self._completion_time = time + self.ledger.size_of(rid) / self.capacity
+        return True
 
     def apply_rates(self, rates: Sequence[float]) -> None:
         if isinstance(self.scheduler, WeightedScheduler):

@@ -48,6 +48,7 @@ class SharedProcessorSimulation(Scenario):
         sources: Sequence[RequestSource] | None = None,
         capacity: float = 1.0,
         admission: "AdmissionPolicy | None" = None,
+        batched: bool | None = None,
     ) -> None:
         super().__init__(
             classes,
@@ -58,6 +59,7 @@ class SharedProcessorSimulation(Scenario):
             seed=seed,
             sources=sources,
             admission=admission,
+            batched=batched,
         )
 
     @property

@@ -21,6 +21,8 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Callable
 
+import numpy as np
+
 from ..errors import SimulationError
 from ..validation import require_non_negative
 from .engine import SimulationEngine
@@ -31,7 +33,17 @@ __all__ = ["FcfsTaskServer"]
 
 
 class FcfsTaskServer:
-    """FCFS queue plus a single service position running at a mutable rate."""
+    """FCFS queue plus a single service position running at a mutable rate.
+
+    Two dispatch modes share the same progress bookkeeping:
+
+    * per-event (default): every completion is an engine event, exactly as
+      the paper's Fig. 1 describes the model;
+    * batched (``batched=True``): arrivals are pushed in blocks via
+      :meth:`submit_batch` and completions are computed in bulk by
+      :meth:`drain` — legal because between two rate changes the FCFS run's
+      completion times are a deterministic left fold of the arrival block.
+    """
 
     def __init__(
         self,
@@ -41,6 +53,7 @@ class FcfsTaskServer:
         *,
         ledger: RequestLedger | None = None,
         on_completion: Callable[[int], None] | None = None,
+        batched: bool = False,
     ) -> None:
         require_non_negative(rate, "rate")
         self.engine = engine
@@ -48,6 +61,7 @@ class FcfsTaskServer:
         self.ledger = ledger if ledger is not None else RequestLedger()
         self._rate = float(rate)
         self._on_completion = on_completion
+        self.batched = bool(batched)
         self.queue: deque[int] = deque()
         self.in_service: int | None = None
         self._remaining_work = 0.0
@@ -55,6 +69,12 @@ class FcfsTaskServer:
         self._completion_event = None
         self.busy_time = 0.0
         self.completed_count = 0
+        # Batched mode: the pending block (rids + gathered arrival/size
+        # columns), consumed from ``_pending_pos`` by successive drains.
+        self._pending_rids = np.empty(0, dtype=np.int64)
+        self._pending_arrivals = np.empty(0, dtype=np.float64)
+        self._pending_sizes = np.empty(0, dtype=np.float64)
+        self._pending_pos = 0
 
     # ------------------------------------------------------------------ #
     # Public interface
@@ -67,6 +87,8 @@ class FcfsTaskServer:
     @property
     def backlog(self) -> int:
         """Requests waiting in queue (not counting the one in service)."""
+        if self.batched:
+            return self._pending_rids.shape[0] - self._pending_pos
         return len(self.queue)
 
     @property
@@ -79,6 +101,10 @@ class FcfsTaskServer:
         ``request`` is a ledger row id on the hot path; a standalone
         :class:`Request` view is interned into the server's ledger first.
         """
+        if self.batched:
+            raise SimulationError(
+                "per-request submit on a batched task server; use submit_batch"
+            )
         rid = self.ledger.resolve(request)
         class_index = self.ledger.class_of(rid)
         if class_index != self.class_index:
@@ -89,6 +115,134 @@ class FcfsTaskServer:
         self.queue.append(rid)
         if self.in_service is None:
             self._start_next()
+
+    def submit_batch(self, rids: np.ndarray) -> None:
+        """Queue a time-ordered block of this class's row ids (batched mode)."""
+        if not self.batched:
+            raise SimulationError("submit_batch on a per-event task server")
+        rids = np.asarray(rids, dtype=np.int64)
+        if rids.size == 0:
+            return
+        pos = self._pending_pos
+        if pos < self._pending_rids.shape[0]:
+            self._pending_rids = np.concatenate((self._pending_rids[pos:], rids))
+            self._pending_arrivals = np.concatenate(
+                (self._pending_arrivals[pos:], self.ledger.arrivals_of(rids))
+            )
+            self._pending_sizes = np.concatenate(
+                (self._pending_sizes[pos:], self.ledger.sizes_of(rids))
+            )
+        else:
+            self._pending_rids = rids
+            self._pending_arrivals = self.ledger.arrivals_of(rids)
+            self._pending_sizes = self.ledger.sizes_of(rids)
+        self._pending_pos = 0
+
+    def drain(self, now: float) -> tuple[np.ndarray, np.ndarray]:
+        """Advance the batched server to ``now``; returns the completions.
+
+        Replays exactly what the per-event path would have done between the
+        last drain and ``now`` at the current (unchanged) rate: finish the
+        carried in-service request at ``last_progress + remaining / rate``,
+        then left-fold the pending block — ``start = max(arrival, previous
+        completion)``, ``completion = start + size / rate`` — with scalar
+        float arithmetic, the very additions the per-request completion
+        events performed, hence bit-identical timestamps.  The lifecycle
+        columns are written in one vectorised batch per drain (FCFS busy
+        runs are short at moderate load, so per-run array operations would
+        cost more than they fold).  Returns ``(rids, times)`` in completion
+        order; the caller owns the completion log (the runs of several
+        servers must be merged by time first).
+        """
+        if not self.batched:
+            raise SimulationError("drain on a per-event task server")
+        done_rids: list[int] = []
+        done_times: list[float] = []
+        rate = self._rate
+        free = -np.inf
+        # Phase 1: the request carried in service from before this drain.
+        if self.in_service is not None:
+            if rate <= 0.0:
+                return self._empty_drain()
+            completion = self._last_progress_time + self._remaining_work / rate
+            if completion > now:
+                return self._empty_drain()
+            rid = self.in_service
+            self.ledger.complete_unlogged(rid, completion)
+            self.busy_time += completion - self._last_progress_time
+            self._last_progress_time = completion
+            self.completed_count += 1
+            self.in_service = None
+            self._remaining_work = 0.0
+            done_rids.append(rid)
+            done_times.append(completion)
+            free = completion
+        # Phase 2: left-fold the pending block up to ``now``.
+        pos = self._pending_pos
+        n = self._pending_rids.shape[0]
+        if pos < n and self._pending_arrivals[pos] <= now:
+            rids = self._pending_rids[pos:].tolist()
+            arrivals = self._pending_arrivals[pos:].tolist()
+            sizes = self._pending_sizes[pos:].tolist()
+            consumed = 0
+            if rate <= 0.0:
+                # Zero rate: the head still occupies the service position
+                # (frozen until the next re-allocation), later arrivals queue.
+                arrival = arrivals[0]
+                start = arrival if arrival > free else free
+                rid = rids[0]
+                self.ledger.start_service(rid, start)
+                self.in_service = rid
+                self._remaining_work = sizes[0]
+                self._last_progress_time = start
+                consumed = 1
+            else:
+                starts: list[float] = []
+                batch_rids: list[int] = []
+                busy = 0.0
+                k = len(rids)
+                while consumed < k:
+                    arrival = arrivals[consumed]
+                    if arrival > now:
+                        break
+                    start = arrival if arrival > free else free
+                    completion = start + sizes[consumed] / rate
+                    if completion > now:
+                        # Mid-service at ``now``: record the start, carry
+                        # the remaining work into the next drain.
+                        rid = rids[consumed]
+                        self.ledger.start_service(rid, start)
+                        self.in_service = rid
+                        self._remaining_work = sizes[consumed]
+                        self._last_progress_time = start
+                        consumed += 1
+                        break
+                    starts.append(start)
+                    batch_rids.append(rids[consumed])
+                    done_times.append(completion)
+                    busy += completion - start
+                    free = completion
+                    consumed += 1
+                if batch_rids:
+                    batch = np.asarray(batch_rids, dtype=np.int64)
+                    completions = np.asarray(done_times[-len(batch_rids) :])
+                    self.ledger.start_service_batch(batch, np.asarray(starts))
+                    self.ledger.complete_batch(batch, completions)
+                    self.busy_time += busy
+                    self.completed_count += len(batch_rids)
+                    done_rids.extend(batch_rids)
+                    if self.in_service is None:
+                        self._last_progress_time = free
+            self._pending_pos = pos + consumed
+        if not done_rids:
+            return self._empty_drain()
+        return (
+            np.asarray(done_rids, dtype=np.int64),
+            np.asarray(done_times, dtype=np.float64),
+        )
+
+    def _empty_drain(self) -> tuple[np.ndarray, np.ndarray]:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
 
     def set_rate(self, rate: float) -> None:
         """Change the processing rate, rescheduling the in-service request.
@@ -128,6 +282,10 @@ class FcfsTaskServer:
         self._reschedule_completion()
 
     def _reschedule_completion(self) -> None:
+        if self.batched:
+            # Batched mode schedules no engine events: the next drain
+            # recomputes the completion from (last_progress, remaining, rate).
+            return
         if self._completion_event is not None:
             self._completion_event.cancel()
             self._completion_event = None

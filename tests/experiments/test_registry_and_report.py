@@ -85,3 +85,35 @@ class TestCommandLine:
         assert code == 0
         assert out_file.exists()
         assert "FIG7" in out_file.read_text()
+
+    def test_main_profile_prints_hotspots(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        stats_file = tmp_path / "fig7.pstats"
+        code = main(
+            [
+                "--preset",
+                "quick",
+                "--only",
+                "fig7",
+                "--profile",
+                "10",
+                "--profile-out",
+                str(stats_file),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        # The table still lands on stdout; the profile goes to stderr.
+        assert "completed 1 experiments" in captured.out
+        assert "cumulative" in captured.err
+        assert stats_file.exists()
+        import pstats
+
+        assert pstats.Stats(str(stats_file)).total_calls > 0
+
+    def test_main_profile_out_requires_profile(self, capsys):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["--preset", "quick", "--only", "fig7", "--profile-out", "x.pstats"])

@@ -171,3 +171,51 @@ class TestSimulationEngine:
         engine.run_until(2.0)
         assert fired == []
         assert engine.events_processed == 0
+
+
+class TestStepDispatchUnification:
+    """``step`` shares ``run_until``'s dispatch body — same guards, same clock."""
+
+    def test_step_from_inside_a_callback_raises(self):
+        engine = SimulationEngine()
+        errors = []
+
+        def reenter():
+            try:
+                engine.step()
+            except SimulationError as exc:
+                errors.append(str(exc))
+
+        engine.schedule_at(1.0, reenter)
+        engine.schedule_at(2.0, lambda: None)
+        assert engine.step()
+        assert errors and "re-entrantly" in errors[0]
+        # The queued second event survived the rejected re-entrant step.
+        assert engine.step()
+        assert engine.now == 2.0
+
+    def test_run_until_from_inside_a_step_callback_raises(self):
+        engine = SimulationEngine()
+        errors = []
+
+        def reenter():
+            try:
+                engine.run_until(10.0)
+            except SimulationError as exc:
+                errors.append(str(exc))
+
+        engine.schedule_at(1.0, reenter)
+        assert engine.step()
+        assert errors and "re-entrantly" in errors[0]
+
+    def test_step_counts_events_and_advances_clock_like_run_until(self):
+        stepped = SimulationEngine()
+        looped = SimulationEngine()
+        for engine in (stepped, looped):
+            for t in (0.25, 0.5, 1.75):
+                engine.schedule_at(t, lambda: None)
+        while stepped.step():
+            pass
+        looped.run_until(1.75)
+        assert stepped.events_processed == looped.events_processed == 3
+        assert stepped.now == looped.now == 1.75

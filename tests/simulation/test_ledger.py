@@ -304,3 +304,96 @@ class TestLedgerPickling:
         np.testing.assert_array_equal(ledger.completed_ids, [b, a])
         np.testing.assert_allclose(ledger.slowdowns(), [1.0, 0.75])
         np.testing.assert_allclose(ledger.waiting_times(), [1.0, 3.0])
+
+
+class TestAppendBatch:
+    def test_empty_batch_is_a_noop(self):
+        ledger = RequestLedger(2)
+        rids = ledger.append_batch([], [], [])
+        assert rids.shape == (0,)
+        assert rids.dtype == np.int64
+        assert len(ledger) == 0
+        # And does not disturb subsequent scalar appends.
+        assert ledger.append(0, 0.0, 1.0) == 0
+
+    def test_batch_growth_across_capacity_boundary(self):
+        ledger = RequestLedger(2, capacity=4)
+        ledger.append(0, 0.0, 1.0)
+        ledger.append(1, 1.0, 1.0)
+        ledger.append(0, 2.0, 1.0)
+        # Three rows live, capacity four: the batch straddles the boundary
+        # and must force (possibly repeated) growth without losing rows.
+        k = 50
+        rids = ledger.append_batch(
+            np.arange(k) % 2, 10.0 + np.arange(k, dtype=float), np.full(k, 0.5)
+        )
+        np.testing.assert_array_equal(rids, np.arange(3, 3 + k))
+        assert len(ledger) == 3 + k
+        assert ledger.capacity >= 3 + k
+        np.testing.assert_array_equal(ledger.arrival_time[:3], [0.0, 1.0, 2.0])
+        np.testing.assert_array_equal(ledger.arrival_time[3:], 10.0 + np.arange(k))
+        np.testing.assert_array_equal(ledger.class_index[3:], np.arange(k) % 2)
+
+    def test_class_violation_mid_batch_appends_nothing(self):
+        ledger = RequestLedger(2)
+        ledger.append(0, 0.0, 1.0)
+        with pytest.raises(SimulationError, match="no rows were appended"):
+            ledger.append_batch([0, 1, 2, 0], [1.0, 2.0, 3.0, 4.0], [1.0] * 4)
+        with pytest.raises(SimulationError, match="no rows were appended"):
+            ledger.append_batch([0, -1], [1.0, 2.0], [1.0, 1.0])
+        # The violating batches left no partial rows behind.
+        assert len(ledger) == 1
+        assert ledger.append(1, 5.0, 1.0) == 1
+        np.testing.assert_array_equal(ledger.arrival_time, [0.0, 5.0])
+
+    def test_interleaved_scalar_and_batch_appends_share_rid_sequence(self):
+        ledger = RequestLedger(3, capacity=2)
+        rid0 = ledger.append(0, 0.0, 1.0)
+        batch1 = ledger.append_batch([1, 2], [1.0, 2.0], [1.0, 1.0])
+        rid3 = ledger.append(0, 3.0, 1.0)
+        batch2 = ledger.append_batch([2], [4.0], [1.0])
+        assert rid0 == 0
+        np.testing.assert_array_equal(batch1, [1, 2])
+        assert rid3 == 3
+        np.testing.assert_array_equal(batch2, [4])
+        assert len(ledger) == 5
+        np.testing.assert_array_equal(ledger.class_index, [0, 1, 2, 0, 2])
+        np.testing.assert_array_equal(ledger.arrival_time, np.arange(5, dtype=float))
+
+    def test_batch_shape_mismatch_rejected(self):
+        ledger = RequestLedger(2)
+        with pytest.raises(SimulationError):
+            ledger.append_batch([0, 1], [1.0], [1.0, 1.0])
+        assert len(ledger) == 0
+
+
+class TestBatchLifecycle:
+    def test_start_service_batch_validates_before_writing(self):
+        ledger = RequestLedger(1)
+        rids = ledger.append_batch([0, 0, 0], [0.0, 1.0, 2.0], [1.0] * 3)
+        ledger.start_service(1, 1.0)
+        with pytest.raises(SimulationError, match="twice"):
+            ledger.start_service_batch(rids, np.array([0.0, 1.5, 2.0]))
+        # The double-start was detected before any write: rows 0 and 2 stay unstarted.
+        assert math.isnan(ledger.service_start_time[0])
+        assert math.isnan(ledger.service_start_time[2])
+
+    def test_complete_batch_defers_logging_to_log_completions(self):
+        ledger = RequestLedger(1)
+        rids = ledger.append_batch([0, 0], [0.0, 1.0], [1.0, 1.0])
+        ledger.start_service_batch(rids, np.array([0.0, 1.0]))
+        ledger.complete_batch(rids, np.array([2.0, 3.0]))
+        assert ledger.num_completed == 0  # unlogged until the caller merges
+        ledger.log_completions(rids)
+        assert ledger.num_completed == 2
+        np.testing.assert_array_equal(ledger.completed_ids, rids)
+
+    def test_log_completions_rejects_time_regressions(self):
+        ledger = RequestLedger(1)
+        rids = ledger.append_batch([0, 0], [0.0, 1.0], [1.0, 1.0])
+        ledger.start_service_batch(rids, np.array([0.0, 1.0]))
+        ledger.complete_batch(rids, np.array([5.0, 3.0]))
+        with pytest.raises(SimulationError):
+            ledger.log_completions(rids)  # 3.0 after 5.0 breaks the order
+        ledger.log_completions(rids[::-1].copy())
+        np.testing.assert_array_equal(ledger.completed_ids, rids[::-1])

@@ -179,7 +179,8 @@ class TestSharedMemoryTransport:
             import numpy as np
 
             np.testing.assert_array_equal(a.ledger.completion_time, b.ledger.completion_time)
-            # Transported columns stay writable (bytearray-backed copies).
+            # Transported columns stay writable (zero-copy shared-memory
+            # mappings, or bytearray copies on the fallback route).
             assert a.ledger.arrival_time.base.flags.writeable
 
     def test_forced_shm_path_per_batch_fork(self, build, monkeypatch):
@@ -229,6 +230,77 @@ class TestSharedMemoryTransport:
             assert clone.per_class_mean_slowdowns() == result.per_class_mean_slowdowns()
             np.testing.assert_array_equal(clone.ledger.completed_ids, result.ledger.completed_ids)
             np.testing.assert_array_equal(clone.ledger.size, result.ledger.size)
+
+
+class TestZeroCopyDecode:
+    """Shared-memory results map straight into the parent's ledger columns."""
+
+    @pytest.fixture
+    def decoded(self, build, monkeypatch):
+        from repro.distributions.rng import spawn_seed_sequences
+        from repro.simulation import runner as runner_module
+
+        if runner_module._shared_memory is None:
+            pytest.skip("multiprocessing.shared_memory unavailable")
+        monkeypatch.setattr(runner_module, "SHM_MIN_BYTES", 0)
+        result = build(0, spawn_seed_sequences(123, 1)[0])
+        payload = runner_module._encode_result(result)
+        assert payload[0] == "shm"
+        return result, runner_module._decode_result(payload)
+
+    def test_columns_are_segment_mappings_not_copies(self, decoded):
+        import numpy as np
+
+        original, clone = decoded
+        # The parent took segment ownership: a keeper rides the result and
+        # its ledger, and the columns alias the mapping instead of owning
+        # fresh allocations.
+        assert clone._buffer_owner is not None
+        assert clone.ledger._buffer_owner is clone._buffer_owner
+        column = clone.ledger._arrival_time
+        assert not column.flags.owndata
+        assert column.flags.writeable
+        np.testing.assert_array_equal(clone.ledger.arrival_time, original.ledger.arrival_time)
+        # The segment file itself is already unlinked (ownership means the
+        # mapping, not the name).
+        import os
+
+        name = clone._buffer_owner._segment.name.lstrip("/")
+        assert not os.path.exists(os.path.join("/dev/shm", name))
+
+    def test_decoded_ledger_still_grows_and_mutates(self, decoded):
+        _, clone = decoded
+        ledger = clone.ledger
+        before = len(ledger)
+        for i in range(before, 2 * before + 4):  # force at least one _grow
+            ledger.append(0, 1e9 + i, 1.0)
+        assert len(ledger) == 2 * before + 4
+        assert ledger.arrival_of(before) == 1e9 + before
+
+    def test_repickle_drops_the_keeper_and_preserves_data(self, decoded):
+        import pickle
+
+        import numpy as np
+
+        original, clone = decoded
+        again = pickle.loads(pickle.dumps(clone, protocol=5))
+        assert not hasattr(again, "_buffer_owner")
+        assert again.ledger._buffer_owner is None
+        assert again.per_class_mean_slowdowns() == original.per_class_mean_slowdowns()
+        np.testing.assert_array_equal(
+            again.ledger.completion_time, original.ledger.completion_time
+        )
+
+    def test_inline_route_attaches_no_keeper(self, build, monkeypatch):
+        from repro.distributions.rng import spawn_seed_sequences
+        from repro.simulation import runner as runner_module
+
+        monkeypatch.setattr(runner_module, "SHM_MIN_BYTES", 1 << 60)
+        result = build(0, spawn_seed_sequences(123, 1)[0])
+        payload = runner_module._encode_result(result)
+        assert payload[0] == "inline"
+        clone = runner_module._decode_result(payload)
+        assert not hasattr(clone, "_buffer_owner")
 
 
 class TestSharedPool:
