@@ -29,12 +29,14 @@ server models.
 from __future__ import annotations
 
 import abc
+import logging
 from collections.abc import Callable, Sequence
 
 import numpy as np
 
 from ..distributions.rng import make_generator
 from ..errors import ClusterDrainedError, SimulationError
+from ..telemetry.log import get_logger, log_event
 from .fleet import live_nodes_of
 
 __all__ = [
@@ -49,6 +51,8 @@ __all__ = [
     "DISPATCH_POLICIES",
     "build_dispatch_policy",
 ]
+
+_log = get_logger("dispatch")
 
 
 class DispatchPolicy(abc.ABC):
@@ -87,6 +91,14 @@ class DispatchPolicy(abc.ABC):
         per-node state refresh it in :meth:`_on_fleet_change`.
         """
         self._on_fleet_change()
+        live = getattr(self.cluster, "live_nodes", None) if self.cluster is not None else None
+        log_event(
+            _log,
+            logging.DEBUG,
+            "dispatch.fleet_changed",
+            policy=type(self).__name__,
+            live=-1 if live is None else len(live),
+        )
 
     def _on_fleet_change(self) -> None:
         """Refresh cached per-node state (optional hook)."""

@@ -59,6 +59,7 @@ __all__ = [
     "FleetSchedule",
     "parse_fleet_events",
     "live_nodes_of",
+    "node_state_spans",
 ]
 
 #: Node states recorded in a cluster's fleet timeline.  A *live* node
@@ -258,6 +259,41 @@ def parse_fleet_events(spec: "str | Sequence[str]") -> FleetSchedule:
             raise SimulationError(f"{action!r} events do not take '=value': {token!r}")
         events.append(FleetEvent(time=time, action=action, node=node, capacity=capacity))
     return FleetSchedule(events=tuple(events), initial_down=tuple(initial_down))
+
+
+def node_state_spans(
+    timeline, *, horizon: float | None = None
+) -> list[tuple[int, str, float, float]]:
+    """Flatten a fleet timeline into per-node ``(node, state, start, end)`` spans.
+
+    ``timeline`` is a cluster's piecewise-constant
+    :attr:`~repro.cluster.model.ClusterServerModel.fleet_timeline`.  Each
+    node's history becomes contiguous spans (consecutive entries with an
+    unchanged state merge); the final span of every node ends at ``horizon``
+    (or the last timeline entry's time without one).  Spans are returned
+    sorted by node then start time — the shape the trace exporter turns into
+    per-node state lanes.
+    """
+    entries = sorted(timeline, key=lambda entry: entry[0])
+    if not entries:
+        return []
+    num_nodes = len(entries[0][1])
+    spans: list[tuple[int, str, float, float]] = []
+    starts = [float(entries[0][0])] * num_nodes
+    states = list(entries[0][1])
+    for time, snapshot, _capacities in entries[1:]:
+        if len(snapshot) != num_nodes:
+            raise SimulationError("fleet timeline entries disagree on the node count")
+        for node in range(num_nodes):
+            if snapshot[node] != states[node]:
+                spans.append((node, states[node], starts[node], float(time)))
+                states[node] = snapshot[node]
+                starts[node] = float(time)
+    end = float(horizon) if horizon is not None else float(entries[-1][0])
+    for node in range(num_nodes):
+        spans.append((node, states[node], starts[node], max(end, starts[node])))
+    spans.sort(key=lambda span: (span[0], span[2]))
+    return spans
 
 
 def live_nodes_of(cluster) -> tuple[int, ...]:

@@ -43,6 +43,7 @@ series.  An empty schedule is bit-identical to a cluster built without one.
 
 from __future__ import annotations
 
+import logging
 from collections.abc import Callable, Sequence
 from functools import partial
 
@@ -51,6 +52,7 @@ import numpy as np
 from ..errors import ClusterDrainedError, SimulationError
 from ..simulation.requests import Request
 from ..simulation.server_models import RateScalableServers, ServerModel
+from ..telemetry.log import get_logger, log_event
 from .dispatch import DispatchPolicy, RoundRobin, build_dispatch_policy
 from .fleet import NODE_DOWN, NODE_DRAINING, NODE_LIVE, FleetEvent, FleetSchedule
 from .partition import EqualSplit, RatePartitioner
@@ -60,6 +62,8 @@ __all__ = ["ClusterServerModel", "make_cluster"]
 #: Absolute slack allowed between a class's cluster-level rate and the sum of
 #: its per-node shares before the partition is rejected as non-conserving.
 RATE_CONSERVATION_TOL = 1e-9
+
+_log = get_logger("cluster")
 
 
 class ClusterServerModel(ServerModel):
@@ -138,6 +142,12 @@ class ClusterServerModel(ServerModel):
         #: :meth:`repro.simulation.WindowedMonitor.availability_series` for a
         #: per-window per-node availability matrix.
         self.fleet_timeline: list[tuple[float, tuple[str, ...], tuple[float | None, ...]]] = []
+        #: Rate-partition history: one ``(time, per-node share vectors)``
+        #: entry per :meth:`apply_rates` call — recorded only while an
+        #: *enabled* telemetry facade is attached, and consumed by
+        #: :func:`repro.telemetry.build_health_snapshots` for per-window
+        #: per-node utilisation.
+        self.share_history: list[tuple[float, tuple[tuple[float, ...], ...]]] = []
 
     @property
     def num_nodes(self) -> int:
@@ -205,7 +215,10 @@ class ClusterServerModel(ServerModel):
         self._live = tuple(i for i in range(n) if self._node_state[i] == NODE_LIVE)
         self._last_rates = None
         self.fleet_timeline = []
+        self.share_history = []
         for index, node in enumerate(self.nodes):
+            if self.telemetry is not None:
+                node.attach_telemetry(self.telemetry)
             # Member nodes share the cluster's ledger, so row ids are valid
             # cluster-wide and the dispatch/pending bookkeeping never needs
             # a per-request object.
@@ -234,6 +247,13 @@ class ClusterServerModel(ServerModel):
                 # dispatch and partitioning already excluded it).
                 self._node_state[node] = NODE_DOWN
                 self._record_fleet_state()
+                log_event(
+                    _log,
+                    logging.INFO,
+                    "fleet.drain_complete",
+                    node=node,
+                    time=self.engine.now,
+                )
             self.deliver(rid)
 
         return deliver
@@ -278,12 +298,24 @@ class ClusterServerModel(ServerModel):
                 )
             node.capacity = event.capacity
         self._refresh_fleet()
+        log_event(
+            _log,
+            logging.INFO,
+            "fleet.event",
+            action=event.action,
+            node=event.node,
+            time=self.engine.now,
+            state=self._node_state[event.node],
+            live=len(self._live),
+        )
 
     def _refresh_fleet(self) -> None:
         """Re-normalise after a fleet event: live set, policy caches, rates."""
         self._live = tuple(i for i in range(self.num_nodes) if self._node_state[i] == NODE_LIVE)
         self._record_fleet_state()
         self.dispatch.fleet_changed()
+        if self.telemetry is not None:
+            self.telemetry.on_fleet_change(self)
         if self._last_rates is not None:
             # Re-partition the controller's current allocation immediately —
             # shares re-normalise over the live capacity vector at the event
@@ -346,6 +378,13 @@ class ClusterServerModel(ServerModel):
             # Full outage: no live node to partition over.  Draining nodes
             # keep their last-applied rates so queued work still flushes;
             # the allocation is re-applied the moment a node joins.
+            log_event(
+                _log,
+                logging.WARNING,
+                "cluster.full_outage",
+                num_nodes=self.num_nodes,
+                total_rate=sum(rates),
+            )
             return
         shares = self.partitioner.partition(rates, self)
         if len(shares) != self.num_nodes:
@@ -360,6 +399,13 @@ class ClusterServerModel(ServerModel):
                     f"partitioner does not conserve class {c}'s rate: allocated "
                     f"{rate}, distributed {assigned}"
                 )
+        if self.telemetry is not None and self.telemetry.enabled:
+            self.share_history.append(
+                (
+                    float(self.engine.now),
+                    tuple(tuple(float(value) for value in share) for share in shares),
+                )
+            )
         for index, (node, share) in enumerate(zip(self.nodes, shares)):
             # Non-live nodes keep their last rates: a draining node must
             # finish its queued work, and a down node holds none.

@@ -34,6 +34,18 @@ Profile a run (top 25 functions by cumulative time, raw stats optional)::
 
     python -m repro.experiments --preset quick --only fig2 \
         --profile --profile-out fig2.pstats
+
+Telemetry: append an instrumented cluster-churn probe to the run, print its
+metric summary, and export the Chrome trace / metric stream / per-window
+cluster health to a directory (see README's Observability section)::
+
+    python -m repro.experiments --preset quick --only cluster \
+        --telemetry --telemetry-out telemetry/
+
+Structured engine logs (fleet transitions, dispatch changes, worker-pool
+fallbacks) go to stderr at the chosen level::
+
+    python -m repro.experiments --preset quick --only cluster --log-level DEBUG
 """
 
 from __future__ import annotations
@@ -134,11 +146,41 @@ def main(argv: list[str] | None = None) -> int:
         help="with --profile, also dump raw cProfile stats to PATH "
         "(inspect with 'python -m pstats PATH')",
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="run an instrumented cluster-churn probe after the experiments "
+        "and print its telemetry summary (metrics, fleet health, trace)",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="DIR",
+        help="with --telemetry, write trace.json (Chrome trace-event JSON), "
+        "metrics.jsonl and health.jsonl into DIR",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help="emit the engine's structured logs (fleet transitions, dispatch "
+        "changes, worker-pool fallbacks) to stderr at LEVEL "
+        "(DEBUG/INFO/WARNING/...)",
+    )
     args = parser.parse_args(argv)
     if args.profile is not None and args.profile <= 0:
         parser.error("--profile expects a positive number of rows")
     if args.profile_out is not None and args.profile is None:
         parser.error("--profile-out requires --profile")
+    if args.telemetry_out is not None and not args.telemetry:
+        parser.error("--telemetry-out requires --telemetry")
+    if args.log_level is not None:
+        from ..telemetry import configure_logging
+
+        try:
+            configure_logging(args.log_level)
+        except ValueError as error:
+            parser.error(str(error))
     capacity_mixes = None
     if args.capacities is not None:
         try:
@@ -206,7 +248,14 @@ def main(argv: list[str] | None = None) -> int:
             print(result.to_text())
             print()
         print(f"# completed {len(results)} experiments in {elapsed:.1f}s")
-        sys.stdout.flush()
+
+    if args.telemetry:
+        from .telemetry_probe import run_telemetry_probe
+
+        probe = run_telemetry_probe(config, out_dir=args.telemetry_out)
+        print()
+        print(probe.to_text())
+    sys.stdout.flush()
     return 0
 
 

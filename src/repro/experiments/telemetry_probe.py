@@ -1,0 +1,135 @@
+"""An instrumented cluster-churn probe behind the CLI's ``--telemetry`` flag.
+
+The experiment drivers answer *what* the controller achieves; this probe
+answers *how a run behaves while achieving it*.  It replays one replication
+of the cluster experiment's churn cell — a capacity-aware fleet losing and
+regaining a node mid-run — with a live :class:`repro.telemetry.Telemetry`
+facade attached, then packages every exporter the telemetry layer offers:
+
+* a :class:`repro.telemetry.TelemetrySummary` for the terminal,
+* Chrome trace-event JSON (``trace.json``, open in Perfetto / about:tracing),
+* the metric stream (``metrics.jsonl``) and per-window cluster health
+  snapshots (``health.jsonl``) when an output directory is given.
+
+The probe seeds everything from ``config.base_seed``, so its artefacts are
+as reproducible as the experiment tables themselves.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..cluster import make_cluster, parse_fleet_events, resolve_capacities
+from ..core.feedback import FeedbackPsdController
+from ..core.psd import PsdSpec
+from ..simulation.scenario import Scenario, SimulationResult
+from ..telemetry import (
+    Telemetry,
+    TelemetrySummary,
+    build_health_snapshots,
+    chrome_trace_events,
+    write_chrome_trace,
+)
+from .config import ExperimentConfig, get_preset
+
+__all__ = ["TelemetryProbeResult", "run_telemetry_probe"]
+
+#: Fleet geometry of the probe: enough nodes for churn to matter, small
+#: enough that the trace stays readable in a viewer.
+PROBE_NODES = 3
+
+
+@dataclass
+class TelemetryProbeResult:
+    """Everything the ``--telemetry`` probe produced."""
+
+    summary: TelemetrySummary
+    result: SimulationResult
+    trace_events: list[dict]
+    snapshots: tuple
+    #: Files written under ``--telemetry-out`` (empty without an out dir).
+    paths: dict[str, Path] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        lines = [self.summary.to_text()]
+        if self.snapshots:
+            worst = min(self.snapshots, key=lambda s: s.live_fraction)
+            lines.append(
+                f"# cluster health: {len(self.snapshots)} windows, "
+                f"lowest live fraction {worst.live_fraction:.2f} "
+                f"in window {worst.window_index}"
+            )
+        for kind, path in sorted(self.paths.items()):
+            lines.append(f"# wrote {kind}: {path}")
+        return "\n".join(lines)
+
+
+def _probe_fleet(config: ExperimentConfig, warmup: float):
+    """The config's churn schedule, or a default mid-run kill/restore."""
+    schedule = config.fleet_schedule()
+    if schedule is None:
+        schedule = parse_fleet_events(
+            (f"kill:1@{warmup * 2:g}", f"restore:1@{warmup * 4:g}")
+        )
+    schedule.validate_for(PROBE_NODES)
+    return schedule.scaled_to_time_units(config.service_distribution().mean())
+
+
+def run_telemetry_probe(
+    config: ExperimentConfig | None = None,
+    *,
+    deltas: Sequence[float] = (1.0, 2.0),
+    load: float | None = None,
+    out_dir: str | Path | None = None,
+) -> TelemetryProbeResult:
+    """Run the instrumented churn replication and collect every exporter."""
+    config = config or get_preset("quick")
+    spec = PsdSpec(tuple(float(d) for d in deltas))
+    load = max(config.load_grid) if load is None else float(load)
+    classes = config.classes_for_load(load, spec.deltas)
+    scaled = config.scaled_measurement()
+
+    telemetry = Telemetry()
+    cluster = make_cluster(
+        PROBE_NODES,
+        "weighted_jsq",
+        capacities=resolve_capacities("2:1", PROBE_NODES),
+        seed=np.random.SeedSequence(entropy=(config.base_seed, 1)),
+        fleet=_probe_fleet(config, config.measurement.warmup),
+        record_dispatch=True,
+    )
+    result = Scenario(
+        classes,
+        scaled,
+        server=cluster,
+        controller=FeedbackPsdController(classes, spec),
+        seed=np.random.SeedSequence(entropy=config.base_seed),
+        telemetry=telemetry,
+    ).run()
+
+    trace = chrome_trace_events(result, seed=config.base_seed, telemetry=telemetry)
+    snapshots = tuple(build_health_snapshots(result, telemetry=telemetry))
+    probe = TelemetryProbeResult(
+        summary=TelemetrySummary.from_run(telemetry, result),
+        result=result,
+        trace_events=trace,
+        snapshots=snapshots,
+    )
+    if out_dir is not None:
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        probe.paths["trace"] = out / "trace.json"
+        write_chrome_trace(probe.paths["trace"], trace)
+        probe.paths["metrics"] = out / "metrics.jsonl"
+        telemetry.registry.write_jsonl(probe.paths["metrics"])
+        probe.paths["health"] = out / "health.jsonl"
+        import json
+
+        with probe.paths["health"].open("w") as stream:
+            for snapshot in snapshots:
+                stream.write(json.dumps(snapshot.to_row()) + "\n")
+    return probe

@@ -25,6 +25,7 @@ class SimulationEngine:
         self._now = 0.0
         self._running = False
         self._processed = 0
+        self._listener: Callable[[Event], None] | None = None
 
     # ------------------------------------------------------------------ #
     # Clock and scheduling
@@ -38,6 +39,17 @@ class SimulationEngine:
     def events_processed(self) -> int:
         """Number of events dispatched so far (useful for progress checks)."""
         return self._processed
+
+    def set_listener(self, listener: Callable[[Event], None] | None) -> None:
+        """Install (or clear) an observer called once per dispatched event.
+
+        The listener fires after the clock has advanced to the event's time
+        and before its callback runs; it must not schedule or dispatch.  One
+        listener slot, not a list: the default ``None`` keeps the dispatch
+        loop's overhead to a single comparison, which is what lets the
+        telemetry layer promise a no-op fast path.
+        """
+        self._listener = listener
 
     def schedule_at(self, time: float, callback: Callable[[], None], *, label: str = "") -> Event:
         """Schedule ``callback`` at absolute simulated time ``time``.
@@ -117,5 +129,7 @@ class SimulationEngine:
                 f"event calendar produced a past event ({event.time} < {self._now})"
             )
         self._now = max(self._now, event.time)
+        if self._listener is not None:
+            self._listener(event)
         event.callback()
         self._processed += 1

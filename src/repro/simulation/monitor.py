@@ -26,8 +26,70 @@ __all__ = [
     "MeasurementConfig",
     "WindowSample",
     "WindowedMonitor",
+    "window_index_of",
+    "window_span",
+    "windowed_time_average",
     "fleet_availability",
 ]
+
+
+def window_index_of(time: float, *, warmup: float, window: float) -> int:
+    """The measurement-window index containing ``time``.
+
+    Windows are half-open ``[warmup + i * window, warmup + (i + 1) * window)``:
+    an event landing exactly on a window edge belongs to the *later* window.
+    Every window-attribution site (streaming monitor, vectorised ledger pass,
+    availability matrices) shares this floor-division so the same completion
+    can never land in different windows depending on the code path.
+    """
+    return int((time - warmup) // window)
+
+
+def window_span(index: int, *, warmup: float, window: float) -> tuple[float, float]:
+    """The ``[start, end)`` edges of measurement window ``index``.
+
+    Inverse of :func:`window_index_of` up to the half-open convention:
+    ``window_index_of(start) == index`` and ``window_index_of(end)`` is the
+    next window.
+    """
+    start = warmup + index * window
+    return start, start + window
+
+
+def windowed_time_average(
+    entries, *, warmup: float, window: float, num_windows: int
+) -> np.ndarray:
+    """Per-window time averages of a piecewise-constant vector series.
+
+    ``entries`` is a sequence of ``(time, values)`` pairs — each vector holds
+    from its time until the next entry's (the last holds forever).  Returns a
+    ``(num_windows, len(values))`` matrix whose row ``i`` is the series'
+    time average over :func:`window_span`'s window ``i``.  This is the one
+    window-overlap computation behind :func:`fleet_availability` and the
+    cluster health snapshots' assigned-rate/capacity columns.
+    """
+    require_non_negative(warmup, "warmup")
+    require_positive(window, "window")
+    if num_windows < 0:
+        raise ParameterError(f"num_windows must be >= 0, got {num_windows}")
+    entries = sorted(entries, key=lambda entry: entry[0])
+    if not entries:
+        raise ParameterError("a piecewise-constant series needs at least one entry")
+    width = len(entries[0][1])
+    out = np.zeros((num_windows, width), dtype=float)
+    for index, (start, values) in enumerate(entries):
+        if len(values) != width:
+            raise ParameterError("series entries disagree on the vector length")
+        end = entries[index + 1][0] if index + 1 < len(entries) else float("inf")
+        values = np.asarray(values, dtype=float)
+        if not values.any():
+            continue
+        for w in range(num_windows):
+            window_start, window_end = window_span(w, warmup=warmup, window=window)
+            overlap = min(end, window_end) - max(start, window_start)
+            if overlap > 0.0:
+                out[w] += values * (overlap / window)
+    return out
 
 
 @dataclass(frozen=True)
@@ -165,7 +227,7 @@ class WindowedMonitor:
             )
         if record.completion_time < self.warmup:
             return
-        index = int((record.completion_time - self.warmup) // self.window)
+        index = window_index_of(record.completion_time, warmup=self.warmup, window=self.window)
         bucket = self._buckets.setdefault(index, [[] for _ in range(self.num_classes)])
         bucket[record.class_index].append(record.slowdown)
 
@@ -174,10 +236,8 @@ class WindowedMonitor:
             float(np.mean(vals)) if len(vals) else float("nan") for vals in per_class_values
         )
         counts = tuple(len(vals) for vals in per_class_values)
-        start = self.warmup + index * self.window
-        return WindowSample(
-            start=start, end=start + self.window, mean_slowdowns=means, counts=counts
-        )
+        start, end = window_span(index, warmup=self.warmup, window=self.window)
+        return WindowSample(start=start, end=end, mean_slowdowns=means, counts=counts)
 
     def _ledger_samples(self) -> list[WindowSample]:
         """One vectorised pass over the completion columns.
@@ -283,27 +343,22 @@ def fleet_availability(timeline, *, warmup: float, window: float, num_windows: i
     adds no dispatchable capacity).
 
     Returns a ``(num_windows, num_nodes)`` float matrix; window index ``i``
-    spans ``[warmup + i * window, warmup + (i + 1) * window)``.
+    spans ``[warmup + i * window, warmup + (i + 1) * window)``.  A thin
+    wrapper over :func:`windowed_time_average` with the live indicator as
+    the piecewise-constant vector, so window-edge semantics cannot drift
+    from the monitor's.
     """
-    require_non_negative(warmup, "warmup")
-    require_positive(window, "window")
-    if num_windows < 0:
-        raise ParameterError(f"num_windows must be >= 0, got {num_windows}")
-    entries = sorted(timeline, key=lambda entry: entry[0])
+    entries = list(timeline)
     if not entries:
         raise ParameterError("fleet timeline must have at least one entry")
     num_nodes = len(entries[0][1])
-    out = np.zeros((num_windows, num_nodes), dtype=float)
-    for index, (start, states, _capacities) in enumerate(entries):
+    for _time, states, _capacities in entries:
         if len(states) != num_nodes:
             raise ParameterError("fleet timeline entries disagree on the node count")
-        end = entries[index + 1][0] if index + 1 < len(entries) else float("inf")
-        live = np.asarray([state == "live" for state in states], dtype=float)
-        if not live.any():
-            continue
-        for w in range(num_windows):
-            window_start = warmup + w * window
-            overlap = min(end, window_start + window) - max(start, window_start)
-            if overlap > 0.0:
-                out[w] += live * (overlap / window)
-    return out
+    live_series = [
+        (time, [1.0 if state == "live" else 0.0 for state in states])
+        for time, states, _capacities in entries
+    ]
+    return windowed_time_average(
+        live_series, warmup=warmup, window=window, num_windows=num_windows
+    )

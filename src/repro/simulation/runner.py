@@ -47,11 +47,13 @@ to the per-batch fork path.
 from __future__ import annotations
 
 import atexit
+import logging
 import math
 import multiprocessing
 import os
 import pickle
 import queue as queue_module
+import time
 import traceback
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
@@ -60,6 +62,7 @@ import numpy as np
 
 from ..distributions.rng import spawn_seed_sequences
 from ..errors import SimulationError
+from ..telemetry.log import get_logger, log_event
 from .scenario import SimulationResult
 
 __all__ = [
@@ -75,6 +78,8 @@ __all__ = [
 #: A build callable: ``build(replication_index, seed_sequence)`` constructs,
 #: runs and returns one :class:`SimulationResult`.
 BuildFn = Callable[[int, np.random.SeedSequence], SimulationResult]
+
+_log = get_logger("runner")
 
 try:  # pragma: no cover - import guard exercised via the fallback test
     from multiprocessing import shared_memory as _shared_memory
@@ -117,7 +122,7 @@ class _SegmentOwner:
             pass
 
 
-def _encode_result(result: SimulationResult) -> tuple:
+def _encode_result(result: SimulationResult, build_seconds: float | None = None) -> tuple:
     """Serialise one worker result for the trip back to the parent.
 
     Protocol-5 pickling splits the result into a small object-graph body and
@@ -125,11 +130,23 @@ def _encode_result(result: SimulationResult) -> tuple:
     segment, each span aligned to 64 bytes so the parent can map the columns
     in place; everything else is shipped inline.  Both forms reassemble
     byte-identical arrays.
+
+    The payload's *last* element is a profiling meta dict (transport route,
+    payload bytes, encode/build wall-clock) that :func:`_decode_result`
+    turns into the result's ``worker_profile``; it rides at the end so the
+    positional accesses in :func:`_release_payload` (kind at 0, segment name
+    at 2) stay valid.
     """
+    encode_start = time.perf_counter()
     buffers: list[pickle.PickleBuffer] = []
     body = pickle.dumps(result, protocol=5, buffer_callback=buffers.append)
     views = [memoryview(b.raw()).cast("B") for b in buffers]
     total = sum(view.nbytes for view in views)
+    meta = {
+        "payload_bytes": len(body) + total,
+        "build_seconds": build_seconds,
+        "worker_pid": os.getpid(),
+    }
     if _shared_memory is not None and total >= SHM_MIN_BYTES:
         spans = []
         position = 0
@@ -145,8 +162,13 @@ def _encode_result(result: SimulationResult) -> tuple:
             for view, (start, nbytes) in zip(views, spans):
                 segment.buf[start : start + nbytes] = view
             segment.close()
-            return "shm", body, segment.name, spans
-    return "inline", body, [bytes(view) for view in views]
+            meta["transport"] = "shm"
+            meta["encode_seconds"] = time.perf_counter() - encode_start
+            return "shm", body, segment.name, spans, meta
+    inline = [bytes(view) for view in views]
+    meta["transport"] = "inline"
+    meta["encode_seconds"] = time.perf_counter() - encode_start
+    return "inline", body, inline, meta
 
 
 def _decode_result(payload: tuple) -> SimulationResult:
@@ -159,9 +181,10 @@ def _decode_result(payload: tuple) -> SimulationResult:
     :class:`_SegmentOwner` parked on the result and its ledger) and the old
     copy-out path remains as the fallback if in-place reassembly fails.
     """
+    decode_start = time.perf_counter()
     kind = payload[0]
     if kind == "shm":
-        _, body, name, spans = payload
+        _, body, name, spans, meta = payload
         segment = _shared_memory.SharedMemory(name=name)
         try:
             result = pickle.loads(
@@ -172,7 +195,8 @@ def _decode_result(payload: tuple) -> SimulationResult:
             # half-built views die with the exception's object graph).
             buffers = [bytearray(segment.buf[pos : pos + size]) for pos, size in spans]
             _close_segment(segment, unlink=True)
-            return pickle.loads(body, buffers=buffers)
+            result = pickle.loads(body, buffers=buffers)
+            return _stamp_profile(result, meta, decode_start)
         try:
             segment.unlink()
         except FileNotFoundError:  # pragma: no cover - already reaped
@@ -182,9 +206,17 @@ def _decode_result(payload: tuple) -> SimulationResult:
         if ledger is not None:
             ledger._buffer_owner = owner
         result._buffer_owner = owner
-        return result
-    _, body, buffers = payload
-    return pickle.loads(body, buffers=[bytearray(b) for b in buffers])
+        return _stamp_profile(result, meta, decode_start)
+    _, body, buffers, meta = payload
+    result = pickle.loads(body, buffers=[bytearray(b) for b in buffers])
+    return _stamp_profile(result, meta, decode_start)
+
+
+def _stamp_profile(result, meta: dict, decode_start: float):
+    """Attach transport + timing meta as the result's ``worker_profile``."""
+    if hasattr(result, "worker_profile"):
+        result.worker_profile = {**meta, "decode_seconds": time.perf_counter() - decode_start}
+    return result
 
 
 def _close_segment(segment, *, unlink: bool) -> None:
@@ -322,7 +354,9 @@ def _worker(
     """
     for index in indices:
         try:
-            payload = _encode_result(build(index, seeds[index]))
+            start = time.perf_counter()
+            result = build(index, seeds[index])
+            payload = _encode_result(result, build_seconds=time.perf_counter() - start)
         except Exception:
             out.put((index, None, traceback.format_exc()))
             return
@@ -366,7 +400,9 @@ def _pool_worker(tasks: "multiprocessing.Queue", out: "multiprocessing.Queue") -
             continue
         for index, seed in assignments:
             try:
-                payload = _encode_result(build(index, seed))
+                start = time.perf_counter()
+                result = build(index, seed)
+                payload = _encode_result(result, build_seconds=time.perf_counter() - start)
             except Exception:
                 out.put((index, None, ("build", traceback.format_exc())))
                 continue
@@ -584,11 +620,26 @@ class ReplicationRunner:
         seeds = spawn_seed_sequences(self.base_seed, self.replications)
         workers = self.resolved_workers()
         if workers <= 1 or not _fork_available():
-            return [build(i, seed) for i, seed in enumerate(seeds)]
+            if workers > 1:
+                log_event(
+                    _log,
+                    logging.WARNING,
+                    "runner.serial_fallback",
+                    reason="fork-start multiprocessing unavailable",
+                    workers=workers,
+                )
+            return self._run_serial(build, seeds)
         try:
             payload = pickle.dumps(build)
         except Exception:
-            payload = None  # closures et al.: per-batch fork handles them
+            # Closures et al.: the per-batch fork path handles them.
+            log_event(
+                _log,
+                logging.DEBUG,
+                "runner.unpicklable_build",
+                build=type(build).__name__,
+            )
+            payload = None
         if payload is not None:
             pool = self.pool if self.pool is not None else shared_pool(workers)
             # An explicit pool that was closed (or broke in an earlier
@@ -597,14 +648,39 @@ class ReplicationRunner:
             if not (pool.closed or pool.broken):
                 try:
                     return pool.run_batch(payload, seeds)
-                except _PoolFallback:
+                except _PoolFallback as fallback:
                     # A deserialize fallback means the workers pre-date the
                     # build's module; retiring the *shared* pool lets the
                     # next batch re-fork with the module imported and regain
                     # pooling (an explicit pool is the caller's to manage).
+                    log_event(
+                        _log,
+                        logging.INFO,
+                        "runner.pool_fallback",
+                        reason=str(fallback),
+                        workers=workers,
+                    )
                     if self.pool is None and not pool.closed:
                         pool.close()
         return self._run_parallel(build, seeds, workers)
+
+    @staticmethod
+    def _run_serial(
+        build: BuildFn, seeds: Sequence[np.random.SeedSequence]
+    ) -> list[SimulationResult]:
+        """In-process execution, stamping each result's ``worker_profile``."""
+        results = []
+        for index, seed in enumerate(seeds):
+            start = time.perf_counter()
+            result = build(index, seed)
+            if hasattr(result, "worker_profile") and result.worker_profile is None:
+                result.worker_profile = {
+                    "transport": "serial",
+                    "build_seconds": time.perf_counter() - start,
+                    "worker_pid": os.getpid(),
+                }
+            results.append(result)
+        return results
 
     # ------------------------------------------------------------------ #
     # Parallel execution

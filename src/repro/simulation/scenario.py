@@ -128,6 +128,15 @@ class SimulationResult:
     #: ``record_dispatch=True`` (``None`` otherwise); rides replication
     #: results so determinism tests can diff dispatch across worker counts.
     dispatch_log: list[int] | None = None
+    #: Per-node rate-share history of a clustered run with telemetry
+    #: attached — ``(time, ((node0 per-class shares), ...))`` per
+    #: ``apply_rates`` call; ``None`` otherwise.  Health snapshots derive
+    #: per-node assigned rates and utilisation from it.
+    node_share_history: list[tuple[float, tuple[tuple[float, ...], ...]]] | None = None
+    #: Wall-clock transport/build profile stamped by the replication runner
+    #: (``None`` for results built outside it): transport route, payload
+    #: bytes, encode/decode/build seconds, worker pid.
+    worker_profile: dict | None = None
 
     def __getstate__(self):
         # A zero-copy-decoded result carries a shared-memory keeper in
@@ -262,6 +271,13 @@ class Scenario:
         and what admission policies and per-event server models require).
         The default ``None`` picks batched automatically whenever the
         server model supports it and no admission policy is installed.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry` facade.  ``None`` (the
+        default) is the no-op fast path: every instrumented site reduces to
+        one ``is not None`` check and the run's aggregates are bit-identical
+        to a scenario without the parameter.  With a facade the scenario
+        installs its engine clock, registers the engine event listener (when
+        enabled) and feeds the window/batch/drain/admission hooks.
     """
 
     def __init__(
@@ -276,6 +292,7 @@ class Scenario:
         sources: Sequence[RequestSource] | None = None,
         admission: "AdmissionPolicy | None" = None,
         batched: bool | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         if not classes:
             raise SimulationError("classes must be non-empty")
@@ -283,6 +300,11 @@ class Scenario:
         self.config = config
         self.admission = admission
         self.engine = SimulationEngine()
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.attach_clock(lambda: self.engine.now)
+            if telemetry.enabled:
+                self.engine.set_listener(telemetry.on_event)
         if controller is None:
             if spec is None:
                 spec = PsdSpec(tuple(cls.delta for cls in classes))
@@ -331,6 +353,8 @@ class Scenario:
                     "hot path; pass batched=False"
                 )
         self.batched = bool(batched)
+        if telemetry is not None:
+            self.server.attach_telemetry(telemetry)
         self.server.bind(
             self.engine,
             self.classes,
@@ -373,22 +397,30 @@ class Scenario:
         order = np.argsort(times, kind="stable")
         rids = self.ledger.append_batch(classes[order], times[order], sizes[order])
         self.server.submit_batch(rids)
+        if self.telemetry is not None:
+            self.telemetry.on_batch(self.engine.now, total)
 
     def _sync_completions(self, now: float) -> None:
         """Drain the server model to ``now`` and log the merged completions."""
         rids = self.server.drain(now)
         if rids.size:
             self.ledger.log_completions(rids)
+        if self.telemetry is not None:
+            self.telemetry.on_drain(now, int(rids.size))
 
     def _make_arrival(self, class_index: int):
         ledger = self.ledger
         server = self.server
         engine = self.engine
+        telemetry = self.telemetry
 
         def handle() -> None:
             source = self.sources[class_index]
             size = source.next_size()
-            if self._admit(class_index, size):
+            admitted = self._admit(class_index, size)
+            if telemetry is not None and self.admission is not None:
+                telemetry.on_admission(class_index, admitted)
+            if admitted:
                 server.submit(ledger.append(class_index, engine.now, size))
             else:
                 self._rejected[class_index] += 1
@@ -477,6 +509,8 @@ class Scenario:
         rates = tuple(self.controller.current_rates)
         self.server.apply_rates(rates)
         self.rate_history.append((self.engine.now, rates))
+        if self.telemetry is not None:
+            self.telemetry.on_window(self, arrivals, work, slowdowns, rates)
         next_boundary = self.engine.now + self.config.window
         if self.batched:
             bound = min(next_boundary, self.config.horizon)
@@ -490,6 +524,8 @@ class Scenario:
     # ------------------------------------------------------------------ #
     def run(self) -> SimulationResult:
         """Execute the simulation and return the collected results."""
+        if self.telemetry is not None:
+            self.telemetry.on_run_start(self)
         if self.batched:
             self._queue_block(min(self.config.window, self.config.horizon))
         else:
@@ -507,6 +543,8 @@ class Scenario:
         completed = np.bincount(
             self.ledger.class_index[self.ledger.completed_ids], minlength=num_classes
         )
+        if self.telemetry is not None:
+            self.telemetry.on_run_end(self)
         return SimulationResult(
             classes=self.classes,
             config=self.config,
@@ -524,4 +562,5 @@ class Scenario:
             dispatch_log=getattr(self.server, "dispatch_log", None)
             if getattr(self.server, "record_dispatch", False)
             else None,
+            node_share_history=getattr(self.server, "share_history", None),
         )

@@ -99,6 +99,18 @@ class ServerModel(abc.ABC):
         self.ledger: RequestLedger | None = None
         self._deliver: Callable[[int], None] | None = None
         self.batched = False
+        #: Optional :class:`repro.telemetry.Telemetry` facade; ``None`` (the
+        #: default) keeps every observation site a single comparison.
+        self.telemetry = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Install the scenario's telemetry facade (call before :meth:`bind`).
+
+        Models feed their drain/fleet observations through it; composite
+        models (the cluster) propagate the facade to their members at bind
+        time.
+        """
+        self.telemetry = telemetry
 
     @property
     def num_classes(self) -> int:
@@ -260,6 +272,10 @@ class RateScalableServers(ServerModel):
         have probability zero).
         """
         runs = [server.drain(now) for server in self.servers]
+        if self.telemetry is not None:
+            for index, (run, _times) in enumerate(runs):
+                if run.size:
+                    self.telemetry.on_server_drain(index, int(run.size))
         rids = np.concatenate([r for r, _ in runs])
         if rids.size == 0:
             return rids
@@ -423,6 +439,8 @@ class SharedProcessorServer(ServerModel):
         self._pending_pos = pos
         if not done:
             return np.empty(0, dtype=np.int64)
+        if self.telemetry is not None:
+            self.telemetry.on_server_drain(None, len(done))
         return np.asarray(done, dtype=np.int64)
 
     def _start_selected(self, time: float) -> bool:

@@ -1,0 +1,40 @@
+"""Observability for the simulation stack: metrics, tracing, health, logging.
+
+The package is injectable end to end: a :class:`Telemetry` facade passed to
+a :class:`~repro.simulation.Scenario` collects simulated-time metrics
+(:class:`MetricsRegistry`) and the marks the exporters consume; request
+traces (:func:`chrome_trace_events`) and per-window cluster health
+(:func:`build_health_snapshots`) are derived from run results afterwards.
+Without a facade — the default — the instrumented call sites reduce to one
+``is not None`` check and every aggregate stays bit-identical.
+
+Nothing here imports :mod:`repro.simulation` or :mod:`repro.cluster` at
+module level (the simulation layer imports *us*); the health and tracing
+builders import the helpers they need lazily.
+"""
+
+from .core import Telemetry
+from .health import ClusterHealthSnapshot, build_health_snapshots
+from .log import ROOT_LOGGER, configure_logging, get_logger, log_event
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .summary import TelemetrySummary
+from .tracing import chrome_trace_events, sample_mask, trace_seed, write_chrome_trace
+
+__all__ = [
+    "Telemetry",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TelemetrySummary",
+    "ClusterHealthSnapshot",
+    "build_health_snapshots",
+    "chrome_trace_events",
+    "sample_mask",
+    "trace_seed",
+    "write_chrome_trace",
+    "ROOT_LOGGER",
+    "configure_logging",
+    "get_logger",
+    "log_event",
+]

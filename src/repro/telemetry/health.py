@@ -1,0 +1,161 @@
+"""Per-window cluster health: the observed signal for future control loops.
+
+A :class:`ClusterHealthSnapshot` condenses one measurement window of a
+clustered run into the per-node facts an admission controller or autoscaler
+would act on: how much of the window each node was live, what total rate it
+was assigned, how utilised that left it, and (when the run collected
+telemetry) its request backlog at the window edge.
+
+:func:`build_health_snapshots` derives the series from run artefacts — the
+fleet timeline, the recorded per-node rate shares, and the telemetry
+facade's backlog marks — using the *same* window-edge helpers as
+:class:`~repro.simulation.WindowedMonitor`, so snapshot availability agrees
+exactly with :meth:`~repro.simulation.WindowedMonitor.availability_series`
+and the slowdown samples line up window for window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["ClusterHealthSnapshot", "build_health_snapshots"]
+
+
+@dataclass(frozen=True)
+class ClusterHealthSnapshot:
+    """One measurement window's per-node health of a clustered run.
+
+    ``availability`` is each node's live fraction of the window (the
+    monitor's availability semantics); ``assigned_rates`` the time-averaged
+    total rate share each node held; ``utilisation`` the ratio of assigned
+    rate to time-averaged capacity; ``backlogs`` the per-node pending
+    request counts sampled at the window boundary (``None`` when the run
+    collected no telemetry marks).
+    """
+
+    window_index: int
+    start: float
+    end: float
+    availability: tuple[float, ...]
+    assigned_rates: tuple[float, ...]
+    utilisation: tuple[float, ...]
+    backlogs: tuple[int, ...] | None = None
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.availability)
+
+    @property
+    def live_fraction(self) -> float:
+        """Mean node availability over the window (1.0 = fully live fleet)."""
+        return float(sum(self.availability)) / len(self.availability)
+
+    def to_row(self) -> dict:
+        """A flat JSON-serialisable dict (one row of a health JSONL stream)."""
+        row: dict = {
+            "window": self.window_index,
+            "start": self.start,
+            "end": self.end,
+            "availability": list(self.availability),
+            "assigned_rates": list(self.assigned_rates),
+            "utilisation": list(self.utilisation),
+        }
+        if self.backlogs is not None:
+            row["backlogs"] = list(self.backlogs)
+        return row
+
+
+def build_health_snapshots(
+    result,
+    *,
+    num_windows: int | None = None,
+    telemetry=None,
+    backlog_marks=None,
+) -> list[ClusterHealthSnapshot]:
+    """Per-window :class:`ClusterHealthSnapshot` series for a clustered run.
+
+    ``result`` must carry a ``fleet_timeline`` (every cluster run does).
+    ``num_windows`` defaults to every full measurement window between
+    warm-up and horizon, matching
+    :meth:`~repro.simulation.SimulationResult.per_node_availability`.
+    Backlog columns come from ``backlog_marks`` — ``(sim_time, per-node
+    counts)`` pairs — or from ``telemetry.node_backlog_marks``; without
+    either the snapshots carry ``backlogs=None``.
+    """
+    # Imported lazily: repro.simulation imports repro.telemetry types, so a
+    # top-level import here would close an import cycle.
+    from ..simulation.monitor import fleet_availability, window_span, windowed_time_average
+
+    timeline = result.fleet_timeline
+    if not timeline:
+        raise ParameterError(
+            "health snapshots need a clustered run (the result has no fleet timeline)"
+        )
+    config = result.config
+    warmup, window = float(config.warmup), float(config.window)
+    if num_windows is None:
+        # Same jitter epsilon as SimulationResult.per_node_availability: the
+        # scaled horizon arithmetic can land a hair below the exact count.
+        num_windows = int((config.horizon - config.warmup) / config.window + 1e-9)
+    availability = fleet_availability(
+        timeline, warmup=warmup, window=window, num_windows=num_windows
+    )
+    num_nodes = availability.shape[1] if num_windows else len(timeline[0][1])
+
+    share_history = getattr(result, "node_share_history", None)
+    if share_history:
+        entries = [
+            (time, [float(sum(node_share)) for node_share in shares])
+            for time, shares in share_history
+        ]
+        assigned = windowed_time_average(
+            entries, warmup=warmup, window=window, num_windows=num_windows
+        )
+    else:
+        assigned = np.zeros((num_windows, num_nodes))
+    capacity_entries = [
+        (time, [1.0 if cap is None else float(cap) for cap in capacities])
+        for time, _states, capacities in timeline
+    ]
+    capacities = windowed_time_average(
+        capacity_entries, warmup=warmup, window=window, num_windows=num_windows
+    )
+    utilisation = np.divide(
+        assigned,
+        capacities,
+        out=np.zeros_like(assigned),
+        where=capacities > 0.0,
+    )
+
+    if backlog_marks is None and telemetry is not None:
+        backlog_marks = telemetry.node_backlog_marks
+    marks = sorted(backlog_marks, key=lambda mark: mark[0]) if backlog_marks else []
+    mark_times = [mark[0] for mark in marks]
+
+    snapshots: list[ClusterHealthSnapshot] = []
+    for index in range(num_windows):
+        start, end = window_span(index, warmup=warmup, window=window)
+        backlogs = None
+        if marks:
+            # The latest backlog sample at or before the window's end edge
+            # (window boundaries land exactly on the marks up to float
+            # jitter, hence the same 1e-9 tolerance the engine uses).
+            position = int(np.searchsorted(mark_times, end + 1e-9)) - 1
+            if position >= 0:
+                backlogs = tuple(int(b) for b in marks[position][1])
+        snapshots.append(
+            ClusterHealthSnapshot(
+                window_index=index,
+                start=start,
+                end=end,
+                availability=tuple(float(a) for a in availability[index]),
+                assigned_rates=tuple(float(r) for r in assigned[index]),
+                utilisation=tuple(float(u) for u in utilisation[index]),
+                backlogs=backlogs,
+            )
+        )
+    return snapshots

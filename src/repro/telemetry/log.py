@@ -1,0 +1,87 @@
+"""Structured logging for the simulation stack (stdlib :mod:`logging`).
+
+Every logger lives under the ``"repro"`` root (``repro.cluster``,
+``repro.runner``, ...), so one :func:`configure_logging` call — or the
+experiments CLI's ``--log-level`` flag — controls the whole library without
+touching the host application's root logger.
+
+Call sites emit *structured* events through :func:`log_event`: a short
+``event key=value ...`` message for humans, with the raw field dict riding
+the :class:`logging.LogRecord` as ``record.structured`` for handlers (and
+tests) that want machine-readable access.  :func:`log_event` returns
+immediately when the level is disabled, so instrumented fallback paths cost
+one level check when nobody is listening.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+__all__ = ["ROOT_LOGGER", "get_logger", "log_event", "configure_logging"]
+
+#: The library's root logger name; every :func:`get_logger` child nests below.
+ROOT_LOGGER = "repro"
+
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The library logger ``repro.<name>`` (the ``repro`` root for ``""``)."""
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}" if name else ROOT_LOGGER)
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    text = str(value)
+    return repr(text) if " " in text else text
+
+
+def log_event(logger: logging.Logger, level: int, event: str, **fields: object) -> None:
+    """Emit ``event key=value ...`` with the raw fields on ``record.structured``.
+
+    The enabled-level check runs first so instrumenting a silent code path
+    (worker-pool fallbacks, fleet transitions) costs a single comparison
+    unless the level is actually on.
+    """
+    if not logger.isEnabledFor(level):
+        return
+    message = event
+    if fields:
+        message += " " + " ".join(f"{k}={_format_value(v)}" for k, v in fields.items())
+    logger.log(level, message, extra={"structured": {"event": event, **fields}})
+
+
+def configure_logging(
+    level: int | str = "INFO", *, stream: IO[str] | None = None
+) -> logging.Logger:
+    """Point the ``repro`` root logger at ``stream`` (stderr) at ``level``.
+
+    Idempotent: re-configuring replaces the handler installed by a previous
+    call instead of stacking a duplicate.  Propagation to the application's
+    root logger is left on, so host processes (and pytest's ``caplog``) that
+    install their own handlers still see every record.
+    """
+    if isinstance(level, str):
+        mapping = logging.getLevelNamesMapping()
+        try:
+            numeric = mapping[level.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {level!r}; choose from "
+                f"{sorted(name for name in mapping if not name.startswith('Level'))}"
+            ) from None
+    else:
+        numeric = int(level)
+    root = logging.getLogger(ROOT_LOGGER)
+    root.setLevel(numeric)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    for existing in list(root.handlers):
+        if getattr(existing, "_repro_handler", False):
+            root.removeHandler(existing)
+    handler._repro_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    return root

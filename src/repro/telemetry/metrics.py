@@ -1,0 +1,204 @@
+"""Streaming simulation metrics: counters, gauges and histograms.
+
+Instruments are created lazily through a :class:`MetricsRegistry` and
+stamped with *simulated* time: the registry holds a clock callable (a
+scenario installs its engine's ``now``), gauges append ``(sim_time, value)``
+samples, and counters/histograms aggregate without per-event allocation.
+The registry serialises to a JSONL metric stream (:meth:`MetricsRegistry.
+write_jsonl`) — one self-describing row per counter, per gauge sample and
+per histogram.
+
+Everything here is plain Python over scalars at window-boundary frequency;
+the hot-path guarantee (telemetry off costs nothing) lives one layer up, in
+:class:`repro.telemetry.Telemetry` and the ``is not None`` guards at the
+instrumented call sites.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections.abc import Callable, Iterator
+
+from ..errors import ParameterError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ParameterError(f"counter {self.name!r} cannot decrease (amount={amount})")
+        self.value += int(amount)
+
+    def rows(self) -> Iterator[dict]:
+        yield {"type": "counter", "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """A sampled value with its full simulated-time series.
+
+    Gauges are set at estimation-window frequency (queue depths, utilisation,
+    live-node counts), so keeping the whole series is cheap and gives the
+    health-snapshot and summary layers a real time axis to work with.
+    """
+
+    __slots__ = ("name", "_clock", "series")
+
+    def __init__(self, name: str, clock: Callable[[], float]) -> None:
+        self.name = name
+        self._clock = clock
+        self.series: list[tuple[float, float]] = []
+
+    def set(self, value: float) -> None:
+        self.series.append((float(self._clock()), float(value)))
+
+    @property
+    def value(self) -> float:
+        """The most recent sample (NaN before the first ``set``)."""
+        return self.series[-1][1] if self.series else math.nan
+
+    def rows(self) -> Iterator[dict]:
+        for time, value in self.series:
+            yield {"type": "gauge", "name": self.name, "time": time, "value": value}
+
+
+class Histogram:
+    """A streaming histogram: count/sum/min/max plus power-of-two buckets.
+
+    Observations land in the bucket ``(2**(e-1), 2**e]`` holding their value
+    (``math.frexp`` exponent), so the structure is fixed-size no matter how
+    many values stream through — the shape Internet-server slowdown and
+    batch-size distributions need (orders of magnitude, not fine bins).
+    Zero and negative observations share a dedicated underflow bucket.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._buckets: dict[int | None, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        # frexp(v) = (m, e) with v = m * 2**e and 0.5 <= m < 1 maps a positive
+        # v into the half-open bucket (2**(e-1), 2**e] — except an exact power
+        # of two (m == 0.5) sits on the *lower* edge and belongs one bucket down.
+        if value > 0.0:
+            mantissa, key = math.frexp(value)
+            if mantissa == 0.5:
+                key -= 1
+        else:
+            key = None
+        self._buckets[key] = self._buckets.get(key, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, count)`` pairs in ascending bound order."""
+        out = []
+        if None in self._buckets:
+            out.append((0.0, self._buckets[None]))
+        out.extend(
+            (math.ldexp(1.0, exponent), self._buckets[exponent])
+            for exponent in sorted(k for k in self._buckets if k is not None)
+        )
+        return out
+
+    def rows(self) -> Iterator[dict]:
+        yield {
+            "type": "histogram",
+            "name": self.name,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": [{"le": bound, "count": count} for bound, count in self.buckets()],
+        }
+
+
+class MetricsRegistry:
+    """Lazily created named instruments sharing one simulated-time clock.
+
+    One flat namespace: asking for an existing name with a different
+    instrument kind is an error (a metric cannot be both a counter and a
+    gauge).  Iteration orders follow first creation, so exports are
+    deterministic run to run.
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Install the simulated-time source stamped onto gauge samples.
+
+        Existing gauges keep sampling through the registry, so a clock
+        installed after creation still applies to every instrument.
+        """
+        self._clock = clock
+
+    def _now(self) -> float:
+        return float(self._clock())
+
+    def _get(self, name: str, kind: type, factory: Callable[[], object]):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument  # type: ignore[assignment]
+        elif not isinstance(instrument, kind):
+            raise ParameterError(
+                f"metric {name!r} is a {type(instrument).__name__}, not a {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name, self._now))
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(name))
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """The instrument registered under ``name``, if any."""
+        return self._instruments.get(name)
+
+    def instruments(self) -> list[Counter | Gauge | Histogram]:
+        """Every instrument, in creation order."""
+        return list(self._instruments.values())
+
+    def rows(self) -> Iterator[dict]:
+        """One self-describing dict per counter, gauge sample and histogram."""
+        for instrument in self._instruments.values():
+            yield from instrument.rows()
+
+    def write_jsonl(self, path) -> int:
+        """Write the metric stream to ``path`` as JSON lines; returns the row count."""
+        count = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for row in self.rows():
+                handle.write(json.dumps(row) + "\n")
+                count += 1
+        return count

@@ -1,0 +1,126 @@
+"""Human-readable run summaries of a telemetry facade's instruments.
+
+:class:`TelemetrySummary` condenses a run's counters, gauges and histograms
+into an aligned text table — what the experiments CLI prints under
+``--telemetry``.  It is plain data built from a
+:class:`~repro.telemetry.Telemetry` (and optionally the run's
+:class:`~repro.simulation.SimulationResult` for the worker profile), so it
+can ride pickles and reports without dragging the instruments along.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .core import Telemetry
+from .metrics import Counter, Gauge, Histogram
+
+__all__ = ["TelemetrySummary"]
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        return f"{value:.6g}"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class TelemetrySummary:
+    """A run's instruments flattened into printable rows.
+
+    ``counters`` are ``(name, value)``; ``gauges`` are ``(name, last_value,
+    num_samples)``; ``histograms`` are ``(name, count, mean, min, max)``;
+    ``profile`` is the result's wall-clock worker profile as ``(key, value)``
+    strings, empty when the run recorded none.
+    """
+
+    counters: tuple[tuple[str, int], ...] = ()
+    gauges: tuple[tuple[str, float, int], ...] = ()
+    histograms: tuple[tuple[str, int, float, float, float], ...] = ()
+    profile: tuple[tuple[str, str], ...] = field(default=())
+
+    @classmethod
+    def from_run(cls, telemetry: Telemetry, result=None) -> "TelemetrySummary":
+        """Summarise a telemetry facade (plus a result's worker profile)."""
+        counters: list[tuple[str, int]] = []
+        gauges: list[tuple[str, float, int]] = []
+        histograms: list[tuple[str, int, float, float, float]] = []
+        for instrument in telemetry.registry.instruments():
+            if isinstance(instrument, Counter):
+                counters.append((instrument.name, instrument.value))
+            elif isinstance(instrument, Gauge):
+                gauges.append((instrument.name, instrument.value, len(instrument.series)))
+            elif isinstance(instrument, Histogram):
+                histograms.append(
+                    (
+                        instrument.name,
+                        instrument.count,
+                        instrument.mean,
+                        instrument.min if instrument.count else float("nan"),
+                        instrument.max if instrument.count else float("nan"),
+                    )
+                )
+        profile: list[tuple[str, str]] = []
+        worker_profile = getattr(result, "worker_profile", None)
+        if worker_profile:
+            profile = [(key, _fmt(value)) for key, value in sorted(worker_profile.items())]
+        return cls(
+            counters=tuple(counters),
+            gauges=tuple(gauges),
+            histograms=tuple(histograms),
+            profile=tuple(profile),
+        )
+
+    def _section(self, title: str, header: list[str], rows: list[list[str]]) -> list[str]:
+        if not rows:
+            return []
+        widths = [
+            max(len(header[col]), max(len(row[col]) for row in rows))
+            for col in range(len(header))
+        ]
+        lines = [title]
+        lines.append("  " + "  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        for row in rows:
+            lines.append("  " + "  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return lines
+
+    def to_text(self) -> str:
+        """The aligned table the experiments CLI prints for ``--telemetry``."""
+        lines: list[str] = ["# telemetry summary"]
+        lines.extend(
+            self._section(
+                "counters",
+                ["name", "value"],
+                [[name, str(value)] for name, value in self.counters],
+            )
+        )
+        lines.extend(
+            self._section(
+                "gauges",
+                ["name", "last", "samples"],
+                [[name, _fmt(last), str(n)] for name, last, n in self.gauges],
+            )
+        )
+        lines.extend(
+            self._section(
+                "histograms",
+                ["name", "count", "mean", "min", "max"],
+                [
+                    [name, str(count), _fmt(mean), _fmt(lo), _fmt(hi)]
+                    for name, count, mean, lo, hi in self.histograms
+                ],
+            )
+        )
+        lines.extend(
+            self._section(
+                "worker profile",
+                ["key", "value"],
+                [[key, value] for key, value in self.profile],
+            )
+        )
+        if len(lines) == 1:
+            lines.append("(no instruments recorded)")
+        return "\n".join(lines)

@@ -1,0 +1,163 @@
+"""Window-edge semantics shared by the monitor, availability and health layers.
+
+The satellite fix behind these tests: ``WindowedMonitor`` (slowdown samples)
+and ``fleet_availability`` (live fractions) used to implement their window
+arithmetic independently; both now go through the module-level
+``window_index_of`` / ``window_span`` / ``windowed_time_average`` helpers, so
+the half-open ``[start, end)`` boundary convention cannot drift between them.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation import WindowedMonitor
+from repro.simulation.ledger import RequestLedger
+from repro.simulation.monitor import (
+    fleet_availability,
+    window_index_of,
+    window_span,
+    windowed_time_average,
+)
+from repro.simulation.trace import RequestRecord
+
+
+class TestWindowHelpers:
+    def test_window_index_half_open_boundaries(self):
+        # Window w spans [warmup + w*window, warmup + (w+1)*window): a
+        # completion exactly on an edge belongs to the *later* window.
+        assert window_index_of(10.0, warmup=10.0, window=5.0) == 0
+        assert window_index_of(14.999999, warmup=10.0, window=5.0) == 0
+        assert window_index_of(15.0, warmup=10.0, window=5.0) == 1
+        assert window_index_of(25.0, warmup=10.0, window=5.0) == 3
+
+    def test_window_span_round_trips_index(self):
+        for index in range(5):
+            start, end = window_span(index, warmup=10.0, window=5.0)
+            assert window_index_of(start, warmup=10.0, window=5.0) == index
+            assert window_index_of(end - 1e-9, warmup=10.0, window=5.0) == index
+            assert end - start == 5.0
+
+    def test_windowed_time_average_overlaps(self):
+        # Value 1.0 until t=7.5, then 0.0: window [5, 10) averages 0.5.
+        entries = [(0.0, [1.0]), (7.5, [0.0])]
+        out = windowed_time_average(entries, warmup=5.0, window=5.0, num_windows=2)
+        assert out.shape == (2, 1)
+        assert out[0][0] == 0.5
+        assert out[1][0] == 0.0
+
+    def test_windowed_time_average_last_entry_extends_forever(self):
+        entries = [(0.0, [2.0])]
+        out = windowed_time_average(entries, warmup=0.0, window=1.0, num_windows=3)
+        assert np.all(out == 2.0)
+
+
+class TestAvailabilityBoundaryRegression:
+    def test_state_flip_exactly_on_window_edge(self):
+        """A node going down exactly on a window boundary must count as down
+        for the whole later window and fully live for the earlier one —
+        the half-open convention both series now share."""
+        timeline = [
+            (0.0, ("live", "live"), (None, None)),
+            (15.0, ("live", "down"), (None, None)),  # exactly the w0/w1 edge
+            (20.0, ("live", "live"), (None, None)),  # exactly the w1/w2 edge
+        ]
+        series = fleet_availability(timeline, warmup=10.0, window=5.0, num_windows=3)
+        assert series[0].tolist() == [1.0, 1.0]
+        assert series[1].tolist() == [1.0, 0.0]
+        assert series[2].tolist() == [1.0, 1.0]
+
+    def test_monitor_series_agrees_with_module_function(self):
+        timeline = [
+            (0.0, ("live",), (None,)),
+            (12.5, ("down",), (None,)),
+        ]
+        monitor = WindowedMonitor(1, warmup=10.0, window=5.0)
+        assert np.array_equal(
+            monitor.availability_series(timeline, 2),
+            fleet_availability(timeline, warmup=10.0, window=5.0, num_windows=2),
+        )
+
+
+def completion_workloads():
+    """Random (class_index, waiting, service) completion streams."""
+    return st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),
+            st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+            st.floats(min_value=1e-3, max_value=10.0, allow_nan=False),
+        ),
+        min_size=0,
+        max_size=60,
+    )
+
+
+class TestStreamingVersusLedgerProperty:
+    """Satellite property test: streaming record() and the ledger-backed
+    vectorised pass must produce identical WindowSample sequences."""
+
+    WARMUP = 5.0
+    WINDOW = 4.0
+
+    def build_monitors(self, completions):
+        """Feed the same completions through both monitor modes."""
+        streaming = WindowedMonitor(3, warmup=self.WARMUP, window=self.WINDOW)
+        ledger = RequestLedger(3)
+        backed = WindowedMonitor(3, warmup=self.WARMUP, window=self.WINDOW, ledger=ledger)
+        # Completion order must match the engine's: sort by completion time.
+        ordered = sorted(completions, key=lambda c: c[0])
+        for completion_time, class_index, arrival, start in ordered:
+            rid = ledger.append(class_index, arrival, 1.0)
+            ledger.start_service(rid, start)
+            ledger.complete(rid, completion_time)
+            streaming.record(
+                RequestRecord(
+                    request_id=rid,
+                    class_index=class_index,
+                    arrival_time=arrival,
+                    size=1.0,
+                    service_start_time=start,
+                    completion_time=completion_time,
+                )
+            )
+        return streaming, backed
+
+    @given(completion_workloads())
+    @settings(max_examples=60, deadline=None)
+    def test_identical_window_sample_sequences(self, workload):
+        completions = []
+        clock = 0.5
+        for class_index, waiting, service in workload:
+            arrival = clock
+            start = arrival + waiting
+            completion = start + service
+            completions.append((completion, class_index, arrival, start))
+            clock += 0.7  # arrivals strictly increase; completions vary freely
+        streaming, backed = self.build_monitors(completions)
+        samples_a = streaming.samples()
+        samples_b = backed.samples()
+        assert len(samples_a) == len(samples_b)
+        for sample_a, sample_b in zip(samples_a, samples_b):
+            assert sample_a.start == sample_b.start
+            assert sample_a.end == sample_b.end
+            assert sample_a.counts == sample_b.counts
+            for mean_a, mean_b in zip(sample_a.mean_slowdowns, sample_b.mean_slowdowns):
+                assert (math.isnan(mean_a) and math.isnan(mean_b)) or mean_a == mean_b
+
+    def test_gap_windows_are_all_nan_in_both_modes(self):
+        # Two completions three windows apart: the gap windows must appear
+        # in both sequences as zero-count, all-NaN samples.
+        completions = [
+            (6.0, 0, 1.0, 2.0),
+            (21.0, 1, 2.0, 3.0),
+        ]
+        streaming, backed = self.build_monitors(completions)
+        samples_a = streaming.samples()
+        samples_b = backed.samples()
+        assert len(samples_a) == len(samples_b) == 5
+        for gap in (1, 2):
+            assert samples_a[gap].counts == samples_b[gap].counts == (0, 0, 0)
+            assert all(math.isnan(m) for m in samples_a[gap].mean_slowdowns)
+            assert all(math.isnan(m) for m in samples_b[gap].mean_slowdowns)

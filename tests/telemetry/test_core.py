@@ -1,0 +1,192 @@
+"""Tests for the Telemetry facade and its threading through Scenario."""
+
+import numpy as np
+import pytest
+
+from repro import MeasurementConfig, PsdSpec, Scenario, make_cluster, parse_fleet_events
+from repro.core.admission import QueueLengthAdmission
+from repro.errors import ParameterError
+from repro.telemetry import Telemetry
+
+
+def run_scenario(classes, measurement, *, telemetry=None, batched=None, server=None, seed=7):
+    scenario = Scenario(
+        classes,
+        measurement,
+        server=server,
+        spec=PsdSpec.of(*(c.delta for c in classes)),
+        seed=np.random.SeedSequence(seed),
+        batched=batched,
+        telemetry=telemetry,
+    )
+    return scenario.run(), scenario
+
+
+class TestTelemetryConstruction:
+    def test_rejects_out_of_range_sample_rate(self):
+        with pytest.raises(ParameterError):
+            Telemetry(trace_sample_rate=1.5)
+        with pytest.raises(ParameterError):
+            Telemetry(trace_sample_rate=-0.1)
+
+    def test_disabled_hooks_record_nothing(self):
+        telemetry = Telemetry(enabled=False)
+        telemetry.on_batch(1.0, 5)
+        telemetry.on_drain(1.0, 3)
+        telemetry.on_server_drain(0, 2)
+        telemetry.on_admission(0, True)
+        assert telemetry.batch_marks == []
+        assert telemetry.drain_marks == []
+        assert telemetry.registry.instruments() == []
+
+
+class TestScenarioIntegration:
+    def test_aggregates_bit_identical_across_telemetry_modes(
+        self, two_classes, short_measurement
+    ):
+        """The hard no-op requirement: None, disabled and enabled telemetry
+        must all produce bit-identical aggregates and rate histories."""
+        baseline, _ = run_scenario(two_classes, short_measurement)
+        for telemetry in (Telemetry(enabled=False), Telemetry()):
+            result, _ = run_scenario(two_classes, short_measurement, telemetry=telemetry)
+            assert result.per_class_mean_slowdowns() == baseline.per_class_mean_slowdowns()
+            assert result.system_mean_slowdown() == baseline.system_mean_slowdown()
+            assert result.rate_history == baseline.rate_history
+            assert result.completed_counts == baseline.completed_counts
+
+    def test_batched_aggregates_bit_identical(self, two_classes, short_measurement):
+        baseline, _ = run_scenario(two_classes, short_measurement, batched=True)
+        result, _ = run_scenario(
+            two_classes, short_measurement, telemetry=Telemetry(), batched=True
+        )
+        assert result.per_class_mean_slowdowns() == baseline.per_class_mean_slowdowns()
+        assert result.rate_history == baseline.rate_history
+
+    def test_per_event_instruments_populated(self, two_classes, short_measurement):
+        telemetry = Telemetry()
+        result, scenario = run_scenario(
+            two_classes, short_measurement, telemetry=telemetry, batched=False
+        )
+        registry = telemetry.registry
+        assert registry.get("scenario.runs").value == 1
+        assert registry.get("engine.events.arrival").value == sum(result.generated_counts)
+        assert registry.get("engine.events_processed").value == scenario.engine.events_processed
+        assert registry.get("scenario.completions").value == sum(result.completed_counts)
+        assert registry.get("scenario.arrivals").value == sum(result.generated_counts)
+        windows = registry.get("scenario.windows").value
+        assert windows == len(result.rate_history) - 1
+        assert len(registry.get("class0.rate").series) == windows
+        assert registry.get("scenario.simulated_time").value == scenario.engine.now
+        assert len(registry.get("server.backlog_total").series) == windows
+        # The default server is unconstrained (capacity None), so the
+        # utilisation gauge is never created.
+        assert registry.get("server.utilisation") is None
+
+    def test_batched_instruments_populated(self, two_classes, short_measurement):
+        telemetry = Telemetry()
+        run_scenario(two_classes, short_measurement, telemetry=telemetry, batched=True)
+        registry = telemetry.registry
+        assert telemetry.batch_marks and telemetry.drain_marks
+        assert registry.get("scenario.batch_size").count == len(telemetry.batch_marks)
+        assert registry.get("scenario.drain_length").count == len(telemetry.drain_marks)
+        # Per-class member drains observed through ServerModel.attach_telemetry.
+        assert registry.get("class0.drain_length").count > 0
+        # No per-event listener on the batched path beyond window/fleet labels:
+        assert registry.get("engine.events.arrival") is None
+
+    def test_disabled_facade_installs_no_engine_listener(
+        self, two_classes, short_measurement
+    ):
+        _, scenario = run_scenario(
+            two_classes, short_measurement, telemetry=Telemetry(enabled=False)
+        )
+        assert scenario.engine._listener is None
+
+    def test_admission_decisions_counted(self, two_classes, short_measurement):
+        telemetry = Telemetry()
+        admission = QueueLengthAdmission(limits=(2, 2))
+        scenario = Scenario(
+            two_classes,
+            short_measurement,
+            spec=PsdSpec.of(1, 2),
+            seed=np.random.SeedSequence(7),
+            admission=admission,
+            telemetry=telemetry,
+        )
+        result = scenario.run()
+        registry = telemetry.registry
+        accepted = registry.get("admission.accepted").value
+        rejected = registry.get("admission.rejected").value
+        assert accepted == sum(result.generated_counts) - sum(result.rejected_counts)
+        assert rejected == sum(result.rejected_counts)
+        if rejected:
+            per_class = sum(
+                registry.get(f"admission.class{c}.rejected").value
+                for c in range(len(two_classes))
+                if registry.get(f"admission.class{c}.rejected") is not None
+            )
+            assert per_class == rejected
+
+
+class TestClusterIntegration:
+    def make_cluster_run(self, two_classes, short_measurement, telemetry=None):
+        fleet = parse_fleet_events(
+            f"kill:1@{short_measurement.warmup * 2:g} "
+            f"restore:1@{short_measurement.warmup * 4:g}"
+        )
+        cluster = make_cluster(
+            3,
+            "weighted_jsq",
+            seed=np.random.SeedSequence(3),
+            record_dispatch=True,
+            fleet=fleet,
+        )
+        return run_scenario(
+            two_classes, short_measurement, telemetry=telemetry, server=cluster
+        )
+
+    def test_cluster_run_bit_identical_with_telemetry(self, two_classes, short_measurement):
+        baseline, _ = self.make_cluster_run(two_classes, short_measurement)
+        result, _ = self.make_cluster_run(
+            two_classes, short_measurement, telemetry=Telemetry()
+        )
+        assert result.per_class_mean_slowdowns() == baseline.per_class_mean_slowdowns()
+        assert result.dispatch_log == baseline.dispatch_log
+        assert result.rate_history == baseline.rate_history
+        assert result.fleet_timeline == baseline.fleet_timeline
+
+    def test_cluster_gauges_and_marks(self, two_classes, short_measurement):
+        telemetry = Telemetry()
+        result, scenario = self.make_cluster_run(
+            two_classes, short_measurement, telemetry=telemetry
+        )
+        registry = telemetry.registry
+        assert registry.get("fleet.events").value == 2
+        assert registry.get("cluster.live_nodes").value == 3.0
+        assert telemetry.node_backlog_marks
+        assert all(len(marks) == 3 for _, marks in telemetry.node_backlog_marks)
+        for node in range(3):
+            assert registry.get(f"cluster.node{node}.backlog") is not None
+            assert registry.get(f"cluster.node{node}.utilisation") is not None
+        dispatched = sum(
+            registry.get(f"cluster.node{node}.dispatched").value for node in range(3)
+        )
+        assert dispatched <= len(result.dispatch_log)
+
+    def test_share_history_only_recorded_with_enabled_telemetry(
+        self, two_classes, short_measurement
+    ):
+        off, _ = self.make_cluster_run(two_classes, short_measurement)
+        assert off.node_share_history == []
+        on, _ = self.make_cluster_run(
+            two_classes, short_measurement, telemetry=Telemetry()
+        )
+        assert on.node_share_history
+        time0, shares0 = on.node_share_history[0]
+        assert time0 == 0.0
+        assert len(shares0) == 3
+        # Shares conserve each class's rate.
+        for class_index in range(len(two_classes)):
+            total = sum(share[class_index] for share in shares0)
+            expected = on.rate_history[0][1][class_index]
+            assert total == pytest.approx(expected, abs=1e-9)

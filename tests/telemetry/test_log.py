@@ -1,0 +1,83 @@
+"""Tests for the structured logging helpers."""
+
+import logging
+
+import pytest
+
+from repro.telemetry import ROOT_LOGGER, configure_logging, get_logger, log_event
+
+
+class TestGetLogger:
+    def test_namespaced_under_root(self):
+        assert get_logger().name == ROOT_LOGGER
+        assert get_logger("cluster").name == f"{ROOT_LOGGER}.cluster"
+
+    def test_children_propagate_to_root(self):
+        assert get_logger("cluster").parent.name == ROOT_LOGGER
+
+
+class TestLogEvent:
+    def test_message_and_structured_extra(self, caplog):
+        logger = get_logger("test_log_event")
+        with caplog.at_level(logging.INFO, logger=logger.name):
+            log_event(logger, logging.INFO, "fleet.event", node=1, action="leave")
+        assert len(caplog.records) == 1
+        record = caplog.records[0]
+        assert record.getMessage() == "fleet.event node=1 action=leave"
+        assert record.structured == {"event": "fleet.event", "node": 1, "action": "leave"}
+
+    def test_floats_format_compactly(self, caplog):
+        logger = get_logger("test_log_event")
+        with caplog.at_level(logging.INFO, logger=logger.name):
+            log_event(logger, logging.INFO, "tick", time=150.90000000001)
+        assert "time=150.9" in caplog.records[0].getMessage()
+
+    def test_disabled_level_emits_nothing(self, caplog):
+        logger = get_logger("test_log_event")
+        with caplog.at_level(logging.WARNING, logger=logger.name):
+            log_event(logger, logging.DEBUG, "quiet", detail="x")
+        assert caplog.records == []
+
+    def test_spaced_strings_are_quoted(self, caplog):
+        logger = get_logger("test_log_event")
+        with caplog.at_level(logging.INFO, logger=logger.name):
+            log_event(logger, logging.INFO, "note", reason="two words")
+        assert "reason='two words'" in caplog.records[0].getMessage()
+
+
+class TestConfigureLogging:
+    @pytest.fixture(autouse=True)
+    def _clean_root_handlers(self):
+        """Remove any handler configure_logging installs so tests stay isolated."""
+        yield
+        root = logging.getLogger(ROOT_LOGGER)
+        for handler in list(root.handlers):
+            if getattr(handler, "_repro_handler", False):
+                root.removeHandler(handler)
+        root.setLevel(logging.NOTSET)
+
+    def _repro_handlers(self):
+        root = logging.getLogger(ROOT_LOGGER)
+        return [h for h in root.handlers if getattr(h, "_repro_handler", False)]
+
+    def test_installs_single_handler_idempotently(self):
+        configure_logging("INFO")
+        configure_logging("DEBUG")
+        assert len(self._repro_handlers()) == 1
+        assert logging.getLogger(ROOT_LOGGER).level == logging.DEBUG
+
+    def test_accepts_numeric_levels(self):
+        configure_logging(logging.WARNING)
+        assert logging.getLogger(ROOT_LOGGER).level == logging.WARNING
+
+    def test_rejects_unknown_level_names(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging("LOUD")
+
+    def test_level_names_are_case_insensitive(self):
+        configure_logging("warning")
+        assert logging.getLogger(ROOT_LOGGER).level == logging.WARNING
+
+    def test_propagation_left_enabled_for_caplog(self):
+        configure_logging("INFO")
+        assert logging.getLogger(ROOT_LOGGER).propagate is True

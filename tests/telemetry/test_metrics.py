@@ -1,0 +1,118 @@
+"""Tests for the streaming metric instruments and their registry."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("events")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_rejects_negative_amounts(self):
+        with pytest.raises(ParameterError):
+            Counter("events").inc(-1)
+
+    def test_zero_increment_is_allowed(self):
+        counter = Counter("events")
+        counter.inc(0)
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_series_stamped_with_clock(self):
+        times = iter([1.0, 2.5])
+        gauge = Gauge("depth", lambda: next(times))
+        gauge.set(3)
+        gauge.set(7)
+        assert gauge.series == [(1.0, 3.0), (2.5, 7.0)]
+        assert gauge.value == 7.0
+
+    def test_value_is_nan_before_first_set(self):
+        assert math.isnan(Gauge("depth", lambda: 0.0).value)
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        hist = Histogram("sizes")
+        for value in (1.0, 2.0, 3.0, 10.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.total == 16.0
+        assert hist.mean == 4.0
+        assert hist.min == 1.0
+        assert hist.max == 10.0
+
+    def test_power_of_two_buckets(self):
+        hist = Histogram("sizes")
+        # 0.75 -> (0.5, 1], 1.5 and 2.0 -> (1, 2], 9.0 -> (8, 16]
+        for value in (0.75, 1.5, 2.0, 9.0):
+            hist.observe(value)
+        assert hist.buckets() == [(1.0, 1), (2.0, 2), (16.0, 1)]
+
+    def test_underflow_bucket_for_non_positive(self):
+        hist = Histogram("sizes")
+        hist.observe(0.0)
+        hist.observe(-1.0)
+        hist.observe(4.0)
+        assert hist.buckets()[0] == (0.0, 2)
+
+    def test_mean_is_nan_when_empty(self):
+        assert math.isnan(Histogram("sizes").mean)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.get("a") is registry.counter("a")
+        assert registry.get("missing") is None
+
+    def test_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ParameterError, match="Counter"):
+            registry.gauge("a")
+
+    def test_gauges_sample_through_registry_clock(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        registry.set_clock(lambda: 5.0)
+        gauge.set(1.0)
+        assert gauge.series == [(5.0, 1.0)]
+
+    def test_instruments_keep_creation_order(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        registry.counter("c")
+        registry.gauge("g")
+        assert [i.name for i in registry.instruments()] == ["h", "c", "g"]
+
+    def test_write_jsonl_round_trips(self, tmp_path):
+        registry = MetricsRegistry(clock=lambda: 2.0)
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(4.0)
+        path = tmp_path / "metrics.jsonl"
+        count = registry.write_jsonl(path)
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert count == len(rows) == 3
+        assert rows[0] == {"type": "counter", "name": "c", "value": 3}
+        assert rows[1] == {"type": "gauge", "name": "g", "time": 2.0, "value": 1.5}
+        assert rows[2]["type"] == "histogram"
+        assert rows[2]["count"] == 1
+        assert rows[2]["buckets"] == [{"le": 4.0, "count": 1}]
+
+    def test_empty_histogram_serialises_null_bounds(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        row = next(registry.rows())
+        assert row["min"] is None and row["max"] is None and row["count"] == 0

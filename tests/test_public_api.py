@@ -31,6 +31,7 @@ class TestPublicApi:
         import repro.queueing
         import repro.scheduling
         import repro.simulation
+        import repro.telemetry
         import repro.workload
 
         for module in (
@@ -42,6 +43,7 @@ class TestPublicApi:
             repro.queueing,
             repro.scheduling,
             repro.simulation,
+            repro.telemetry,
             repro.workload,
         ):
             assert module.__doc__
