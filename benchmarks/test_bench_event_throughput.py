@@ -232,6 +232,88 @@ def test_ledger_event_throughput_vs_object_path(benchmark):
     )
 
 
+#: The batched cluster pipeline must sustain at least this multiple of the
+#: per-event cluster path measured in the same process (acceptance bar of
+#: the batched *cluster* hot path; the vectorised round-robin dispatch is
+#: the representative case — backlog-dependent policies replay the exact
+#: scalar decision sequence and only reach parity-plus).
+MIN_CLUSTER_BATCHED_SPEEDUP = 3.0
+
+
+def _timed_cluster_run(batched, telemetry=None):
+    from repro.cluster import make_cluster
+
+    classes, config, spec = _effectiveness_point()
+    server = make_cluster(3, "round_robin", seed=9)
+    start = time.perf_counter()
+    result = Scenario(
+        classes,
+        config,
+        server=server,
+        spec=spec,
+        seed=1,
+        batched=batched,
+        telemetry=telemetry,
+    ).run()
+    elapsed = time.perf_counter() - start
+    return sum(result.completed_counts) / elapsed, result
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_cluster_batched_throughput(benchmark):
+    """The batched cluster hot path vs per-event dispatch, same 3-node fleet.
+
+    Block arrivals reach the cluster whole (segmented only at estimation
+    windows and fleet events), round-robin picks every node with one
+    vectorised ``select_block`` call, and completions drain per node in
+    bulk.  The per-event path routes one engine event per request through
+    ``submit``.  Both must simulate the identical run — the ledger bytes are
+    compared before the speedup is.
+    """
+
+    def measure():
+        batched_rps, per_event_rps = [], []
+        for _ in range(ROUNDS):  # interleaved: noise hits both paths alike
+            rps, batched_result = _timed_cluster_run(batched=True)
+            batched_rps.append(rps)
+            rps, per_event_result = _timed_cluster_run(batched=False)
+            per_event_rps.append(rps)
+        return max(batched_rps), max(per_event_rps), batched_result, per_event_result
+
+    batched_rps, per_event_rps, batched_result, per_event_result = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    speedup = batched_rps / per_event_rps
+    benchmark.extra_info["cluster_batched_requests_per_sec"] = round(batched_rps, 1)
+    benchmark.extra_info["cluster_per_event_requests_per_sec"] = round(per_event_rps, 1)
+    benchmark.extra_info["cluster_batched_speedup"] = round(speedup, 3)
+    print()
+    print(
+        f"  cluster batched: {batched_rps:,.0f} req/s  "
+        f"cluster per-event: {per_event_rps:,.0f} req/s  speedup: {speedup:.2f}x"
+    )
+
+    # Bit-identity first: the speedup only counts if the simulated run is
+    # exactly the same one.
+    assert batched_result.completed_counts == per_event_result.completed_counts
+    assert (
+        batched_result.per_class_mean_slowdowns()
+        == per_event_result.per_class_mean_slowdowns()
+    )
+    assert batched_result.rate_history == per_event_result.rate_history
+    np.testing.assert_array_equal(
+        batched_result.ledger.completion_time, per_event_result.ledger.completion_time
+    )
+    np.testing.assert_array_equal(
+        batched_result.ledger.service_start_time,
+        per_event_result.ledger.service_start_time,
+    )
+    assert speedup >= MIN_CLUSTER_BATCHED_SPEEDUP, (
+        f"batched cluster path reached only {speedup:.2f}x of the per-event "
+        f"path measured in this process (required: {MIN_CLUSTER_BATCHED_SPEEDUP}x)"
+    )
+
+
 #: A disabled telemetry facade may cost at most this fraction of the
 #: uninstrumented batched path's throughput (the telemetry layer's no-op
 #: fast-path acceptance bar: one attribute check per instrumented site).
@@ -296,6 +378,56 @@ def test_telemetry_noop_fast_path_overhead(benchmark):
     )
     assert overhead <= MAX_TELEMETRY_OFF_OVERHEAD, (
         f"disabled telemetry cost {overhead:.2%} of batched throughput "
+        f"(allowed: {MAX_TELEMETRY_OFF_OVERHEAD:.0%})"
+    )
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_cluster_telemetry_noop_fast_path_overhead(benchmark):
+    """A disabled telemetry facade must also be free on the cluster path.
+
+    The cluster dispatch loop hoists its telemetry checks out of the
+    per-request walk (one enabled-check per block/drain, not per request);
+    this bench pins that with the same pairwise-min idiom as the
+    single-server case.
+    """
+    from repro.telemetry import Telemetry
+
+    def measure():
+        off_rps, disabled_rps = [], []
+        for _ in range(TELEMETRY_ROUNDS):  # interleaved: noise hits both alike
+            rps, off_result = _timed_cluster_run(batched=True)
+            off_rps.append(rps)
+            rps, disabled_result = _timed_cluster_run(
+                batched=True, telemetry=Telemetry(enabled=False)
+            )
+            disabled_rps.append(rps)
+        return off_rps, disabled_rps, off_result, disabled_result
+
+    off_rps, disabled_rps, off_result, disabled_result = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    overhead = min(1.0 - d / o for d, o in zip(disabled_rps, off_rps))
+    benchmark.extra_info["cluster_telemetry_off_requests_per_sec"] = round(max(off_rps), 1)
+    benchmark.extra_info["cluster_telemetry_disabled_requests_per_sec"] = round(
+        max(disabled_rps), 1
+    )
+    benchmark.extra_info["cluster_telemetry_disabled_overhead"] = round(overhead, 4)
+    print()
+    print(
+        f"  none: {max(off_rps):,.0f} req/s  disabled: {max(disabled_rps):,.0f} req/s  "
+        f"disabled overhead: {overhead:+.2%}"
+    )
+
+    assert disabled_result.completed_counts == off_result.completed_counts
+    assert (
+        disabled_result.per_class_mean_slowdowns() == off_result.per_class_mean_slowdowns()
+    )
+    np.testing.assert_array_equal(
+        disabled_result.ledger.completion_time, off_result.ledger.completion_time
+    )
+    assert overhead <= MAX_TELEMETRY_OFF_OVERHEAD, (
+        f"disabled telemetry cost {overhead:.2%} of batched cluster throughput "
         f"(allowed: {MAX_TELEMETRY_OFF_OVERHEAD:.0%})"
     )
 

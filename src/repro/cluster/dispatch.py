@@ -118,6 +118,13 @@ class DispatchPolicy(abc.ABC):
     def select_node(self, rid: int) -> int:
         """The index of the member node that will serve ledger row ``rid``."""
 
+    # Policies whose decisions do not read live backlogs may additionally
+    # implement ``select_block(rids, classes) -> np.ndarray`` — the node
+    # choice for a whole arrival block in one vectorised call, bit-identical
+    # to ``select_node`` applied per request in order.  The batched cluster
+    # dispatches blocks through it when present; backlog-dependent policies
+    # omit it and take the scalar replay walk instead.
+
 
 class RoundRobin(DispatchPolicy):
     """Cycle through the live nodes in index order, one request per node.
@@ -142,6 +149,30 @@ class RoundRobin(DispatchPolicy):
                 return node
             node = (node + 1) % n
         raise ClusterDrainedError("round-robin found no live node to dispatch to")
+
+    def select_block(self, rids: np.ndarray, classes: np.ndarray) -> np.ndarray:
+        """Whole-block round robin: the live nodes in cyclic order.
+
+        Per request, :meth:`select_node` picks the first live node at or
+        after the cursor (cyclically) and parks the cursor one past it — so
+        consecutive picks walk the sorted live set in cyclic order starting
+        from the cursor's position in it.  One modular ``arange`` reproduces
+        the whole sequence.
+        """
+        cluster = self.cluster
+        live = getattr(cluster, "live_nodes", None)
+        if live is None:
+            live = tuple(range(cluster.num_nodes))
+        if not live:
+            raise ClusterDrainedError("round-robin found no live node to dispatch to")
+        first = int(np.searchsorted(live, self._next))
+        if first == len(live):
+            first = 0
+        choices = np.asarray(live, dtype=np.int64)[
+            (first + np.arange(rids.shape[0])) % len(live)
+        ]
+        self._next = (int(choices[-1]) + 1) % cluster.num_nodes
+        return choices
 
 
 class WeightedRandom(DispatchPolicy):
@@ -209,6 +240,20 @@ class WeightedRandom(DispatchPolicy):
         if self._cumulative is None:
             raise ClusterDrainedError("weighted-random draw has no live node weight")
         return int(np.searchsorted(self._cumulative, self.rng.random(), side="right"))
+
+    def select_block(self, rids: np.ndarray, classes: np.ndarray) -> np.ndarray:
+        """Whole-block weighted draw off the same RNG stream.
+
+        ``Generator.random(k)`` yields the identical value sequence as ``k``
+        scalar ``random()`` calls, so the block's choices are bit-identical
+        to per-request draws — the cumulative weights are fixed within a
+        block (blocks are cut at every fleet event).
+        """
+        if self._cumulative is None:
+            raise ClusterDrainedError("weighted-random draw has no live node weight")
+        return np.searchsorted(
+            self._cumulative, self.rng.random(rids.shape[0]), side="right"
+        ).astype(np.int64)
 
 
 class JoinShortestQueue(DispatchPolicy):
@@ -414,6 +459,19 @@ class ClassAffinity(DispatchPolicy):
 
     def select_node(self, rid: int) -> int:
         return self.effective_home(self.cluster.ledger.class_of(rid))
+
+    def select_block(self, rids: np.ndarray, classes: np.ndarray) -> np.ndarray:
+        """Whole-block affinity routing via a per-class home table.
+
+        The effective home of every class is constant between fleet events
+        (blocks are cut at each one), so one gather over the class column
+        reproduces the per-request decisions exactly.
+        """
+        homes = np.asarray(
+            [self.effective_home(c) for c in range(self.cluster.num_classes)],
+            dtype=np.int64,
+        )
+        return homes[classes]
 
 
 #: Registry of dispatch-policy factories by short name, as accepted by the

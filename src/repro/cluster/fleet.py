@@ -177,6 +177,19 @@ class FleetSchedule:
                     f"cluster has {num_nodes}"
                 )
 
+    def times_between(self, start: float, end: float) -> tuple[float, ...]:
+        """Distinct event instants strictly inside ``(start, end)``, ascending.
+
+        The batched cluster cuts pre-drawn arrival blocks at these instants
+        so arrivals after an event are dispatched under the post-event fleet
+        (an arrival landing *exactly* on an event time belongs to the later
+        segment — on the engine calendar the bind-time fleet event outranks
+        the later-scheduled block submission at the same instant).
+        """
+        return tuple(
+            sorted({event.time for event in self.events if start < event.time < end})
+        )
+
     def scaled_to_time_units(self, time_unit: float) -> "FleetSchedule":
         """Event times multiplied by ``time_unit`` (abstract units -> raw time)."""
         if not time_unit > 0.0:

@@ -30,6 +30,21 @@ what the backlog-aware policies and partitioners consume — the bookkeeping
 is model-agnostic, so any member substrate participates in JSQ and
 least-work dispatch without exposing internals.
 
+Batched hot path: when every member supports the batched pipeline the
+cluster does too (``supports_batched``), so ``Scenario`` auto-selects block
+dispatch for clustered runs.  Arrival blocks arrive pre-segmented at fleet
+event instants (see :meth:`ClusterServerModel.block_boundaries`); within a
+segment the fleet is static, so counter/weight policies with a
+``select_block`` vectorise their choices over the whole block, while
+backlog-dependent policies replay the exact per-request decision sequence —
+a scalar walk that, before each decision, pulls every member completion up
+to the arrival instant (tracking per-node next-completion heads) so each
+decision reads the same pending/work state the per-event path would.
+Member completions are buffered as per-node bulk-drain runs and merged by a
+stable time sort at :meth:`ClusterServerModel.drain`, making the dispatch
+log, fleet timeline, rate histories and aggregates bit-identical to the
+per-event cluster.
+
 Dynamic fleets: a :class:`~repro.cluster.fleet.FleetSchedule` makes the
 member set time-varying.  At every event the cluster updates its per-node
 states (live / draining / down), notifies the dispatch policy to refresh any
@@ -153,6 +168,11 @@ class ClusterServerModel(ServerModel):
     def num_nodes(self) -> int:
         return len(self.nodes)
 
+    @property
+    def supports_batched(self) -> bool:
+        """The cluster batches whenever every member model can."""
+        return all(node.supports_batched for node in self.nodes)
+
     # ------------------------------------------------------------------ #
     # Read-only view consumed by policies and partitioners
     # ------------------------------------------------------------------ #
@@ -227,13 +247,52 @@ class ClusterServerModel(ServerModel):
                 self.classes,
                 self._completion_sink(index),
                 ledger=self.ledger,
+                batched=self.batched,
             )
         self.dispatch.bind(self)
+        # Batched-mode state: per-node next-completion heads, buffered
+        # member drain runs awaiting the next merge, and the member/policy
+        # methods the dispatch inner loop calls — bound once here so the
+        # per-request path never repeats the attribute lookups.
+        self._heads = [float("inf")] * n
+        self._run_rids: list[np.ndarray] = []
+        self._run_times: list[np.ndarray] = []
+        self._submit_ones = tuple(node.submit_one for node in self.nodes)
+        self._next_completions = tuple(node.next_completion_time for node in self.nodes)
+        self._select_block = self._resolve_select_block()
         self._record_fleet_state()
         for event in self.fleet.events:
             self.engine.schedule_at(
                 event.time, partial(self._apply_fleet_event, event), label="fleet"
             )
+
+    def _resolve_select_block(self) -> Callable | None:
+        """The policy's block dispatcher, if its scalar decisions are mirrored.
+
+        ``select_block`` must reproduce ``select_node``'s choice sequence; a
+        subclass (or instance patch) overriding ``select_node`` without
+        redefining ``select_block`` would silently bypass its own logic on
+        the batched path, so the vectorised route is taken only when the
+        class defining ``select_block`` sits at or below the one defining
+        ``select_node`` in the policy's MRO.
+        """
+        dispatch = self.dispatch
+        if "select_node" in vars(dispatch) and "select_block" not in vars(dispatch):
+            return None
+        cls = type(dispatch)
+        if getattr(cls, "select_block", None) is None:
+            return None
+
+        def definer(name: str) -> type | None:
+            for klass in cls.__mro__:
+                if name in vars(klass):
+                    return klass
+            return None
+
+        block_cls, node_cls = definer("select_block"), definer("select_node")
+        if block_cls is None or node_cls is None or not issubclass(block_cls, node_cls):
+            return None
+        return dispatch.select_block
 
     def _completion_sink(self, node: int) -> Callable[[int], None]:
         def deliver(rid: int) -> None:
@@ -261,16 +320,32 @@ class ClusterServerModel(ServerModel):
     # ------------------------------------------------------------------ #
     # Fleet events
     # ------------------------------------------------------------------ #
-    def _record_fleet_state(self) -> None:
+    def _record_fleet_state(self, time: float | None = None) -> None:
+        """Snapshot the node states; ``time`` overrides the engine clock.
+
+        The batched path records drain-complete transitions at the emptying
+        request's completion time — the instant the per-event sink would
+        have observed on the engine clock.
+        """
         self.fleet_timeline.append(
             (
-                self.engine.now,
+                self.engine.now if time is None else time,
                 tuple(self._node_state),
                 tuple(node.capacity for node in self.nodes),
             )
         )
 
     def _apply_fleet_event(self, event: FleetEvent) -> None:
+        if self.batched:
+            # Everything the members finished strictly *before* the event
+            # instant must be booked first: drain-complete transitions land
+            # before this event's timeline entry, and the re-partition below
+            # reads the same pending counts the per-event path would.  A
+            # completion tied exactly with the event instant stays unbooked —
+            # bind-time fleet events carry a lower engine sequence number
+            # than any completion event scheduled mid-run, so the per-event
+            # path applies the event first and completes after.
+            self._sync_nodes(float(np.nextafter(self.engine.now, -np.inf)))
         state = self._node_state[event.node]
         if event.action == "leave":
             if state != NODE_LIVE:
@@ -323,6 +398,10 @@ class ClusterServerModel(ServerModel):
             self.apply_rates(self._last_rates)
 
     def submit(self, request: int | Request) -> None:
+        if self.batched:
+            raise SimulationError(
+                "per-request submit on a batched cluster; use submit_batch"
+            )
         rid = self.resolve(request)
         if not self._live:
             raise ClusterDrainedError(
@@ -355,19 +434,257 @@ class ClusterServerModel(ServerModel):
         self.nodes[node].submit(rid)
 
     def submit_batch(self, rids: np.ndarray) -> None:
-        """Per-request dispatch over a pre-drawn block.
+        """Dispatch a time-ordered arrival block.
 
-        The cluster cannot take the batched hot path
-        (``supports_batched=False``): dispatch policies such as
-        join-shortest-queue and least-work read the *live* pending counts,
-        so completions must interleave with arrivals in engine time.  A
-        block submitted by a batched-agnostic call site is therefore
-        dispatched request by request, with only the per-call ``resolve``
-        indirection hoisted out.
+        Per-event clusters dispatch request by request (with only the
+        per-call ``resolve`` indirection hoisted out).  Batched clusters
+        receive blocks pre-segmented at fleet-event instants (see
+        :meth:`block_boundaries`), so the live set is constant across the
+        block and the empty-fleet check runs once.  Policies exposing
+        ``select_block`` (whose decisions ignore backlog state) vectorise
+        over the whole block; the rest replay the exact per-request decision
+        sequence via :meth:`_dispatch_walk`.
         """
-        submit = self.submit
-        for rid in rids:
-            submit(int(rid))
+        if not self.batched:
+            submit = self.submit
+            for rid in rids:
+                submit(int(rid))
+            return
+        rids = np.asarray(rids, dtype=np.int64)
+        if rids.size == 0:
+            return
+        if not self._live:
+            raise ClusterDrainedError(
+                f"request arrived while every node of the {self.num_nodes}-node "
+                f"cluster is draining or down; keep at least one node live "
+                f"while traffic flows"
+            )
+        classes = self.ledger.classes_of(rids)
+        if self._select_block is not None:
+            self._dispatch_block(rids, classes)
+        else:
+            self._dispatch_walk(rids, classes)
+
+    def _dispatch_block(self, rids: np.ndarray, classes: np.ndarray) -> None:
+        """Vectorised block dispatch for backlog-blind policies.
+
+        The policy's ``select_block`` produces the same node sequence its
+        ``select_node`` would (cursor walks, RNG draws and home lookups do
+        not depend on completions), so no completion interleaving is needed:
+        the whole block's bookkeeping collapses to two bincounts and one
+        per-node sub-block submission.  ``select_block`` implementations
+        guarantee live choices, so the per-request validation of
+        :meth:`submit` is skipped here.
+        """
+        choices = self._select_block(rids, classes)
+        n, c = self.num_nodes, self.num_classes
+        sizes = self.ledger.sizes_of(rids)
+        pair_counts = np.bincount(choices * c + classes, minlength=n * c)
+        work_add = np.bincount(choices, weights=sizes, minlength=n)
+        node_totals = np.bincount(choices, minlength=n)
+        next_completion = self._next_completions
+        for node in range(n):
+            if not node_totals[node]:
+                continue
+            row_pending = self._pending[node]
+            row_counts = self._dispatch_counts[node]
+            base = node * c
+            for cls in range(c):
+                k = int(pair_counts[base + cls])
+                if k:
+                    row_pending[cls] += k
+                    row_counts[cls] += k
+            self._work_left[node] += float(work_add[node])
+            self.nodes[node].submit_batch(rids[choices == node])
+            self._heads[node] = next_completion[node]()
+        if self.record_dispatch:
+            self.dispatch_log.extend(int(v) for v in choices)
+
+    def _dispatch_walk(self, rids: np.ndarray, classes: np.ndarray) -> None:
+        """Replay the exact per-event decision sequence over a block.
+
+        Backlog-dependent policies (JSQ, least-work, fastest-available)
+        read the cluster's live pending/work state, so before every decision
+        all member completions up to the arrival instant are pulled in
+        (``head <= t``: completions tied with an arrival land first, the
+        same convention the batched single-server path uses — exact ties
+        have probability zero for continuous workloads).  Everything the
+        loop touches is bound to locals once; the member pushes go through
+        the pre-gathered ``submit_one`` fast path, so the per-request cost
+        is the policy decision plus list bookkeeping.
+        """
+        ledger = self.ledger
+        times = ledger.arrivals_of(rids).tolist()
+        sizes = ledger.sizes_of(rids).tolist()
+        classes_list = classes.tolist()
+        rids_list = rids.tolist()
+        heads = self._heads
+        pending = self._pending
+        work_left = self._work_left
+        counts = self._dispatch_counts
+        node_state = self._node_state
+        num_nodes = self.num_nodes
+        log = self.dispatch_log if self.record_dispatch else None
+        submit_one = self._submit_ones
+        next_completion = self._next_completions
+        select_node = self.dispatch.select_node
+        advance = self._advance_completions
+        for i, t in enumerate(times):
+            if min(heads) <= t:
+                advance(t)
+            rid = rids_list[i]
+            node = select_node(rid)
+            if (
+                isinstance(node, bool)
+                or not isinstance(node, (int, np.integer))
+                or not (0 <= node < num_nodes)
+            ):
+                raise SimulationError(
+                    f"dispatch policy {type(self.dispatch).__name__} chose invalid "
+                    f"node {node!r} (cluster has {num_nodes})"
+                )
+            node = int(node)
+            if node_state[node] != NODE_LIVE:
+                raise SimulationError(
+                    f"dispatch policy {type(self.dispatch).__name__} chose "
+                    f"{node_state[node]} node {node}; only live nodes accept work"
+                )
+            cls = classes_list[i]
+            pending[node][cls] += 1
+            work_left[node] += sizes[i]
+            counts[node][cls] += 1
+            if log is not None:
+                log.append(node)
+            submit_one[node](rid, cls, t, sizes[i])
+            heads[node] = next_completion[node]()
+
+    def _advance_completions(self, now: float) -> None:
+        """Pull every member completion with time ``<= now`` into the books.
+
+        Nodes are drained in ascending next-completion order, so the
+        cluster-level bookkeeping (pending counts, work left, drain-complete
+        transitions) is updated in the same global completion order the
+        per-event sinks would have seen.  Drain-complete state flips are
+        collected and applied after the drains, sorted by (time, node): a
+        draining node receives no new dispatches, so its flip is the only
+        state change inside the advance and the sorted application
+        reproduces the per-event timeline exactly.
+        """
+        heads = self._heads
+        flips: list[tuple[float, int]] = []
+        while True:
+            head = min(heads)
+            if head > now:
+                break
+            flip = self._drain_node(heads.index(head), now)
+            if flip is not None:
+                flips.append(flip)
+        if flips:
+            flips.sort()
+            for time, node in flips:
+                self._node_state[node] = NODE_DOWN
+                self._record_fleet_state(time)
+                log_event(
+                    _log,
+                    logging.INFO,
+                    "fleet.drain_complete",
+                    node=node,
+                    time=time,
+                )
+
+    def _drain_node(self, node: int, now: float) -> tuple[float, int] | None:
+        """Drain one member to ``now`` and book its completions.
+
+        Buffers the member's completion run for the next cluster-level
+        merge, applies the per-completion bookkeeping the per-event sink
+        performs (pending decrement, work-left clamp), refreshes the node's
+        next-completion head, and returns a pending ``(time, node)``
+        drain-complete flip — at the run's last completion time, since a
+        draining node gets no new work — for the caller to apply in global
+        time order.
+        """
+        ledger = self.ledger
+        run = self.nodes[node].drain(now)
+        if run.size == 0:
+            self._heads[node] = self._next_completions[node]()
+            return None
+        times = ledger.completion_time[run]
+        pending = self._pending[node]
+        work = self._work_left[node]
+        for cls, size in zip(
+            ledger.classes_of(run).tolist(), ledger.sizes_of(run).tolist()
+        ):
+            pending[cls] -= 1
+            # Clamp: summation order can leave ~1e-16 residuals behind.
+            work = max(work - size, 0.0)
+        self._work_left[node] = work
+        self._run_rids.append(run)
+        self._run_times.append(times)
+        self._heads[node] = self._next_completions[node]()
+        if self._node_state[node] == NODE_DRAINING and not any(pending):
+            return (float(times[-1]), node)
+        return None
+
+    def _sync_nodes(self, now: float) -> None:
+        """Fully synchronise every member to ``now`` (rate-change points).
+
+        :meth:`_advance_completions` first, for the global completion order;
+        then one unconditional drain per node.  The extra pass is what keeps
+        zero-rate classes per-event-exact: a frozen class server reports no
+        next completion (``inf``), so the head-guided advance skips it, yet
+        its member drain must still run so the queued head *starts service*
+        (frozen at its arrival instant, exactly as the per-event idle server
+        would) before any ``set_rate`` re-bases its completion time.  Called
+        wherever :meth:`apply_rates` may follow — the cluster-level drain and
+        fleet events.
+        """
+        self._advance_completions(now)
+        for node in range(self.num_nodes):
+            self._drain_node(node, now)
+
+    def drain(self, now: float) -> np.ndarray:
+        """Advance every member to ``now``; returns completions in time order.
+
+        The buffered per-node runs are merged by a stable sort on their
+        ledger completion times — each run is already internally ordered, so
+        the merge reproduces the global per-event completion order (stable:
+        runs buffered earlier win exact-tie comparisons, matching the
+        drain order of :meth:`_advance_completions`).
+        """
+        self._sync_nodes(now)
+        runs = self._run_rids
+        if not runs:
+            return np.empty(0, dtype=np.int64)
+        if len(runs) == 1:
+            merged = runs[0]
+        else:
+            merged = np.concatenate(runs)
+            times = np.concatenate(self._run_times)
+            merged = merged[np.argsort(times, kind="stable")]
+        self._run_rids = []
+        self._run_times = []
+        return merged
+
+    def submit_one(self, rid: int, class_index: int, arrival: float, size: float) -> None:
+        # Nested clusters: an outer walk pushes one decision at a time; the
+        # inner cluster dispatches it as a one-element block.
+        self.submit_batch(np.asarray([rid], dtype=np.int64))
+
+    def next_completion_time(self) -> float:
+        return min(self._heads)
+
+    def block_boundaries(self, start: float, end: float) -> tuple[float, ...]:
+        """Fleet-event instants (own and nested) strictly inside the span.
+
+        Arrival blocks are cut here so every arrival at or after an event
+        instant is dispatched under the post-event fleet — the per-event tie
+        rule, where fleet events (scheduled at bind time, hence with lower
+        sequence numbers) fire before same-instant arrivals.
+        """
+        cuts = set(self.fleet.times_between(start, end))
+        for node in self.nodes:
+            cuts.update(node.block_boundaries(start, end))
+        return tuple(sorted(cuts))
 
     def apply_rates(self, rates: Sequence[float]) -> None:
         if len(rates) != self.num_classes:
@@ -411,6 +728,11 @@ class ClusterServerModel(ServerModel):
             # finish its queued work, and a down node holds none.
             if self._node_state[index] == NODE_LIVE:
                 node.apply_rates(share)
+        if self.batched:
+            # New rates move the members' next completions; refresh every
+            # head so the walk and the next advance compare fresh values.
+            for index, next_completion in enumerate(self._next_completions):
+                self._heads[index] = next_completion()
 
     def backlogs(self) -> tuple[int, ...]:
         totals = [0] * self.num_classes

@@ -74,6 +74,10 @@ class ClusterScalingBuild:
     #: Record every dispatch decision into the result's ``dispatch_log``
     #: (the determinism matrix diffs these across worker counts).
     record_dispatch: bool = False
+    #: Hot-path selection forwarded to :class:`Scenario`: ``None`` picks the
+    #: batched pipeline automatically, ``False`` pins the per-event path (the
+    #: bit-identity matrix runs both and diffs them).
+    batched: bool | None = None
 
     def __call__(self, index: int, seed: np.random.SeedSequence) -> SimulationResult:
         if self.num_nodes is None:
@@ -100,6 +104,7 @@ class ClusterScalingBuild:
             server=server,
             controller=controller,
             seed=seed,
+            batched=self.batched,
         ).run()
 
 

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
@@ -396,7 +397,30 @@ class Scenario:
         classes = np.repeat(np.arange(len(self.sources), dtype=np.int64), sizes_per_class)
         order = np.argsort(times, kind="stable")
         rids = self.ledger.append_batch(classes[order], times[order], sizes[order])
-        self.server.submit_batch(rids)
+        cuts = self.server.block_boundaries(self.engine.now, bound)
+        if cuts:
+            # The model changes state inside this window (cluster fleet
+            # events): cut the block there and hand every later segment to a
+            # scheduled event at its cut instant, so its arrivals are
+            # dispatched under the post-event fleet.  An arrival exactly on
+            # a cut lands in the later segment (``side="left"``), and the
+            # bind-time fleet event at the same instant carries the lower
+            # sequence number — per-event tie semantics on both counts.
+            edges = np.searchsorted(
+                times[order], np.asarray(cuts, dtype=np.float64), side="left"
+            ).tolist()
+            if edges[0]:
+                self.server.submit_batch(rids[: edges[0]])
+            for index, edge in enumerate(edges):
+                end = edges[index + 1] if index + 1 < len(edges) else rids.shape[0]
+                if end > edge:
+                    self.engine.schedule_at(
+                        cuts[index],
+                        partial(self.server.submit_batch, rids[edge:end]),
+                        label="block",
+                    )
+        else:
+            self.server.submit_batch(rids)
         if self.telemetry is not None:
             self.telemetry.on_batch(self.engine.now, total)
 
@@ -527,7 +551,15 @@ class Scenario:
         if self.telemetry is not None:
             self.telemetry.on_run_start(self)
         if self.batched:
-            self._queue_block(min(self.config.window, self.config.horizon))
+            # Scheduled rather than submitted synchronously: fleet events at
+            # t=0 were scheduled at bind time (lower sequence numbers), so
+            # they apply before the first block is dispatched — the same
+            # order the per-event path gives arrivals at the start instant.
+            self.engine.schedule_at(
+                0.0,
+                partial(self._queue_block, min(self.config.window, self.config.horizon)),
+                label="block",
+            )
         else:
             self._schedule_first_arrivals()
         self.engine.schedule_at(self.config.window, self._window_boundary, label="window")

@@ -190,8 +190,8 @@ class ServerModel(abc.ABC):
         """Submit a time-ordered block of ledger row ids.
 
         Batched models override this with a vectorised route; the default
-        loops over :meth:`submit` so per-event models (including the
-        cluster) accept blocks from batched-agnostic call sites.
+        loops over :meth:`submit` so per-event models accept blocks from
+        batched-agnostic call sites.
         """
         for rid in rids:
             self.submit(int(rid))
@@ -204,6 +204,35 @@ class ServerModel(abc.ABC):
         raise SimulationError(
             f"{type(self).__name__} was not bound with batched=True; nothing to drain"
         )
+
+    def submit_one(self, rid: int, class_index: int, arrival: float, size: float) -> None:
+        """Queue a single pre-gathered arrival on a batched model.
+
+        The cluster's scalar dispatch walk pushes one decision at a time and
+        hands over the already-gathered ledger columns, so batched models
+        implement this as a plain buffer append — no per-request ledger
+        lookups.  Only meaningful with ``batched=True``.
+        """
+        raise SimulationError(
+            f"{type(self).__name__} was not bound with batched=True; nothing to push"
+        )
+
+    def next_completion_time(self) -> float:
+        """When the batched model's next completion would occur (``inf`` if
+        idle or frozen) — the timestamp the next :meth:`drain` would emit
+        first.  Callers interleaving several models' completion streams (the
+        cluster walk) compare these heads to decide which model to drain.
+        """
+        return float("inf")
+
+    def block_boundaries(self, start: float, end: float) -> tuple[float, ...]:
+        """Instants strictly inside ``(start, end)`` where a pre-drawn
+        arrival block must be cut so later arrivals are dispatched under
+        updated model state (cluster fleet events).  Plain servers have
+        none; composite models return their scheduled change points, sorted
+        ascending and deduplicated.
+        """
+        return ()
 
 
 class RateScalableServers(ServerModel):
@@ -261,6 +290,19 @@ class RateScalableServers(ServerModel):
             if block.size:
                 server.submit_batch(block)
 
+    def submit_one(self, rid: int, class_index: int, arrival: float, size: float) -> None:
+        self.servers[class_index].push(rid, arrival, size)
+
+    def next_completion_time(self) -> float:
+        # Plain loop, not a genexpr: the cluster walk re-evaluates this after
+        # every push, so the generator frame would be pure overhead.
+        best = float("inf")
+        for server in self.servers:
+            head = server.next_completion_time()
+            if head < best:
+                best = head
+        return best
+
     def drain(self, now: float) -> np.ndarray:
         """Drain every class's task server and merge the runs by time.
 
@@ -271,15 +313,28 @@ class RateScalableServers(ServerModel):
         deterministic trace scenarios; for continuous workloads exact ties
         have probability zero).
         """
-        runs = [server.drain(now) for server in self.servers]
-        if self.telemetry is not None:
-            for index, (run, _times) in enumerate(runs):
-                if run.size:
-                    self.telemetry.on_server_drain(index, int(run.size))
-        rids = np.concatenate([r for r, _ in runs])
-        if rids.size == 0:
-            return rids
-        times = np.concatenate([t for _, t in runs])
+        live = []
+        telemetry = self.telemetry
+        for index, server in enumerate(self.servers):
+            if server.in_service is None and server._pending_pos >= len(server._pending_rids):
+                # Idle with nothing queued: no completions to emit and no
+                # zero-rate freeze to materialise, so skip the call entirely
+                # (the cluster walk drains one node per completion, and most
+                # class servers are in exactly this state).
+                continue
+            run, run_times = server.drain(now)
+            if run.size:
+                if telemetry is not None:
+                    telemetry.on_server_drain(index, int(run.size))
+                live.append((run, run_times))
+        if not live:
+            return np.empty(0, dtype=np.int64)
+        if len(live) == 1:
+            # One contributing class: its run is already in time order (the
+            # cluster walk's tiny drains land here almost every time).
+            return live[0][0]
+        rids = np.concatenate([r for r, _ in live])
+        times = np.concatenate([t for _, t in live])
         return rids[np.argsort(times, kind="stable")]
 
     def apply_rates(self, rates: Sequence[float]) -> None:
@@ -333,10 +388,12 @@ class SharedProcessorServer(ServerModel):
         self._completion_time = 0.0
         # Batched mode: arrivals not yet handed to the scheduler, consumed
         # from ``_pending_pos`` as the drain's virtual clock advances.
-        self._pending_rids = np.empty(0, dtype=np.int64)
-        self._pending_times = np.empty(0, dtype=np.float64)
-        self._pending_classes = np.empty(0, dtype=np.int64)
-        self._pending_sizes = np.empty(0, dtype=np.float64)
+        # Plain Python lists so the cluster walk's one-at-a-time pushes are
+        # O(1) appends (the drain replay reads scalars regardless).
+        self._pending_rids: list[int] = []
+        self._pending_times: list[float] = []
+        self._pending_classes: list[int] = []
+        self._pending_sizes: list[float] = []
         self._pending_pos = 0
 
     def _on_bind(self) -> None:
@@ -371,23 +428,33 @@ class SharedProcessorServer(ServerModel):
         if rids.size == 0:
             return
         pos = self._pending_pos
-        if pos < self._pending_rids.shape[0]:
-            self._pending_rids = np.concatenate((self._pending_rids[pos:], rids))
-            self._pending_times = np.concatenate(
-                (self._pending_times[pos:], self.ledger.arrivals_of(rids))
-            )
-            self._pending_classes = np.concatenate(
-                (self._pending_classes[pos:], self.ledger.classes_of(rids))
-            )
-            self._pending_sizes = np.concatenate(
-                (self._pending_sizes[pos:], self.ledger.sizes_of(rids))
-            )
-        else:
-            self._pending_rids = rids
-            self._pending_times = self.ledger.arrivals_of(rids)
-            self._pending_classes = self.ledger.classes_of(rids)
-            self._pending_sizes = self.ledger.sizes_of(rids)
-        self._pending_pos = 0
+        if pos:
+            del self._pending_rids[:pos]
+            del self._pending_times[:pos]
+            del self._pending_classes[:pos]
+            del self._pending_sizes[:pos]
+            self._pending_pos = 0
+        self._pending_rids.extend(rids.tolist())
+        self._pending_times.extend(self.ledger.arrivals_of(rids).tolist())
+        self._pending_classes.extend(self.ledger.classes_of(rids).tolist())
+        self._pending_sizes.extend(self.ledger.sizes_of(rids).tolist())
+
+    def submit_one(self, rid: int, class_index: int, arrival: float, size: float) -> None:
+        self._pending_rids.append(rid)
+        self._pending_times.append(arrival)
+        self._pending_classes.append(class_index)
+        self._pending_sizes.append(size)
+
+    def next_completion_time(self) -> float:
+        if self._in_service is not None:
+            return self._completion_time
+        pos = self._pending_pos
+        if pos < len(self._pending_rids):
+            # Idle with a pending head: after a drain the scheduler holds no
+            # queued job, so the head enqueues at its arrival and starts
+            # immediately — exactly the replay's next step.
+            return self._pending_times[pos] + self._pending_sizes[pos] / self.capacity
+        return float("inf")
 
     def drain(self, now: float) -> np.ndarray:
         """Replay the processor's event loop to ``now`` in virtual time.
@@ -408,7 +475,7 @@ class SharedProcessorServer(ServerModel):
         times = self._pending_times
         classes = self._pending_classes
         sizes = self._pending_sizes
-        n = rids.shape[0]
+        n = len(rids)
         pos = self._pending_pos
         done: list[int] = []
         inf = float("inf")
@@ -430,12 +497,10 @@ class SharedProcessorServer(ServerModel):
                 # busy: fair-queueing tags depend on the virtual time and
                 # weights in force *when the job arrives*.
                 idle = self._in_service is None
-                scheduler.enqueue(
-                    int(classes[pos]), float(sizes[pos]), float(arrival), payload=int(rids[pos])
-                )
+                scheduler.enqueue(classes[pos], sizes[pos], arrival, payload=rids[pos])
                 pos += 1
                 if idle:
-                    self._start_selected(float(arrival))
+                    self._start_selected(arrival)
         self._pending_pos = pos
         if not done:
             return np.empty(0, dtype=np.int64)

@@ -31,6 +31,17 @@ from .requests import Request
 
 __all__ = ["FcfsTaskServer"]
 
+#: Shared zero-length drain result: most drain calls on the cluster walk's
+#: per-completion cadence return nothing, so the empty pair is allocated
+#: once (callers only read it).
+_EMPTY_RIDS = np.empty(0, dtype=np.int64)
+_EMPTY_TIMES = np.empty(0, dtype=np.float64)
+
+#: Below this run length the drain writes lifecycle columns with the scalar
+#: ledger calls — identical values, but without the per-call array
+#: construction and vectorised NaN screens that dwarf a one-request run.
+_SCALAR_BATCH_LIMIT = 8
+
 
 class FcfsTaskServer:
     """FCFS queue plus a single service position running at a mutable rate.
@@ -71,9 +82,11 @@ class FcfsTaskServer:
         self.completed_count = 0
         # Batched mode: the pending block (rids + gathered arrival/size
         # columns), consumed from ``_pending_pos`` by successive drains.
-        self._pending_rids = np.empty(0, dtype=np.int64)
-        self._pending_arrivals = np.empty(0, dtype=np.float64)
-        self._pending_sizes = np.empty(0, dtype=np.float64)
+        # Plain Python lists: the cluster walk pushes one arrival at a time
+        # (O(1) append) and the drain's left fold reads scalars anyway.
+        self._pending_rids: list[int] = []
+        self._pending_arrivals: list[float] = []
+        self._pending_sizes: list[float] = []
         self._pending_pos = 0
 
     # ------------------------------------------------------------------ #
@@ -88,7 +101,7 @@ class FcfsTaskServer:
     def backlog(self) -> int:
         """Requests waiting in queue (not counting the one in service)."""
         if self.batched:
-            return self._pending_rids.shape[0] - self._pending_pos
+            return len(self._pending_rids) - self._pending_pos
         return len(self.queue)
 
     @property
@@ -124,19 +137,46 @@ class FcfsTaskServer:
         if rids.size == 0:
             return
         pos = self._pending_pos
-        if pos < self._pending_rids.shape[0]:
-            self._pending_rids = np.concatenate((self._pending_rids[pos:], rids))
-            self._pending_arrivals = np.concatenate(
-                (self._pending_arrivals[pos:], self.ledger.arrivals_of(rids))
-            )
-            self._pending_sizes = np.concatenate(
-                (self._pending_sizes[pos:], self.ledger.sizes_of(rids))
-            )
-        else:
-            self._pending_rids = rids
-            self._pending_arrivals = self.ledger.arrivals_of(rids)
-            self._pending_sizes = self.ledger.sizes_of(rids)
-        self._pending_pos = 0
+        if pos:
+            del self._pending_rids[:pos]
+            del self._pending_arrivals[:pos]
+            del self._pending_sizes[:pos]
+            self._pending_pos = 0
+        self._pending_rids.extend(rids.tolist())
+        self._pending_arrivals.extend(self.ledger.arrivals_of(rids).tolist())
+        self._pending_sizes.extend(self.ledger.sizes_of(rids).tolist())
+
+    def push(self, rid: int, arrival: float, size: float) -> None:
+        """Queue a single arrival (batched mode, cluster dispatch walk).
+
+        The caller hands over the already-gathered ledger columns so the
+        per-request hot path performs three list appends and nothing else.
+        """
+        self._pending_rids.append(rid)
+        self._pending_arrivals.append(arrival)
+        self._pending_sizes.append(size)
+
+    def next_completion_time(self) -> float:
+        """When the next completion would occur, ``inf`` if idle or frozen.
+
+        Computes the very value :meth:`drain` would produce for the head of
+        the line — the carried in-service completion, or the first pending
+        arrival's fold step — so a caller interleaving several servers'
+        completions (the cluster walk) sees bit-identical timestamps without
+        draining anything.
+        """
+        rate = self._rate
+        if self.in_service is not None:
+            if rate <= 0.0:
+                return float("inf")
+            return self._last_progress_time + self._remaining_work / rate
+        pos = self._pending_pos
+        if pos >= len(self._pending_rids) or rate <= 0.0:
+            return float("inf")
+        arrival = self._pending_arrivals[pos]
+        free = self._last_progress_time
+        start = arrival if arrival > free else free
+        return start + self._pending_sizes[pos] / rate
 
     def drain(self, now: float) -> tuple[np.ndarray, np.ndarray]:
         """Advance the batched server to ``now``; returns the completions.
@@ -177,63 +217,70 @@ class FcfsTaskServer:
             done_rids.append(rid)
             done_times.append(completion)
             free = completion
-        # Phase 2: left-fold the pending block up to ``now``.
+        # Phase 2: left-fold the pending block up to ``now``.  The buffers
+        # are indexed in place from the cursor — no per-drain slice copies,
+        # so the cluster walk's many tiny drains stay O(consumed) each.
         pos = self._pending_pos
-        n = self._pending_rids.shape[0]
-        if pos < n and self._pending_arrivals[pos] <= now:
-            rids = self._pending_rids[pos:].tolist()
-            arrivals = self._pending_arrivals[pos:].tolist()
-            sizes = self._pending_sizes[pos:].tolist()
-            consumed = 0
+        rids = self._pending_rids
+        arrivals = self._pending_arrivals
+        sizes = self._pending_sizes
+        n = len(rids)
+        if pos < n and arrivals[pos] <= now:
             if rate <= 0.0:
                 # Zero rate: the head still occupies the service position
                 # (frozen until the next re-allocation), later arrivals queue.
-                arrival = arrivals[0]
+                arrival = arrivals[pos]
                 start = arrival if arrival > free else free
-                rid = rids[0]
+                rid = rids[pos]
                 self.ledger.start_service(rid, start)
                 self.in_service = rid
-                self._remaining_work = sizes[0]
+                self._remaining_work = sizes[pos]
                 self._last_progress_time = start
-                consumed = 1
+                pos += 1
             else:
                 starts: list[float] = []
                 batch_rids: list[int] = []
                 busy = 0.0
-                k = len(rids)
-                while consumed < k:
-                    arrival = arrivals[consumed]
+                while pos < n:
+                    arrival = arrivals[pos]
                     if arrival > now:
                         break
                     start = arrival if arrival > free else free
-                    completion = start + sizes[consumed] / rate
+                    completion = start + sizes[pos] / rate
                     if completion > now:
                         # Mid-service at ``now``: record the start, carry
                         # the remaining work into the next drain.
-                        rid = rids[consumed]
+                        rid = rids[pos]
                         self.ledger.start_service(rid, start)
                         self.in_service = rid
-                        self._remaining_work = sizes[consumed]
+                        self._remaining_work = sizes[pos]
                         self._last_progress_time = start
-                        consumed += 1
+                        pos += 1
                         break
                     starts.append(start)
-                    batch_rids.append(rids[consumed])
+                    batch_rids.append(rids[pos])
                     done_times.append(completion)
                     busy += completion - start
                     free = completion
-                    consumed += 1
+                    pos += 1
                 if batch_rids:
-                    batch = np.asarray(batch_rids, dtype=np.int64)
-                    completions = np.asarray(done_times[-len(batch_rids) :])
-                    self.ledger.start_service_batch(batch, np.asarray(starts))
-                    self.ledger.complete_batch(batch, completions)
+                    if len(batch_rids) < _SCALAR_BATCH_LIMIT:
+                        ledger = self.ledger
+                        offset = len(done_times) - len(batch_rids)
+                        for k, batch_rid in enumerate(batch_rids):
+                            ledger.start_service(batch_rid, starts[k])
+                            ledger.complete_unlogged(batch_rid, done_times[offset + k])
+                    else:
+                        batch = np.asarray(batch_rids, dtype=np.int64)
+                        completions = np.asarray(done_times[-len(batch_rids) :])
+                        self.ledger.start_service_batch(batch, np.asarray(starts))
+                        self.ledger.complete_batch(batch, completions)
                     self.busy_time += busy
                     self.completed_count += len(batch_rids)
                     done_rids.extend(batch_rids)
                     if self.in_service is None:
                         self._last_progress_time = free
-            self._pending_pos = pos + consumed
+            self._pending_pos = pos
         if not done_rids:
             return self._empty_drain()
         return (
@@ -242,7 +289,7 @@ class FcfsTaskServer:
         )
 
     def _empty_drain(self) -> tuple[np.ndarray, np.ndarray]:
-        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        return _EMPTY_RIDS, _EMPTY_TIMES
 
     def set_rate(self, rate: float) -> None:
         """Change the processing rate, rescheduling the in-service request.
