@@ -35,7 +35,7 @@ from dataclasses import dataclass
 import numpy as np
 import pytest
 
-from repro.core import PsdSpec
+from repro.core import AdmissionDecision, PsdSpec
 from repro.simulation import (
     MeasurementConfig,
     Scenario,
@@ -114,7 +114,12 @@ class ObjectPathScenario(Scenario):
             source = self.sources[class_index]
             size = source.next_size()
             self._object_generated[class_index] += 1
-            if self._admit(class_index, size):
+            decision = (
+                AdmissionDecision.ACCEPT
+                if self.admission is None
+                else self.admission.decide(class_index, size, self._system_snapshot())
+            )
+            if decision is not AdmissionDecision.SHED:
                 request = _SeedRequest(self._object_counter, class_index, engine.now, size)
                 self._object_counter += 1
                 self._object_window_arrivals[class_index] += 1

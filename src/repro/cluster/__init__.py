@@ -23,6 +23,12 @@ another :class:`~repro.simulation.ServerModel`:
   timelines of node ``join`` / ``leave`` (drain-before-removal) /
   ``set_capacity`` events, applied mid-run with deterministic
   re-normalisation of dispatch and rate partitioning over the live nodes.
+* :mod:`repro.cluster.admission` — cluster-wide overload defence:
+  :class:`AdmissionController` budgets each estimation window from the
+  fleet's live capacity, holds per-class quota reserves and walks arrivals
+  down an accept → degrade → shed ladder behind EWMA utilisation/backlog
+  thresholds; the ``ADMISSION_POLICIES`` registry + :func:`build_admission`
+  factory keep experiment builds picklable.
 
 ``Scenario(classes, config, server=make_cluster(4, "jsq"))`` is all it takes
 to rerun any experiment on a 4-node cluster; the monitor, estimator and
@@ -32,6 +38,12 @@ dynamic fleets another:
 ``make_cluster(2, "weighted_jsq", fleet=parse_fleet_events("kill:0@200 restore:0@400"))``.
 """
 
+from .admission import (
+    ADMISSION_POLICIES,
+    AdmissionController,
+    build_admission,
+    parse_admission_args,
+)
 from .capacity import CAPACITY_MIXES, mix_label, resolve_capacities
 from .dispatch import (
     DISPATCH_POLICIES,
@@ -93,4 +105,8 @@ __all__ = [
     "NODE_LIVE",
     "NODE_DRAINING",
     "NODE_DOWN",
+    "AdmissionController",
+    "ADMISSION_POLICIES",
+    "build_admission",
+    "parse_admission_args",
 ]

@@ -17,6 +17,7 @@
 """
 
 from .admission import (
+    AdmissionDecision,
     AdmissionPolicy,
     AlwaysAdmit,
     LoadThresholdAdmission,
@@ -76,6 +77,7 @@ __all__ = [
     "demand_proportional_split",
     "weighted_demand_split",
     "FeedbackPsdController",
+    "AdmissionDecision",
     "AdmissionPolicy",
     "AlwaysAdmit",
     "LoadThresholdAdmission",

@@ -8,31 +8,80 @@ arrival, so that overload experiments can be run without the queues growing
 without bound:
 
 * :class:`AlwaysAdmit` — the default (the paper's model admits everything);
-* :class:`LoadThresholdAdmission` — reject new requests of a class once the
+* :class:`LoadThresholdAdmission` — shed a class's requests once the
   *estimated* total load exceeds a threshold, shedding lower classes first;
-* :class:`QueueLengthAdmission` — reject a class's requests when its waiting
-  queue exceeds a per-class limit (a simple buffer-size model).
+* :class:`QueueLengthAdmission` — shed a class's requests when its waiting
+  queue exceeds a per-class limit (a simple buffer-size model);
+* :class:`repro.cluster.AdmissionController` — the cluster-wide
+  quota-reserve controller with EWMA utilisation/backlog thresholds and the
+  full accept → degrade → shed ladder.
 
-Policies see the arriving request's class and size plus a snapshot of the
-system (per-class backlogs and the controller's current load estimate), and
-return ``True`` to admit.
+The decision surface
+--------------------
+Policies implement :meth:`AdmissionPolicy.decide`, which sees the arriving
+request's class and size plus a :class:`SystemSnapshot` and returns an
+:class:`AdmissionDecision`: ``ACCEPT`` the request as-is, ``DEGRADE`` it to
+a lower class (the policy's :meth:`~AdmissionPolicy.degrade_target` names
+which), or ``SHED`` it.  A shed request may carry an optional *wait hint*
+(:meth:`~AdmissionPolicy.wait_hint`) — how long a client should back off
+before retrying; it rides a separate query rather than a per-decision
+result object so ``decide`` stays allocation-free on the hot path.
+
+The legacy boolean ``admit()`` contract is still honoured: a subclass that
+only overrides :meth:`~AdmissionPolicy.admit` works unchanged through a
+shim adapter (``True`` → ``ACCEPT``, ``False`` → ``SHED``) that emits a
+:class:`DeprecationWarning` routing authors to ``decide``.
+
+Window-scoped policies and the batched hot path
+-----------------------------------------------
+A policy declaring ``window_scoped = True`` promises that its decisions
+depend only on (a) state refreshed at estimation-window boundaries via
+:meth:`~AdmissionPolicy.observe_window` (the snapshot's estimated loads,
+budgets derived from per-node health) and (b) the policy's own per-decision
+counters — never on live per-arrival state such as the instantaneous
+backlog.  Such policies run on the **batched** hot path bit-identically to
+the per-event path: the scenario evaluates one
+:meth:`~AdmissionPolicy.decide_block` per arrival block, and the default
+implementation replays ``decide`` scalar-for-scalar (vectorised overrides
+must reproduce the exact same decision sequence and float accumulation
+order).  Policies reading live state (:class:`QueueLengthAdmission`) keep
+``window_scoped = False`` and automatically fall back to the per-event
+path.
 """
 
 from __future__ import annotations
 
-import abc
+import enum
+import warnings
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..errors import ParameterError
 from ..validation import require_in_range, require_positive
 
 __all__ = [
+    "AdmissionDecision",
     "SystemSnapshot",
     "AdmissionPolicy",
     "AlwaysAdmit",
     "LoadThresholdAdmission",
     "QueueLengthAdmission",
 ]
+
+
+class AdmissionDecision(enum.IntEnum):
+    """Graded admission outcomes, ordered from best to worst.
+
+    The integer values deliberately match the request ledger's disposition
+    codes (:data:`repro.simulation.ledger.DISPOSITION_ADMITTED` /
+    ``DISPOSITION_DEGRADED`` / ``DISPOSITION_SHED``), so a block of
+    decisions casts straight into the ledger's disposition column.
+    """
+
+    ACCEPT = 0
+    DEGRADE = 1
+    SHED = 2
 
 
 @dataclass(frozen=True)
@@ -48,12 +97,111 @@ class SystemSnapshot:
         return sum(self.estimated_loads)
 
 
-class AdmissionPolicy(abc.ABC):
-    """Decides whether an arriving request enters its waiting queue."""
+class AdmissionPolicy:
+    """Decides what happens to an arriving request: accept, degrade or shed.
 
-    @abc.abstractmethod
+    Subclasses override :meth:`decide` (the primary surface).  Legacy
+    subclasses overriding only the boolean :meth:`admit` keep working
+    through the shim below, at the cost of a :class:`DeprecationWarning`
+    and without access to the ``DEGRADE`` outcome.
+    """
+
+    #: ``True`` promises decisions depend only on window-boundary state
+    #: (refreshed via :meth:`observe_window`) plus the policy's own
+    #: counters — the contract that lets the batched hot path evaluate a
+    #: whole arrival block at once, bit-identically to per-event replay.
+    window_scoped: bool = False
+
+    def decide(
+        self, class_index: int, size: float, snapshot: SystemSnapshot
+    ) -> AdmissionDecision:
+        """Return the :class:`AdmissionDecision` for one arriving request.
+
+        The default adapts a legacy boolean :meth:`admit` override
+        (``True`` → ``ACCEPT``, ``False`` → ``SHED``), warning once per
+        policy instance.
+        """
+        admit = type(self).admit
+        if admit is AdmissionPolicy.admit:
+            raise TypeError(
+                f"{type(self).__name__} must override decide() "
+                f"(or the legacy boolean admit())"
+            )
+        if not getattr(self, "_legacy_admit_warned", False):
+            warnings.warn(
+                f"{type(self).__name__} only implements the legacy boolean "
+                f"admit(); override decide() returning an AdmissionDecision "
+                f"(ACCEPT / DEGRADE / SHED) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            object.__setattr__(self, "_legacy_admit_warned", True)
+        return (
+            AdmissionDecision.ACCEPT
+            if admit(self, class_index, size, snapshot)
+            else AdmissionDecision.SHED
+        )
+
     def admit(self, class_index: int, size: float, snapshot: SystemSnapshot) -> bool:
-        """Return True to admit the request, False to reject it."""
+        """Legacy boolean surface: ``True`` to admit (accept *or* degrade).
+
+        Kept for callers written against the original API; new code should
+        call :meth:`decide`.
+        """
+        decide = type(self).decide
+        if decide is AdmissionPolicy.decide:
+            raise TypeError(
+                f"{type(self).__name__} must override decide() "
+                f"(or the legacy boolean admit())"
+            )
+        return self.decide(class_index, size, snapshot) is not AdmissionDecision.SHED
+
+    def decide_block(
+        self,
+        classes: np.ndarray,
+        sizes: np.ndarray,
+        times: np.ndarray,
+        snapshot: SystemSnapshot,
+    ) -> np.ndarray:
+        """Decisions for a time-ordered arrival block (batched hot path).
+
+        Only consulted for ``window_scoped`` policies.  The default replays
+        :meth:`decide` scalar-for-scalar, which is bit-identical to the
+        per-event path by construction; vectorised overrides must preserve
+        the exact decision sequence *and* float accumulation order of their
+        scalar ``decide``.  Returns an int array of
+        :class:`AdmissionDecision` values, one per arrival.
+        """
+        decisions = np.empty(classes.shape[0], dtype=np.int64)
+        decide = self.decide
+        for i, (class_index, size) in enumerate(zip(classes.tolist(), sizes.tolist())):
+            decisions[i] = int(decide(class_index, size, snapshot))
+        return decisions
+
+    def observe_window(self, snapshot: SystemSnapshot, server, window_length: float) -> None:
+        """Hook called at run start and at every estimation-window boundary.
+
+        ``server`` is the scenario's bound
+        :class:`~repro.simulation.ServerModel` (a
+        :class:`~repro.cluster.ClusterServerModel` for clustered runs, whose
+        per-node live set, capacities and outstanding work a controller may
+        read — the same state :class:`repro.telemetry.ClusterHealthSnapshot`
+        exposes per window).  Window-scoped policies refresh *all* decision
+        state here; the default is a no-op.
+        """
+
+    def degrade_target(self, class_index: int) -> int:
+        """The class a ``DEGRADE`` decision downgrades ``class_index`` to.
+
+        Must be a strictly lower class (larger index) and may depend only on
+        the source class — the batched path maps targets per class.  The
+        default downgrades one step.
+        """
+        return class_index + 1
+
+    def wait_hint(self, class_index: int, time: float) -> float | None:
+        """Suggested client back-off after a ``SHED`` at ``time`` (or ``None``)."""
+        return None
 
     def reset(self) -> None:
         """Clear any internal state (called between replications)."""
@@ -62,8 +210,21 @@ class AdmissionPolicy(abc.ABC):
 class AlwaysAdmit(AdmissionPolicy):
     """Admit everything — the paper's (implicit) policy."""
 
-    def admit(self, class_index: int, size: float, snapshot: SystemSnapshot) -> bool:
-        return True
+    window_scoped = True
+
+    def decide(
+        self, class_index: int, size: float, snapshot: SystemSnapshot
+    ) -> AdmissionDecision:
+        return AdmissionDecision.ACCEPT
+
+    def decide_block(
+        self,
+        classes: np.ndarray,
+        sizes: np.ndarray,
+        times: np.ndarray,
+        snapshot: SystemSnapshot,
+    ) -> np.ndarray:
+        return np.zeros(classes.shape[0], dtype=np.int64)
 
 
 @dataclass
@@ -71,13 +232,17 @@ class LoadThresholdAdmission(AdmissionPolicy):
     """Shed load class by class once the estimated total load crosses a threshold.
 
     ``thresholds[i]`` is the estimated total load above which class ``i`` is
-    rejected.  Giving lower classes lower thresholds sheds them first —
+    shed.  Giving lower classes lower thresholds sheds them first —
     differentiated overload protection.  A threshold of 1.0 (or more)
-    effectively never rejects on estimation alone.
+    effectively never sheds on estimation alone.
+
+    The estimated loads only change at estimation-window boundaries, so the
+    policy is ``window_scoped`` and runs on the batched hot path.
     """
 
     thresholds: tuple[float, ...]
     rejected: list[int] = field(default_factory=list, init=False)
+    window_scoped = True
 
     def __post_init__(self) -> None:
         if not self.thresholds:
@@ -89,13 +254,35 @@ class LoadThresholdAdmission(AdmissionPolicy):
         object.__setattr__(self, "thresholds", checked)
         self.rejected = [0] * len(checked)
 
-    def admit(self, class_index: int, size: float, snapshot: SystemSnapshot) -> bool:
+    def decide(
+        self, class_index: int, size: float, snapshot: SystemSnapshot
+    ) -> AdmissionDecision:
         if class_index >= len(self.thresholds):
             raise ParameterError(f"class {class_index} has no admission threshold configured")
         if snapshot.total_estimated_load > self.thresholds[class_index]:
             self.rejected[class_index] += 1
-            return False
-        return True
+            return AdmissionDecision.SHED
+        return AdmissionDecision.ACCEPT
+
+    def decide_block(
+        self,
+        classes: np.ndarray,
+        sizes: np.ndarray,
+        times: np.ndarray,
+        snapshot: SystemSnapshot,
+    ) -> np.ndarray:
+        """Vectorised: the load estimate is frozen for the whole window, so
+        the decision is a per-class constant."""
+        if classes.size and int(classes.max()) >= len(self.thresholds):
+            raise ParameterError(
+                f"class {int(classes.max())} has no admission threshold configured"
+            )
+        total = snapshot.total_estimated_load
+        over = total > np.asarray(self.thresholds, dtype=np.float64)
+        shed = over[classes]
+        for c, count in enumerate(np.bincount(classes[shed], minlength=len(self.thresholds))):
+            self.rejected[c] += int(count)
+        return np.where(shed, int(AdmissionDecision.SHED), int(AdmissionDecision.ACCEPT))
 
     def reset(self) -> None:
         self.rejected = [0] * len(self.thresholds)
@@ -103,7 +290,12 @@ class LoadThresholdAdmission(AdmissionPolicy):
 
 @dataclass
 class QueueLengthAdmission(AdmissionPolicy):
-    """Reject a class's arrivals while its waiting queue exceeds a limit."""
+    """Shed a class's arrivals while its waiting queue exceeds a limit.
+
+    Decisions read the *instantaneous* per-class backlog, so the policy is
+    **not** window-scoped: scenarios combining it with a batched-capable
+    server automatically fall back to the per-event path.
+    """
 
     limits: tuple[int, ...]
     rejected: list[int] = field(default_factory=list, init=False)
@@ -116,13 +308,15 @@ class QueueLengthAdmission(AdmissionPolicy):
         object.__setattr__(self, "limits", tuple(int(limit) for limit in self.limits))
         self.rejected = [0] * len(self.limits)
 
-    def admit(self, class_index: int, size: float, snapshot: SystemSnapshot) -> bool:
+    def decide(
+        self, class_index: int, size: float, snapshot: SystemSnapshot
+    ) -> AdmissionDecision:
         if class_index >= len(self.limits):
             raise ParameterError(f"class {class_index} has no queue limit configured")
         if snapshot.backlogs[class_index] >= self.limits[class_index]:
             self.rejected[class_index] += 1
-            return False
-        return True
+            return AdmissionDecision.SHED
+        return AdmissionDecision.ACCEPT
 
     def reset(self) -> None:
         self.rejected = [0] * len(self.limits)

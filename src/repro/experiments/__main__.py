@@ -30,6 +30,15 @@ paper's abstract time units; grammar of
     python -m repro.experiments --preset default --only cluster \
         --fleet-events kill:0@8000 restore:0@8200
 
+Overload extension: offered load past capacity, quota-reserve admission
+against an admission-blind baseline (``--admission`` / ``--admission-args``
+steer the defended cell)::
+
+    python -m repro.experiments --preset quick --only overload
+    python -m repro.experiments --preset default --only overload \
+        --admission quota --admission-args quota_shares=0.3,0.5 \
+        target_utilisation=0.9
+
 Profile a run (top 25 functions by cumulative time, raw stats optional)::
 
     python -m repro.experiments --preset quick --only fig2 \
@@ -54,7 +63,7 @@ import argparse
 import sys
 import time
 
-from ..cluster import CAPACITY_MIXES, DISPATCH_POLICIES
+from ..cluster import ADMISSION_POLICIES, CAPACITY_MIXES, DISPATCH_POLICIES
 from ..errors import ExperimentError
 from .config import get_preset
 from .registry import available_experiments, run_all
@@ -129,6 +138,24 @@ def main(argv: list[str] | None = None) -> int:
         "'kill:0@8000 restore:0@8200' or 'set_capacity:1=0.25@5000'",
     )
     parser.add_argument(
+        "--admission",
+        default=None,
+        metavar="POLICY",
+        choices=sorted(ADMISSION_POLICIES),
+        help="admission policy for the experiments that honour it (the "
+        "'overload' sweep; cluster builds pass it through) "
+        f"(choices: {', '.join(sorted(ADMISSION_POLICIES))})",
+    )
+    parser.add_argument(
+        "--admission-args",
+        nargs="+",
+        default=None,
+        metavar="KEY=VALUE",
+        help="constructor arguments for --admission in key=value form, "
+        "comma-separated values become tuples (e.g. "
+        "'quota_shares=0.45,0.45 target_utilisation=0.9')",
+    )
+    parser.add_argument(
         "--profile",
         nargs="?",
         type=int,
@@ -174,6 +201,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--profile-out requires --profile")
     if args.telemetry_out is not None and not args.telemetry:
         parser.error("--telemetry-out requires --telemetry")
+    if args.admission_args is not None and args.admission is None:
+        parser.error("--admission-args requires --admission")
     if args.log_level is not None:
         from ..telemetry import configure_logging
 
@@ -218,6 +247,8 @@ def main(argv: list[str] | None = None) -> int:
                 capacity_mixes=capacity_mixes,
                 fleet_events=args.fleet_events,
             )
+        if args.admission is not None:
+            config = config.with_admission(args.admission, args.admission_args)
     except ExperimentError as error:
         parser.error(str(error))
 

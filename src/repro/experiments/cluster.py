@@ -26,6 +26,7 @@ import numpy as np
 
 from ..cluster import (
     FleetSchedule,
+    build_admission,
     build_partitioner,
     make_cluster,
     mix_label,
@@ -78,6 +79,12 @@ class ClusterScalingBuild:
     #: batched pipeline automatically, ``False`` pins the per-event path (the
     #: bit-identity matrix runs both and diffs them).
     batched: bool | None = None
+    #: Admission policy registry name (:data:`repro.cluster.
+    #: ADMISSION_POLICIES`) plus its ``key=value`` argument tokens; the
+    #: policy is built *fresh per replication* inside :meth:`__call__`, so
+    #: the build stays picklable and workers never share policy state.
+    admission: str | None = None
+    admission_args: tuple[str, ...] = ()
 
     def __call__(self, index: int, seed: np.random.SeedSequence) -> SimulationResult:
         if self.num_nodes is None:
@@ -98,12 +105,18 @@ class ClusterScalingBuild:
                 record_dispatch=self.record_dispatch,
             )
         controller = FeedbackPsdController(self.classes, self.spec)
+        admission = (
+            None
+            if self.admission is None
+            else build_admission(self.admission, self.admission_args)
+        )
         return Scenario(
             self.classes,
             self.measurement,
             server=server,
             controller=controller,
             seed=seed,
+            admission=admission,
             batched=self.batched,
         ).run()
 

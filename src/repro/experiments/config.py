@@ -24,9 +24,11 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
 
+from ..cluster.admission import build_admission
 from ..cluster.capacity import CAPACITY_MIXES
 from ..cluster.dispatch import DISPATCH_POLICIES
 from ..cluster.fleet import FleetSchedule, parse_fleet_events
+from ..core.admission import AdmissionPolicy
 from ..distributions.bounded_pareto import BoundedPareto
 from ..errors import ExperimentError, SimulationError
 from ..simulation.monitor import MeasurementConfig
@@ -67,6 +69,14 @@ class ExperimentConfig:
     #: abstract time units) driving the churn section of the cluster
     #: experiment; empty keeps every fleet static.
     fleet_events: tuple[str, ...] = ()
+    #: Admission policy name from :data:`repro.cluster.ADMISSION_POLICIES`
+    #: (``None`` = no admission control) applied by the experiments that
+    #: honour it (the overload sweep; cluster builds pass it through).
+    admission: str | None = None
+    #: CLI-style ``key=value`` argument tokens for the admission policy
+    #: (``quota_shares=0.45,0.45`` — the grammar of
+    #: :func:`repro.cluster.parse_admission_args`).
+    admission_args: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.load_grid:
@@ -103,6 +113,13 @@ class ExperimentConfig:
                 parse_fleet_events(self.fleet_events)
             except SimulationError as error:
                 raise ExperimentError(f"bad fleet_events: {error}") from None
+        if self.admission_args and self.admission is None:
+            raise ExperimentError("admission_args given without an admission policy")
+        if self.admission is not None:
+            try:
+                build_admission(self.admission, self.admission_args)
+            except Exception as error:
+                raise ExperimentError(f"bad admission policy: {error}") from None
 
     # ------------------------------------------------------------------ #
     # Workload helpers
@@ -110,13 +127,35 @@ class ExperimentConfig:
     def service_distribution(self) -> BoundedPareto:
         return BoundedPareto(k=self.lower_bound, p=self.upper_bound, alpha=self.shape)
 
-    def classes_for_load(self, load: float, deltas: Sequence[float]) -> tuple[TrafficClass, ...]:
-        """Equal-load classes at ``load`` with this config's service distribution."""
-        return web_classes(len(deltas), load, deltas, service=self.service_distribution())
+    def classes_for_load(
+        self, load: float, deltas: Sequence[float], *, allow_overload: bool = False
+    ) -> tuple[TrafficClass, ...]:
+        """Equal-load classes at ``load`` with this config's service distribution.
+
+        ``allow_overload=True`` lifts the ``load < 1`` bound for overload
+        experiments (admission control is what keeps such runs stable).
+        """
+        return web_classes(
+            len(deltas),
+            load,
+            deltas,
+            service=self.service_distribution(),
+            allow_overload=allow_overload,
+        )
 
     def scaled_measurement(self) -> MeasurementConfig:
         """The measurement protocol converted from "time units" to raw time."""
         return self.measurement.scaled_to_time_units(self.service_distribution().mean())
+
+    def build_admission_policy(self) -> AdmissionPolicy | None:
+        """A fresh admission policy instance, or ``None`` when unset.
+
+        Built fresh on every call (policies hold per-run state, like server
+        models), so replication builds can construct one per worker.
+        """
+        if self.admission is None:
+            return None
+        return build_admission(self.admission, self.admission_args)
 
     def fleet_schedule(self) -> FleetSchedule | None:
         """The parsed churn schedule, still in abstract time units.
@@ -179,6 +218,18 @@ class ExperimentConfig:
             fleet_events=self.fleet_events
             if fleet_events is None
             else tuple(str(token) for token in fleet_events),
+        )
+
+    def with_admission(
+        self, admission: str | None, args: Sequence[str] | None = None
+    ) -> "ExperimentConfig":
+        """Copy with a different admission policy (``None`` clears it)."""
+        return replace(
+            self,
+            admission=admission,
+            admission_args=()
+            if admission is None
+            else (self.admission_args if args is None else tuple(str(a) for a in args)),
         )
 
 

@@ -15,6 +15,7 @@ from .cluster import cluster_scaling
 from .config import ExperimentConfig, get_preset
 from .controllability import figure9, figure10
 from .effectiveness import figure2, figure3, figure4
+from .overload import overload
 from .predictability import figure5, figure6, figure7, figure8
 from .sensitivity import figure11, figure12
 
@@ -34,6 +35,9 @@ EXPERIMENTS: dict[str, Callable[[ExperimentConfig | None], ExperimentResult]] = 
     "fig12": figure12,
     # Extension beyond the paper: the PSD loop over a multi-node cluster.
     "cluster": cluster_scaling,
+    # Extension beyond the paper: offered load past capacity, with and
+    # without quota-reserve admission control in front of the cluster.
+    "overload": overload,
 }
 
 

@@ -35,6 +35,13 @@ PAPER_CLAIMS: dict[str, str] = {
         "preserves the slowdown ratios of the single server for every dispatch "
         "policy; backlog-aware dispatch lowers absolute slowdowns at high load."
     ),
+    "overload": (
+        "Extension beyond the paper: past load 1 the PSD allocation alone is "
+        "infeasible — quota-reserve admission sheds the capacity excess and "
+        "keeps the achieved ratios of admitted traffic near the specified "
+        "deltas, while an admission-blind cluster accumulates unbounded "
+        "backlog."
+    ),
 }
 
 _HEADER = """# EXPERIMENTS — paper vs. measured

@@ -59,15 +59,19 @@ def check_stability(
     return rho
 
 
-def arrival_rate_for_load(load: float, service: Distribution, *, rate: float = 1.0) -> float:
+def arrival_rate_for_load(
+    load: float, service: Distribution, *, rate: float = 1.0, allow_overload: bool = False
+) -> float:
     """Arrival rate that produces utilisation ``load`` on a server of ``rate``.
 
     The simulation section of the paper expresses every experiment in terms of
     the *system load* (10% ... 95%); this helper converts a load target into
-    the Poisson arrival rate used by the generators.
+    the Poisson arrival rate used by the generators.  ``allow_overload=True``
+    lifts the stability bound for overload experiments, where admission
+    control (not queue stability) keeps the backlog finite.
     """
     require_non_negative(load, "load")
     require_positive(rate, "rate")
-    if load >= 1.0:
+    if load >= 1.0 and not allow_overload:
         raise StabilityError(f"requested load {load} is not feasible (must be < 1)")
     return load * rate / service.mean()

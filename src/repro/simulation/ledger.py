@@ -7,12 +7,21 @@ so nothing in the pipeline ever needs a per-request Python object.
 set of preallocated, geometrically grown NumPy columns
 
     ``request_id | class_index | arrival_time | size |
-    service_start_time | completion_time``
+    service_start_time | completion_time | disposition``
 
 and the whole simulation stack addresses requests by integer row id:
-:class:`~repro.simulation.scenario.Scenario` appends a row per admitted
-arrival, the server models queue and serve row ids, and the monitor/trace
-layer computes every statistic with vectorised NumPy over the columns.
+:class:`~repro.simulation.scenario.Scenario` appends a row per arrival, the
+server models queue and serve row ids, and the monitor/trace layer computes
+every statistic with vectorised NumPy over the columns.
+
+The ``disposition`` column records each request's admission outcome
+(:data:`DISPOSITION_ADMITTED` / :data:`DISPOSITION_DEGRADED` /
+:data:`DISPOSITION_SHED`, matching the integer values of
+:class:`repro.core.AdmissionDecision`): shed requests get a row — so shed
+fractions fall out of the same columns as every other statistic — but are
+never submitted to a server and never start service (enforced here).
+Degraded rows are stored under their downgraded class and otherwise live a
+normal lifecycle.
 
 Lifecycle invariants (a request starts service exactly once, at or after its
 arrival; completes exactly once, at or after its service start) are enforced
@@ -36,7 +45,19 @@ import numpy as np
 
 from ..errors import SimulationError
 
-__all__ = ["RequestLedger"]
+__all__ = [
+    "RequestLedger",
+    "DISPOSITION_ADMITTED",
+    "DISPOSITION_DEGRADED",
+    "DISPOSITION_SHED",
+]
+
+#: Admission outcome codes stored in the ``disposition`` column.  The values
+#: match :class:`repro.core.AdmissionDecision` so decision blocks cast
+#: straight into the column.
+DISPOSITION_ADMITTED = 0
+DISPOSITION_DEGRADED = 1
+DISPOSITION_SHED = 2
 
 #: Initial number of rows allocated by a fresh ledger; grown 2x on demand.
 DEFAULT_CAPACITY = 1024
@@ -68,6 +89,7 @@ class RequestLedger:
         "_size",
         "_service_start",
         "_completion",
+        "_disposition",
         "_completed",
         "_order",
         "_extra",
@@ -91,6 +113,7 @@ class RequestLedger:
         self._size = np.empty(capacity, dtype=np.float64)
         self._service_start = np.full(capacity, math.nan, dtype=np.float64)
         self._completion = np.full(capacity, math.nan, dtype=np.float64)
+        self._disposition = np.zeros(capacity, dtype=np.uint8)
         self._order = np.empty(capacity, dtype=np.int64)
         self._extra: dict[int, dict] = {}
         # Opaque keep-alive for zero-copy transports: when the columns are
@@ -147,6 +170,11 @@ class RequestLedger:
         return self._view(self._completion, self._n)
 
     @property
+    def disposition(self) -> np.ndarray:
+        """Admission outcome per row (``DISPOSITION_*`` codes; 0 = admitted)."""
+        return self._view(self._disposition, self._n)
+
+    @property
     def completed_ids(self) -> np.ndarray:
         """Row ids of completed requests, in completion (= time) order."""
         return self._view(self._order, self._completed)
@@ -172,6 +200,9 @@ class RequestLedger:
     def label_of(self, rid: int) -> int:
         return int(self._request_id[rid])
 
+    def disposition_of(self, rid: int) -> int:
+        return int(self._disposition[rid])
+
     def is_complete(self, rid: int) -> bool:
         return not math.isnan(self._completion[rid])
 
@@ -188,6 +219,7 @@ class RequestLedger:
             "_size",
             "_service_start",
             "_completion",
+            "_disposition",
             "_order",
         ):
             old = getattr(self, name)
@@ -200,6 +232,7 @@ class RequestLedger:
         self._request_id[old_capacity:] = np.arange(old_capacity, new_capacity)
         self._service_start[old_capacity:] = math.nan
         self._completion[old_capacity:] = math.nan
+        self._disposition[old_capacity:] = DISPOSITION_ADMITTED
 
     def append_batch(
         self,
@@ -208,6 +241,7 @@ class RequestLedger:
         sizes: np.ndarray,
         *,
         request_ids: np.ndarray | None = None,
+        dispositions: np.ndarray | None = None,
     ) -> np.ndarray:
         """Record a block of arrivals in one call; returns the new row ids.
 
@@ -245,6 +279,8 @@ class RequestLedger:
         self._size[rid0 : rid0 + k] = sizes
         if request_ids is not None:
             self._request_id[rid0 : rid0 + k] = np.asarray(request_ids, dtype=np.int64)
+        if dispositions is not None:
+            self._disposition[rid0 : rid0 + k] = np.asarray(dispositions, dtype=np.uint8)
         self._n = rid0 + k
         return np.arange(rid0, rid0 + k, dtype=np.int64)
 
@@ -267,6 +303,7 @@ class RequestLedger:
         size: float,
         *,
         request_id: int | None = None,
+        disposition: int = DISPOSITION_ADMITTED,
     ) -> int:
         """Record one arrival; returns the new row id."""
         class_index = int(class_index)
@@ -278,6 +315,8 @@ class RequestLedger:
             self._grow()
         if request_id is not None:
             self._request_id[rid] = int(request_id)
+        if disposition:
+            self._disposition[rid] = disposition
         self._class_index[rid] = class_index
         self._arrival_time[rid] = arrival_time
         self._size[rid] = size
@@ -308,6 +347,7 @@ class RequestLedger:
             request.arrival_time,
             request.size,
             request_id=request.request_id,
+            disposition=int(source._disposition[old_row]),
         )
         # Copy lifecycle columns verbatim — the source row already satisfied
         # the invariants (or was constructed with explicit values, exactly
@@ -338,6 +378,10 @@ class RequestLedger:
             self._completed += 1
 
     def start_service(self, rid: int, time: float) -> None:
+        if self._disposition[rid] == DISPOSITION_SHED:
+            raise SimulationError(
+                f"request {self.label_of(rid)} was shed and can never enter service"
+            )
         if not math.isnan(self._service_start[rid]):
             raise SimulationError(f"request {self.label_of(rid)} started service twice")
         if time < self._arrival_time[rid] - _TIME_TOL:
@@ -385,6 +429,10 @@ class RequestLedger:
         times = np.asarray(times, dtype=np.float64)
         if rids.size == 0:
             return
+        if np.any(self._disposition[rids] == DISPOSITION_SHED):
+            raise SimulationError(
+                "start_service_batch: a shed request can never enter service"
+            )
         if not np.all(np.isnan(self._service_start[rids])):
             raise SimulationError("start_service_batch: a request started service twice")
         if np.any(times < self._arrival_time[rids] - _TIME_TOL):
@@ -483,6 +531,7 @@ class RequestLedger:
             "size": self._size[:n].copy(),
             "service_start": self._service_start[:n].copy(),
             "completion": self._completion[:n].copy(),
+            "disposition": self._disposition[:n].copy(),
             "order": self._order[:m].copy(),
             "extra": self._extra,
         }
@@ -496,6 +545,12 @@ class RequestLedger:
         self._service_start = state["service_start"]
         self._completion = state["completion"]
         self._n = int(self._request_id.shape[0])
+        # Ledgers pickled before the disposition column existed load as
+        # all-admitted.
+        disposition = state.get("disposition")
+        if disposition is None:
+            disposition = np.zeros(self._n, dtype=np.uint8)
+        self._disposition = disposition
         self._completed = int(state["order"].shape[0])
         # Pad the completion log back to full capacity so rows that were
         # in flight when the ledger was pickled can still complete.

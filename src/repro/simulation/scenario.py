@@ -19,14 +19,28 @@ that pre-select the server model.
 Columnar lifecycle
 ------------------
 The scenario owns the run's :class:`~repro.simulation.ledger.RequestLedger`.
-Every admitted arrival appends one row and submits the row id to the server
-model; completions write timestamps straight into the ledger's columns.  No
-per-request Python object or callback bookkeeping exists on the hot path:
-the estimation-window statistics (arrival counts, offered work, measured
-slowdowns) are computed at each window boundary by slicing the columns past
-a cursor and reducing with ``np.bincount`` — which accumulates in input
-order, so the sums are bit-identical to the old per-completion ``+=`` loop —
-and the monitor/trace expose the same ledger without copying.
+Every arrival appends one row; admitted (and degraded) rows are submitted to
+the server model, shed rows keep their origin class with
+``DISPOSITION_SHED`` and never enter service.  Completions write timestamps
+straight into the ledger's columns.  No per-request Python object or
+callback bookkeeping exists on the hot path: the estimation-window
+statistics (arrival counts, offered work, measured slowdowns) are computed
+at each window boundary by slicing the columns past a cursor — shed rows
+filtered out, so the controller allocates for admitted traffic only — and
+reducing with ``np.bincount``, which accumulates in input order, so the sums
+are bit-identical to the old per-completion ``+=`` loop; the monitor/trace
+expose the same ledger without copying.
+
+Admission on the batched hot path
+---------------------------------
+``window_scoped`` admission policies (see :mod:`repro.core.admission`) run
+batched: each pre-drawn arrival block gets one
+:meth:`~repro.core.AdmissionPolicy.decide_block` call at the window
+boundary — before the block is cut at fleet-event instants — and the
+policy's :meth:`~repro.core.AdmissionPolicy.observe_window` hook fires at
+run start and every boundary, after the controller's new rates are applied.
+Policies reading live per-arrival state (``window_scoped = False``) fall
+back to the per-event path automatically.
 
 All durations (warm-up, horizon, window) are interpreted in the same units
 as the service-time distributions — use
@@ -43,6 +57,7 @@ from functools import partial
 
 import numpy as np
 
+from ..core.admission import AdmissionDecision, SystemSnapshot
 from ..core.controller import PsdController
 from ..core.psd import PsdSpec
 from ..distributions.rng import spawn_generators
@@ -50,7 +65,7 @@ from ..errors import SimulationError
 from ..types import TrafficClass
 from .engine import SimulationEngine
 from .generator import RequestSource, sources_from_classes
-from .ledger import RequestLedger
+from .ledger import DISPOSITION_DEGRADED, DISPOSITION_SHED, RequestLedger
 from .monitor import MeasurementConfig, WindowedMonitor
 from .server_models import RateScalableServers, ServerModel
 from .trace import SimulationTrace
@@ -119,7 +134,13 @@ class SimulationResult:
     rate_history: list[tuple[float, tuple[float, ...]]] = field(default_factory=list)
     generated_counts: tuple[int, ...] = ()
     completed_counts: tuple[int, ...] = ()
+    #: Shed requests per *origin* class (the admission ladder's SHED leg).
     rejected_counts: tuple[int, ...] = ()
+    #: Degraded requests per *origin* class; the rows live in the ledger
+    #: under their downgraded class (see ``degraded_into_counts``).
+    degraded_counts: tuple[int, ...] = ()
+    #: Degraded requests per *target* class.
+    degraded_into_counts: tuple[int, ...] = ()
     ledger: RequestLedger | None = None
     #: Fleet history of a clustered run — ``(time, node_states, capacities)``
     #: entries copied from :attr:`repro.cluster.ClusterServerModel.
@@ -220,6 +241,16 @@ class SimulationResult:
         means = self.per_class_mean_slowdowns()
         return tuple(m / means[0] for m in means)
 
+    def shed_fraction(self) -> float:
+        """Fraction of generated requests the admission policy shed."""
+        total = sum(self.generated_counts)
+        return sum(self.rejected_counts) / total if total else 0.0
+
+    def degraded_fraction(self) -> float:
+        """Fraction of generated requests admitted at a downgraded class."""
+        total = sum(self.generated_counts)
+        return sum(self.degraded_counts) / total if total else 0.0
+
     def per_node_availability(self, num_windows: int | None = None):
         """Per-window per-node live fractions, or ``None`` without fleet data.
 
@@ -261,17 +292,21 @@ class Scenario:
         Either a seed (one RNG stream is spawned per class and Poisson
         sources are built from the classes) or explicit request sources.
     admission:
-        Optional :class:`repro.core.AdmissionPolicy`; rejected requests are
-        counted but never enter the server model (nor the ledger).
+        Optional :class:`repro.core.AdmissionPolicy`.  Every arrival gets a
+        ledger row; the policy's decision picks its fate — ``ACCEPT`` rows
+        are served as-is, ``DEGRADE`` rows are re-classed to the policy's
+        :meth:`~repro.core.AdmissionPolicy.degrade_target` and served there,
+        ``SHED`` rows are recorded (disposition column) but never submitted.
     batched:
         Selects the hot path.  ``True`` runs the batched pipeline (arrival
         blocks pre-drawn per estimation window, completions drained in bulk
         at window boundaries — bit-identical aggregates, one engine event
         per window instead of several per request); ``False`` forces the
         per-event path (the escape hatch differential tests diff against,
-        and what admission policies and per-event server models require).
-        The default ``None`` picks batched automatically whenever the
-        server model supports it and no admission policy is installed.
+        and what per-event server models require).  The default ``None``
+        picks batched automatically whenever the server model supports it
+        and the admission policy (if any) is ``window_scoped``; policies
+        reading live per-arrival state fall back to per-event.
     telemetry:
         Optional :class:`repro.telemetry.Telemetry` facade.  ``None`` (the
         default) is the no-op fast path: every instrumented site reduces to
@@ -333,20 +368,26 @@ class Scenario:
         self._row_cursor = 0
         self._done_cursor = 0
         self._rejected = [0] * len(self.classes)
+        self._degraded_from = [0] * len(self.classes)
+        self._degraded_to = [0] * len(self.classes)
+        # Validated degrade targets per origin class, resolved lazily (the
+        # degrade_target contract: a pure function of the origin class).
+        self._degrade_targets: dict[int, int] = {}
 
         initial_rates = self.controller.current_rates
         if len(initial_rates) != len(self.classes):
             raise SimulationError("controller rate vector length does not match classes")
         self.server = server if server is not None else RateScalableServers()
         supports_batched = getattr(self.server, "supports_batched", False)
+        window_scoped = admission is None or getattr(admission, "window_scoped", False)
         if batched is None:
-            batched = supports_batched and admission is None
+            batched = supports_batched and window_scoped
         elif batched:
-            if admission is not None:
+            if not window_scoped:
                 raise SimulationError(
-                    "the batched hot path cannot evaluate per-arrival admission "
-                    "decisions; pass batched=False to combine an admission "
-                    "policy with this scenario"
+                    f"{type(admission).__name__} is not window_scoped (its "
+                    "decisions read live per-arrival state), so it cannot run "
+                    "on the batched hot path; pass batched=False"
                 )
             if not supports_batched:
                 raise SimulationError(
@@ -396,7 +437,50 @@ class Scenario:
         sizes = np.concatenate([block[1] for block in per_class])
         classes = np.repeat(np.arange(len(self.sources), dtype=np.int64), sizes_per_class)
         order = np.argsort(times, kind="stable")
-        rids = self.ledger.append_batch(classes[order], times[order], sizes[order])
+        times, sizes, classes = times[order], sizes[order], classes[order]
+        if self.admission is not None:
+            # One block-level decision pass per window, before any fleet
+            # cut: window_scoped policies see only boundary state, so the
+            # whole block is decidable here.  Shed rows are appended (origin
+            # class, SHED disposition) but excluded from submission; the
+            # fleet-cut segmentation below then runs over admitted arrivals
+            # only.
+            decisions = self._decide_block(classes, sizes, times)
+            served = classes
+            degrade = decisions == int(AdmissionDecision.DEGRADE)
+            if degrade.any():
+                if bool((classes[degrade] == len(self.classes) - 1).any()):
+                    raise SimulationError(
+                        f"{type(self.admission).__name__} degraded class "
+                        f"{len(self.classes) - 1}, which has no lower class"
+                    )
+                served = classes.copy()
+                served[degrade] = self._degrade_lut()[classes[degrade]]
+                for origin, count in enumerate(
+                    np.bincount(classes[degrade], minlength=len(self.classes))
+                ):
+                    self._degraded_from[origin] += int(count)
+                for target, count in enumerate(
+                    np.bincount(served[degrade], minlength=len(self.classes))
+                ):
+                    self._degraded_to[target] += int(count)
+            shed = decisions == int(AdmissionDecision.SHED)
+            if shed.any():
+                for origin, count in enumerate(
+                    np.bincount(classes[shed], minlength=len(self.classes))
+                ):
+                    self._rejected[origin] += int(count)
+            all_rids = self.ledger.append_batch(
+                served, times, sizes, dispositions=decisions.astype(np.uint8)
+            )
+            if self.telemetry is not None:
+                self.telemetry.on_admission_block(classes, decisions)
+            admitted = ~shed
+            rids = all_rids[admitted]
+            submit_times = times[admitted]
+        else:
+            rids = self.ledger.append_batch(classes, times, sizes)
+            submit_times = times
         cuts = self.server.block_boundaries(self.engine.now, bound)
         if cuts:
             # The model changes state inside this window (cluster fleet
@@ -407,7 +491,7 @@ class Scenario:
             # bind-time fleet event at the same instant carries the lower
             # sequence number — per-event tie semantics on both counts.
             edges = np.searchsorted(
-                times[order], np.asarray(cuts, dtype=np.float64), side="left"
+                submit_times, np.asarray(cuts, dtype=np.float64), side="left"
             ).tolist()
             if edges[0]:
                 self.server.submit_batch(rids[: edges[0]])
@@ -419,7 +503,7 @@ class Scenario:
                         partial(self.server.submit_batch, rids[edge:end]),
                         label="block",
                     )
-        else:
+        elif rids.size:
             self.server.submit_batch(rids)
         if self.telemetry is not None:
             self.telemetry.on_batch(self.engine.now, total)
@@ -441,36 +525,97 @@ class Scenario:
         def handle() -> None:
             source = self.sources[class_index]
             size = source.next_size()
-            admitted = self._admit(class_index, size)
-            if telemetry is not None and self.admission is not None:
-                telemetry.on_admission(class_index, admitted)
-            if admitted:
+            if self.admission is None:
                 server.submit(ledger.append(class_index, engine.now, size))
             else:
-                self._rejected[class_index] += 1
+                decision = self.admission.decide(class_index, size, self._system_snapshot())
+                if isinstance(decision, bool) or not isinstance(decision, AdmissionDecision):
+                    raise SimulationError(
+                        f"{type(self.admission).__name__}.decide() returned "
+                        f"{decision!r}; an AdmissionDecision is required"
+                    )
+                if telemetry is not None:
+                    telemetry.on_admission(class_index, decision)
+                if decision is AdmissionDecision.ACCEPT:
+                    server.submit(ledger.append(class_index, engine.now, size))
+                elif decision is AdmissionDecision.DEGRADE:
+                    target = self._degrade_target(class_index)
+                    self._degraded_from[class_index] += 1
+                    self._degraded_to[target] += 1
+                    server.submit(
+                        ledger.append(
+                            target, engine.now, size, disposition=DISPOSITION_DEGRADED
+                        )
+                    )
+                else:
+                    ledger.append(class_index, engine.now, size, disposition=DISPOSITION_SHED)
+                    self._rejected[class_index] += 1
             gap = source.next_interarrival()
             if np.isfinite(gap):
                 engine.schedule_after(gap, handle, label=f"arrival-{class_index}")
 
         return handle
 
-    def _admit(self, class_index: int, size: float) -> bool:
-        if self.admission is None:
-            return True
-        from ..core.admission import SystemSnapshot
-
+    def _system_snapshot(self) -> SystemSnapshot:
         allocation = getattr(self.controller, "current_allocation", None)
         estimated = (
             tuple(allocation.offered_loads)
             if allocation is not None
             else tuple(0.0 for _ in self.classes)
         )
-        snapshot = SystemSnapshot(
+        return SystemSnapshot(
             time=self.engine.now,
             backlogs=self.server.backlogs(),
             estimated_loads=estimated,
         )
-        return self.admission.admit(class_index, size, snapshot)
+
+    def _decide_block(
+        self, classes: np.ndarray, sizes: np.ndarray, times: np.ndarray
+    ) -> np.ndarray:
+        decisions = self.admission.decide_block(classes, sizes, times, self._system_snapshot())
+        decisions = np.asarray(decisions, dtype=np.int64)
+        if decisions.shape != classes.shape:
+            raise SimulationError(
+                f"{type(self.admission).__name__}.decide_block() returned "
+                f"{decisions.shape[0] if decisions.ndim == 1 else decisions.shape} "
+                f"decisions for {classes.shape[0]} arrivals"
+            )
+        if decisions.size and (
+            decisions.min() < int(AdmissionDecision.ACCEPT)
+            or decisions.max() > int(AdmissionDecision.SHED)
+        ):
+            raise SimulationError(
+                f"{type(self.admission).__name__}.decide_block() returned values "
+                "outside the AdmissionDecision range"
+            )
+        return decisions
+
+    def _degrade_target(self, class_index: int) -> int:
+        """Resolve and validate a policy's degrade target for one class."""
+        target = self._degrade_targets.get(class_index)
+        if target is None:
+            target = int(self.admission.degrade_target(class_index))
+            if not class_index < target < len(self.classes):
+                raise SimulationError(
+                    f"{type(self.admission).__name__}.degrade_target({class_index}) "
+                    f"returned {target}; a strictly lower class in "
+                    f"({class_index}, {len(self.classes)}) is required"
+                )
+            self._degrade_targets[class_index] = target
+        return target
+
+    def _degrade_lut(self) -> np.ndarray:
+        """Per-class degrade targets as a gather table (batched path).
+
+        The last class has no lower class; the caller rejects DEGRADE
+        decisions for it before gathering, so its slot is never read.
+        """
+        num_classes = len(self.classes)
+        lut = np.empty(num_classes, dtype=np.int64)
+        for c in range(num_classes - 1):
+            lut[c] = self._degrade_target(c)
+        lut[num_classes - 1] = num_classes - 1
+        return lut
 
     def _on_completion(self, rid: int) -> None:
         """Per-completion hook: a no-op on the columnar pipeline.
@@ -494,6 +639,15 @@ class Scenario:
         row_end = len(self.ledger)
         arrived = self.ledger.class_index[self._row_cursor : row_end]
         sizes = self.ledger.size[self._row_cursor : row_end]
+        if self.admission is not None:
+            # Shed rows never enter service: the controller allocates rates
+            # for admitted traffic only.  The filter preserves relative
+            # order, so the bincount sums stay bit-identical to a run that
+            # never appended the shed rows.
+            kept = self.ledger.disposition[self._row_cursor : row_end] != DISPOSITION_SHED
+            if not kept.all():
+                arrived = arrived[kept]
+                sizes = sizes[kept]
         self._row_cursor = row_end
         arrivals = np.bincount(arrived, minlength=num_classes)
         work = np.bincount(arrived, weights=sizes, minlength=num_classes)
@@ -535,6 +689,13 @@ class Scenario:
         self.rate_history.append((self.engine.now, rates))
         if self.telemetry is not None:
             self.telemetry.on_window(self, arrivals, work, slowdowns, rates)
+        if self.admission is not None:
+            # After the controller's new rates are in force, before the next
+            # window's arrivals: window_scoped policies refresh their whole
+            # decision state here, identically on both hot paths.
+            self.admission.observe_window(
+                self._system_snapshot(), self.server, self.config.window
+            )
         next_boundary = self.engine.now + self.config.window
         if self.batched:
             bound = min(next_boundary, self.config.horizon)
@@ -550,6 +711,12 @@ class Scenario:
         """Execute the simulation and return the collected results."""
         if self.telemetry is not None:
             self.telemetry.on_run_start(self)
+        if self.admission is not None:
+            # The initial window observation (time 0, initial allocation):
+            # budget-style policies derive their first window's quotas here.
+            self.admission.observe_window(
+                self._system_snapshot(), self.server, self.config.window
+            )
         if self.batched:
             # Scheduled rather than submitted synchronously: fleet events at
             # t=0 were scheduled at bind time (lower sequence numbers), so
@@ -571,7 +738,11 @@ class Scenario:
             self._queue_block(self.config.horizon, inclusive=True)
             self._sync_completions(self.config.horizon)
         num_classes = len(self.classes)
-        admitted = np.bincount(self.ledger.class_index, minlength=num_classes)
+        # Every arrival — admitted, degraded or shed — has a ledger row.
+        # Shed rows sit under their origin class; degraded rows under their
+        # target class, so generation counts shift them back to the class
+        # that generated them.
+        rows = np.bincount(self.ledger.class_index, minlength=num_classes)
         completed = np.bincount(
             self.ledger.class_index[self.ledger.completed_ids], minlength=num_classes
         )
@@ -585,10 +756,13 @@ class Scenario:
             controller=self.controller,
             rate_history=self.rate_history,
             generated_counts=tuple(
-                int(a) + r for a, r in zip(admitted, self._rejected)
+                int(n) + source - target
+                for n, source, target in zip(rows, self._degraded_from, self._degraded_to)
             ),
             completed_counts=tuple(int(c) for c in completed),
             rejected_counts=tuple(self._rejected),
+            degraded_counts=tuple(self._degraded_from),
+            degraded_into_counts=tuple(self._degraded_to),
             ledger=self.ledger,
             fleet_timeline=getattr(self.server, "fleet_timeline", None),
             dispatch_log=getattr(self.server, "dispatch_log", None)

@@ -11,9 +11,10 @@ bench pins below 2% overhead.
 
 Hook frequency is the design constraint.  Everything here fires at
 window-boundary, batch or fleet-event frequency — never per request on the
-batched hot path.  The only per-event hooks (the engine listener and the
-admission hook) exist solely on the per-event path and are installed only
-when telemetry is enabled.
+batched hot path: admission decisions arrive per-decision on the per-event
+path (:meth:`Telemetry.on_admission`) but as one block-level call per
+window on the batched path (:meth:`Telemetry.on_admission_block`), both
+feeding the same counters.
 """
 
 from __future__ import annotations
@@ -21,6 +22,9 @@ from __future__ import annotations
 from collections.abc import Callable
 from typing import TYPE_CHECKING
 
+import numpy as np
+
+from ..core.admission import AdmissionDecision
 from ..errors import ParameterError
 from .metrics import MetricsRegistry
 
@@ -117,13 +121,57 @@ class Telemetry:
         name = "shared.drain_length" if class_index is None else f"class{class_index}.drain_length"
         self.registry.histogram(name).observe(count)
 
-    def on_admission(self, class_index: int, admitted: bool) -> None:
-        """One admission decision (per-event path only)."""
+    def on_admission(self, class_index: int, decision) -> None:
+        """One admission decision (per-event path only).
+
+        ``decision`` is an :class:`~repro.core.AdmissionDecision`; the
+        legacy booleans are still accepted (``True`` → ``ACCEPT``,
+        ``False`` → ``SHED``).  Accepted and degraded decisions both count
+        as ``admission.accepted`` — they enter the server — with degraded
+        ones additionally tallied under ``admission.degraded``.
+        """
         if not self.enabled:
             return
-        self.registry.counter("admission.accepted" if admitted else "admission.rejected").inc()
-        if not admitted:
-            self.registry.counter(f"admission.class{class_index}.rejected").inc()
+        if decision is True:
+            decision = AdmissionDecision.ACCEPT
+        elif decision is False:
+            decision = AdmissionDecision.SHED
+        reg = self.registry
+        if decision == AdmissionDecision.SHED:
+            reg.counter("admission.rejected").inc()
+            reg.counter(f"admission.class{class_index}.rejected").inc()
+        else:
+            reg.counter("admission.accepted").inc()
+            if decision == AdmissionDecision.DEGRADE:
+                reg.counter("admission.degraded").inc()
+                reg.counter(f"admission.class{class_index}.degraded").inc()
+
+    def on_admission_block(self, classes: np.ndarray, decisions: np.ndarray) -> None:
+        """A block of admission decisions (batched path).
+
+        Feeds exactly the counters :meth:`on_admission` does, one bulk
+        increment per counter; ``classes`` are the *origin* classes.
+        """
+        if not self.enabled:
+            return
+        reg = self.registry
+        shed = decisions == int(AdmissionDecision.SHED)
+        num_shed = int(np.count_nonzero(shed))
+        if num_shed:
+            reg.counter("admission.rejected").inc(num_shed)
+            for index, count in enumerate(np.bincount(classes[shed])):
+                if count:
+                    reg.counter(f"admission.class{index}.rejected").inc(int(count))
+        accepted = decisions.shape[0] - num_shed
+        if accepted:
+            reg.counter("admission.accepted").inc(accepted)
+        degraded = decisions == int(AdmissionDecision.DEGRADE)
+        num_degraded = int(np.count_nonzero(degraded))
+        if num_degraded:
+            reg.counter("admission.degraded").inc(num_degraded)
+            for index, count in enumerate(np.bincount(classes[degraded])):
+                if count:
+                    reg.counter(f"admission.class{index}.degraded").inc(int(count))
 
     def on_window(
         self,
@@ -198,9 +246,15 @@ class Telemetry:
         self.registry.gauge("scenario.simulated_time").set(engine.now)
         # Arrivals and completions that land after the last window boundary
         # were never seen by on_window — reconcile against the ledger so both
-        # counters match the run's true totals.
+        # counters match the run's true totals.  Shed rows never counted as
+        # window arrivals (the window stats filter them), so they are
+        # excluded here too.
+        ledger = scenario.ledger
+        admitted_rows = len(ledger) - int(
+            np.count_nonzero(ledger.disposition == int(AdmissionDecision.SHED))
+        )
         arrivals = self.registry.counter("scenario.arrivals")
-        arrivals.inc(len(scenario.ledger) - arrivals.value)
+        arrivals.inc(admitted_rows - arrivals.value)
         completed = scenario.ledger.num_completed
         self.registry.counter("scenario.completions").inc(completed - self._seen_completed)
         self._seen_completed = completed

@@ -34,18 +34,24 @@ def web_classes(
     deltas: Sequence[float],
     *,
     service: Distribution | None = None,
+    allow_overload: bool = False,
 ) -> tuple[TrafficClass, ...]:
     """Traffic classes with equal loads summing to ``system_load``.
 
     ``deltas`` are the differentiation parameters (one per class).  All
     classes share the same service-time distribution, as in the paper.
+    ``allow_overload=True`` permits ``system_load >= 1`` for overload
+    experiments, where admission control (not queue stability) bounds the
+    backlog.
     """
     if num_classes <= 0:
         raise ParameterError("num_classes must be > 0")
     if len(deltas) != num_classes:
         raise ParameterError("deltas must have one entry per class")
     shares = tuple(1.0 / num_classes for _ in range(num_classes))
-    return web_classes_with_shares(shares, system_load, deltas, service=service)
+    return web_classes_with_shares(
+        shares, system_load, deltas, service=service, allow_overload=allow_overload
+    )
 
 
 def web_classes_with_shares(
@@ -54,11 +60,19 @@ def web_classes_with_shares(
     deltas: Sequence[float],
     *,
     service: Distribution | None = None,
+    allow_overload: bool = False,
 ) -> tuple[TrafficClass, ...]:
     """Traffic classes whose loads split ``system_load`` according to ``load_shares``."""
-    require_in_range(
-        system_load, "system_load", 0.0, 1.0, inclusive_low=False, inclusive_high=False
-    )
+    if allow_overload:
+        # Overload experiments deliberately offer more than the capacity;
+        # keep a sanity ceiling so typos still fail loudly.
+        require_in_range(
+            system_load, "system_load", 0.0, 10.0, inclusive_low=False, inclusive_high=False
+        )
+    else:
+        require_in_range(
+            system_load, "system_load", 0.0, 1.0, inclusive_low=False, inclusive_high=False
+        )
     shares = require_positive_sequence(load_shares, "load_shares")
     if abs(sum(shares) - 1.0) > 1e-9:
         raise ParameterError(f"load_shares must sum to 1, got {sum(shares)!r}")
@@ -67,7 +81,7 @@ def web_classes_with_shares(
         raise ParameterError("deltas and load_shares must have the same length")
     if service is None:
         service = paper_service_distribution()
-    total_rate = arrival_rate_for_load(system_load, service)
+    total_rate = arrival_rate_for_load(system_load, service, allow_overload=allow_overload)
     return tuple(
         TrafficClass(
             name=f"class-{i + 1}",

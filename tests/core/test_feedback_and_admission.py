@@ -1,10 +1,13 @@
 """Tests for the feedback-corrected controller and the admission policies."""
 
 import math
+import warnings
 
 import pytest
 
 from repro.core import (
+    AdmissionDecision,
+    AdmissionPolicy,
     AlwaysAdmit,
     FeedbackPsdController,
     LoadThresholdAdmission,
@@ -203,3 +206,63 @@ class TestFeedbackInSimulation:
         slowdowns = result.per_class_mean_slowdowns()
         assert slowdowns[0] < slowdowns[1]
         assert all(math.isfinite(d) for d in controller.effective_deltas)
+
+
+class TestLegacyDecisionShim:
+    """The redesigned decide() API adapts legacy boolean admit() subclasses."""
+
+    class BoolOnly(AdmissionPolicy):
+        """A pre-redesign policy: overrides only the boolean surface."""
+
+        def admit(self, class_index, size, snapshot):
+            return class_index == 0
+
+    def snapshot(self):
+        return SystemSnapshot(time=0.0, backlogs=(0, 0), estimated_loads=(0.3, 0.3))
+
+    def test_decide_adapts_admit_and_warns_once_per_instance(self):
+        policy = self.BoolOnly()
+        with pytest.warns(DeprecationWarning, match="legacy boolean"):
+            assert policy.decide(0, 1.0, self.snapshot()) is AdmissionDecision.ACCEPT
+        # Second call on the same instance stays silent (warned once).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert policy.decide(1, 1.0, self.snapshot()) is AdmissionDecision.SHED
+
+    def test_admit_adapts_decide_for_new_policies(self):
+        # ACCEPT and DEGRADE both mean "enters the server" on the boolean
+        # surface; only SHED maps to False.
+        class Degrading(AdmissionPolicy):
+            def decide(self, class_index, size, snapshot):
+                return (
+                    AdmissionDecision.DEGRADE
+                    if class_index == 0
+                    else AdmissionDecision.SHED
+                )
+
+        policy = Degrading()
+        assert policy.admit(0, 1.0, self.snapshot()) is True
+        assert policy.admit(1, 1.0, self.snapshot()) is False
+
+    def test_overriding_neither_surface_raises(self):
+        class Neither(AdmissionPolicy):
+            pass
+
+        with pytest.raises(TypeError, match="must override decide"):
+            Neither().decide(0, 1.0, self.snapshot())
+        with pytest.raises(TypeError, match="must override decide"):
+            Neither().admit(0, 1.0, self.snapshot())
+
+    def test_legacy_policy_runs_in_simulation_via_shim(self, moderate_bp):
+        from repro.simulation import MeasurementConfig, PsdServerSimulation
+
+        classes = make_classes(moderate_bp, 0.6, (1.0, 2.0))
+        cfg = MeasurementConfig(warmup=100.0, horizon=1_000.0, window=100.0)
+        with pytest.warns(DeprecationWarning, match="legacy boolean"):
+            result = PsdServerSimulation(
+                classes, cfg, admission=self.BoolOnly(), seed=2
+            ).run()
+        # Class 0 fully admitted, class 1 fully shed — through the adapter.
+        assert result.rejected_counts[0] == 0
+        assert result.rejected_counts[1] == result.generated_counts[1]
+        assert result.completed_counts[1] == 0

@@ -7,6 +7,7 @@ shape and bookkeeping, not statistical accuracy (the benches handle that).
 
 import pytest
 
+from repro.errors import ExperimentError
 from repro.experiments import (
     ExperimentConfig,
     figure2,
@@ -202,3 +203,67 @@ class TestSensitivityDrivers:
         expected = result.column("expected_1")
         assert bounds == sorted(bounds)
         assert expected == sorted(expected)
+
+
+class TestOverloadDriver:
+    def test_overload_structure_and_shape(self, tiny_moderate_config):
+        from repro.experiments.overload import run_overload
+
+        result = run_overload(tiny_moderate_config, loads=(1.2,))
+        assert result.experiment_id == "overload"
+        # One quota row and one admission-blind row per load.
+        assert [row["admission"] for row in result.rows] == ["quota", "none"]
+        assert set(result.columns).issuperset(
+            {"load", "admission", "shed_fraction", "unfinished", "system_slowdown"}
+        )
+        quota, blind = result.rows
+        # The defended cluster sheds; the blind one admits everything and
+        # stalls with far more unfinished work.
+        assert 0.0 < quota["shed_fraction"] < 0.5
+        assert blind["shed_fraction"] == 0.0
+        assert blind["unfinished"] > quota["unfinished"]
+
+    def test_overload_honours_configured_admission(self, tiny_moderate_config):
+        from repro.experiments.overload import run_overload
+
+        config = tiny_moderate_config.with_admission(
+            "load_threshold", ("thresholds=0.3,0.6",)
+        )
+        result = run_overload(config, loads=(1.05,))
+        assert result.parameters["admission"] == "load_threshold"
+        assert [row["admission"] for row in result.rows] == ["load_threshold", "none"]
+        assert result.rows[0]["shed_fraction"] > 0.0
+
+
+class TestAdmissionConfig:
+    def test_admission_args_require_policy(self):
+        with pytest.raises(ExperimentError, match="without an admission policy"):
+            ExperimentConfig(admission_args=("quota_shares=0.4",))
+
+    def test_bad_admission_policy_rejected(self):
+        with pytest.raises(ExperimentError, match="bad admission policy"):
+            ExperimentConfig(admission="nope")
+        with pytest.raises(ExperimentError, match="bad admission policy"):
+            ExperimentConfig(admission="quota", admission_args=("quota_shares=1.5",))
+
+    def test_build_admission_policy_fresh_instances(self):
+        from repro.cluster import AdmissionController
+
+        config = ExperimentConfig(admission="quota", admission_args=("quota_shares=0.3,0.3",))
+        first = config.build_admission_policy()
+        second = config.build_admission_policy()
+        assert isinstance(first, AdmissionController)
+        assert first is not second
+        assert ExperimentConfig().build_admission_policy() is None
+
+    def test_with_admission_clears_args_with_policy(self):
+        config = ExperimentConfig(admission="quota", admission_args=("drain_factor=0.2",))
+        cleared = config.with_admission(None)
+        assert cleared.admission is None
+        assert cleared.admission_args == ()
+        # args=None keeps the existing tokens (same-policy retune).
+        kept = config.with_admission("quota")
+        assert kept.admission_args == config.admission_args
+        # ... but tokens incompatible with the new policy still fail loudly.
+        with pytest.raises(ExperimentError, match="bad admission policy"):
+            config.with_admission("always")

@@ -30,6 +30,7 @@ class TestRegistry:
             "fig11",
             "fig12",
             "cluster",
+            "overload",
         )
 
     def test_every_experiment_has_a_paper_claim(self):
@@ -117,3 +118,47 @@ class TestCommandLine:
 
         with pytest.raises(SystemExit):
             main(["--preset", "quick", "--only", "fig7", "--profile-out", "x.pstats"])
+
+    def test_main_overload_with_admission_flags(self, capsys):
+        from repro.experiments.__main__ import main
+
+        code = main(
+            [
+                "--preset",
+                "quick",
+                "--only",
+                "overload",
+                "--admission",
+                "quota",
+                "--admission-args",
+                "quota_shares=0.4,0.4",
+                "target_utilisation=0.9",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "overload" in captured.out
+        assert "admission=quota" in captured.out
+
+    def test_main_admission_args_require_admission(self, capsys):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["--preset", "quick", "--only", "overload", "--admission-args", "x=1"])
+
+    def test_main_bad_admission_args_fail_loudly(self, capsys):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "--preset",
+                    "quick",
+                    "--only",
+                    "overload",
+                    "--admission",
+                    "quota",
+                    "--admission-args",
+                    "quota_shares=house",
+                ]
+            )

@@ -1,0 +1,259 @@
+"""Admission control inside the scenario: both hot paths, one behaviour.
+
+The decision API redesign put admission in front of *both* scenario paths:
+
+* per-event — one ``decide()`` per arrival;
+* batched — one ``decide_block()`` per arrival block, allowed only for
+  ``window_scoped`` policies.
+
+These tests pin the integration contract end to end:
+
+* every shipped window-scoped policy (always / load_threshold / quota) is
+  bit-identical between the two paths — full ledger (including the new
+  disposition column), dispatch log, shed/degrade counters;
+* ``QueueLengthAdmission`` (not window-scoped) silently falls back to the
+  per-event path, and explicitly forcing ``batched=True`` with it raises;
+* shed requests get ledger rows but never service; degraded requests are
+  recorded under their target class with the origin tallied in
+  ``degraded_counts``; ``generated_counts`` still count origins;
+* telemetry admission counters, the ledger disposition column and the
+  result's shed/degraded fractions agree on both paths, serial and under
+  ``workers=2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import AdmissionController, make_cluster, resolve_capacities
+from repro.core import PsdSpec
+from repro.core.admission import (
+    AdmissionDecision,
+    AlwaysAdmit,
+    LoadThresholdAdmission,
+    QueueLengthAdmission,
+)
+from repro.distributions import BoundedPareto
+from repro.errors import SimulationError
+from repro.simulation import MeasurementConfig, Scenario, run_replications
+from repro.simulation.ledger import (
+    DISPOSITION_ADMITTED,
+    DISPOSITION_DEGRADED,
+    DISPOSITION_SHED,
+)
+from repro.telemetry import Telemetry
+from repro.types import TrafficClass
+
+#: Offered work ~3.9/time against a 3.0-capacity fleet: a genuinely
+#: overloaded cluster, so the quota ladder's three legs all fire.
+CLASSES = (
+    TrafficClass("gold", 2.5, BoundedPareto(0.3, 10.0, 1.5), 1.0),
+    TrafficClass("silver", 2.5, BoundedPareto(0.3, 10.0, 1.5), 2.0),
+)
+CONFIG = MeasurementConfig(warmup=20.0, horizon=300.0, window=20.0)
+SPEC = PsdSpec.of(1, 2)
+
+
+def _cluster():
+    return make_cluster(
+        2,
+        "weighted_jsq",
+        capacities=resolve_capacities("2:1", 2),
+        seed=np.random.SeedSequence(entropy=5),
+        record_dispatch=True,
+    )
+
+
+POLICIES = {
+    "always": lambda: AlwaysAdmit(),
+    "load_threshold": lambda: LoadThresholdAdmission((0.4, 10.0)),
+    "quota": lambda: AdmissionController(
+        (0.05, 0.05), degrade_threshold=0.0, shed_threshold=1.5
+    ),
+}
+
+
+def _run(policy_key, batched, *, telemetry=None, seed=11):
+    scenario = Scenario(
+        CLASSES,
+        CONFIG,
+        server=_cluster(),
+        spec=SPEC,
+        seed=seed,
+        admission=None if policy_key is None else POLICIES[policy_key](),
+        batched=batched,
+        telemetry=telemetry,
+    )
+    return scenario.run()
+
+
+def _ledger_bytes(result):
+    ledger = result.ledger
+    return tuple(
+        column.tobytes()
+        for column in (
+            ledger.class_index,
+            ledger.arrival_time,
+            ledger.size,
+            ledger.service_start_time,
+            ledger.completion_time,
+            ledger.disposition,
+        )
+    )
+
+
+class TestBatchedIdentity:
+    @pytest.mark.parametrize("policy_key", sorted(POLICIES))
+    def test_batched_matches_per_event_bit_for_bit(self, policy_key):
+        batched = _run(policy_key, True)
+        scalar = _run(policy_key, False)
+        assert _ledger_bytes(batched) == _ledger_bytes(scalar)
+        assert batched.dispatch_log == scalar.dispatch_log
+        assert batched.rejected_counts == scalar.rejected_counts
+        assert batched.degraded_counts == scalar.degraded_counts
+        assert batched.degraded_into_counts == scalar.degraded_into_counts
+        assert batched.generated_counts == scalar.generated_counts
+        # repr-compare: a fully-shed class has a NaN mean, and NaN != NaN.
+        assert repr(batched.per_class_mean_slowdowns()) == repr(
+            scalar.per_class_mean_slowdowns()
+        )
+        assert batched.rate_history == scalar.rate_history
+
+    def test_quota_run_exercises_all_three_legs(self):
+        result = _run("quota", True)
+        dispositions = result.ledger.disposition
+        assert int((dispositions == DISPOSITION_ADMITTED).sum()) > 0
+        assert int((dispositions == DISPOSITION_DEGRADED).sum()) > 0
+        assert int((dispositions == DISPOSITION_SHED).sum()) > 0
+
+    def test_load_threshold_sheds_lower_class_only(self):
+        result = _run("load_threshold", True)
+        assert result.rejected_counts[0] > 0
+        assert result.rejected_counts[1] == 0
+
+
+class TestPathSelection:
+    def test_window_scoped_policy_keeps_batched_path(self):
+        scenario = Scenario(
+            CLASSES, CONFIG, server=_cluster(), spec=SPEC, admission=AlwaysAdmit()
+        )
+        assert scenario.batched
+
+    def test_live_state_policy_falls_back_to_per_event(self):
+        scenario = Scenario(
+            CLASSES,
+            CONFIG,
+            server=_cluster(),
+            spec=SPEC,
+            admission=QueueLengthAdmission((50, 50)),
+        )
+        assert not scenario.batched
+
+    def test_forcing_batched_with_live_state_policy_raises(self):
+        with pytest.raises(SimulationError, match="not window_scoped"):
+            Scenario(
+                CLASSES,
+                CONFIG,
+                server=_cluster(),
+                spec=SPEC,
+                admission=QueueLengthAdmission((50, 50)),
+                batched=True,
+            )
+
+
+class TestDispositionAccounting:
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_ledger_agrees_with_result_counters(self, batched):
+        result = _run("quota", batched)
+        ledger = result.ledger
+        dispositions = ledger.disposition
+        shed = int((dispositions == DISPOSITION_SHED).sum())
+        degraded = int((dispositions == DISPOSITION_DEGRADED).sum())
+        assert shed == sum(result.rejected_counts)
+        assert degraded == sum(result.degraded_counts) == sum(result.degraded_into_counts)
+        # Degraded rows live under their *target* class; generated_counts
+        # restore the origin view, so totals match row counts exactly.
+        rows = np.bincount(ledger.class_index, minlength=2)
+        assert sum(result.generated_counts) == int(rows.sum())
+        assert result.generated_counts[0] == int(rows[0]) + result.degraded_counts[0]
+        assert result.shed_fraction() == shed / sum(result.generated_counts)
+        assert result.degraded_fraction() == degraded / sum(result.generated_counts)
+
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_shed_rows_never_enter_service(self, batched):
+        ledger = _run("quota", batched).ledger
+        shed_rows = np.flatnonzero(ledger.disposition == DISPOSITION_SHED)
+        assert shed_rows.size > 0
+        assert np.isnan(ledger.service_start_time[shed_rows]).all()
+        assert np.isnan(ledger.completion_time[shed_rows]).all()
+
+    def test_no_admission_leaves_dispositions_admitted(self):
+        ledger = _run(None, True).ledger
+        assert int(ledger.disposition.max(initial=0)) == DISPOSITION_ADMITTED
+
+
+class TestTelemetryAgreement:
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_counters_match_ledger_and_fractions(self, batched):
+        telemetry = Telemetry()
+        result = _run("quota", batched, telemetry=telemetry)
+        reg = telemetry.registry
+        dispositions = result.ledger.disposition
+        shed = int((dispositions == DISPOSITION_SHED).sum())
+        degraded = int((dispositions == DISPOSITION_DEGRADED).sum())
+        assert reg.counter("admission.rejected").value == shed
+        assert reg.counter("admission.degraded").value == degraded
+        assert reg.counter("admission.accepted").value == len(result.ledger) - shed
+        # Per-origin-class breakdowns agree with the result counters.
+        for c in range(2):
+            assert (
+                reg.counter(f"admission.class{c}.rejected").value
+                == result.rejected_counts[c]
+            )
+            assert (
+                reg.counter(f"admission.class{c}.degraded").value
+                == result.degraded_counts[c]
+            )
+        # The run-end arrival count excludes shed rows (they never arrived
+        # at a server).
+        assert reg.counter("scenario.arrivals").value == len(result.ledger) - shed
+
+    def test_both_paths_feed_identical_counters(self):
+        values = {}
+        for batched in (True, False):
+            telemetry = Telemetry()
+            _run("quota", batched, telemetry=telemetry)
+            values[batched] = {
+                name: telemetry.registry.counter(name).value
+                for name in (
+                    "admission.accepted",
+                    "admission.degraded",
+                    "admission.rejected",
+                    "admission.class0.rejected",
+                    "admission.class1.rejected",
+                )
+            }
+        assert values[True] == values[False]
+
+
+class TestWorkers:
+    def test_worker_pool_reproduces_serial_admission_run(self):
+        def build(batched):
+            def run(index, seed):
+                return _run("quota", batched, seed=seed)
+
+            return run
+
+        serial = run_replications(build(True), replications=2, workers=1)
+        forked = run_replications(build(True), replications=2, workers=2)
+        per_event = run_replications(build(False), replications=2, workers=2)
+        for a, b in zip(serial.results, forked.results):
+            assert _ledger_bytes(a) == _ledger_bytes(b)
+            assert a.rejected_counts == b.rejected_counts
+            assert a.degraded_counts == b.degraded_counts
+        assert serial.per_class_slowdowns == forked.per_class_slowdowns
+        # ... and the per-event path under workers matches too (transport
+        # carries the disposition column faithfully).
+        for a, b in zip(serial.results, per_event.results):
+            assert _ledger_bytes(a) == _ledger_bytes(b)

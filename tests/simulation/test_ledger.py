@@ -17,6 +17,11 @@ from repro.simulation import (
     WindowedMonitor,
 )
 from repro.simulation.generator import TraceSource
+from repro.simulation.ledger import (
+    DISPOSITION_ADMITTED,
+    DISPOSITION_DEGRADED,
+    DISPOSITION_SHED,
+)
 from tests.conftest import make_classes
 
 
@@ -397,3 +402,79 @@ class TestBatchLifecycle:
             ledger.log_completions(rids)  # 3.0 after 5.0 breaks the order
         ledger.log_completions(rids[::-1].copy())
         np.testing.assert_array_equal(ledger.completed_ids, rids[::-1])
+
+
+class TestDispositionColumn:
+    def test_defaults_to_admitted(self):
+        ledger = RequestLedger(1)
+        rid = ledger.append(0, 0.0, 1.0)
+        assert ledger.disposition_of(rid) == DISPOSITION_ADMITTED
+        rids = ledger.append_batch([0, 0], [1.0, 2.0], [1.0, 1.0])
+        assert ledger.disposition[rids].tolist() == [DISPOSITION_ADMITTED] * 2
+
+    def test_append_records_disposition(self):
+        ledger = RequestLedger(2)
+        shed = ledger.append(0, 0.0, 1.0, disposition=DISPOSITION_SHED)
+        degraded = ledger.append(1, 1.0, 1.0, disposition=DISPOSITION_DEGRADED)
+        assert ledger.disposition_of(shed) == DISPOSITION_SHED
+        assert ledger.disposition_of(degraded) == DISPOSITION_DEGRADED
+
+    def test_append_batch_records_disposition_slice(self):
+        ledger = RequestLedger(2)
+        dispositions = np.array(
+            [DISPOSITION_ADMITTED, DISPOSITION_SHED, DISPOSITION_DEGRADED],
+            dtype=np.uint8,
+        )
+        rids = ledger.append_batch(
+            [0, 0, 1], [0.0, 1.0, 2.0], [1.0] * 3, dispositions=dispositions
+        )
+        np.testing.assert_array_equal(ledger.disposition[rids], dispositions)
+
+    def test_shed_rows_can_never_enter_service(self):
+        ledger = RequestLedger(1)
+        rid = ledger.append(0, 0.0, 1.0, disposition=DISPOSITION_SHED)
+        with pytest.raises(SimulationError, match="shed"):
+            ledger.start_service(rid, 1.0)
+        rids = ledger.append_batch([0, 0], [1.0, 2.0], [1.0, 1.0])
+        mixed = np.array([rid, int(rids[0])])
+        with pytest.raises(SimulationError, match="shed"):
+            ledger.start_service_batch(mixed, np.array([1.0, 2.0]))
+        # The batch guard fired before any write.
+        assert math.isnan(ledger.service_start_time[rids[0]])
+
+    def test_disposition_survives_growth(self):
+        ledger = RequestLedger(1, capacity=2)
+        ledger.append(0, 0.0, 1.0, disposition=DISPOSITION_SHED)
+        for i in range(1, 40):
+            ledger.append(0, float(i), 1.0)
+        assert ledger.disposition_of(0) == DISPOSITION_SHED
+        assert int(ledger.disposition[1:].max()) == DISPOSITION_ADMITTED
+
+    def test_disposition_survives_pickling(self):
+        ledger = RequestLedger(2)
+        ledger.append(0, 0.0, 1.0, disposition=DISPOSITION_SHED)
+        ledger.append(1, 1.0, 2.0, disposition=DISPOSITION_DEGRADED)
+        ledger.append(0, 2.0, 1.0)
+        clone = pickle.loads(pickle.dumps(ledger))
+        np.testing.assert_array_equal(clone.disposition, ledger.disposition)
+
+    def test_unpickling_pre_disposition_state_defaults_to_admitted(self):
+        """Backward compat: states pickled before the column existed load as
+        all-admitted."""
+        ledger = RequestLedger(1)
+        ledger.append(0, 0.0, 1.0, disposition=DISPOSITION_SHED)
+        state = ledger.__getstate__()
+        del state["disposition"]
+        old = RequestLedger.__new__(RequestLedger)
+        old.__setstate__(state)
+        assert old.disposition.tolist() == [DISPOSITION_ADMITTED]
+        assert len(old) == 1
+
+    def test_intern_preserves_disposition(self):
+        source = RequestLedger(2)
+        source.append(0, 0.0, 1.0, disposition=DISPOSITION_SHED)
+        source.append(1, 1.0, 1.0, disposition=DISPOSITION_DEGRADED)
+        target = RequestLedger(2)
+        for rid in range(2):
+            target.intern(source.view(rid))
+        assert target.disposition.tolist() == [DISPOSITION_SHED, DISPOSITION_DEGRADED]
