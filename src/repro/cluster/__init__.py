@@ -29,6 +29,12 @@ another :class:`~repro.simulation.ServerModel`:
   down an accept → degrade → shed ladder behind EWMA utilisation/backlog
   thresholds; the ``ADMISSION_POLICIES`` registry + :func:`build_admission`
   factory keep experiment builds picklable.
+* :mod:`repro.cluster.autoscale` — endogenous scaling:
+  :class:`AutoscalerPolicy` families (target-tracking, step-scaling,
+  predictive EWMA) observe the windowed monitor surface at estimation
+  boundaries and emit ``join`` / ``leave`` fleet events at engine time,
+  with per-direction cooldowns, join warm-up lag and min/max bounds —
+  deterministic and bit-identical across hot paths and worker counts.
 
 ``Scenario(classes, config, server=make_cluster(4, "jsq"))`` is all it takes
 to rerun any experiment on a 4-node cluster; the monitor, estimator and
@@ -43,6 +49,17 @@ from .admission import (
     AdmissionController,
     build_admission,
     parse_admission_args,
+)
+from .autoscale import (
+    AUTOSCALERS,
+    AutoscaleObservation,
+    AutoscalerPolicy,
+    PredictiveEwma,
+    StepScaling,
+    TargetTracking,
+    build_autoscaler,
+    node_hours,
+    parse_autoscaler_args,
 )
 from .capacity import CAPACITY_MIXES, mix_label, resolve_capacities
 from .dispatch import (
@@ -109,4 +126,13 @@ __all__ = [
     "ADMISSION_POLICIES",
     "build_admission",
     "parse_admission_args",
+    "AutoscalerPolicy",
+    "AutoscaleObservation",
+    "TargetTracking",
+    "StepScaling",
+    "PredictiveEwma",
+    "AUTOSCALERS",
+    "build_autoscaler",
+    "parse_autoscaler_args",
+    "node_hours",
 ]

@@ -16,7 +16,8 @@ and walks every arrival down the accept → degrade → shed ladder:
    once utilisation crosses ``degrade_threshold``.
 3. **Shed** — overflow past the pool (or any overflow with utilisation at
    or above ``shed_threshold``) is SHED, with a wait hint pointing at the
-   next window boundary.
+   first *projected* window with class headroom (``None`` when sustained
+   overload leaves no such window within ``hint_horizon`` windows).
 
 Budget accounting is *cumulative add-then-test*: every arrival's size is
 charged to its reserve (and, on overflow, the pool) whether or not it is
@@ -100,6 +101,7 @@ class AdmissionController(AdmissionPolicy):
         shed_threshold: float = 1.0,
         ewma_alpha: float = 0.3,
         drain_factor: float = 0.5,
+        hint_horizon: int = 64,
     ) -> None:
         if isinstance(quota_shares, (int, float)):
             quota_shares = (float(quota_shares),)
@@ -127,6 +129,7 @@ class AdmissionController(AdmissionPolicy):
             ewma_alpha, "ewma_alpha", 0.0, 1.0, inclusive_low=False
         )
         self.drain_factor = require_non_negative(drain_factor, "drain_factor")
+        self.hint_horizon = int(require_non_negative(hint_horizon, "hint_horizon"))
         #: Per-class decision counters, mirroring the shipped policies'
         #: ``rejected`` surface.
         self.accepted = [0] * self.num_classes
@@ -170,7 +173,13 @@ class AdmissionController(AdmissionPolicy):
             # work over deliverable work.
             sample = float(self._admitted_work) / (capacity * self._window_span)
             self._util += self.ewma_alpha * (sample - self._util)
+        if self._window_span > 0.0:
+            # Per-class demand of the window that just ended: everything
+            # charged to the reserve (admitted or not) — the series
+            # wait_hint projects forward.
+            self._demand_ewma += self.ewma_alpha * (self._reserve_used - self._demand_ewma)
         self._backlog_ewma += self.ewma_alpha * (self._backlog_work(server) - self._backlog_ewma)
+        self._capacity = capacity
         budget = max(
             self.target_utilisation * capacity * window_length
             - self.drain_factor * self._backlog_ewma,
@@ -309,10 +318,35 @@ class AdmissionController(AdmissionPolicy):
         return self.num_classes - 1
 
     def wait_hint(self, class_index: int, time: float) -> float | None:
-        """Back off to the next window boundary, when quotas are re-budgeted."""
-        if self._window_end <= 0.0:
+        """Back off to the first future window with expected class headroom.
+
+        Projects the EWMA-shrunk budget forward window by window: the
+        backlog drains at (up to) live capacity per window while the
+        per-class demand EWMA keeps arriving, and the hint points at the
+        first projected window whose reserve exceeds the class's demand.
+        Under *sustained* overload no such window exists — the projection
+        never finds headroom within ``hint_horizon`` windows and the hint
+        is ``None`` (back off indefinitely), instead of pointlessly
+        retrying at the very next boundary.
+        """
+        if self._window_end <= 0.0 or self._window_span <= 0.0:
             return None
-        return max(self._window_end - float(time), 0.0)
+        window = self._window_span
+        deliverable = self._capacity * window
+        backlog = float(self._backlog_ewma)
+        demand = float(self._demand_ewma[class_index])
+        total_demand = float(self._demand_ewma.sum())
+        for k in range(self.hint_horizon + 1):
+            budget = max(
+                self.target_utilisation * deliverable - self.drain_factor * backlog,
+                0.0,
+            )
+            if demand < budget * self.quota_shares[class_index]:
+                return max(self._window_end + k * window - float(time), 0.0)
+            # Next window's backlog: this window's carry plus whatever the
+            # budget admits, minus what the fleet can serve.
+            backlog = max(backlog + min(total_demand, budget) - deliverable, 0.0)
+        return None
 
     def reset(self) -> None:
         self._reserve = np.zeros(self.num_classes, dtype=np.float64)
@@ -321,9 +355,11 @@ class AdmissionController(AdmissionPolicy):
         self._pool_used = 0.0
         self._util = 0.0
         self._backlog_ewma = 0.0
+        self._demand_ewma = np.zeros(self.num_classes, dtype=np.float64)
         self._admitted_work = 0.0
         self._window_span = 0.0
         self._window_end = 0.0
+        self._capacity = 0.0
         self.accepted = [0] * self.num_classes
         self.degraded = [0] * self.num_classes
         self.rejected = [0] * self.num_classes

@@ -138,9 +138,11 @@ class FleetEvent:
 class FleetSchedule:
     """A timeline of fleet events plus the nodes that start the run down.
 
-    Events are kept sorted by time; same-time events apply in the order
-    declared.  The schedule is plain data (picklable, hashable) so it rides
-    experiment builds into replication workers unchanged.
+    Events are kept sorted by time; same-time events on *different* nodes
+    apply in the order declared, while two events targeting the same node at
+    the same instant are rejected as conflicting (their outcome would depend
+    on insertion order).  The schedule is plain data (picklable, hashable)
+    so it rides experiment builds into replication workers unchanged.
     """
 
     events: tuple[FleetEvent, ...] = ()
@@ -154,7 +156,23 @@ class FleetSchedule:
                     f"fleet schedule events must be FleetEvent instances, got "
                     f"{type(event).__name__}"
                 )
-        object.__setattr__(self, "events", tuple(sorted(events, key=lambda event: event.time)))
+        events = tuple(sorted(events, key=lambda event: event.time))
+        # Two events for the same node at the same instant have no defined
+        # outcome (``leave:0@200 join:0@200`` would silently resolve by
+        # insertion order); reject the pair outright.  Same-time events on
+        # *different* nodes stay legal — correlated failures are a feature.
+        seen: dict[tuple[float, int], FleetEvent] = {}
+        for event in events:
+            key = (event.time, event.node)
+            clash = seen.get(key)
+            if clash is not None:
+                raise SimulationError(
+                    f"conflicting fleet events for node {event.node} at "
+                    f"t={event.time:g}: {clash.spec()!r} and {event.spec()!r}; "
+                    f"same-instant events must target different nodes"
+                )
+            seen[key] = event
+        object.__setattr__(self, "events", events)
         down = tuple(int(node) for node in self.initial_down)
         if len(set(down)) != len(down):
             raise SimulationError(f"initial_down lists a node twice: {down}")

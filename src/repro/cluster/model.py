@@ -384,6 +384,35 @@ class ClusterServerModel(ServerModel):
             live=len(self._live),
         )
 
+    def apply_fleet_event(self, event: FleetEvent) -> None:
+        """Apply a runtime-generated fleet event at the current engine time.
+
+        The endogenous entry point: autoscalers (see
+        :mod:`repro.cluster.autoscale`) emit events *during* the run,
+        stamped with the engine clock, and the scenario applies them
+        synchronously inside its window-boundary callback.  Synchronous
+        application is load-bearing for determinism — a join scheduled on
+        the engine calendar at a boundary instant would fire *after* the
+        batched path's same-boundary block submission but *before* the
+        per-event path's next arrival, splitting the two timelines.  Events
+        must carry the current engine time; anything else belongs in the
+        bind-time :class:`~repro.cluster.fleet.FleetSchedule`.
+        """
+        if self.engine is None:
+            raise SimulationError("apply_fleet_event requires a bound cluster")
+        if event.time != self.engine.now:
+            raise SimulationError(
+                f"runtime fleet event {event.spec()!r} is stamped t={event.time:g} "
+                f"but the engine clock reads {self.engine.now:g}; runtime events "
+                f"apply at the instant they are emitted"
+            )
+        if event.node >= self.num_nodes:
+            raise SimulationError(
+                f"fleet event {event.spec()!r} targets node {event.node}, "
+                f"cluster has {self.num_nodes}"
+            )
+        self._apply_fleet_event(event)
+
     def _refresh_fleet(self) -> None:
         """Re-normalise after a fleet event: live set, policy caches, rates."""
         self._live = tuple(i for i in range(self.num_nodes) if self._node_state[i] == NODE_LIVE)

@@ -119,23 +119,28 @@ class AdmissionPolicy:
 
         The default adapts a legacy boolean :meth:`admit` override
         (``True`` → ``ACCEPT``, ``False`` → ``SHED``), warning once per
-        policy instance.
+        *policy class*: a run mixing two distinct legacy policy classes
+        warns for each of them, while building many instances of the same
+        class (one per replication) warns only for the first.
         """
-        admit = type(self).admit
+        cls = type(self)
+        admit = cls.admit
         if admit is AdmissionPolicy.admit:
             raise TypeError(
-                f"{type(self).__name__} must override decide() "
+                f"{cls.__name__} must override decide() "
                 f"(or the legacy boolean admit())"
             )
-        if not getattr(self, "_legacy_admit_warned", False):
+        # The one-shot guard lives in the concrete class's own __dict__ —
+        # never inherited, so every distinct legacy class gets its warning.
+        if not cls.__dict__.get("_legacy_admit_warned", False):
             warnings.warn(
-                f"{type(self).__name__} only implements the legacy boolean "
+                f"{cls.__name__} only implements the legacy boolean "
                 f"admit(); override decide() returning an AdmissionDecision "
                 f"(ACCEPT / DEGRADE / SHED) instead",
                 DeprecationWarning,
                 stacklevel=2,
             )
-            object.__setattr__(self, "_legacy_admit_warned", True)
+            cls._legacy_admit_warned = True
         return (
             AdmissionDecision.ACCEPT
             if admit(self, class_index, size, snapshot)

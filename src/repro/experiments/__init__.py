@@ -4,6 +4,7 @@
 ``python -m repro.experiments`` regenerates EXPERIMENTS.md.
 """
 
+from .autoscale import AutoscaleBuild, autoscale, default_patterns, run_autoscale
 from .base import (
     ExperimentResult,
     ScenarioBuild,
@@ -60,6 +61,10 @@ __all__ = [
     "cluster_scaling",
     "run_cluster_scaling",
     "ClusterScalingBuild",
+    "autoscale",
+    "run_autoscale",
+    "AutoscaleBuild",
+    "default_patterns",
     "ScenarioBuild",
     "run_effectiveness",
     "run_ratio_percentiles",

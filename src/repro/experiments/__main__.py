@@ -39,6 +39,15 @@ steer the defended cell)::
         --admission quota --admission-args quota_shares=0.3,0.5 \
         target_utilisation=0.9
 
+Autoscaling extension: scaler policies vs a static peak fleet under
+diurnal + flash-crowd load (``--autoscaler`` / ``--autoscaler-args`` pin
+the sweep to one tuned policy)::
+
+    python -m repro.experiments --preset quick --only autoscale
+    python -m repro.experiments --preset default --only autoscale \
+        --autoscaler target_tracking --autoscaler-args target=0.8 \
+        scale_in_cooldown=2000
+
 Profile a run (top 25 functions by cumulative time, raw stats optional)::
 
     python -m repro.experiments --preset quick --only fig2 \
@@ -63,7 +72,7 @@ import argparse
 import sys
 import time
 
-from ..cluster import ADMISSION_POLICIES, CAPACITY_MIXES, DISPATCH_POLICIES
+from ..cluster import ADMISSION_POLICIES, AUTOSCALERS, CAPACITY_MIXES, DISPATCH_POLICIES
 from ..errors import ExperimentError
 from .config import get_preset
 from .registry import available_experiments, run_all
@@ -156,6 +165,22 @@ def main(argv: list[str] | None = None) -> int:
         "'quota_shares=0.45,0.45 target_utilisation=0.9')",
     )
     parser.add_argument(
+        "--autoscaler",
+        default=None,
+        metavar="POLICY",
+        choices=sorted(AUTOSCALERS),
+        help="pin the 'autoscale' experiment's sweep to one scaler policy "
+        f"(choices: {', '.join(sorted(AUTOSCALERS))}; default: sweep all)",
+    )
+    parser.add_argument(
+        "--autoscaler-args",
+        nargs="+",
+        default=None,
+        metavar="KEY=VALUE",
+        help="constructor arguments for --autoscaler in key=value form "
+        "(e.g. 'target=0.85 scale_in_cooldown=2000 bands=0.9:1,1.3:2')",
+    )
+    parser.add_argument(
         "--profile",
         nargs="?",
         type=int,
@@ -203,6 +228,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--telemetry-out requires --telemetry")
     if args.admission_args is not None and args.admission is None:
         parser.error("--admission-args requires --admission")
+    if args.autoscaler_args is not None and args.autoscaler is None:
+        parser.error("--autoscaler-args requires --autoscaler")
     if args.log_level is not None:
         from ..telemetry import configure_logging
 
@@ -249,6 +276,8 @@ def main(argv: list[str] | None = None) -> int:
             )
         if args.admission is not None:
             config = config.with_admission(args.admission, args.admission_args)
+        if args.autoscaler is not None:
+            config = config.with_autoscaler(args.autoscaler, args.autoscaler_args)
     except ExperimentError as error:
         parser.error(str(error))
 

@@ -1,0 +1,319 @@
+"""Endogenous autoscaling: the SLO-vs-node-hours frontier under moving load.
+
+The paper's evaluation holds the serving capacity fixed; real platforms
+grow and shrink the fleet with demand.  This experiment — an extension
+beyond the paper — drives a 4-node cluster (each node a quarter of the
+single server's capacity) with a *non-stationary* workload (a diurnal
+cycle with a flash crowd on top, :mod:`repro.workload.patterns`) and
+compares every registered :data:`~repro.cluster.AUTOSCALERS` policy
+against a static peak-sized fleet.
+
+Two axes per row: PSD fidelity (the achieved slowdown ratio must stay in
+the fig. 2 band — scaling must not break the differentiation loop) and
+cost (integrated :func:`~repro.cluster.node_hours`, draining nodes
+included).  The claim pinned by ``benchmarks/test_bench_cluster_autoscale.py``:
+at least one policy holds the ratio band at >= 25% fewer node-hours than
+the static peak fleet, with bit-identical fleet timelines serial vs
+``workers=N``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster import build_autoscaler, build_partitioner, make_cluster, node_hours
+from ..cluster.fleet import FleetSchedule
+from ..core.feedback import FeedbackPsdController
+from ..core.psd import PsdSpec
+from ..simulation.monitor import MeasurementConfig
+from ..simulation.runner import ReplicationRunner, ReplicationSummary
+from ..simulation.scenario import Scenario, SimulationResult
+from ..types import TrafficClass
+from ..workload.patterns import DiurnalPattern, FlashCrowd, pattern_sources
+from .base import ExperimentResult
+from .config import ExperimentConfig, get_preset
+
+__all__ = ["AutoscaleBuild", "default_patterns", "run_autoscale", "autoscale"]
+
+#: Default ``key=value`` tokens per registry policy for the sweep (the
+#: registry defaults are already tuned for a 4-node quarter-capacity fleet;
+#: entries here only pin what the frontier claim depends on).
+DEFAULT_AUTOSCALER_ARGS: dict[str, tuple[str, ...]] = {
+    "target_tracking": (),
+    "step_scaling": (),
+    "predictive_ewma": (),
+}
+
+
+def default_patterns(measurement: MeasurementConfig) -> tuple:
+    """The experiment's canonical non-stationary shape, in raw time.
+
+    A diurnal cycle spanning two full periods of the measured interval
+    plus a flash crowd of two estimation windows at 60% of the way
+    through — the surge lands mid-cycle, so reactive and predictive
+    policies separate.
+    """
+    span = measurement.horizon - measurement.warmup
+    return (
+        DiurnalPattern(amplitude=0.5, period=span / 2.0, phase=0.0),
+        FlashCrowd(
+            start=measurement.warmup + 0.6 * span,
+            duration=2.0 * measurement.window,
+            magnitude=2.0,
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class AutoscaleBuild:
+    """Picklable per-replication build for one autoscale cell.
+
+    Arrival streams are pre-materialised inhomogeneous Poisson traces
+    (:func:`repro.workload.pattern_sources`) seeded from
+    ``(pattern_entropy, replication_index)`` — every cell of the sweep
+    replays the *identical* sample path per replication (common random
+    numbers), so row differences are the scaler's doing, not sampling
+    noise.  The autoscaler itself is carried as ``name + tokens`` and
+    built fresh inside :meth:`__call__`, exactly like admission builds,
+    so workers never share policy state.
+    """
+
+    classes: tuple[TrafficClass, ...]
+    measurement: MeasurementConfig
+    spec: PsdSpec
+    num_nodes: int
+    #: Absolute per-node capacities; ``None`` keeps unconstrained nodes.
+    capacities: tuple[float, ...] | None = None
+    policy: str = "weighted_jsq"
+    partitioner: str | None = "capacity"
+    dispatch_entropy: int = 0
+    pattern_entropy: int = 0
+    #: Arrival-pattern sequence (frozen dataclasses, times in raw units);
+    #: empty runs the classes' stationary Poisson rates as a trace.
+    patterns: tuple = ()
+    #: Nodes live at t=0; the rest start down (autoscaler inventory).
+    #: ``None`` starts the whole fleet live (the static baseline).
+    initial_nodes: int | None = None
+    autoscaler: str | None = None
+    autoscaler_args: tuple[str, ...] = ()
+    #: Hot-path selection forwarded to :class:`Scenario`: ``None`` picks
+    #: the batched pipeline, ``False`` pins the per-event path.
+    batched: bool | None = None
+
+    def __call__(self, index: int, seed: np.random.SeedSequence) -> SimulationResult:
+        pattern_seed = np.random.SeedSequence(
+            entropy=(abs(int(self.pattern_entropy)), int(index))
+        )
+        sources = pattern_sources(
+            self.classes,
+            self.patterns,
+            horizon=self.measurement.horizon,
+            seed=pattern_seed,
+        )
+        fleet = None
+        if self.initial_nodes is not None and self.initial_nodes < self.num_nodes:
+            fleet = FleetSchedule(
+                initial_down=tuple(range(self.initial_nodes, self.num_nodes))
+            )
+        dispatch_seed = np.random.SeedSequence(
+            entropy=(abs(int(self.dispatch_entropy)), int(index))
+        )
+        server = make_cluster(
+            self.num_nodes,
+            self.policy,
+            capacities=self.capacities,
+            partitioner=None
+            if self.partitioner is None
+            else build_partitioner(self.partitioner),
+            seed=dispatch_seed,
+            fleet=fleet,
+        )
+        autoscaler = (
+            None
+            if self.autoscaler is None
+            else build_autoscaler(self.autoscaler, self.autoscaler_args)
+        )
+        controller = FeedbackPsdController(self.classes, self.spec)
+        return Scenario(
+            self.classes,
+            self.measurement,
+            server=server,
+            controller=controller,
+            seed=seed,
+            sources=sources,
+            autoscaler=autoscaler,
+            batched=self.batched,
+        ).run()
+
+
+def _replicate(build: AutoscaleBuild, config: ExperimentConfig) -> ReplicationSummary:
+    runner = ReplicationRunner(
+        replications=config.measurement.replications,
+        base_seed=np.random.SeedSequence(entropy=config.base_seed),
+        workers=config.workers,
+    )
+    return runner.run(build)
+
+
+def _mean_node_hours(summary: ReplicationSummary, horizon: float) -> float:
+    """Per-replication mean of integrated live+draining node-time."""
+    values = [
+        node_hours(r.fleet_timeline, horizon=horizon)
+        for r in summary.results
+        if r.fleet_timeline is not None
+    ]
+    return float(np.mean(values)) if values else float("nan")
+
+
+def _scale_counts(summary: ReplicationSummary) -> tuple[int, int]:
+    """(scale-out, scale-in) event totals summed over replications."""
+    out = inn = 0
+    for r in summary.results:
+        for event in r.autoscale_events or ():
+            if event.action == "join":
+                out += 1
+            elif event.action == "leave":
+                inn += 1
+    return out, inn
+
+
+def run_autoscale(
+    config: ExperimentConfig,
+    *,
+    deltas: Sequence[float] = (1.0, 2.0),
+    load: float = 0.55,
+    num_nodes: int = 4,
+    initial_nodes: int = 2,
+    policy: str = "weighted_jsq",
+    partitioner: str = "capacity",
+    patterns: tuple | None = None,
+    experiment_id: str = "autoscale",
+    title: str = "Endogenous autoscaling: SLO fidelity vs node-hours under moving load",
+) -> ExperimentResult:
+    """Sweep autoscaler policies against a static peak fleet, one workload.
+
+    The fleet is ``num_nodes`` homogeneous nodes of ``1 / num_nodes``
+    capacity each (full fleet == the single server), driven at mean
+    system load ``load`` shaped by ``patterns``
+    (:func:`default_patterns` when ``None``).  ``config.autoscaler``
+    pins the sweep to one policy (so ``--autoscaler`` /
+    ``--autoscaler-args`` steer this experiment); unset sweeps every
+    registered policy with :data:`DEFAULT_AUTOSCALER_ARGS`.
+    """
+    from ..cluster import AUTOSCALERS
+
+    spec = PsdSpec(tuple(float(d) for d in deltas))
+    n = spec.num_classes
+    scaled = config.scaled_measurement()
+    classes = config.classes_for_load(float(load), spec.deltas)
+    capacities = tuple(1.0 / num_nodes for _ in range(num_nodes))
+    if patterns is None:
+        patterns = default_patterns(scaled)
+    if config.autoscaler is not None:
+        sweep: tuple[tuple[str, tuple[str, ...]], ...] = (
+            (config.autoscaler, tuple(config.autoscaler_args)),
+        )
+    else:
+        sweep = tuple(
+            (name, DEFAULT_AUTOSCALER_ARGS.get(name, ())) for name in AUTOSCALERS
+        )
+
+    columns = ["autoscaler"]
+    columns.extend(f"slowdown_{i}" for i in range(1, n + 1))
+    columns.extend(f"ratio_{i}" for i in range(2, n + 1))
+    columns.extend(["node_hours", "saving", "scale_out", "scale_in", "system_slowdown"])
+
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        parameters={
+            "deltas": tuple(spec.deltas),
+            "load": float(load),
+            "nodes": num_nodes,
+            "initial_nodes": initial_nodes,
+            "policy": policy,
+            "partitioner": partitioner,
+            "patterns": tuple(repr(p) for p in patterns),
+            "autoscalers": tuple(name for name, _ in sweep),
+            "replications": config.measurement.replications,
+            "preset": config.name,
+        },
+        columns=tuple(columns),
+    )
+
+    def add_row(label: str, summary: ReplicationSummary, static_hours: float | None):
+        ratios = summary.ratio_of_mean_slowdowns
+        hours = _mean_node_hours(summary, scaled.horizon)
+        out, inn = _scale_counts(summary)
+        row: dict[str, object] = {"autoscaler": label}
+        for i, slowdown in enumerate(summary.mean_slowdowns, start=1):
+            row[f"slowdown_{i}"] = slowdown
+        for i in range(1, n):
+            row[f"ratio_{i + 1}"] = ratios[i]
+        row["node_hours"] = hours
+        row["saving"] = 0.0 if static_hours is None else 1.0 - hours / static_hours
+        row["scale_out"] = out
+        row["scale_in"] = inn
+        row["system_slowdown"] = summary.system_slowdown.mean
+        result.add_row(**row)
+        return hours
+
+    static_build = AutoscaleBuild(
+        classes,
+        scaled,
+        spec,
+        num_nodes=num_nodes,
+        capacities=capacities,
+        policy=policy,
+        partitioner=partitioner,
+        dispatch_entropy=config.base_seed,
+        pattern_entropy=config.base_seed,
+        patterns=tuple(patterns),
+    )
+    static_hours = add_row("static", _replicate(static_build, config), None)
+
+    for name, args in sweep:
+        build = AutoscaleBuild(
+            classes,
+            scaled,
+            spec,
+            num_nodes=num_nodes,
+            capacities=capacities,
+            policy=policy,
+            partitioner=partitioner,
+            dispatch_entropy=config.base_seed,
+            pattern_entropy=config.base_seed,
+            patterns=tuple(patterns),
+            initial_nodes=initial_nodes,
+            autoscaler=name,
+            autoscaler_args=args,
+        )
+        add_row(name, _replicate(build, config), static_hours)
+
+    result.notes.append(
+        "Every row replays the identical non-stationary arrival traces "
+        "(common random numbers): a diurnal cycle plus a flash crowd, mean "
+        f"system load {float(load):g} on a fleet whose full size matches "
+        "the single server's capacity.  node_hours integrates live + "
+        "draining node-time per replication (a draining machine is still "
+        "paid for); saving is relative to the static peak fleet's bill."
+    )
+    result.notes.append(
+        "Expected shape: the static fleet holds the ratio band and pays "
+        "for peak capacity around the clock; the autoscalers track the "
+        "diurnal trough down to min_nodes and re-grow for the peak and the "
+        "flash crowd, cutting node-hours by >= 25% while the achieved "
+        "slowdown ratio stays inside the fig. 2 band.  Scale decisions are "
+        "deterministic — fleet timelines are bit-identical serial vs "
+        "workers=N and batched vs per-event."
+    )
+    return result
+
+
+def autoscale(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Autoscaling extension: scaler policies vs a static peak fleet."""
+    config = config or get_preset("default")
+    return run_autoscale(config)

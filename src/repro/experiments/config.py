@@ -25,6 +25,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
 
 from ..cluster.admission import build_admission
+from ..cluster.autoscale import AutoscalerPolicy, build_autoscaler
 from ..cluster.capacity import CAPACITY_MIXES
 from ..cluster.dispatch import DISPATCH_POLICIES
 from ..cluster.fleet import FleetSchedule, parse_fleet_events
@@ -77,6 +78,14 @@ class ExperimentConfig:
     #: (``quota_shares=0.45,0.45`` — the grammar of
     #: :func:`repro.cluster.parse_admission_args`).
     admission_args: tuple[str, ...] = ()
+    #: Autoscaler policy name from :data:`repro.cluster.AUTOSCALERS`
+    #: (``None`` = the autoscale experiment sweeps every registered policy;
+    #: a name pins its sweep to that single policy).
+    autoscaler: str | None = None
+    #: CLI-style ``key=value`` argument tokens for the autoscaler
+    #: (``target=0.85 scale_in_cooldown=2000`` — the grammar of
+    #: :func:`repro.cluster.parse_autoscaler_args`).
+    autoscaler_args: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.load_grid:
@@ -120,6 +129,13 @@ class ExperimentConfig:
                 build_admission(self.admission, self.admission_args)
             except Exception as error:
                 raise ExperimentError(f"bad admission policy: {error}") from None
+        if self.autoscaler_args and self.autoscaler is None:
+            raise ExperimentError("autoscaler_args given without an autoscaler policy")
+        if self.autoscaler is not None:
+            try:
+                build_autoscaler(self.autoscaler, self.autoscaler_args)
+            except Exception as error:
+                raise ExperimentError(f"bad autoscaler policy: {error}") from None
 
     # ------------------------------------------------------------------ #
     # Workload helpers
@@ -156,6 +172,16 @@ class ExperimentConfig:
         if self.admission is None:
             return None
         return build_admission(self.admission, self.admission_args)
+
+    def build_autoscaler_policy(self) -> AutoscalerPolicy | None:
+        """A fresh autoscaler instance, or ``None`` when unset.
+
+        Built fresh on every call (policies hold cooldown/warm-up state),
+        so replication builds can construct one per worker.
+        """
+        if self.autoscaler is None:
+            return None
+        return build_autoscaler(self.autoscaler, self.autoscaler_args)
 
     def fleet_schedule(self) -> FleetSchedule | None:
         """The parsed churn schedule, still in abstract time units.
@@ -230,6 +256,18 @@ class ExperimentConfig:
             admission_args=()
             if admission is None
             else (self.admission_args if args is None else tuple(str(a) for a in args)),
+        )
+
+    def with_autoscaler(
+        self, autoscaler: str | None, args: Sequence[str] | None = None
+    ) -> "ExperimentConfig":
+        """Copy with a different autoscaler policy (``None`` clears it)."""
+        return replace(
+            self,
+            autoscaler=autoscaler,
+            autoscaler_args=()
+            if autoscaler is None
+            else (self.autoscaler_args if args is None else tuple(str(a) for a in args)),
         )
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable
 
 from ..errors import ExperimentError
+from .autoscale import autoscale
 from .base import ExperimentResult
 from .cluster import cluster_scaling
 from .config import ExperimentConfig, get_preset
@@ -38,6 +39,10 @@ EXPERIMENTS: dict[str, Callable[[ExperimentConfig | None], ExperimentResult]] = 
     # Extension beyond the paper: offered load past capacity, with and
     # without quota-reserve admission control in front of the cluster.
     "overload": overload,
+    # Extension beyond the paper: autoscaler policies closing the
+    # monitor -> fleet loop under diurnal + flash-crowd load, scored on
+    # the SLO-vs-node-hours frontier against a static peak fleet.
+    "autoscale": autoscale,
 }
 
 

@@ -159,6 +159,11 @@ class SimulationResult:
     #: (``None`` for results built outside it): transport route, payload
     #: bytes, encode/decode/build seconds, worker pid.
     worker_profile: dict | None = None
+    #: Fleet events an autoscaler emitted during the run, in application
+    #: order (``None`` when the scenario ran without one).  The same events
+    #: also appear in ``fleet_timeline`` as state transitions; this list
+    #: keeps the decision sequence itself diffable across worker counts.
+    autoscale_events: list | None = None
 
     def __getstate__(self):
         # A zero-copy-decoded result carries a shared-memory keeper in
@@ -297,6 +302,15 @@ class Scenario:
         are served as-is, ``DEGRADE`` rows are re-classed to the policy's
         :meth:`~repro.core.AdmissionPolicy.degrade_target` and served there,
         ``SHED`` rows are recorded (disposition column) but never submitted.
+    autoscaler:
+        Optional :class:`repro.cluster.AutoscalerPolicy` (duck-typed: any
+        object with an ``observe_boundary`` hook).  At every estimation
+        window boundary — after the controller's new rates are applied,
+        before admission re-budgets — the policy observes the window and
+        the emitted fleet events are applied to the server synchronously,
+        so the fleet scales endogenously with identical timelines on both
+        hot paths.  Requires a server exposing ``apply_fleet_event``
+        (clusters); the events ride the result as ``autoscale_events``.
     batched:
         Selects the hot path.  ``True`` runs the batched pipeline (arrival
         blocks pre-drawn per estimation window, completions drained in bulk
@@ -327,6 +341,7 @@ class Scenario:
         seed: int | np.random.SeedSequence | None = 0,
         sources: Sequence[RequestSource] | None = None,
         admission: "AdmissionPolicy | None" = None,
+        autoscaler: "AutoscalerPolicy | None" = None,
         batched: bool | None = None,
         telemetry: "Telemetry | None" = None,
     ) -> None:
@@ -335,6 +350,8 @@ class Scenario:
         self.classes = tuple(classes)
         self.config = config
         self.admission = admission
+        self.autoscaler = autoscaler
+        self.autoscale_events: list = []
         self.engine = SimulationEngine()
         self.telemetry = telemetry
         if telemetry is not None:
@@ -378,6 +395,12 @@ class Scenario:
         if len(initial_rates) != len(self.classes):
             raise SimulationError("controller rate vector length does not match classes")
         self.server = server if server is not None else RateScalableServers()
+        if autoscaler is not None and not hasattr(self.server, "apply_fleet_event"):
+            raise SimulationError(
+                f"{type(self.server).__name__} does not accept runtime fleet "
+                f"events (no apply_fleet_event); autoscalers require a cluster "
+                f"server model"
+            )
         supports_batched = getattr(self.server, "supports_batched", False)
         window_scoped = admission is None or getattr(admission, "window_scoped", False)
         if batched is None:
@@ -689,6 +712,21 @@ class Scenario:
         self.rate_history.append((self.engine.now, rates))
         if self.telemetry is not None:
             self.telemetry.on_window(self, arrivals, work, slowdowns, rates)
+        if self.autoscaler is not None:
+            # The autoscaler reads the boundary state the controller just
+            # acted on and its events are applied synchronously, *before*
+            # admission re-budgets (quotas see the new fleet) and before
+            # the next window's arrival block is drawn — the one ordering
+            # that is identical on both hot paths.
+            events = self.autoscaler.observe_boundary(
+                self.engine.now, self.config.window, arrivals, work, rates, self.server
+            )
+            if events:
+                for event in events:
+                    self.server.apply_fleet_event(event)
+                self.autoscale_events.extend(events)
+                if self.telemetry is not None:
+                    self.telemetry.on_autoscale(events, self.server)
         if self.admission is not None:
             # After the controller's new rates are in force, before the next
             # window's arrivals: window_scoped policies refresh their whole
@@ -769,4 +807,5 @@ class Scenario:
             if getattr(self.server, "record_dispatch", False)
             else None,
             node_share_history=getattr(self.server, "share_history", None),
+            autoscale_events=list(self.autoscale_events) if self.autoscaler is not None else None,
         )

@@ -238,6 +238,27 @@ class Telemetry:
         self.registry.counter("fleet.events").inc()
         self.registry.gauge("cluster.live_nodes").set(len(cluster.live_nodes))
 
+    def on_autoscale(self, events, cluster) -> None:
+        """An autoscaler decision was applied: per-direction scale counters.
+
+        ``events`` are the boundary's emitted
+        :class:`~repro.cluster.FleetEvent` instances; the generic
+        ``fleet.events`` counter already ticked once per applied event (via
+        :meth:`on_fleet_change`), so this hook only adds the
+        direction-split decision counters the autoscale experiment reports.
+        """
+        if not self.enabled:
+            return
+        reg = self.registry
+        for event in events:
+            if event.action == "join":
+                reg.counter("autoscale.scale_out").inc()
+            elif event.action == "leave":
+                reg.counter("autoscale.scale_in").inc()
+            else:
+                reg.counter("autoscale.set_capacity").inc()
+        reg.gauge("cluster.live_nodes").set(len(cluster.live_nodes))
+
     def on_run_end(self, scenario: "Scenario") -> None:
         if not self.enabled:
             return
@@ -258,3 +279,12 @@ class Telemetry:
         completed = scenario.ledger.num_completed
         self.registry.counter("scenario.completions").inc(completed - self._seen_completed)
         self._seen_completed = completed
+        timeline = getattr(scenario.server, "fleet_timeline", None)
+        if timeline:
+            # Lazy import: repro.cluster imports repro.telemetry at module
+            # load, so the cost gauge resolves its helper at run end only.
+            from ..cluster.autoscale import node_hours
+
+            self.registry.gauge("cluster.node_hours").set(
+                node_hours(timeline, horizon=float(engine.now))
+            )

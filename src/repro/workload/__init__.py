@@ -1,10 +1,23 @@
-"""Workload factories: the paper's Web workload, session-based e-commerce and sweeps."""
+"""Workload factories: the paper's Web workload, session-based e-commerce,
+sweeps, and non-stationary arrival patterns (diurnal cycles, flash crowds)."""
 
 from .ecommerce import DEFAULT_STATES, SessionProfile, SessionState, ecommerce_classes
 from .mixes import PAPER_LOAD_GRID, load_sweep, share_sweep, skewed_shares
+from .patterns import (
+    DiurnalPattern,
+    FlashCrowd,
+    pattern_factor,
+    pattern_peak,
+    pattern_sources,
+)
 from .webserver import paper_service_distribution, web_classes, web_classes_with_shares
 
 __all__ = [
+    "DiurnalPattern",
+    "FlashCrowd",
+    "pattern_factor",
+    "pattern_peak",
+    "pattern_sources",
     "paper_service_distribution",
     "web_classes",
     "web_classes_with_shares",

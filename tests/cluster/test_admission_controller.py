@@ -129,10 +129,12 @@ class TestLadder:
                 np.array([0, 2]), np.array([1.0, 1.0]), np.zeros(2), snapshot()
             )
 
-    def test_wait_hint_points_at_next_boundary(self):
+    def test_wait_hint_without_demand_history_points_at_next_boundary(self):
         ctrl = AdmissionController((0.5, 0.5))
         assert ctrl.wait_hint(0, 3.0) is None  # never budgeted
         budgeted(ctrl, time=100.0, window=10.0)
+        # No demand history yet: the projection finds headroom in the very
+        # first window, so the hint degenerates to the next boundary.
         assert ctrl.wait_hint(0, 104.0) == pytest.approx(6.0)
         assert ctrl.wait_hint(0, 200.0) == 0.0
 
@@ -173,6 +175,94 @@ class TestLadder:
         assert ctrl.utilisation == 0.0
         assert float(ctrl._reserve.sum()) == 0.0
         assert ctrl.wait_hint(0, 1.0) is None
+
+
+class TestWaitHintProjection:
+    """Regression: the hint must project the EWMA-shrunk budget forward.
+
+    The old implementation always pointed at the next window boundary,
+    telling a shed client to retry into a window whose quota was already
+    known to be insufficient — under sustained overload that is an
+    unconditional retry storm.  The projection walks the budget recurrence
+    (backlog drains at live capacity, demand keeps arriving at its EWMA
+    rate) and hints the first window with expected per-class headroom, or
+    ``None`` when no such window exists within ``hint_horizon``.
+    """
+
+    def drive(self, ctrl, demands, windows, *, capacities=(2.0, 1.0), window=10.0):
+        """Run ``windows`` full windows of per-class ``demands`` work each."""
+        deliverable = sum(capacities) * window
+        backlog = 0.0
+        fleet = StubFleet(capacities, work=(backlog, 0.0))
+        ctrl.observe_window(snapshot(time=0.0), fleet, window)
+        for w in range(windows):
+            for c, demand in enumerate(demands):
+                ctrl.decide(c, demand, snapshot())
+            backlog = max(backlog + sum(demands) - deliverable, 0.0)
+            fleet = StubFleet(capacities, work=(backlog, 0.0))
+            ctrl.observe_window(snapshot(time=(w + 1) * window), fleet, window)
+        return ctrl
+
+    def test_sustained_overload_returns_none(self):
+        # Load 1.2 on a 3-capacity fleet, split evenly: 18 work per class
+        # per 10-wide window against a 30 deliverable.  Each class's
+        # projected reserve tops out at 0.45 * 0.95 * 30 = 12.825 < 18 in
+        # *every* future window, so there is no boundary worth retrying at.
+        ctrl = AdmissionController((0.45, 0.45), ewma_alpha=1.0)
+        self.drive(ctrl, demands=(18.0, 18.0), windows=4)
+        assert ctrl.wait_hint(0, 42.0) is None
+        assert ctrl.wait_hint(1, 42.0) is None
+
+    def test_overloaded_class_gets_none_while_light_class_gets_a_hint(self):
+        # Same fleet, but only class 0 is overloaded: its projection never
+        # clears, while class 1's small demand fits its reserve at the very
+        # next boundary.  The hint is per class, not global.
+        ctrl = AdmissionController((0.45, 0.45), ewma_alpha=1.0)
+        self.drive(ctrl, demands=(30.0, 2.0), windows=4)
+        assert ctrl.wait_hint(0, 42.0) is None
+        assert ctrl.wait_hint(1, 42.0) == pytest.approx(8.0)
+
+    def test_transient_backlog_hints_a_later_window(self):
+        # Demand 10 per class fits the 15-per-class reserve in a clear
+        # window, but a 25-work backlog eats the next window's budget
+        # (30 - 25 = 5, reserve 2.5 < 10).  The backlog drains within one
+        # window, so the hint skips exactly one boundary.
+        ctrl = AdmissionController(
+            (0.5, 0.5), target_utilisation=1.0, drain_factor=1.0, ewma_alpha=1.0
+        )
+        fleet = StubFleet((2.0, 1.0), work=(0.0, 0.0))
+        ctrl.observe_window(snapshot(time=0.0), fleet, 10.0)
+        ctrl.decide(0, 10.0, snapshot())
+        ctrl.decide(1, 10.0, snapshot())
+        fleet = StubFleet((2.0, 1.0), work=(25.0, 0.0))
+        ctrl.observe_window(snapshot(time=10.0), fleet, 10.0)
+        # window_end = 20; k=0 has no headroom, k=1 does: hint lands on the
+        # boundary after next.
+        assert ctrl.wait_hint(0, 12.0) == pytest.approx(18.0)
+
+    def test_hint_horizon_bounds_the_projection(self):
+        # A huge backlog clears eventually, but not within a 2-window
+        # horizon — the bounded projection gives up with None rather than
+        # scanning forever.
+        patient = AdmissionController(
+            (0.5, 0.5), target_utilisation=1.0, drain_factor=1.0, ewma_alpha=1.0
+        )
+        curt = AdmissionController(
+            (0.5, 0.5),
+            target_utilisation=1.0,
+            drain_factor=1.0,
+            ewma_alpha=1.0,
+            hint_horizon=2,
+        )
+        for ctrl in (patient, curt):
+            fleet = StubFleet((2.0, 1.0), work=(0.0, 0.0))
+            ctrl.observe_window(snapshot(time=0.0), fleet, 10.0)
+            ctrl.decide(0, 10.0, snapshot())
+            ctrl.decide(1, 10.0, snapshot())
+            fleet = StubFleet((2.0, 1.0), work=(100.0, 0.0))
+            ctrl.observe_window(snapshot(time=10.0), fleet, 10.0)
+        assert patient.wait_hint(0, 12.0) is not None
+        assert curt.wait_hint(0, 12.0) is None
 
 
 class TestValidation:

@@ -96,6 +96,32 @@ class TestParsing:
         # The original is untouched (schedules are immutable values).
         assert [e.time for e in schedule.events] == [200.0, 400.0]
 
+    def test_conflicting_events_same_node_same_instant_rejected(self):
+        # Regression: ``leave:0@200 join:0@200`` used to be accepted and
+        # silently resolved by insertion order.  The pair has no defined
+        # outcome and must fail loudly, naming both tokens.
+        with pytest.raises(SimulationError, match=r"leave:0@200.*join:0@200"):
+            parse_fleet_events("leave:0@200 join:0@200")
+        with pytest.raises(SimulationError, match="conflicting fleet events"):
+            parse_fleet_events("set_capacity:1=0.5@50 leave:1@50")
+
+    def test_conflict_detected_on_direct_construction(self):
+        with pytest.raises(SimulationError, match="conflicting fleet events"):
+            FleetSchedule(
+                events=(
+                    FleetEvent(time=200.0, action="join", node=0),
+                    FleetEvent(time=200.0, action="leave", node=0),
+                )
+            )
+
+    def test_same_instant_events_on_different_nodes_stay_legal(self):
+        # Correlated failures are a feature: simultaneous events are fine
+        # as long as they target different nodes.
+        schedule = parse_fleet_events("leave:0@200 leave:1@200 join:2@200")
+        assert len(schedule.events) == 3
+        # And the same node at *different* instants is of course fine too.
+        assert len(parse_fleet_events("leave:0@200 join:0@400").events) == 2
+
     def test_out_of_range_node_rejected_at_construction(self):
         with pytest.raises(SimulationError, match="node 5"):
             make_cluster(2, fleet=parse_fleet_events("leave:5@10"))

@@ -211,23 +211,62 @@ class TestFeedbackInSimulation:
 class TestLegacyDecisionShim:
     """The redesigned decide() API adapts legacy boolean admit() subclasses."""
 
-    class BoolOnly(AdmissionPolicy):
-        """A pre-redesign policy: overrides only the boolean surface."""
+    @staticmethod
+    def make_legacy_class():
+        """A fresh pre-redesign policy class overriding only the boolean
+        surface — fresh per call, because the deprecation guard is scoped
+        per policy class (process-wide)."""
 
-        def admit(self, class_index, size, snapshot):
-            return class_index == 0
+        class BoolOnly(AdmissionPolicy):
+            def admit(self, class_index, size, snapshot):
+                return class_index == 0
+
+        return BoolOnly
 
     def snapshot(self):
         return SystemSnapshot(time=0.0, backlogs=(0, 0), estimated_loads=(0.3, 0.3))
 
-    def test_decide_adapts_admit_and_warns_once_per_instance(self):
-        policy = self.BoolOnly()
+    def test_decide_adapts_admit_and_warns_once_per_class(self):
+        legacy = self.make_legacy_class()
+        policy = legacy()
         with pytest.warns(DeprecationWarning, match="legacy boolean"):
             assert policy.decide(0, 1.0, self.snapshot()) is AdmissionDecision.ACCEPT
-        # Second call on the same instance stays silent (warned once).
+        # Any further call on the same *class* stays silent — same instance
+        # or a fresh one (one policy per replication must not warn N times).
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             assert policy.decide(1, 1.0, self.snapshot()) is AdmissionDecision.SHED
+            assert legacy().decide(1, 1.0, self.snapshot()) is AdmissionDecision.SHED
+
+    def test_two_distinct_legacy_classes_both_warn(self):
+        # The guard is per policy class, not global: a run mixing two legacy
+        # classes must surface a DeprecationWarning for each of them.
+        class LegacyAlpha(AdmissionPolicy):
+            def admit(self, class_index, size, snapshot):
+                return True
+
+        class LegacyBeta(AdmissionPolicy):
+            def admit(self, class_index, size, snapshot):
+                return False
+
+        with pytest.warns(DeprecationWarning, match="LegacyAlpha"):
+            assert LegacyAlpha().decide(0, 1.0, self.snapshot()) is AdmissionDecision.ACCEPT
+        with pytest.warns(DeprecationWarning, match="LegacyBeta"):
+            assert LegacyBeta().decide(0, 1.0, self.snapshot()) is AdmissionDecision.SHED
+
+    def test_guard_not_inherited_between_legacy_classes(self):
+        # A subclass of an already-warned legacy class carries its own
+        # guard: the flag must be read from the class's own __dict__, never
+        # through inheritance.
+        base = self.make_legacy_class()
+        with pytest.warns(DeprecationWarning):
+            base().decide(0, 1.0, self.snapshot())
+
+        class Derived(base):
+            pass
+
+        with pytest.warns(DeprecationWarning, match="Derived"):
+            Derived().decide(0, 1.0, self.snapshot())
 
     def test_admit_adapts_decide_for_new_policies(self):
         # ACCEPT and DEGRADE both mean "enters the server" on the boolean
@@ -258,9 +297,10 @@ class TestLegacyDecisionShim:
 
         classes = make_classes(moderate_bp, 0.6, (1.0, 2.0))
         cfg = MeasurementConfig(warmup=100.0, horizon=1_000.0, window=100.0)
+        legacy = self.make_legacy_class()
         with pytest.warns(DeprecationWarning, match="legacy boolean"):
             result = PsdServerSimulation(
-                classes, cfg, admission=self.BoolOnly(), seed=2
+                classes, cfg, admission=legacy(), seed=2
             ).run()
         # Class 0 fully admitted, class 1 fully shed — through the adapter.
         assert result.rejected_counts[0] == 0

@@ -267,3 +267,73 @@ class TestAdmissionConfig:
         # ... but tokens incompatible with the new policy still fail loudly.
         with pytest.raises(ExperimentError, match="bad admission policy"):
             config.with_admission("always")
+
+
+class TestAutoscaleDriver:
+    def test_autoscale_structure_and_shape(self, tiny_moderate_config):
+        from repro.experiments.autoscale import run_autoscale
+
+        result = run_autoscale(tiny_moderate_config)
+        assert result.experiment_id == "autoscale"
+        from repro.cluster import AUTOSCALERS
+
+        assert [row["autoscaler"] for row in result.rows] == ["static", *AUTOSCALERS]
+        assert set(result.columns).issuperset(
+            {"autoscaler", "node_hours", "saving", "scale_out", "scale_in"}
+        )
+        static = result.rows[0]
+        # The static peak fleet never scales and pays full freight.
+        assert static["scale_out"] == static["scale_in"] == 0
+        assert static["saving"] == 0.0
+        for row in result.rows[1:]:
+            # Every scaler acted (the half fleet must grow under load) and
+            # undercut the static bill.
+            assert row["scale_out"] > 0
+            assert row["node_hours"] < static["node_hours"]
+            assert 0.0 < row["saving"] < 1.0
+
+    def test_autoscale_honours_configured_policy(self, tiny_moderate_config):
+        from repro.experiments.autoscale import run_autoscale
+
+        config = tiny_moderate_config.with_autoscaler(
+            "step_scaling", ("in_threshold=0.5",)
+        )
+        result = run_autoscale(config)
+        assert result.parameters["autoscalers"] == ("step_scaling",)
+        assert [row["autoscaler"] for row in result.rows] == ["static", "step_scaling"]
+
+
+class TestAutoscalerConfig:
+    def test_autoscaler_args_require_policy(self):
+        with pytest.raises(ExperimentError, match="without an autoscaler policy"):
+            ExperimentConfig(autoscaler_args=("target=0.8",))
+
+    def test_bad_autoscaler_policy_rejected(self):
+        with pytest.raises(ExperimentError, match="bad autoscaler policy"):
+            ExperimentConfig(autoscaler="nope")
+        with pytest.raises(ExperimentError, match="bad autoscaler policy"):
+            ExperimentConfig(autoscaler="target_tracking", autoscaler_args=("target=0",))
+
+    def test_build_autoscaler_policy_fresh_instances(self):
+        from repro.cluster import TargetTracking
+
+        config = ExperimentConfig(autoscaler="target_tracking", autoscaler_args=("target=0.8",))
+        first = config.build_autoscaler_policy()
+        second = config.build_autoscaler_policy()
+        assert isinstance(first, TargetTracking)
+        assert first is not second
+        assert first.target == 0.8
+        assert ExperimentConfig().build_autoscaler_policy() is None
+
+    def test_with_autoscaler_clears_args_with_policy(self):
+        config = ExperimentConfig(
+            autoscaler="target_tracking", autoscaler_args=("target=0.8",)
+        )
+        cleared = config.with_autoscaler(None)
+        assert cleared.autoscaler is None
+        assert cleared.autoscaler_args == ()
+        kept = config.with_autoscaler("target_tracking")
+        assert kept.autoscaler_args == config.autoscaler_args
+        # ... but tokens incompatible with the new policy still fail loudly.
+        with pytest.raises(ExperimentError, match="bad autoscaler policy"):
+            config.with_autoscaler("step_scaling")

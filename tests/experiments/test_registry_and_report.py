@@ -31,6 +31,7 @@ class TestRegistry:
             "fig12",
             "cluster",
             "overload",
+            "autoscale",
         )
 
     def test_every_experiment_has_a_paper_claim(self):

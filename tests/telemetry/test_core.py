@@ -190,3 +190,65 @@ class TestClusterIntegration:
             total = sum(share[class_index] for share in shares0)
             expected = on.rate_history[0][1][class_index]
             assert total == pytest.approx(expected, abs=1e-9)
+
+
+class TestAutoscaleIntegration:
+    def make_autoscaled_run(self, two_classes, short_measurement, telemetry=None):
+        from repro.cluster import build_autoscaler
+        from repro.cluster.fleet import FleetSchedule
+
+        # Half fleet live at t=0 against 60% system load: the target tracker
+        # must scale out, so the hook always sees join events.
+        cluster = make_cluster(
+            4,
+            "weighted_jsq",
+            capacities=(0.25,) * 4,
+            seed=np.random.SeedSequence(5),
+            fleet=FleetSchedule(initial_down=(2, 3)),
+        )
+        scenario = Scenario(
+            two_classes,
+            short_measurement,
+            server=cluster,
+            spec=PsdSpec.of(*(c.delta for c in two_classes)),
+            seed=np.random.SeedSequence(11),
+            autoscaler=build_autoscaler("target_tracking"),
+            telemetry=telemetry,
+        )
+        return scenario.run(), scenario
+
+    def test_autoscale_counters_match_emitted_events(self, two_classes, short_measurement):
+        telemetry = Telemetry()
+        result, _ = self.make_autoscaled_run(
+            two_classes, short_measurement, telemetry=telemetry
+        )
+        registry = telemetry.registry
+        joins = sum(1 for e in result.autoscale_events if e.action == "join")
+        leaves = sum(1 for e in result.autoscale_events if e.action == "leave")
+        assert joins > 0
+        assert registry.get("autoscale.scale_out").value == joins
+        scale_in = registry.get("autoscale.scale_in")
+        assert (0 if scale_in is None else scale_in.value) == leaves
+        # The generic fleet counter ticked once per applied event too.
+        assert registry.get("fleet.events").value == len(result.autoscale_events)
+
+    def test_node_hours_gauge_integrates_the_timeline(self, two_classes, short_measurement):
+        from repro.cluster import node_hours
+
+        telemetry = Telemetry()
+        result, scenario = self.make_autoscaled_run(
+            two_classes, short_measurement, telemetry=telemetry
+        )
+        gauge = telemetry.registry.get("cluster.node_hours")
+        assert gauge.value == pytest.approx(
+            node_hours(result.fleet_timeline, horizon=float(scenario.engine.now))
+        )
+
+    def test_autoscaled_run_bit_identical_with_telemetry(self, two_classes, short_measurement):
+        baseline, _ = self.make_autoscaled_run(two_classes, short_measurement)
+        result, _ = self.make_autoscaled_run(
+            two_classes, short_measurement, telemetry=Telemetry()
+        )
+        assert result.autoscale_events == baseline.autoscale_events
+        assert result.fleet_timeline == baseline.fleet_timeline
+        assert result.per_class_mean_slowdowns() == baseline.per_class_mean_slowdowns()
